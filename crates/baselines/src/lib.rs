@@ -1,0 +1,24 @@
+//! `raxpp-baselines` — the three comparison systems of the paper's
+//! evaluation (§5.2, Table 1, Figures 8-10), modeled on the same
+//! cluster simulator as RaxPP itself:
+//!
+//! * [`simulate_fsdp`] — JAX fully-sharded data parallelism (ZeRO-3
+//!   style) with hierarchical collectives;
+//! * [`simulate_spmd_pp`] — GSPMD's stacked-weights GPipe encoding:
+//!   GPipe-only, fully rematerialized, synchronous P2P (§2.2.2);
+//! * [`simulate_nemo`] — NeMo/Megatron: the same schedules as RaxPP plus
+//!   a fused-kernel efficiency bonus (§5.2).
+
+#![warn(missing_docs)]
+
+mod cluster_ext;
+mod fsdp;
+mod nemo;
+mod spmd_pp;
+
+pub use cluster_ext::hierarchical_gather_time;
+pub use fsdp::{simulate_fsdp, FsdpConfig, FsdpReport};
+pub use nemo::{
+    paper_gpt3_config as nemo_gpt3_config, paper_llama2_config as nemo_llama2_config, simulate_nemo,
+};
+pub use spmd_pp::{paper_gpt3_config as spmd_pp_gpt3_config, simulate_spmd_pp};

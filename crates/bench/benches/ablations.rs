@@ -1,0 +1,184 @@
+//! Ablations of RaxPP's design decisions, run on both the executable
+//! runtime (message counts) and the performance model (time):
+//!
+//! * **loop commuting** (§3.4): cross-actor messages for a
+//!   tied-embedding model, commuted vs naive;
+//! * **task fusion** (§4.4): one dispatch per actor vs one RPC per task;
+//! * **asynchronous P2P** (§4.2): overlap on vs off;
+//! * **rematerialization policy** (§5.3): forced policies vs the
+//!   automatic choice;
+//! * **zero-bubble split backward** (extension; §6/related work): ZB-H1
+//!   vs 1F1B at paper scale.
+
+use raxpp_bench::{dump_json, rule, Compared};
+use raxpp_ir::TraceCtx;
+use raxpp_models::{ModelConfig, RematPolicy};
+use raxpp_sched::one_f1b;
+use raxpp_simcluster::{simulate_pipeline, ClusterSpec, ParallelConfig, ScheduleKind, SimOptions};
+use raxpp_taskgraph::{pipeline_model, program_stats, unroll_loop, UnrollOptions};
+
+fn main() {
+    let mut records = Vec::new();
+
+    // --- Loop commuting (§3.4): compiled-program message counts -------
+    let ctx = TraceCtx::new();
+    let w = ctx.input([8, 8]); // tied weight used in both stages
+    let x = ctx.input([2, 8]);
+    let h = ctx.pipeline_yield(&x.matmul(&w).unwrap().tanh());
+    let y = h.matmul(&w).unwrap();
+    let loss = y.mul(&y).unwrap().sum();
+    let jaxpr = ctx.finish(&[loss]).unwrap();
+    let model = pipeline_model(&jaxpr, 1).unwrap();
+    let schedule = one_f1b(2, 16).unwrap();
+    println!("Ablation 1 — loop commuting (§3.4), tied weight, 16 microbatches");
+    println!(
+        "{:<12} {:>10} {:>14} {:>16}",
+        "mode", "messages", "grad messages", "bytes on wire"
+    );
+    rule(56);
+    for commuting in [true, false] {
+        let compiled = unroll_loop(
+            &model,
+            &schedule,
+            UnrollOptions {
+                loop_commuting: commuting,
+            },
+        )
+        .unwrap();
+        let stats = program_stats(&compiled.program);
+        let msgs = stats.total_messages();
+        let grad_msgs = msgs - 2 * 16; // minus activations + cotangents
+        let mode = if commuting { "commuted" } else { "naive" };
+        println!(
+            "{mode:<12} {msgs:>10} {grad_msgs:>14} {:>16}",
+            stats.total_bytes()
+        );
+        records.push(Compared::new(
+            format!("commuting={commuting}/bytes"),
+            stats.total_bytes() as f64,
+            None,
+        ));
+    }
+    println!("commuted: one gradient message total; naive: one per microbatch.\n");
+
+    // --- The remaining ablations on the performance model -------------
+    let gpt3 = ModelConfig::gpt3_175b();
+    let eos = ClusterSpec::eos();
+    let par = ParallelConfig::jaxpp_gpt3(1);
+
+    println!("Ablation 2 — task fusion (§4.4), GPT-3 175B @ 64 GPUs");
+    for per_task_rpc in [false, true] {
+        let r = simulate_pipeline(
+            &gpt3,
+            par,
+            &eos,
+            &SimOptions {
+                per_task_rpc,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let label = if per_task_rpc {
+            "per-task RPCs"
+        } else {
+            "fused (1/actor)"
+        };
+        println!(
+            "  {label:<18} step {:>6.2}s  dispatch {:>6.3}s/GPU",
+            r.step_time, r.breakdown.dispatch
+        );
+        records.push(Compared::new(
+            format!("fusion={}", !per_task_rpc),
+            r.step_time,
+            None,
+        ));
+    }
+
+    println!("\nAblation 3 — asynchronous P2P (§4.2)");
+    for async_p2p in [true, false] {
+        let r = simulate_pipeline(
+            &gpt3,
+            par,
+            &eos,
+            &SimOptions {
+                async_p2p,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let label = if async_p2p { "async" } else { "sync" };
+        println!(
+            "  {label:<6} step {:>6.2}s  sender-blocked {:>6.3}s/GPU",
+            r.step_time, r.breakdown.sync_send_block
+        );
+        records.push(Compared::new(
+            format!("async_p2p={async_p2p}"),
+            r.step_time,
+            None,
+        ));
+    }
+
+    println!("\nAblation 4 — rematerialization policy (§5.3)");
+    for (label, force) in [
+        ("auto", None),
+        ("selective", Some(RematPolicy::Selective)),
+        ("full", Some(RematPolicy::Full)),
+    ] {
+        match simulate_pipeline(
+            &gpt3,
+            par,
+            &eos,
+            &SimOptions {
+                force_remat: force,
+                ..SimOptions::default()
+            },
+        ) {
+            Ok(r) => {
+                println!(
+                    "  {label:<10} step {:>6.2}s  remat {:>6.3}s/GPU  mem {:>5.1} GB ({:?})",
+                    r.step_time,
+                    r.breakdown.remat,
+                    r.peak_mem_bytes / 1e9,
+                    r.remat_policy
+                );
+                records.push(Compared::new(format!("remat={label}"), r.step_time, None));
+            }
+            Err(e) => println!("  {label:<10} infeasible: {e}"),
+        }
+    }
+    println!("\nAblation 5 — zero-bubble split backward (extension)");
+    let base = ParallelConfig {
+        pp: 8,
+        tp: 8,
+        dp: 1,
+        microbatch: 4,
+        n_microbatches: 32,
+        circular_repeat: 1,
+        schedule: ScheduleKind::OneF1B,
+    };
+    for (label, kind) in [
+        ("1f1b", ScheduleKind::OneF1B),
+        ("zb-h1", ScheduleKind::ZeroBubbleH1),
+    ] {
+        let r = simulate_pipeline(
+            &gpt3,
+            ParallelConfig {
+                schedule: kind,
+                ..base
+            },
+            &eos,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        println!(
+            "  {label:<6} step {:>6.2}s  bubble {:>6.3}s/GPU  {:>4.0} TFLOPS",
+            r.step_time, r.breakdown.bubble, r.tflops_per_gpu
+        );
+        records.push(Compared::new(
+            format!("schedule={label}"),
+            r.step_time,
+            None,
+        ));
+    }
+    dump_json("ablations", &records);
+}

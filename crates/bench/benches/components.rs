@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of RaxPP's own machinery: tracing,
+//! differentiation, pipeline compilation, schedule generation, the
+//! discrete-event simulator, and one full executable training step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
+use raxpp_ir::{grad, Tensor, TraceCtx};
+use raxpp_models::{mlp_chain, ModelConfig};
+use raxpp_sched::{interleaved_1f1b, simulate, UniformCost};
+use raxpp_simcluster::{simulate_pipeline, ClusterSpec, ParallelConfig, SimOptions};
+use raxpp_taskgraph::{insert_frees, pipeline_model, unroll_loop, UnrollOptions};
+
+fn trace_mlp(layers: usize) -> raxpp_ir::Jaxpr {
+    let ctx = TraceCtx::new();
+    let ws: Vec<_> = (0..layers).map(|_| ctx.input([32, 32])).collect();
+    let x = ctx.input([8, 32]);
+    let mut h = x;
+    for w in &ws {
+        h = h.matmul(w).unwrap().tanh();
+    }
+    let loss = h.mul(&h).unwrap().sum();
+    ctx.finish(&[loss]).unwrap()
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("trace_16_layer_mlp", |b| b.iter(|| trace_mlp(16)));
+    let jaxpr = trace_mlp(16);
+    c.bench_function("autodiff_16_layer_mlp", |b| {
+        b.iter(|| grad(&jaxpr).unwrap())
+    });
+
+    let model = mlp_chain(16, 4, 8, 4, 0).unwrap();
+    let pmodel = pipeline_model(&model.jaxpr, model.n_params).unwrap();
+    let schedule = interleaved_1f1b(2, 8, 2).unwrap();
+    c.bench_function("unroll_8x4_pipeline", |b| {
+        b.iter(|| {
+            let mut compiled = unroll_loop(&pmodel, &schedule, UnrollOptions::default()).unwrap();
+            insert_frees(&mut compiled.program);
+            compiled
+        })
+    });
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    c.bench_function("build_interleaved_pp8_ga32_v6", |b| {
+        b.iter(|| interleaved_1f1b(8, 32, 6).unwrap())
+    });
+    let schedule = interleaved_1f1b(8, 32, 6).unwrap();
+    c.bench_function("uniform_simulate_pp8_ga32_v6", |b| {
+        b.iter(|| simulate(&schedule, UniformCost::default()).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let gpt3 = ModelConfig::gpt3_175b();
+    let eos = ClusterSpec::eos();
+    c.bench_function("des_gpt3_flagship", |b| {
+        b.iter(|| {
+            simulate_pipeline(
+                &gpt3,
+                ParallelConfig::jaxpp_gpt3(1),
+                &eos,
+                &SimOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let model = mlp_chain(8, 2, 4, 2, 0).unwrap();
+    let schedule = raxpp_sched::one_f1b(2, 4).unwrap();
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::Sgd { lr: 0.01 },
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    let data: Vec<Vec<Tensor>> = vec![(0..4).map(|_| Tensor::ones([2, 8])).collect()];
+    c.bench_function("mpmd_training_step_2actors", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| trainer.step(&d).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compiler,
+    bench_schedules,
+    bench_simulator,
+    bench_runtime
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 8: weak scaling of GPT-3 175B training from 64 to 1024 GPUs
+//! (GBS 128 → 2048): RaxPP's interleaved-1F1B pipeline vs JAX FSDP.
+//!
+//! Paper numbers: 92.87% (JaxPP) vs 93.97% (FSDP) scaling efficiency,
+//! with JaxPP delivering higher absolute throughput and lower step time
+//! at every scale.
+
+use raxpp_bench::{dump_json, rule, Compared};
+use raxpp_core::experiments::{figure8, paper};
+use raxpp_simcluster::ClusterSpec;
+
+fn main() {
+    let rows = figure8(&ClusterSpec::eos()).expect("figure 8 configs are feasible");
+    println!("Figure 8 — weak scaling, GPT-3 175B, GBS 2/GPU");
+    println!(
+        "{:>6} | {:>14} {:>14} | {:>14} {:>14}",
+        "GPUs", "RaxPP step(s)", "RaxPP TFLOPS", "FSDP step(s)", "FSDP TFLOPS"
+    );
+    rule(72);
+    let mut records = Vec::new();
+    for row in &rows {
+        println!(
+            "{:>6} | {:>14.2} {:>14.0} | {:>14.2} {:>14.0}",
+            row.gpus,
+            row.jaxpp.step_time,
+            row.jaxpp.tflops_per_gpu,
+            row.fsdp.step_time,
+            row.fsdp.tflops_per_gpu
+        );
+        records.push(Compared::new(
+            format!("jaxpp@{}", row.gpus),
+            row.jaxpp.step_time,
+            None,
+        ));
+        records.push(Compared::new(
+            format!("fsdp@{}", row.gpus),
+            row.fsdp.step_time,
+            None,
+        ));
+    }
+    let jaxpp_eff = rows[0].jaxpp.step_time / rows.last().unwrap().jaxpp.step_time;
+    let fsdp_eff = rows[0].fsdp.step_time / rows.last().unwrap().fsdp.step_time;
+    println!(
+        "\nweak-scaling efficiency 64 → 1024 GPUs: RaxPP {:.2}% (paper {:.2}%), \
+         FSDP {:.2}% (paper {:.2}%)",
+        jaxpp_eff * 100.0,
+        paper::WEAK_SCALING_JAXPP * 100.0,
+        fsdp_eff * 100.0,
+        paper::WEAK_SCALING_FSDP * 100.0
+    );
+    records.push(Compared::new(
+        "jaxpp_efficiency",
+        jaxpp_eff,
+        Some(paper::WEAK_SCALING_JAXPP),
+    ));
+    records.push(Compared::new(
+        "fsdp_efficiency",
+        fsdp_eff,
+        Some(paper::WEAK_SCALING_FSDP),
+    ));
+    dump_json("fig8", &records);
+}

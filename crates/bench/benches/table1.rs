@@ -1,0 +1,53 @@
+//! Table 1: full training-performance table — step time and
+//! TFLOPS/device for RaxPP (JaxPP), JAX FSDP, JAX SPMD PP, and NeMo on
+//! GPT-3 175B (64-1024 GPUs) and Llama2 70B (64 GPUs), printed
+//! paper-vs-measured.
+
+use raxpp_bench::{dump_json, pct_err, rule, Compared};
+use raxpp_core::experiments::table1;
+use raxpp_simcluster::ClusterSpec;
+
+fn main() {
+    let rows = table1(&ClusterSpec::eos()).expect("table 1 configs are feasible");
+    println!("Table 1 — training performance (simulated DGX H100 / NDR400 cluster)");
+    println!(
+        "{:<16}{:<12}{:>6}{:>7} | {:>9}{:>9}{:>8} | {:>8}{:>8}{:>8}",
+        "System", "Model", "GBS", "GPUs", "step(s)", "paper", "err", "TFLOPS", "paper", "err"
+    );
+    rule(100);
+    let mut records = Vec::new();
+    for row in &rows {
+        println!(
+            "{:<16}{:<12}{:>6}{:>7} | {:>9.2}{:>9.2}{:>8} | {:>8.0}{:>8.0}{:>8}",
+            row.system,
+            row.model,
+            row.gbs,
+            row.gpus,
+            row.step_time,
+            row.paper_step,
+            pct_err(row.step_time, row.paper_step),
+            row.tflops,
+            row.paper_tflops,
+            pct_err(row.tflops, row.paper_tflops),
+        );
+        records.push(Compared::new(
+            format!("{}/{}@{}gpus/step", row.system, row.model, row.gpus),
+            row.step_time,
+            Some(row.paper_step),
+        ));
+        records.push(Compared::new(
+            format!("{}/{}@{}gpus/tflops", row.system, row.model, row.gpus),
+            row.tflops,
+            Some(row.paper_tflops),
+        ));
+    }
+    let worst = records
+        .iter()
+        .filter_map(|c| c.paper.map(|p| ((c.measured - p) / p).abs()))
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case deviation from the paper: {:.1}%",
+        worst * 100.0
+    );
+    dump_json("table1", &records);
+}

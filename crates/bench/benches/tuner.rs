@@ -1,0 +1,61 @@
+//! Configuration auto-tuning sweep (extension): enumerate every feasible
+//! (pp, tp, dp, microbatch, accumulation, repeat, schedule) combination
+//! on the performance model and rank by step time.
+//!
+//! The paper's hand-chosen flagship configuration landing at/near the
+//! top is an end-to-end validation of the calibration; the sweep also
+//! quantifies how much the zero-bubble extension buys over the paper's
+//! schedules.
+
+use raxpp_bench::{dump_json, rule, Compared};
+use raxpp_models::ModelConfig;
+use raxpp_simcluster::{tune, ClusterSpec, TunerOptions};
+
+fn main() {
+    let eos = ClusterSpec::eos();
+    let mut records = Vec::new();
+    for (model, gpus, gbs) in [
+        (ModelConfig::gpt3_175b(), 64usize, 128usize),
+        (ModelConfig::llama2_70b(), 64, 128),
+    ] {
+        let results = tune(&model, gpus, gbs, &eos, &TunerOptions::default());
+        println!(
+            "Auto-tuner — {model}, {gpus} GPUs, GBS {gbs}: {} feasible configs",
+            results.len()
+        );
+        println!(
+            "{:>4} {:<44} {:>9} {:>8}",
+            "#", "configuration", "step(s)", "TFLOPS"
+        );
+        rule(70);
+        for (i, c) in results.iter().take(10).enumerate() {
+            println!(
+                "{:>4} {:<44} {:>9.2} {:>8.0}",
+                i + 1,
+                c.config.to_string(),
+                c.report.step_time,
+                c.report.tflops_per_gpu
+            );
+            records.push(Compared::new(
+                format!("{}#{}: {}", model.name, i + 1, c.config),
+                c.report.step_time,
+                None,
+            ));
+        }
+        if let Some(flagship) = results.iter().position(|c| {
+            c.config.pp == 8
+                && c.config.tp == 8
+                && c.config.microbatch == 4
+                && c.config.circular_repeat == 6
+        }) {
+            println!(
+                "\npaper flagship (pp=8 tp=8 mbs=4 repeat=6) ranks #{} of {}\n",
+                flagship + 1,
+                results.len()
+            );
+        } else {
+            println!();
+        }
+    }
+    dump_json("tuner", &records);
+}

@@ -1,0 +1,32 @@
+//! Developer utility: compile a tiny 2-stage pipeline and dump the fused
+//! per-actor instruction streams (used to generate the worked example in
+//! docs/ARCHITECTURE.md).
+
+use raxpp_ir::TraceCtx;
+use raxpp_sched::one_f1b;
+use raxpp_taskgraph::{insert_frees, pipeline_model, unroll_loop, UnrollOptions};
+
+fn main() {
+    let ctx = TraceCtx::new();
+    let w1 = ctx.input([2, 2]);
+    let w2 = ctx.input([2, 2]);
+    let x = ctx.input([1, 2]);
+    let h = ctx.pipeline_yield(&x.matmul(&w1).unwrap().tanh());
+    let y = h.matmul(&w2).unwrap();
+    let loss = y.mul(&y).unwrap().sum();
+    let jaxpr = ctx.finish(&[loss]).unwrap();
+    println!("=== traced jaxpr ===\n{jaxpr}\n");
+    let model = pipeline_model(&jaxpr, 2).unwrap();
+    println!(
+        "=== stage 0 forward (augmented with residuals) ===\n{}\n",
+        model.fwd[0]
+    );
+    println!("=== stage 0 backward ===\n{}\n", model.bwd[0]);
+    let schedule = one_f1b(2, 2).unwrap();
+    let mut compiled = unroll_loop(&model, &schedule, UnrollOptions::default()).unwrap();
+    insert_frees(&mut compiled.program);
+    println!(
+        "=== fused MPMD program (1F1B, 2 microbatches) ===\n{}",
+        compiled.program.dump()
+    );
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the paper-reproduction bench harnesses: pretty
+//! tables on stdout plus machine-readable JSON records under
+//! `target/paper_artifacts/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Writes one experiment's records as JSON under
+/// `target/paper_artifacts/<name>.json` (best-effort; printing is the
+/// primary output).
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    // Anchor at the workspace root regardless of the bench's CWD.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper_artifacts");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(dir.join(format!("{name}.json")), s);
+    }
+}
+
+/// Prints a horizontal rule sized for the harness tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a relative error in percent.
+pub fn pct_err(measured: f64, paper: f64) -> String {
+    format!("{:+.1}%", (measured - paper) / paper * 100.0)
+}
+
+/// A serializable (measured, paper) pair for the JSON dumps.
+#[derive(Debug, Serialize)]
+pub struct Compared {
+    /// Label of the data point.
+    pub label: String,
+    /// Value measured by the simulator.
+    pub measured: f64,
+    /// Value reported in the paper (if any).
+    pub paper: Option<f64>,
+}
+
+impl Compared {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, measured: f64, paper: Option<f64>) -> Compared {
+        Compared {
+            label: label.into(),
+            measured,
+            paper,
+        }
+    }
+}

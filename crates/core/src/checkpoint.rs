@@ -1,0 +1,107 @@
+//! Checkpointing: save and restore a [`crate::Trainer`]'s full training
+//! state (parameters + optimizer moments) in a simple self-describing
+//! binary format.
+//!
+//! Format (little-endian): the magic `RAXPP\x01`, a `u32` tensor count,
+//! then per tensor a `u32` rank, `u64` dimension sizes, and the raw
+//! `f32` data.
+
+use std::io::{self, Read, Write};
+
+use raxpp_ir::{Shape, Tensor};
+
+const MAGIC: &[u8; 6] = b"RAXPP\x01";
+
+/// Writes a list of tensors to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_tensors(mut w: impl Write, tensors: &[Tensor]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in tensors {
+        let dims = t.shape().dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a list of tensors written by [`save_tensors`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a wrong magic or truncated stream, plus any
+/// I/O error.
+pub fn load_tensors(mut r: impl Read) -> io::Result<Vec<Tensor>> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a RaxPP checkpoint",
+        ));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf)?;
+            dims.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let shape = Shape::new(dims);
+        let mut data = vec![0f32; shape.numel()];
+        for v in &mut data {
+            r.read_exact(&mut u32buf)?;
+            *v = f32::from_le_bytes(u32buf);
+        }
+        out.push(
+            Tensor::from_vec(shape, data)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let tensors = vec![
+            Tensor::scalar(3.25),
+            Tensor::from_vec([2, 3], vec![1.0, -2.0, 3.5, 0.0, 5.0, -6.25]).unwrap(),
+            Tensor::zeros([4]),
+        ];
+        let mut buf = Vec::new();
+        save_tensors(&mut buf, &tensors).unwrap();
+        let back = load_tensors(buf.as_slice()).unwrap();
+        assert_eq!(tensors, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_tensors(&b"NOTACHECKPOINT"[..]).is_err());
+        assert!(load_tensors(&b"RAXPP\x01"[..]).is_err()); // truncated
+    }
+
+    #[test]
+    fn empty_list_roundtrips() {
+        let mut buf = Vec::new();
+        save_tensors(&mut buf, &[]).unwrap();
+        assert!(load_tensors(buf.as_slice()).unwrap().is_empty());
+    }
+}

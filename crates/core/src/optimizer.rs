@@ -1,0 +1,186 @@
+//! Optimizers as IR graphs: the "computation after the loop" of the
+//! paper's Figure 4 (`state.apply_gradient`), compiled onto the actor
+//! that owns each parameter's gradient (placement propagation out of the
+//! loop, §3.3).
+
+use raxpp_ir::{GraphBuilder, Jaxpr, Prim, Result, Shape, Tensor};
+
+/// A first-order optimizer, lowered per parameter into an update graph
+/// `(param, grad, state…) → (param', state'…)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent: `p' = p − lr·g`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with momentum: `v' = μ·v + g; p' = p − lr·v'`.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient μ.
+        momentum: f32,
+    },
+    /// Adam without bias correction (`m̂ = m`, `v̂ = v` — the common
+    /// simplification for steady-state training):
+    /// `m' = β₁·m + (1−β₁)·g; v' = β₂·v + (1−β₂)·g²;
+    ///  p' = p − lr·m'/(√v' + ε)`.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay β₁.
+        beta1: f32,
+        /// Second-moment decay β₂.
+        beta2: f32,
+        /// Numerical-stability term ε.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the usual defaults (lr only).
+    pub fn adam(lr: f32) -> Optimizer {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Number of per-parameter state tensors (momenta).
+    pub fn n_state_slots(&self) -> usize {
+        match self {
+            Optimizer::Sgd { .. } => 0,
+            Optimizer::Momentum { .. } => 1,
+            Optimizer::Adam { .. } => 2,
+        }
+    }
+
+    /// Zero-initialized state tensors for a parameter of `shape`.
+    pub fn init_state(&self, shape: &Shape) -> Vec<Tensor> {
+        (0..self.n_state_slots())
+            .map(|_| Tensor::zeros(shape.clone()))
+            .collect()
+    }
+
+    /// Builds the update graph for one parameter of `shape`.
+    ///
+    /// Inputs: `param, grad, state…`; outputs: `param', state'…`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors (none occur for valid
+    /// shapes).
+    pub fn update_jaxpr(&self, shape: &Shape) -> Result<Jaxpr> {
+        let mut b = GraphBuilder::new();
+        let p = b.input(shape.clone());
+        let g = b.input(shape.clone());
+        match *self {
+            Optimizer::Sgd { lr } => {
+                let step = b.emit(Prim::Scale(lr), &[g])?;
+                let p2 = b.emit(Prim::Sub, &[p, step])?;
+                b.finish(vec![p2])
+            }
+            Optimizer::Momentum { lr, momentum } => {
+                let v = b.input(shape.clone());
+                let mv = b.emit(Prim::Scale(momentum), &[v])?;
+                let v2 = b.emit(Prim::Add, &[mv, g])?;
+                let step = b.emit(Prim::Scale(lr), &[v2])?;
+                let p2 = b.emit(Prim::Sub, &[p, step])?;
+                b.finish(vec![p2, v2])
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let m = b.input(shape.clone());
+                let v = b.input(shape.clone());
+                let m_decay = b.emit(Prim::Scale(beta1), &[m])?;
+                let g_scaled = b.emit(Prim::Scale(1.0 - beta1), &[g])?;
+                let m2 = b.emit(Prim::Add, &[m_decay, g_scaled])?;
+                let v_decay = b.emit(Prim::Scale(beta2), &[v])?;
+                let gg = b.emit(Prim::Mul, &[g, g])?;
+                let gg_scaled = b.emit(Prim::Scale(1.0 - beta2), &[gg])?;
+                let v2 = b.emit(Prim::Add, &[v_decay, gg_scaled])?;
+                let root = b.emit(Prim::Sqrt, &[v2])?;
+                let denom = b.emit(Prim::AddScalar(eps), &[root])?;
+                let dir = b.emit(Prim::Div, &[m2, denom])?;
+                let step = b.emit(Prim::Scale(lr), &[dir])?;
+                let p2 = b.emit(Prim::Sub, &[p, step])?;
+                b.finish(vec![p2, m2, v2])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raxpp_ir::eval;
+
+    #[test]
+    fn sgd_update() {
+        let j = Optimizer::Sgd { lr: 0.1 }
+            .update_jaxpr(&Shape::new([2]))
+            .unwrap();
+        let out = eval(
+            &j,
+            &[
+                Tensor::from_vec([2], vec![1.0, 2.0]).unwrap(),
+                Tensor::from_vec([2], vec![10.0, -10.0]).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let opt = Optimizer::Momentum {
+            lr: 1.0,
+            momentum: 0.5,
+        };
+        let j = opt.update_jaxpr(&Shape::new([1])).unwrap();
+        let p = Tensor::from_vec([1], vec![0.0]).unwrap();
+        let g = Tensor::from_vec([1], vec![1.0]).unwrap();
+        let v0 = Tensor::zeros([1]);
+        let step1 = eval(&j, &[p, g.clone(), v0]).unwrap();
+        // v1 = 1, p1 = -1.
+        assert_eq!(step1[1].data(), &[1.0]);
+        assert_eq!(step1[0].data(), &[-1.0]);
+        let step2 = eval(&j, &[step1[0].clone(), g, step1[1].clone()]).unwrap();
+        // v2 = 1.5, p2 = -2.5.
+        assert_eq!(step2[1].data(), &[1.5]);
+        assert_eq!(step2[0].data(), &[-2.5]);
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let opt = Optimizer::adam(0.01);
+        let j = opt.update_jaxpr(&Shape::new([2])).unwrap();
+        let p = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
+        let g = Tensor::from_vec([2], vec![2.0, -3.0]).unwrap();
+        let out = eval(&j, &[p.clone(), g, Tensor::zeros([2]), Tensor::zeros([2])]).unwrap();
+        assert!(out[0].data()[0] < p.data()[0]);
+        assert!(out[0].data()[1] > p.data()[1]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn state_slot_counts() {
+        assert_eq!(Optimizer::Sgd { lr: 0.1 }.n_state_slots(), 0);
+        assert_eq!(
+            Optimizer::Momentum {
+                lr: 0.1,
+                momentum: 0.9
+            }
+            .n_state_slots(),
+            1
+        );
+        assert_eq!(Optimizer::adam(0.1).n_state_slots(), 2);
+        assert_eq!(Optimizer::adam(0.1).init_state(&Shape::new([3])).len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Element types.
+//!
+//! The CPU interpreter computes everything in `f32`; the declared [`DType`]
+//! is carried through the IR so that byte-accurate buffer sizes can be
+//! reported to the performance model (e.g. BF16 activations are half the
+//! size of F32 ones on the wire and in device memory).
+
+use std::fmt;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit IEEE float (the interpreter's compute type).
+    #[default]
+    F32,
+    /// bfloat16 — the training precision used throughout the paper's
+    /// evaluation (GPT-3 175B and Llama2 70B are trained in BF16).
+    Bf16,
+    /// IEEE half precision.
+    F16,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::Bf16 | DType::F16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "f32",
+            DType::Bf16 => "bf16",
+            DType::F16 => "f16",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::default(), DType::F32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::Bf16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,141 @@
+//! Error type shared by all IR operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by IR construction, shape inference, interpretation, and
+/// differentiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Which operation raised the mismatch.
+        context: String,
+        /// The shape that was expected.
+        expected: Shape,
+        /// The shape that was found.
+        found: Shape,
+    },
+    /// An operation received an operand of unsupported rank.
+    RankMismatch {
+        /// Which operation raised the mismatch.
+        context: String,
+        /// The rank that was expected.
+        expected: usize,
+        /// The rank that was found.
+        found: usize,
+    },
+    /// An axis index was out of range for the operand's rank.
+    AxisOutOfRange {
+        /// Which operation raised the error.
+        context: String,
+        /// The offending axis.
+        axis: usize,
+        /// The operand's rank.
+        rank: usize,
+    },
+    /// An operation received the wrong number of operands.
+    ArityMismatch {
+        /// Which operation raised the error.
+        context: String,
+        /// The number of operands that was expected.
+        expected: usize,
+        /// The number of operands that was found.
+        found: usize,
+    },
+    /// A variable was used before being defined, defined twice, or is
+    /// otherwise unknown to the graph.
+    InvalidVar {
+        /// Which check raised the error.
+        context: String,
+        /// Numeric id of the offending variable.
+        var: u32,
+    },
+    /// A broadcast between incompatible shapes was requested.
+    BroadcastError {
+        /// The source shape.
+        from: Shape,
+        /// The requested target shape.
+        to: Shape,
+    },
+    /// A reshape changing the element count was requested.
+    ReshapeError {
+        /// The source shape.
+        from: Shape,
+        /// The requested target shape.
+        to: Shape,
+    },
+    /// Differentiation was requested through a primitive that has no
+    /// registered VJP rule (e.g. a gradient helper primitive).
+    NonDifferentiable {
+        /// Name of the primitive.
+        prim: String,
+    },
+    /// A free-form invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{context}: shape mismatch, expected {expected}, found {found}"
+                )
+            }
+            IrError::RankMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{context}: rank mismatch, expected {expected}, found {found}"
+                )
+            }
+            IrError::AxisOutOfRange {
+                context,
+                axis,
+                rank,
+            } => {
+                write!(f, "{context}: axis {axis} out of range for rank {rank}")
+            }
+            IrError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(f, "{context}: expected {expected} operands, found {found}")
+            }
+            IrError::InvalidVar { context, var } => {
+                write!(f, "{context}: invalid variable v{var}")
+            }
+            IrError::BroadcastError { from, to } => {
+                write!(f, "cannot broadcast {from} to {to}")
+            }
+            IrError::ReshapeError { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from} ({} elements) to {to} ({} elements)",
+                    from.numel(),
+                    to.numel()
+                )
+            }
+            IrError::NonDifferentiable { prim } => {
+                write!(f, "primitive {prim} is not differentiable")
+            }
+            IrError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,484 @@
+//! The `Jaxpr`-style SSA dataflow graph and its builder.
+//!
+//! A [`Jaxpr`] is a flat list of equations in topological (definition)
+//! order, with explicit input and output variables — the same structure
+//! JAX traces Python programs into and the structure every JaxPP
+//! transformation in the paper operates on.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::error::{IrError, Result};
+use crate::prim::Prim;
+use crate::shape::Shape;
+
+/// Identifier of an SSA variable within one [`Jaxpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index into dense per-variable tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One equation: `outputs = prim(inputs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eqn {
+    /// The primitive applied.
+    pub prim: Prim,
+    /// Operand variables, in order.
+    pub inputs: Vec<VarId>,
+    /// Result variable (all current primitives are single-output).
+    pub output: VarId,
+}
+
+/// An SSA dataflow graph: typed inputs, a list of equations in definition
+/// order, and outputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Jaxpr {
+    shapes: Vec<Shape>,
+    invars: Vec<VarId>,
+    outvars: Vec<VarId>,
+    eqns: Vec<Eqn>,
+}
+
+impl Jaxpr {
+    /// The input variables, in declaration order.
+    pub fn invars(&self) -> &[VarId] {
+        &self.invars
+    }
+
+    /// The output variables, in declaration order (duplicates allowed).
+    pub fn outvars(&self) -> &[VarId] {
+        &self.outvars
+    }
+
+    /// The equations in topological order.
+    pub fn eqns(&self) -> &[Eqn] {
+        &self.eqns
+    }
+
+    /// The shape of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    pub fn shape(&self, v: VarId) -> &Shape {
+        &self.shapes[v.index()]
+    }
+
+    /// Number of variables (inputs + equation outputs).
+    pub fn num_vars(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Shapes of the input variables.
+    pub fn in_shapes(&self) -> Vec<Shape> {
+        self.invars.iter().map(|&v| self.shape(v).clone()).collect()
+    }
+
+    /// Shapes of the output variables.
+    pub fn out_shapes(&self) -> Vec<Shape> {
+        self.outvars
+            .iter()
+            .map(|&v| self.shape(v).clone())
+            .collect()
+    }
+
+    /// Checks the SSA and shape invariants of the graph:
+    /// every variable is defined exactly once (inputs by declaration,
+    /// others by exactly one equation) before use, and every equation's
+    /// output shape matches its primitive's shape rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let mut defined: HashSet<VarId> = HashSet::new();
+        for &v in &self.invars {
+            if v.index() >= self.shapes.len() {
+                return Err(IrError::InvalidVar {
+                    context: "invar".into(),
+                    var: v.0,
+                });
+            }
+            if !defined.insert(v) {
+                return Err(IrError::InvalidVar {
+                    context: "duplicate invar".into(),
+                    var: v.0,
+                });
+            }
+        }
+        for eqn in &self.eqns {
+            for &i in &eqn.inputs {
+                if !defined.contains(&i) {
+                    return Err(IrError::InvalidVar {
+                        context: format!("use before def in {}", eqn.prim),
+                        var: i.0,
+                    });
+                }
+            }
+            let in_shapes: Vec<&Shape> = eqn.inputs.iter().map(|&i| self.shape(i)).collect();
+            let inferred = eqn.prim.infer_shape(&in_shapes)?;
+            if &inferred != self.shape(eqn.output) {
+                return Err(IrError::ShapeMismatch {
+                    context: format!("output of {}", eqn.prim),
+                    expected: inferred,
+                    found: self.shape(eqn.output).clone(),
+                });
+            }
+            if !defined.insert(eqn.output) {
+                return Err(IrError::InvalidVar {
+                    context: "redefinition".into(),
+                    var: eqn.output.0,
+                });
+            }
+        }
+        for &v in &self.outvars {
+            if !defined.contains(&v) {
+                return Err(IrError::InvalidVar {
+                    context: "undefined outvar".into(),
+                    var: v.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes equations whose results do not (transitively) contribute to
+    /// any output. Returns the number of equations removed.
+    pub fn dce(&mut self) -> usize {
+        let mut live: HashSet<VarId> = self.outvars.iter().copied().collect();
+        let mut keep = vec![false; self.eqns.len()];
+        for (i, eqn) in self.eqns.iter().enumerate().rev() {
+            if live.contains(&eqn.output) {
+                keep[i] = true;
+                live.extend(eqn.inputs.iter().copied());
+            }
+        }
+        let before = self.eqns.len();
+        let mut idx = 0;
+        self.eqns.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        before - self.eqns.len()
+    }
+
+    /// Total approximate flop count of the graph (used by cost models and
+    /// tests on tiny models; paper-scale counts come from analytic
+    /// formulas in `raxpp-models`).
+    pub fn flops(&self) -> u64 {
+        self.eqns
+            .iter()
+            .map(|e| {
+                let in_shapes: Vec<&Shape> = e.inputs.iter().map(|&i| self.shape(i)).collect();
+                let in_numels: Vec<usize> = in_shapes.iter().map(|s| s.numel()).collect();
+                e.prim
+                    .flops(&in_numels, self.shape(e.output).numel(), &in_shapes)
+            })
+            .sum()
+    }
+
+    /// Returns a copy of this graph with a different output list (used by
+    /// linearization to expose residual intermediates as extra outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidVar`] if any new output is unknown.
+    pub fn with_outputs(&self, outvars: Vec<VarId>) -> Result<Jaxpr> {
+        for &v in &outvars {
+            if v.index() >= self.shapes.len() {
+                return Err(IrError::InvalidVar {
+                    context: "with_outputs".into(),
+                    var: v.0,
+                });
+            }
+        }
+        let mut j = self.clone();
+        j.outvars = outvars;
+        j.validate()?;
+        Ok(j)
+    }
+
+    /// For each variable, the indices of equations that consume it.
+    pub fn uses(&self) -> HashMap<VarId, Vec<usize>> {
+        let mut uses: HashMap<VarId, Vec<usize>> = HashMap::new();
+        for (i, eqn) in self.eqns.iter().enumerate() {
+            for &v in &eqn.inputs {
+                uses.entry(v).or_default().push(i);
+            }
+        }
+        uses
+    }
+}
+
+impl fmt::Display for Jaxpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lambda ")?;
+        for (i, &v) in self.invars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}:{}", self.shape(v))?;
+        }
+        writeln!(f, " .")?;
+        for eqn in &self.eqns {
+            write!(
+                f,
+                "  {}:{} = {}(",
+                eqn.output,
+                self.shape(eqn.output),
+                eqn.prim
+            )?;
+            for (i, &v) in eqn.inputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        write!(f, "  return (")?;
+        for (i, &v) in self.outvars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental builder for [`Jaxpr`] graphs.
+///
+/// Used directly by compiler passes; user programs go through the nicer
+/// [`crate::trace::TraceCtx`] tracing API instead.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    shapes: Vec<Shape>,
+    invars: Vec<VarId>,
+    eqns: Vec<Eqn>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh(&mut self, shape: Shape) -> VarId {
+        let id = VarId(self.shapes.len() as u32);
+        self.shapes.push(shape);
+        id
+    }
+
+    /// Declares a new graph input of the given shape.
+    pub fn input(&mut self, shape: impl Into<Shape>) -> VarId {
+        let v = self.fresh(shape.into());
+        self.invars.push(v);
+        v
+    }
+
+    /// Shape of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this builder.
+    pub fn shape(&self, v: VarId) -> &Shape {
+        &self.shapes[v.index()]
+    }
+
+    /// Appends `prim(inputs)` and returns the result variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or arity error if the operands are invalid.
+    pub fn emit(&mut self, prim: Prim, inputs: &[VarId]) -> Result<VarId> {
+        for &v in inputs {
+            if v.index() >= self.shapes.len() {
+                return Err(IrError::InvalidVar {
+                    context: prim.name().into(),
+                    var: v.0,
+                });
+            }
+        }
+        let in_shapes: Vec<&Shape> = inputs.iter().map(|&v| &self.shapes[v.index()]).collect();
+        let out_shape = prim.infer_shape(&in_shapes)?;
+        let out = self.fresh(out_shape);
+        self.eqns.push(Eqn {
+            prim,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Splices another graph's equations into this one.
+    ///
+    /// `args` supplies, for each of `other`'s inputs, the variable of
+    /// *this* graph to substitute. Returns the variables corresponding to
+    /// `other`'s outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an arity error when `args` does not match `other`'s input
+    /// count, or a shape error when an argument's shape differs from the
+    /// corresponding input's.
+    pub fn inline(&mut self, other: &Jaxpr, args: &[VarId]) -> Result<Vec<VarId>> {
+        if args.len() != other.invars().len() {
+            return Err(IrError::ArityMismatch {
+                context: "inline".into(),
+                expected: other.invars().len(),
+                found: args.len(),
+            });
+        }
+        let mut map: HashMap<VarId, VarId> = HashMap::new();
+        for (&inner, &outer) in other.invars().iter().zip(args) {
+            if other.shape(inner) != self.shape(outer) {
+                return Err(IrError::ShapeMismatch {
+                    context: "inline argument".into(),
+                    expected: other.shape(inner).clone(),
+                    found: self.shape(outer).clone(),
+                });
+            }
+            map.insert(inner, outer);
+        }
+        for eqn in other.eqns() {
+            let inputs: Vec<VarId> = eqn.inputs.iter().map(|v| map[v]).collect();
+            let out = self.emit(eqn.prim.clone(), &inputs)?;
+            map.insert(eqn.output, out);
+        }
+        Ok(other.outvars().iter().map(|v| map[v]).collect())
+    }
+
+    /// Finalizes the graph with the given outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidVar`] if an output is unknown.
+    pub fn finish(self, outvars: Vec<VarId>) -> Result<Jaxpr> {
+        for &v in &outvars {
+            if v.index() >= self.shapes.len() {
+                return Err(IrError::InvalidVar {
+                    context: "outvar".into(),
+                    var: v.0,
+                });
+            }
+        }
+        let jaxpr = Jaxpr {
+            shapes: self.shapes,
+            invars: self.invars,
+            outvars,
+            eqns: self.eqns,
+        };
+        jaxpr.validate()?;
+        Ok(jaxpr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> Jaxpr {
+        // f(x, w) = relu(x @ w); also returns an unused dead value.
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 3]);
+        let w = b.input([3, 4]);
+        let h = b.emit(Prim::MatMul, &[x, w]).unwrap();
+        let _dead = b.emit(Prim::Neg, &[h]).unwrap();
+        let y = b.emit(Prim::Relu, &[h]).unwrap();
+        b.finish(vec![y]).unwrap()
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let j = small_graph();
+        assert_eq!(j.invars().len(), 2);
+        assert_eq!(j.outvars().len(), 1);
+        assert_eq!(j.shape(j.outvars()[0]), &Shape::new([2, 4]));
+        j.validate().unwrap();
+    }
+
+    #[test]
+    fn dce_removes_dead_code() {
+        let mut j = small_graph();
+        assert_eq!(j.eqns().len(), 3);
+        let removed = j.dce();
+        assert_eq!(removed, 1);
+        assert_eq!(j.eqns().len(), 2);
+        j.validate().unwrap();
+    }
+
+    #[test]
+    fn emit_rejects_bad_shapes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 3]);
+        let y = b.input([2, 4]);
+        assert!(b.emit(Prim::Add, &[x, y]).is_err());
+        assert!(b.emit(Prim::MatMul, &[x, y]).is_err());
+    }
+
+    #[test]
+    fn emit_rejects_foreign_var() {
+        let mut b = GraphBuilder::new();
+        let _x = b.input([2]);
+        assert!(b.emit(Prim::Neg, &[VarId(42)]).is_err());
+    }
+
+    #[test]
+    fn inline_splices_graphs() {
+        let inner = small_graph();
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 3]);
+        let w = b.input([3, 4]);
+        let outs = b.inline(&inner, &[x, w]).unwrap();
+        let y = b.emit(Prim::Neg, &[outs[0]]).unwrap();
+        let j = b.finish(vec![y]).unwrap();
+        j.validate().unwrap();
+        assert_eq!(j.eqns().len(), inner.eqns().len() + 1);
+    }
+
+    #[test]
+    fn inline_checks_shapes() {
+        let inner = small_graph();
+        let mut b = GraphBuilder::new();
+        let x = b.input([9, 9]);
+        let w = b.input([3, 4]);
+        assert!(b.inline(&inner, &[x, w]).is_err());
+        assert!(b.inline(&inner, &[x]).is_err());
+    }
+
+    #[test]
+    fn flops_counts_matmul() {
+        let j = small_graph();
+        // matmul 2*2*3*4 = 48, neg 8, relu 8.
+        assert_eq!(j.flops(), 48 + 8 + 8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let j = small_graph();
+        let s = j.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("return"));
+    }
+
+    #[test]
+    fn uses_map() {
+        let j = small_graph();
+        let uses = j.uses();
+        let h = j.eqns()[0].output;
+        assert_eq!(uses[&h].len(), 2);
+    }
+}

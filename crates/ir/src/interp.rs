@@ -1,0 +1,177 @@
+//! Reference CPU interpreter for [`Jaxpr`] graphs.
+
+use crate::error::{IrError, Result};
+use crate::graph::Jaxpr;
+use crate::prim::Prim;
+use crate::tensor::{gelu, gelu_grad, Tensor};
+
+/// Evaluates a single primitive on concrete tensors.
+///
+/// # Errors
+///
+/// Returns arity/shape errors when operands are invalid for `prim`.
+pub fn eval_prim(prim: &Prim, inputs: &[&Tensor]) -> Result<Tensor> {
+    if inputs.len() != prim.arity() {
+        return Err(IrError::ArityMismatch {
+            context: prim.name().into(),
+            expected: prim.arity(),
+            found: inputs.len(),
+        });
+    }
+    match prim {
+        Prim::Add => inputs[0].zip(inputs[1], |a, b| a + b),
+        Prim::Sub => inputs[0].zip(inputs[1], |a, b| a - b),
+        Prim::Mul => inputs[0].zip(inputs[1], |a, b| a * b),
+        Prim::Div => inputs[0].zip(inputs[1], |a, b| a / b),
+        Prim::Neg => Ok(inputs[0].map(|x| -x)),
+        Prim::Scale(c) => Ok(inputs[0].map(|x| x * c)),
+        Prim::AddScalar(c) => Ok(inputs[0].map(|x| x + c)),
+        Prim::MatMul => inputs[0].matmul(inputs[1]),
+        Prim::BatchMatMul => inputs[0].batch_matmul(inputs[1]),
+        Prim::Transpose => inputs[0].transpose(),
+        Prim::Permute { perm } => inputs[0].permute(perm),
+        Prim::Relu => Ok(inputs[0].map(|x| x.max(0.0))),
+        Prim::Gelu => Ok(inputs[0].map(gelu)),
+        Prim::Tanh => Ok(inputs[0].map(f32::tanh)),
+        Prim::Exp => Ok(inputs[0].map(f32::exp)),
+        Prim::Log => Ok(inputs[0].map(f32::ln)),
+        Prim::Sqrt => Ok(inputs[0].map(f32::sqrt)),
+        Prim::Rsqrt => Ok(inputs[0].map(|x| 1.0 / x.sqrt())),
+        Prim::Step => Ok(inputs[0].map(|x| if x > 0.0 { 1.0 } else { 0.0 })),
+        Prim::GeluGrad => Ok(inputs[0].map(gelu_grad)),
+        Prim::ReduceSum { axes, keepdims } => inputs[0].reduce_sum(axes, *keepdims),
+        Prim::ReduceMax { axes, keepdims } => inputs[0].reduce_max(axes, *keepdims),
+        Prim::Broadcast { shape } => inputs[0].broadcast_to(shape.clone()),
+        Prim::Reshape { shape } => inputs[0].reshape(shape.clone()),
+        Prim::Fill { value, shape } => Ok(Tensor::full(shape.clone(), *value)),
+        // Yields are pure identity markers at run time.
+        Prim::PipelineYield { .. } => Ok(inputs[0].clone()),
+    }
+}
+
+/// Evaluates a graph on concrete inputs, returning its outputs in order.
+///
+/// # Errors
+///
+/// Returns an arity error when `inputs.len()` differs from the graph's
+/// input count, a shape error when an input tensor's shape differs from
+/// the declared one, or any primitive evaluation error.
+pub fn eval(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+    if inputs.len() != jaxpr.invars().len() {
+        return Err(IrError::ArityMismatch {
+            context: "eval".into(),
+            expected: jaxpr.invars().len(),
+            found: inputs.len(),
+        });
+    }
+    let mut env: Vec<Option<Tensor>> = vec![None; jaxpr.num_vars()];
+    for (&v, t) in jaxpr.invars().iter().zip(inputs) {
+        if t.shape() != jaxpr.shape(v) {
+            return Err(IrError::ShapeMismatch {
+                context: format!("eval input {v}"),
+                expected: jaxpr.shape(v).clone(),
+                found: t.shape().clone(),
+            });
+        }
+        env[v.index()] = Some(t.clone());
+    }
+    for eqn in jaxpr.eqns() {
+        let operands: Vec<&Tensor> = eqn
+            .inputs
+            .iter()
+            .map(|v| {
+                env[v.index()].as_ref().ok_or(IrError::InvalidVar {
+                    context: "eval".into(),
+                    var: v.0,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let out = eval_prim(&eqn.prim, &operands)?;
+        env[eqn.output.index()] = Some(out);
+    }
+    jaxpr
+        .outvars()
+        .iter()
+        .map(|v| {
+            env[v.index()].clone().ok_or(IrError::InvalidVar {
+                context: "eval output".into(),
+                var: v.0,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::shape::Shape;
+
+    #[test]
+    fn eval_mlp_forward() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([1, 2]);
+        let w = b.input([2, 2]);
+        let h = b.emit(Prim::MatMul, &[x, w]).unwrap();
+        let y = b.emit(Prim::Relu, &[h]).unwrap();
+        let s = b
+            .emit(
+                Prim::ReduceSum {
+                    axes: vec![0, 1],
+                    keepdims: false,
+                },
+                &[y],
+            )
+            .unwrap();
+        let j = b.finish(vec![s]).unwrap();
+        let out = eval(
+            &j,
+            &[
+                Tensor::from_vec([1, 2], vec![1.0, -2.0]).unwrap(),
+                Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+            ],
+        )
+        .unwrap();
+        // relu([1, -2]) = [1, 0]; sum = 1.
+        assert_eq!(out[0].item().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn eval_checks_input_shapes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 2]);
+        let j = b.finish(vec![x]).unwrap();
+        assert!(eval(&j, &[Tensor::zeros([3, 3])]).is_err());
+        assert!(eval(&j, &[]).is_err());
+    }
+
+    #[test]
+    fn fill_has_no_operands() {
+        let p = Prim::Fill {
+            value: 2.5,
+            shape: Shape::new([2]),
+        };
+        let t = eval_prim(&p, &[]).unwrap();
+        assert_eq!(t.data(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn yield_is_identity() {
+        use crate::prim::YieldId;
+        let p = Prim::PipelineYield {
+            id: YieldId(0),
+            backward: false,
+        };
+        let x = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let y = eval_prim(&p, &[&x]).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn step_matches_relu_derivative() {
+        let p = Prim::Step;
+        let x = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let y = eval_prim(&p, &[&x]).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0]);
+    }
+}

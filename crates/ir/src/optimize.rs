@@ -1,0 +1,232 @@
+//! Graph optimization passes: common-subexpression elimination and
+//! constant folding.
+//!
+//! These run on the per-stage graphs before they are shipped to actors
+//! (XLA performs the equivalent simplifications when it compiles each
+//! JaxPP task). Both passes preserve semantics exactly — the property
+//! tests evaluate optimized and unoptimized graphs side by side.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::graph::{Eqn, GraphBuilder, Jaxpr, VarId};
+use crate::interp::eval_prim;
+use crate::prim::Prim;
+use crate::tensor::Tensor;
+
+/// A hashable structural key for one equation, used by CSE.
+///
+/// `Prim` contains `f32` parameters, which are not `Hash`; we key on the
+/// display form (deterministic and distinct per parameterization) plus
+/// the operand ids.
+fn eqn_key(prim: &Prim, inputs: &[VarId]) -> (String, Vec<VarId>) {
+    (format!("{prim}"), inputs.to_vec())
+}
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Equations removed by common-subexpression elimination.
+    pub cse_removed: usize,
+    /// Equations replaced by constants.
+    pub folded: usize,
+    /// Equations removed as dead code afterwards.
+    pub dce_removed: usize,
+}
+
+/// Runs CSE + constant folding + DCE on `jaxpr`, returning the optimized
+/// graph and what was removed.
+///
+/// Folding is applied to operations whose operands are all [`Prim::Fill`]
+/// results (evaluated at compile time into a new `Fill`-equivalent
+/// constant only when the result is constant-valued, i.e. every element
+/// equal — otherwise the op is left alone, since the IR's only constant
+/// form is a splat).
+///
+/// `pipeline_yield` markers are never eliminated or folded: they carry
+/// the stage structure.
+///
+/// # Errors
+///
+/// Propagates graph reconstruction errors (none occur for valid input).
+pub fn optimize(jaxpr: &Jaxpr) -> Result<(Jaxpr, OptimizeStats)> {
+    let mut stats = OptimizeStats::default();
+    let mut b = GraphBuilder::new();
+    // Map old var -> new var.
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    for &v in jaxpr.invars() {
+        map.insert(v, b.input(jaxpr.shape(v).clone()));
+    }
+    // Structural-value numbering.
+    let mut seen: HashMap<(String, Vec<VarId>), VarId> = HashMap::new();
+    // Known splat constants in the new graph: var -> value.
+    let mut splat: HashMap<VarId, f32> = HashMap::new();
+
+    for Eqn {
+        prim,
+        inputs,
+        output,
+    } in jaxpr.eqns()
+    {
+        let new_inputs: Vec<VarId> = inputs.iter().map(|v| map[v]).collect();
+
+        // Constant folding: all operands are known splats, and the op is
+        // pure elementwise/reduce/shape (anything except the marker).
+        let foldable = !matches!(prim, Prim::PipelineYield { .. })
+            && !inputs.is_empty()
+            && new_inputs.iter().all(|v| splat.contains_key(v));
+        if foldable {
+            let operands: Vec<Tensor> = new_inputs
+                .iter()
+                .zip(inputs)
+                .map(|(nv, ov)| Tensor::full(jaxpr.shape(*ov).clone(), splat[nv]))
+                .collect();
+            let refs: Vec<&Tensor> = operands.iter().collect();
+            if let Ok(value) = eval_prim(prim, &refs) {
+                let first = value.data().first().copied().unwrap_or(0.0);
+                if value.data().iter().all(|&x| x == first) {
+                    let key = eqn_key(
+                        &Prim::Fill {
+                            value: first,
+                            shape: jaxpr.shape(*output).clone(),
+                        },
+                        &[],
+                    );
+                    let nv = if let Some(&existing) = seen.get(&key) {
+                        existing
+                    } else {
+                        let nv = b.emit(
+                            Prim::Fill {
+                                value: first,
+                                shape: jaxpr.shape(*output).clone(),
+                            },
+                            &[],
+                        )?;
+                        seen.insert(key, nv);
+                        nv
+                    };
+                    stats.folded += 1;
+                    splat.insert(nv, first);
+                    map.insert(*output, nv);
+                    continue;
+                }
+            }
+        }
+
+        // CSE: identical prim + operands (markers excluded — each yield
+        // is a distinct boundary).
+        let key = eqn_key(prim, &new_inputs);
+        if !matches!(prim, Prim::PipelineYield { .. }) {
+            if let Some(&existing) = seen.get(&key) {
+                stats.cse_removed += 1;
+                map.insert(*output, existing);
+                continue;
+            }
+        }
+        let nv = b.emit(prim.clone(), &new_inputs)?;
+        if let Prim::Fill { value, .. } = prim {
+            splat.insert(nv, *value);
+        }
+        seen.insert(key, nv);
+        map.insert(*output, nv);
+    }
+
+    let outs: Vec<VarId> = jaxpr.outvars().iter().map(|v| map[v]).collect();
+    let mut optimized = b.finish(outs)?;
+    stats.dce_removed = optimized.dce();
+    Ok((optimized, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval;
+    use crate::trace::TraceCtx;
+
+    #[test]
+    fn cse_merges_duplicate_work() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w = ctx.input([2, 2]);
+        // The same matmul traced twice.
+        let a = x.matmul(&w).unwrap();
+        let b2 = x.matmul(&w).unwrap();
+        let y = a.add(&b2).unwrap().sum();
+        let j = ctx.finish(&[y]).unwrap();
+        let (opt, stats) = optimize(&j).unwrap();
+        assert_eq!(stats.cse_removed, 1);
+        assert!(opt.eqns().len() < j.eqns().len());
+        // Semantics preserved.
+        let inputs = vec![Tensor::eye(2), Tensor::full([2, 2], 2.0)];
+        assert_eq!(
+            eval(&j, &inputs).unwrap()[0],
+            eval(&opt, &inputs).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2]);
+        let zero = ctx.fill([2], 0.0);
+        let two = ctx.fill([2], 1.0).scale(2.0); // constant 2.0
+        let y = x.add(&zero).unwrap().mul(&two).unwrap().sum();
+        let j = ctx.finish(&[y]).unwrap();
+        let (opt, stats) = optimize(&j).unwrap();
+        assert!(stats.folded >= 1, "{stats:?}");
+        let inputs = vec![Tensor::from_vec([2], vec![1.0, 3.0]).unwrap()];
+        assert_eq!(
+            eval(&j, &inputs).unwrap()[0],
+            eval(&opt, &inputs).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn yields_are_preserved() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let a = ctx.pipeline_yield(&x.scale(2.0));
+        let b2 = a.mul(&a).unwrap().sum();
+        let j = ctx.finish(&[b2]).unwrap();
+        let (opt, _) = optimize(&j).unwrap();
+        let yields = opt
+            .eqns()
+            .iter()
+            .filter(|e| matches!(e.prim, Prim::PipelineYield { .. }))
+            .count();
+        assert_eq!(yields, 1);
+    }
+
+    #[test]
+    fn distinct_scalars_not_merged() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2]);
+        let a = x.scale(2.0);
+        let b2 = x.scale(3.0);
+        let y = a.add(&b2).unwrap().sum();
+        let j = ctx.finish(&[y]).unwrap();
+        let (opt, stats) = optimize(&j).unwrap();
+        assert_eq!(stats.cse_removed, 0);
+        let inputs = vec![Tensor::from_vec([2], vec![1.0, 1.0]).unwrap()];
+        assert_eq!(
+            eval(&j, &inputs).unwrap()[0],
+            eval(&opt, &inputs).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w = ctx.input([2, 2]);
+        let a = x.matmul(&w).unwrap();
+        let b2 = x.matmul(&w).unwrap();
+        let y = a.add(&b2).unwrap().sum();
+        let j = ctx.finish(&[y]).unwrap();
+        let (opt1, _) = optimize(&j).unwrap();
+        let (opt2, stats2) = optimize(&opt1).unwrap();
+        assert_eq!(opt1.eqns().len(), opt2.eqns().len());
+        assert_eq!(stats2.cse_removed, 0);
+        assert_eq!(stats2.folded, 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Tensor shapes and shape arithmetic (broadcasting, reduction, matmul).
+
+use std::fmt;
+
+use crate::error::{IrError, Result};
+
+/// The shape of a tensor: a list of dimension sizes.
+///
+/// A rank-0 shape (`Shape::scalar()`) denotes a scalar. Dimension sizes of
+/// zero are permitted (empty tensors) so that edge cases are representable.
+///
+/// # Examples
+///
+/// ```
+/// use raxpp_ir::Shape;
+/// let s = Shape::new([2, 3]);
+/// assert_eq!(s.rank(), 2);
+/// assert_eq!(s.numel(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from anything convertible into a `Vec<usize>`.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Returns true for rank-0 shapes.
+    pub fn is_scalar(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.rank()];
+        let mut acc = 1;
+        for i in (0..self.rank()).rev() {
+            strides[i] = acc;
+            acc *= self.0[i];
+        }
+        strides
+    }
+
+    /// The shape after transposing the last two dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::RankMismatch`] for shapes of rank < 2.
+    pub fn transposed(&self) -> Result<Shape> {
+        if self.rank() < 2 {
+            return Err(IrError::RankMismatch {
+                context: "transpose".into(),
+                expected: 2,
+                found: self.rank(),
+            });
+        }
+        let mut dims = self.0.clone();
+        let r = dims.len();
+        dims.swap(r - 2, r - 1);
+        Ok(Shape(dims))
+    }
+
+    /// Output shape of a batched matrix multiply
+    /// `[b…, m, k] @ [b…, k, n] → [b…, m, n]` with identical leading
+    /// batch dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank < 3, mismatched batch dims, or a
+    /// contraction mismatch.
+    pub fn batch_matmul(&self, rhs: &Shape) -> Result<Shape> {
+        if self.rank() < 3 || rhs.rank() != self.rank() {
+            return Err(IrError::RankMismatch {
+                context: "batch_matmul".into(),
+                expected: 3,
+                found: self.rank().min(rhs.rank()),
+            });
+        }
+        let r = self.rank();
+        if self.dims()[..r - 2] != rhs.dims()[..r - 2] {
+            return Err(IrError::ShapeMismatch {
+                context: "batch_matmul batch dims".into(),
+                expected: self.clone(),
+                found: rhs.clone(),
+            });
+        }
+        if self.dim(r - 1) != rhs.dim(r - 2) {
+            return Err(IrError::ShapeMismatch {
+                context: "batch_matmul contraction".into(),
+                expected: Shape::new([self.dim(r - 1)]),
+                found: Shape::new([rhs.dim(r - 2)]),
+            });
+        }
+        let mut dims = self.0.clone();
+        dims[r - 1] = rhs.dim(r - 1);
+        Ok(Shape(dims))
+    }
+
+    /// The shape after applying `perm` (a permutation of `0..rank`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] unless `perm` is a permutation of the
+    /// axes.
+    pub fn permuted(&self, perm: &[usize]) -> Result<Shape> {
+        if perm.len() != self.rank() {
+            return Err(IrError::Invalid(format!(
+                "permutation of length {} applied to rank {}",
+                perm.len(),
+                self.rank()
+            )));
+        }
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            if p >= self.rank() || seen[p] {
+                return Err(IrError::Invalid(format!("invalid permutation {perm:?}")));
+            }
+            seen[p] = true;
+        }
+        Ok(Shape(perm.iter().map(|&p| self.0[p]).collect()))
+    }
+
+    /// Output shape of a 2-D matrix multiply `self @ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both shapes are rank 2 with a matching
+    /// contraction dimension.
+    pub fn matmul(&self, rhs: &Shape) -> Result<Shape> {
+        if self.rank() != 2 {
+            return Err(IrError::RankMismatch {
+                context: "matmul lhs".into(),
+                expected: 2,
+                found: self.rank(),
+            });
+        }
+        if rhs.rank() != 2 {
+            return Err(IrError::RankMismatch {
+                context: "matmul rhs".into(),
+                expected: 2,
+                found: rhs.rank(),
+            });
+        }
+        if self.dim(1) != rhs.dim(0) {
+            return Err(IrError::ShapeMismatch {
+                context: "matmul contraction".into(),
+                expected: Shape::new([self.dim(1)]),
+                found: Shape::new([rhs.dim(0)]),
+            });
+        }
+        Ok(Shape::new([self.dim(0), rhs.dim(1)]))
+    }
+
+    /// Whether `self` can be broadcast to `target` under NumPy rules
+    /// (align trailing dimensions; each dimension must match or be 1 or be
+    /// absent in `self`).
+    pub fn broadcastable_to(&self, target: &Shape) -> bool {
+        if self.rank() > target.rank() {
+            return false;
+        }
+        let offset = target.rank() - self.rank();
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| d == 1 || d == target.dim(i + offset))
+    }
+
+    /// The axes of `target` along which a broadcast from `self` expands
+    /// (prepended axes and axes where `self` has size 1 but `target` does
+    /// not). Used by the VJP of broadcast to know what to reduce over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::BroadcastError`] if the broadcast is invalid.
+    pub fn broadcast_axes(&self, target: &Shape) -> Result<Vec<usize>> {
+        if !self.broadcastable_to(target) {
+            return Err(IrError::BroadcastError {
+                from: self.clone(),
+                to: target.clone(),
+            });
+        }
+        let offset = target.rank() - self.rank();
+        let mut axes: Vec<usize> = (0..offset).collect();
+        for (i, &d) in self.0.iter().enumerate() {
+            if d == 1 && target.dim(i + offset) != 1 {
+                axes.push(i + offset);
+            }
+        }
+        Ok(axes)
+    }
+
+    /// Shape after reducing over `axes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::AxisOutOfRange`] if any axis exceeds the rank.
+    pub fn reduced(&self, axes: &[usize], keepdims: bool) -> Result<Shape> {
+        for &a in axes {
+            if a >= self.rank() {
+                return Err(IrError::AxisOutOfRange {
+                    context: "reduce".into(),
+                    axis: a,
+                    rank: self.rank(),
+                });
+            }
+        }
+        let mut dims = Vec::new();
+        for (i, &d) in self.0.iter().enumerate() {
+            if axes.contains(&i) {
+                if keepdims {
+                    dims.push(1);
+                }
+            } else {
+                dims.push(d);
+            }
+        }
+        Ok(Shape(dims))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.is_scalar());
+        assert_eq!(s.to_string(), "[]");
+    }
+
+    #[test]
+    fn numel_and_strides() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let a = Shape::new([3, 4]);
+        let b = Shape::new([4, 5]);
+        assert_eq!(a.matmul(&b).unwrap(), Shape::new([3, 5]));
+        assert!(a.matmul(&Shape::new([3, 5])).is_err());
+        assert!(Shape::new([3]).matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_shape() {
+        assert_eq!(Shape::new([2, 3]).transposed().unwrap(), Shape::new([3, 2]));
+        assert!(Shape::new([3]).transposed().is_err());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let s = Shape::new([1, 3]);
+        let t = Shape::new([2, 3]);
+        assert!(s.broadcastable_to(&t));
+        assert_eq!(s.broadcast_axes(&t).unwrap(), vec![0]);
+        assert!(Shape::scalar().broadcastable_to(&t));
+        assert_eq!(Shape::scalar().broadcast_axes(&t).unwrap(), vec![0, 1]);
+        assert!(!Shape::new([4]).broadcastable_to(&t));
+        let u = Shape::new([3]);
+        assert_eq!(u.broadcast_axes(&t).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn reduce_shapes() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.reduced(&[1], false).unwrap(), Shape::new([2, 4]));
+        assert_eq!(s.reduced(&[1], true).unwrap(), Shape::new([2, 1, 4]));
+        assert_eq!(s.reduced(&[0, 1, 2], false).unwrap(), Shape::scalar());
+        assert!(s.reduced(&[3], false).is_err());
+    }
+}

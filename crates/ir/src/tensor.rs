@@ -1,0 +1,594 @@
+//! Dense row-major `f32` tensors and the CPU kernels backing the
+//! interpreter.
+//!
+//! These are deliberately simple reference kernels: the goal of the
+//! executable path is *correctness* of the MPMD pipeline (gradients must
+//! match a single-device run bit-for-bit up to float associativity), not
+//! throughput. Performance at paper scale is handled by the
+//! `raxpp-simcluster` discrete-event model instead.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::error::{IrError, Result};
+use crate::shape::Shape;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use raxpp_ir::Tensor;
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.data(), a.data());
+/// # Ok::<(), raxpp_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] when `data.len()` does not equal the
+    /// shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(IrError::Invalid(format!(
+                "tensor data length {} does not match shape {} ({} elements)",
+                data.len(),
+                shape,
+                shape.numel()
+            )));
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// An all-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Tensor {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A tensor of i.i.d. standard normal samples drawn from `rng`, scaled
+    /// by `std`.
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        // Box-Muller keeps us independent of rand_distr.
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The flat row-major data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::RankMismatch`] for non-scalars.
+    pub fn item(&self) -> Result<f32> {
+        if !self.shape.is_scalar() {
+            return Err(IrError::RankMismatch {
+                context: "item".into(),
+                expected: 0,
+                found: self.shape.rank(),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ShapeMismatch`] when shapes differ. Broadcasting
+    /// is intentionally *not* implicit — the IR represents it as an explicit
+    /// broadcast operation so its gradient is explicit too.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(IrError::ShapeMismatch {
+                context: "elementwise op".into(),
+                expected: self.shape.clone(),
+                found: other.shape.clone(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// 2-D matrix multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank 2 with a matching
+    /// contraction dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let out_shape = self.shape.matmul(&rhs.shape)?;
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let n = rhs.shape.dim(1);
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams over rhs rows, decent cache behaviour for
+        // a reference kernel.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Transpose of the last two dimensions (rank ≥ 2; leading batch
+    /// dimensions are preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::RankMismatch`] for rank < 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let r = self.shape.rank();
+        if r < 2 {
+            return Err(IrError::RankMismatch {
+                context: "transpose".into(),
+                expected: 2,
+                found: r,
+            });
+        }
+        let out_shape = self.shape.transposed()?;
+        let (m, n) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
+        let batch = self.numel() / (m * n);
+        let mut out = vec![0.0f32; self.numel()];
+        for b in 0..batch {
+            let src = &self.data[b * m * n..(b + 1) * m * n];
+            let dst = &mut out[b * m * n..(b + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Batched matrix multiply `[b…, m, k] @ [b…, k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Shape::batch_matmul`].
+    pub fn batch_matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let out_shape = self.shape.batch_matmul(&rhs.shape)?;
+        let r = self.shape.rank();
+        let (m, k) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
+        let n = rhs.shape.dim(r - 1);
+        let batch = self.numel() / (m * k);
+        let mut out = vec![0.0f32; batch * m * n];
+        for b in 0..batch {
+            let a = &self.data[b * m * k..(b + 1) * m * k];
+            let rb = &rhs.data[b * k * n..(b + 1) * k * n];
+            let ob = &mut out[b * m * n..(b + 1) * m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let rrow = &rb[p * n..(p + 1) * n];
+                    let orow = &mut ob[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        orow[j] += av * rrow[j];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// General axis permutation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Shape::permuted`].
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        let out_shape = self.shape.permuted(perm)?;
+        let in_strides = self.shape.strides();
+        let out_strides = out_shape.strides();
+        let mut out = vec![0.0f32; self.numel()];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            let mut src = 0;
+            for (axis, &p) in perm.iter().enumerate() {
+                let coord = (flat / out_strides[axis]) % out_shape.dim(axis);
+                src += coord * in_strides[p];
+            }
+            *slot = self.data[src];
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Reshape preserving element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ReshapeError`] when counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(IrError::ReshapeError {
+                from: self.shape.clone(),
+                to: shape,
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Broadcast to `target` under NumPy alignment rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::BroadcastError`] for incompatible shapes.
+    pub fn broadcast_to(&self, target: impl Into<Shape>) -> Result<Tensor> {
+        let target = target.into();
+        if !self.shape.broadcastable_to(&target) {
+            return Err(IrError::BroadcastError {
+                from: self.shape.clone(),
+                to: target,
+            });
+        }
+        let offset = target.rank() - self.shape.rank();
+        let src_strides = self.shape.strides();
+        let tgt_strides = target.strides();
+        let n = target.numel();
+        let mut out = vec![0.0f32; n];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            let mut src_index = 0;
+            #[allow(clippy::needless_range_loop)]
+            for axis in 0..target.rank() {
+                let coord = (flat / tgt_strides[axis]) % target.dim(axis);
+                if axis >= offset {
+                    let saxis = axis - offset;
+                    if self.shape.dim(saxis) != 1 {
+                        src_index += coord * src_strides[saxis];
+                    }
+                }
+            }
+            *slot = self.data[src_index];
+        }
+        Tensor::from_vec(target, out)
+    }
+
+    /// Sum over `axes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::AxisOutOfRange`] for invalid axes.
+    pub fn reduce_sum(&self, axes: &[usize], keepdims: bool) -> Result<Tensor> {
+        self.reduce(axes, keepdims, 0.0, |acc, x| acc + x)
+    }
+
+    /// Maximum over `axes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::AxisOutOfRange`] for invalid axes.
+    pub fn reduce_max(&self, axes: &[usize], keepdims: bool) -> Result<Tensor> {
+        self.reduce(axes, keepdims, f32::NEG_INFINITY, f32::max)
+    }
+
+    fn reduce(
+        &self,
+        axes: &[usize],
+        keepdims: bool,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        let out_shape = self.shape.reduced(axes, keepdims)?;
+        // Shape with kept dims (size-1 on reduced axes) for index mapping.
+        let kept = self.shape.reduced(axes, true)?;
+        let kept_strides = kept.strides();
+        let src_strides = self.shape.strides();
+        let mut out = vec![init; kept.numel()];
+        for (flat, &v) in self.data.iter().enumerate() {
+            let mut idx = 0;
+            for axis in 0..self.shape.rank() {
+                let coord = (flat / src_strides[axis]) % self.shape.dim(axis);
+                if !axes.contains(&axis) {
+                    idx += coord * kept_strides[axis];
+                }
+            }
+            out[idx] = f(out[idx], v);
+        }
+        let t = Tensor::from_vec(kept, out)?;
+        if keepdims {
+            Ok(t)
+        } else {
+            t.reshape(out_shape)
+        }
+    }
+
+    /// Maximum absolute difference with `other`, or `None` if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
+        if self.shape != other.shape {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f32::max),
+        )
+    }
+
+    /// Whether every element is within `tol` of `other` (relative to
+    /// magnitude for large values).
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(&a, &b)| {
+            let scale = 1.0f32.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+/// GELU activation (tanh approximation), matching the transformer models in
+/// the paper's workloads.
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_length() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::randn([4, 4], 1.0, &mut rng);
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        assert!(a.allclose(&c, 1e-6));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn([3, 5], 1.0, &mut rng);
+        let b = a.transpose().unwrap().transpose().unwrap();
+        assert!(a.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn batched_transpose() {
+        let a = Tensor::from_vec([2, 2, 2], vec![1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.data(), &[1., 3., 2., 4., 5., 7., 6., 8.]);
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_slice_matmul() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn([3, 2, 4], 1.0, &mut rng);
+        let b = Tensor::randn([3, 4, 5], 1.0, &mut rng);
+        let c = a.batch_matmul(&b).unwrap();
+        for s in 0..3 {
+            let a2 = Tensor::from_vec([2, 4], a.data()[s * 8..(s + 1) * 8].to_vec()).unwrap();
+            let b2 = Tensor::from_vec([4, 5], b.data()[s * 20..(s + 1) * 20].to_vec()).unwrap();
+            let c2 = a2.matmul(&b2).unwrap();
+            assert_eq!(&c.data()[s * 10..(s + 1) * 10], c2.data());
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        let p = a.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &Shape::new([4, 2, 3]));
+        // Inverse of [2,0,1] is [1,2,0].
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        assert_eq!(back.data(), a.data());
+        assert!(a.permute(&[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn broadcast_row() {
+        let row = Tensor::from_vec([3], vec![1., 2., 3.]).unwrap();
+        let b = row.broadcast_to([2, 3]).unwrap();
+        assert_eq!(b.data(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn broadcast_col() {
+        let col = Tensor::from_vec([2, 1], vec![1., 2.]).unwrap();
+        let b = col.broadcast_to([2, 3]).unwrap();
+        assert_eq!(b.data(), &[1., 1., 1., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let s = Tensor::scalar(5.0);
+        let b = s.broadcast_to([2, 2]).unwrap();
+        assert_eq!(b.data(), &[5., 5., 5., 5.]);
+    }
+
+    #[test]
+    fn reduce_sum_axes() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let r0 = a.reduce_sum(&[0], false).unwrap();
+        assert_eq!(r0.data(), &[5., 7., 9.]);
+        let r1 = a.reduce_sum(&[1], false).unwrap();
+        assert_eq!(r1.data(), &[6., 15.]);
+        let rall = a.reduce_sum(&[0, 1], false).unwrap();
+        assert_eq!(rall.item().unwrap(), 21.0);
+        let rk = a.reduce_sum(&[1], true).unwrap();
+        assert_eq!(rk.shape(), &Shape::new([2, 1]));
+    }
+
+    #[test]
+    fn reduce_max_axes() {
+        let a = Tensor::from_vec([2, 3], vec![1., 9., 3., 4., 5., 6.]).unwrap();
+        let r = a.reduce_max(&[1], false).unwrap();
+        assert_eq!(r.data(), &[9., 6.]);
+    }
+
+    #[test]
+    fn reduce_then_broadcast_roundtrip() {
+        // sum with keepdims then broadcast restores the original shape.
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn([4, 6], 1.0, &mut rng);
+        let r = a.reduce_sum(&[1], true).unwrap();
+        let b = r.broadcast_to([4, 6]).unwrap();
+        assert_eq!(b.shape(), a.shape());
+    }
+
+    #[test]
+    fn gelu_values() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(100.0) - 100.0).abs() < 1e-3);
+        assert!(gelu(-100.0).abs() < 1e-3);
+        // Numerical derivative check.
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (num - gelu_grad(x)).abs() < 1e-3,
+                "x={x}: {num} vs {}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::randn([10_000], 1.0, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = t.data().iter().map(|x| x * x).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,501 @@
+//! Operator-overloading tracer: write model code against [`TracedTensor`]
+//! handles and get a [`Jaxpr`] out, mirroring how JAX traces Python
+//! functions (paper §3, Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use raxpp_ir::TraceCtx;
+//!
+//! let ctx = TraceCtx::new();
+//! let x = ctx.input([4, 8]);
+//! let w1 = ctx.input([8, 16]);
+//! let w2 = ctx.input([16, 2]);
+//! let h = x.matmul(&w1)?.relu();
+//! let h = ctx.pipeline_yield(&h); // end of stage 0
+//! let y = h.matmul(&w2)?;
+//! let loss = y.mul(&y)?.sum();
+//! let jaxpr = ctx.finish(&[loss])?;
+//! assert_eq!(jaxpr.invars().len(), 3);
+//! # Ok::<(), raxpp_ir::IrError>(())
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::graph::{GraphBuilder, Jaxpr, VarId};
+use crate::prim::{Prim, YieldId};
+use crate::shape::Shape;
+
+#[derive(Debug, Default)]
+struct TraceState {
+    builder: GraphBuilder,
+    next_yield: u32,
+}
+
+/// A tracing context. Clones share the same underlying graph.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCtx {
+    state: Rc<RefCell<TraceState>>,
+}
+
+impl TraceCtx {
+    /// Creates a fresh, empty tracing context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a graph input (model parameter or data batch) and returns
+    /// its traced handle.
+    pub fn input(&self, shape: impl Into<Shape>) -> TracedTensor {
+        let id = self.state.borrow_mut().builder.input(shape);
+        TracedTensor {
+            ctx: self.clone(),
+            id,
+        }
+    }
+
+    /// Emits a constant-filled tensor.
+    pub fn fill(&self, shape: impl Into<Shape>, value: f32) -> TracedTensor {
+        let prim = Prim::Fill {
+            value,
+            shape: shape.into(),
+        };
+        self.emit(prim, &[]).expect("fill cannot fail")
+    }
+
+    /// Marks the end of the current pipeline stage (paper §3.2):
+    /// computation that `x` depends on belongs to the closing stage; the
+    /// returned value belongs to the next stage.
+    pub fn pipeline_yield(&self, x: &TracedTensor) -> TracedTensor {
+        let id = {
+            let mut st = self.state.borrow_mut();
+            let y = YieldId(st.next_yield);
+            st.next_yield += 1;
+            y
+        };
+        self.emit(
+            Prim::PipelineYield {
+                id,
+                backward: false,
+            },
+            &[x.id],
+        )
+        .expect("yield is identity-shaped")
+    }
+
+    /// Number of `pipeline_yield` markers traced so far. The traced
+    /// program therefore has `num_yields() + 1` logical stages.
+    pub fn num_yields(&self) -> u32 {
+        self.state.borrow().next_yield
+    }
+
+    fn emit(&self, prim: Prim, inputs: &[VarId]) -> Result<TracedTensor> {
+        let id = self.state.borrow_mut().builder.emit(prim, inputs)?;
+        Ok(TracedTensor {
+            ctx: self.clone(),
+            id,
+        })
+    }
+
+    /// Finalizes tracing with the given outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn finish(&self, outputs: &[TracedTensor]) -> Result<Jaxpr> {
+        let state = std::mem::take(&mut *self.state.borrow_mut());
+        state.builder.finish(outputs.iter().map(|t| t.id).collect())
+    }
+}
+
+/// A handle to a traced value; operations on it append IR equations.
+///
+/// Handles are tied to the [`TraceCtx`] that created them.
+#[derive(Debug, Clone)]
+pub struct TracedTensor {
+    ctx: TraceCtx,
+    id: VarId,
+}
+
+impl TracedTensor {
+    /// The underlying IR variable.
+    pub fn var(&self) -> VarId {
+        self.id
+    }
+
+    /// The traced value's shape.
+    pub fn shape(&self) -> Shape {
+        self.ctx.state.borrow().builder.shape(self.id).clone()
+    }
+
+    fn unary(&self, prim: Prim) -> TracedTensor {
+        self.ctx
+            .emit(prim, &[self.id])
+            .expect("unary ops preserve shape")
+    }
+
+    fn binary(&self, prim: Prim, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.ctx.emit(prim, &[self.id, rhs.id])
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the operands differ in shape (broadcast
+    /// explicitly with [`TracedTensor::broadcast_to`] first).
+    pub fn add(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::Add, rhs)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the operands differ in shape.
+    pub fn sub(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::Sub, rhs)
+    }
+
+    /// Elementwise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the operands differ in shape.
+    pub fn mul(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::Mul, rhs)
+    }
+
+    /// Elementwise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the operands differ in shape.
+    pub fn div(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::Div, rhs)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> TracedTensor {
+        self.unary(Prim::Neg)
+    }
+
+    /// Multiplication by a compile-time scalar.
+    pub fn scale(&self, c: f32) -> TracedTensor {
+        self.unary(Prim::Scale(c))
+    }
+
+    /// Addition of a compile-time scalar.
+    pub fn add_scalar(&self, c: f32) -> TracedTensor {
+        self.unary(Prim::AddScalar(c))
+    }
+
+    /// 2-D matrix multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank/shape error for non-2-D operands or a contraction
+    /// mismatch.
+    pub fn matmul(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::MatMul, rhs)
+    }
+
+    /// Batched matrix multiply `[b…, m, k] @ [b…, k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank/shape error for rank < 3 operands, mismatched batch
+    /// dims, or a contraction mismatch.
+    pub fn bmm(&self, rhs: &TracedTensor) -> Result<TracedTensor> {
+        self.binary(Prim::BatchMatMul, rhs)
+    }
+
+    /// Transpose of the last two dimensions (rank ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for rank < 2 operands.
+    pub fn t(&self) -> Result<TracedTensor> {
+        self.ctx.emit(Prim::Transpose, &[self.id])
+    }
+
+    /// General axis permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `perm` is a permutation of the axes.
+    pub fn permute(&self, perm: &[usize]) -> Result<TracedTensor> {
+        self.ctx.emit(
+            Prim::Permute {
+                perm: perm.to_vec(),
+            },
+            &[self.id],
+        )
+    }
+
+    /// ReLU activation.
+    pub fn relu(&self) -> TracedTensor {
+        self.unary(Prim::Relu)
+    }
+
+    /// GELU activation.
+    pub fn gelu(&self) -> TracedTensor {
+        self.unary(Prim::Gelu)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> TracedTensor {
+        self.unary(Prim::Tanh)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> TracedTensor {
+        self.unary(Prim::Exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn log(&self) -> TracedTensor {
+        self.unary(Prim::Log)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> TracedTensor {
+        self.unary(Prim::Sqrt)
+    }
+
+    /// Elementwise reciprocal square root.
+    pub fn rsqrt(&self) -> TracedTensor {
+        self.unary(Prim::Rsqrt)
+    }
+
+    /// Sum over the given axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an axis error for out-of-range axes.
+    pub fn reduce_sum(&self, axes: &[usize], keepdims: bool) -> Result<TracedTensor> {
+        self.ctx.emit(
+            Prim::ReduceSum {
+                axes: axes.to_vec(),
+                keepdims,
+            },
+            &[self.id],
+        )
+    }
+
+    /// Maximum over the given axes (stop-gradient).
+    ///
+    /// # Errors
+    ///
+    /// Returns an axis error for out-of-range axes.
+    pub fn reduce_max(&self, axes: &[usize], keepdims: bool) -> Result<TracedTensor> {
+        self.ctx.emit(
+            Prim::ReduceMax {
+                axes: axes.to_vec(),
+                keepdims,
+            },
+            &[self.id],
+        )
+    }
+
+    /// Sum of all elements, producing a scalar.
+    pub fn sum(&self) -> TracedTensor {
+        let axes: Vec<usize> = (0..self.shape().rank()).collect();
+        self.reduce_sum(&axes, false)
+            .expect("full reduction is always valid")
+    }
+
+    /// Mean of all elements, producing a scalar.
+    pub fn mean(&self) -> TracedTensor {
+        let n = self.shape().numel().max(1) as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Broadcast to a target shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a broadcast error for incompatible shapes.
+    pub fn broadcast_to(&self, shape: impl Into<Shape>) -> Result<TracedTensor> {
+        self.ctx.emit(
+            Prim::Broadcast {
+                shape: shape.into(),
+            },
+            &[self.id],
+        )
+    }
+
+    /// Reshape preserving element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reshape error when element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<TracedTensor> {
+        self.ctx.emit(
+            Prim::Reshape {
+                shape: shape.into(),
+            },
+            &[self.id],
+        )
+    }
+
+    /// Numerically-stable softmax over `axis`.
+    ///
+    /// The max-shift uses a stop-gradient reduce-max, the standard
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an axis error for out-of-range axes.
+    pub fn softmax(&self, axis: usize) -> Result<TracedTensor> {
+        let shape = self.shape();
+        let m = self
+            .reduce_max(&[axis], true)?
+            .broadcast_to(shape.clone())?;
+        let e = self.sub(&m)?.exp();
+        let z = e.reduce_sum(&[axis], true)?.broadcast_to(shape)?;
+        e.div(&z)
+    }
+
+    /// Log-softmax over `axis` (stable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an axis error for out-of-range axes.
+    pub fn log_softmax(&self, axis: usize) -> Result<TracedTensor> {
+        let shape = self.shape();
+        let m = self
+            .reduce_max(&[axis], true)?
+            .broadcast_to(shape.clone())?;
+        let s = self.sub(&m)?;
+        let z = s
+            .exp()
+            .reduce_sum(&[axis], true)?
+            .log()
+            .broadcast_to(shape)?;
+        s.sub(&z)
+    }
+
+    /// Layer normalization over the last axis with learnable `gamma` and
+    /// `beta` (both shaped like the last axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `gamma`/`beta` do not match the last axis.
+    pub fn layer_norm(
+        &self,
+        gamma: &TracedTensor,
+        beta: &TracedTensor,
+        eps: f32,
+    ) -> Result<TracedTensor> {
+        let shape = self.shape();
+        let last = shape.rank() - 1;
+        let n = shape.dim(last) as f32;
+        let mean = self
+            .reduce_sum(&[last], true)?
+            .scale(1.0 / n)
+            .broadcast_to(shape.clone())?;
+        let centered = self.sub(&mean)?;
+        let var = centered
+            .mul(&centered)?
+            .reduce_sum(&[last], true)?
+            .scale(1.0 / n)
+            .add_scalar(eps)
+            .rsqrt()
+            .broadcast_to(shape.clone())?;
+        let normed = centered.mul(&var)?;
+        let g = gamma.broadcast_to(shape.clone())?;
+        let b = beta.broadcast_to(shape)?;
+        normed.mul(&g)?.add(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn trace_simple_mlp() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 4]);
+        let w = ctx.input([4, 3]);
+        let y = x.matmul(&w).unwrap().relu().sum();
+        let j = ctx.finish(&[y]).unwrap();
+        assert_eq!(j.invars().len(), 2);
+        assert_eq!(j.eqns().len(), 3);
+        assert_eq!(j.shape(j.outvars()[0]), &Shape::scalar());
+    }
+
+    #[test]
+    fn yields_are_numbered_in_trace_order() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let a = ctx.pipeline_yield(&x);
+        let b = ctx.pipeline_yield(&a);
+        assert_eq!(ctx.num_yields(), 2);
+        let j = ctx.finish(&[b]).unwrap();
+        let ids: Vec<u32> = j
+            .eqns()
+            .iter()
+            .filter_map(|e| match e.prim {
+                Prim::PipelineYield { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([3, 5]);
+        let s = x.softmax(1).unwrap();
+        let j = ctx.finish(&[s]).unwrap();
+        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+        let _ = &mut rng;
+        let input =
+            Tensor::from_vec([3, 5], (0..15).map(|i| (i as f32) * 0.3 - 2.0).collect()).unwrap();
+        let out = eval(&j, &[input]).unwrap();
+        for row in 0..3 {
+            let s: f32 = out[0].data()[row * 5..(row + 1) * 5].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_is_normalized() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 8]);
+        let g = ctx.input([8]);
+        let b = ctx.input([8]);
+        let y = x.layer_norm(&g, &b, 1e-5).unwrap();
+        let j = ctx.finish(&[y]).unwrap();
+        let input = Tensor::from_vec([2, 8], (0..16).map(|i| i as f32).collect()).unwrap();
+        let out = eval(&j, &[input, Tensor::ones([8]), Tensor::zeros([8])]).unwrap();
+        for row in 0..2 {
+            let vals = &out[0].data()[row * 8..(row + 1) * 8];
+            let mean: f32 = vals.iter().sum::<f32>() / 8.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn mean_is_scaled_sum() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let m = x.mean();
+        let j = ctx.finish(&[m]).unwrap();
+        let out = eval(
+            &j,
+            &[Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]).unwrap()],
+        )
+        .unwrap();
+        assert!((out[0].item().unwrap() - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for tensor kernels and autodiff.
+
+use proptest::prelude::*;
+use raxpp_ir::{eval, grad, optimize, Shape, Tensor, TraceCtx, TracedTensor};
+
+fn tensor_strategy(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, n)
+        .prop_map(move |data| Tensor::from_vec(shape.clone(), data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(vec![3, 4]),
+        b in tensor_strategy(vec![4, 2]),
+    ) {
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Matmul distributes over addition.
+    #[test]
+    fn matmul_distributes(
+        a in tensor_strategy(vec![2, 3]),
+        b in tensor_strategy(vec![3, 2]),
+        c in tensor_strategy(vec![3, 2]),
+    ) {
+        let sum_first = a.matmul(&b.zip(&c, |x, y| x + y).unwrap()).unwrap();
+        let dist = a.matmul(&b).unwrap().zip(&a.matmul(&c).unwrap(), |x, y| x + y).unwrap();
+        prop_assert!(sum_first.allclose(&dist, 1e-3));
+    }
+
+    /// Reducing a broadcast tensor scales by the broadcast factor.
+    #[test]
+    fn broadcast_then_reduce(t in tensor_strategy(vec![4])) {
+        let b = t.broadcast_to([3, 4]).unwrap();
+        let r = b.reduce_sum(&[0], false).unwrap();
+        let expected = t.map(|x| 3.0 * x);
+        prop_assert!(r.allclose(&expected, 1e-5));
+    }
+
+    /// reshape is a bijection on data.
+    #[test]
+    fn reshape_roundtrip(t in tensor_strategy(vec![2, 6])) {
+        let r = t.reshape([3, 4]).unwrap().reshape([2, 6]).unwrap();
+        prop_assert_eq!(r.data(), t.data());
+    }
+
+    /// Analytic gradient of sum((x@w).tanh()) matches finite differences.
+    #[test]
+    fn mlp_grad_matches_finite_difference(
+        x in tensor_strategy(vec![2, 3]),
+        w in tensor_strategy(vec![3, 2]),
+    ) {
+        let ctx = TraceCtx::new();
+        let xv = ctx.input([2, 3]);
+        let wv = ctx.input([3, 2]);
+        let loss = xv.matmul(&wv).unwrap().tanh().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let g = grad(&jaxpr).unwrap();
+        let outs = eval(&g, &[x.clone(), w.clone()]).unwrap();
+
+        // Finite differences on w only (cheaper); x is symmetric.
+        let h = 1e-2f32;
+        let mut fd = vec![0.0f32; w.numel()];
+        for i in 0..w.numel() {
+            let mut dp = w.data().to_vec();
+            dp[i] += h;
+            let wp = Tensor::from_vec(w.shape().clone(), dp).unwrap();
+            let mut dm = w.data().to_vec();
+            dm[i] -= h;
+            let wm = Tensor::from_vec(w.shape().clone(), dm).unwrap();
+            let fp = eval(&jaxpr, &[x.clone(), wp]).unwrap()[0].item().unwrap();
+            let fm = eval(&jaxpr, &[x.clone(), wm]).unwrap()[0].item().unwrap();
+            fd[i] = (fp - fm) / (2.0 * h);
+        }
+        let fd = Tensor::from_vec(w.shape().clone(), fd).unwrap();
+        prop_assert!(
+            outs[2].allclose(&fd, 5e-2),
+            "analytic {:?} vs numeric {:?}", outs[2].data(), fd.data()
+        );
+    }
+
+    /// Gradient of a linear function is constant in x.
+    #[test]
+    fn linear_grad_is_input_independent(
+        x1 in tensor_strategy(vec![2, 2]),
+        x2 in tensor_strategy(vec![2, 2]),
+        w in tensor_strategy(vec![2, 2]),
+    ) {
+        let ctx = TraceCtx::new();
+        let xv = ctx.input([2, 2]);
+        let wv = ctx.input([2, 2]);
+        let loss = xv.matmul(&wv).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let g = grad(&jaxpr).unwrap();
+        // d/dx (sum x@w) does not depend on x.
+        let g1 = eval(&g, &[x1, w.clone()]).unwrap()[1].clone();
+        let g2 = eval(&g, &[x2, w]).unwrap()[1].clone();
+        prop_assert!(g1.allclose(&g2, 1e-5));
+    }
+
+    /// Optimization (CSE + constant folding + DCE) never changes the
+    /// value of a randomly composed graph.
+    #[test]
+    fn optimize_preserves_semantics(
+        ops in proptest::collection::vec(0u8..6, 1..12),
+        x0 in tensor_strategy(vec![2, 2]),
+        w0 in tensor_strategy(vec![2, 2]),
+    ) {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w = ctx.input([2, 2]);
+        let mut vals: Vec<TracedTensor> = vec![x.clone(), w.clone(), ctx.fill([2, 2], 1.5)];
+        for (i, op) in ops.iter().enumerate() {
+            let a = vals[i % vals.len()].clone();
+            let b = vals[(i * 7 + 1) % vals.len()].clone();
+            let next = match op {
+                0 => a.add(&b).unwrap(),
+                1 => a.mul(&b).unwrap(),
+                2 => a.matmul(&b).unwrap(),
+                3 => a.tanh(),
+                4 => a.scale(0.5),
+                _ => a.sub(&b).unwrap(),
+            };
+            vals.push(next);
+        }
+        let loss = vals.last().unwrap().mul(vals.last().unwrap()).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let (opt, _) = optimize(&jaxpr).unwrap();
+        let a = eval(&jaxpr, &[x0.clone(), w0.clone()]).unwrap();
+        let b = eval(&opt, &[x0, w0]).unwrap();
+        prop_assert_eq!(a[0].data(), b[0].data());
+        prop_assert!(opt.eqns().len() <= jaxpr.eqns().len());
+    }
+
+    /// Shape::broadcast_axes returns exactly the axes that differ.
+    #[test]
+    fn broadcast_axes_are_consistent(
+        d0 in 1usize..4, d1 in 1usize..4,
+        pick0 in any::<bool>(), pick1 in any::<bool>(),
+    ) {
+        let target = Shape::new([d0, d1]);
+        let from = Shape::new([if pick0 { 1 } else { d0 }, if pick1 { 1 } else { d1 }]);
+        let axes = from.broadcast_axes(&target).unwrap();
+        for (i, &want) in [pick0 && d0 > 1, pick1 && d1 > 1].iter().enumerate() {
+            prop_assert_eq!(axes.contains(&i), want);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Expert-parallelism (MoE) cost modeling.
+//!
+//! The paper's §2.1 closes by noting that the named-axis programming
+//! model also covers Expert Parallelism (Lepikhin et al., 2020), where
+//! expert weights and intermediate activations are sharded and multiplied
+//! in parallel. The defining communication pattern is a pair of
+//! all-to-alls per MoE layer: tokens are *dispatched* to the ranks
+//! holding their routed experts and the expert outputs are *combined*
+//! back. This module prices that pattern on the cluster's links so MoE
+//! variants can be explored on the same performance model.
+
+use crate::collective::{collective_time, Collective, LinkSpec};
+
+/// One mixture-of-experts layer's parallel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoeLayerConfig {
+    /// Total experts in the layer.
+    pub n_experts: usize,
+    /// Expert-parallel degree (ranks the experts are spread over).
+    pub ep_degree: usize,
+    /// Tokens routed per layer invocation (per pipeline microbatch).
+    pub tokens: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Expert FFN inner dimension.
+    pub ffn_hidden: usize,
+    /// Top-k routing fan-out.
+    pub top_k: usize,
+    /// Capacity factor: how much per-expert buffer slack is provisioned.
+    pub capacity_factor: f64,
+}
+
+impl MoeLayerConfig {
+    /// Tokens each rank sends through the dispatch all-to-all (top-k
+    /// routing fans each token out `top_k` times, padded by the capacity
+    /// factor).
+    pub fn dispatched_tokens(&self) -> f64 {
+        self.tokens as f64 * self.top_k as f64 * self.capacity_factor
+    }
+
+    /// Bytes per rank crossing the network in ONE all-to-all
+    /// (dispatch or combine), with `elem_bytes`-wide activations.
+    pub fn all_to_all_bytes(&self, elem_bytes: usize) -> f64 {
+        self.dispatched_tokens() * self.hidden as f64 * elem_bytes as f64 / self.ep_degree as f64
+    }
+
+    /// Communication time of one MoE layer (dispatch + combine
+    /// all-to-alls, forward; the backward pair costs the same again and
+    /// is typically accounted by doubling).
+    pub fn comm_time(&self, elem_bytes: usize, link: LinkSpec) -> f64 {
+        2.0 * collective_time(
+            Collective::AllToAll,
+            self.all_to_all_bytes(elem_bytes),
+            self.ep_degree,
+            link,
+        )
+    }
+
+    /// Per-rank expert GEMM FLOPs of one forward invocation (two
+    /// matmuls per expert MLP over the rank's share of dispatched
+    /// tokens).
+    pub fn flops_per_rank(&self) -> f64 {
+        let tokens_per_rank = self.dispatched_tokens() / self.ep_degree as f64;
+        2.0 * tokens_per_rank * self.hidden as f64 * self.ffn_hidden as f64 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ep: usize) -> MoeLayerConfig {
+        MoeLayerConfig {
+            n_experts: 64,
+            ep_degree: ep,
+            tokens: 8192,
+            hidden: 4096,
+            ffn_hidden: 16384,
+            top_k: 2,
+            capacity_factor: 1.25,
+        }
+    }
+
+    #[test]
+    fn higher_ep_spreads_compute() {
+        assert!(
+            (cfg(8).flops_per_rank() / cfg(16).flops_per_rank() - 2.0).abs() < 1e-9,
+            "doubling EP halves per-rank expert flops"
+        );
+    }
+
+    #[test]
+    fn single_rank_has_no_comm() {
+        assert_eq!(cfg(1).comm_time(2, LinkSpec::infiniband()), 0.0);
+    }
+
+    #[test]
+    fn comm_grows_with_top_k() {
+        let base = cfg(8);
+        let topk4 = MoeLayerConfig { top_k: 4, ..base };
+        assert!(
+            topk4.comm_time(2, LinkSpec::infiniband()) > base.comm_time(2, LinkSpec::infiniband())
+        );
+    }
+
+    #[test]
+    fn dispatch_volume_accounts_for_capacity() {
+        let c = cfg(8);
+        assert!((c.dispatched_tokens() - 8192.0 * 2.0 * 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ib_all_to_all_is_millisecond_scale() {
+        // ~10 MB per rank over NDR400: sub-millisecond wire time plus
+        // latency steps — sanity bound, not a calibration claim.
+        let t = cfg(8).comm_time(2, LinkSpec::infiniband());
+        assert!(t > 1e-5 && t < 1e-2, "t = {t}");
+    }
+}

@@ -1,0 +1,39 @@
+//! `raxpp-mesh` — device meshes, named-axis sharding, and collective cost
+//! models: the GSPMD-shaped substrate under RaxPP (paper §2.1).
+//!
+//! The crate models the SPMD half of the paper's system: arrays carry
+//! [`LogicalAxes`] names, a partitioning specification ([`AxisRules`])
+//! maps them to mesh axes, and the resulting [`PartitionSpec`]s determine
+//! per-device shapes plus the collectives an SPMD partitioner must insert
+//! ([`plan_matmul`]). Collective and point-to-point timing
+//! ([`collective_time`], [`LinkSpec`]) feed the `raxpp-simcluster`
+//! performance model.
+//!
+//! # Example: Megatron row-parallel linear needs one all-reduce
+//!
+//! ```
+//! use raxpp_mesh::{plan_matmul, Collective, Mesh, PartitionSpec};
+//!
+//! let mesh = Mesh::new(&[("data", 1), ("model", 2)])?;
+//! let h = PartitionSpec::new(&[None, Some("model")]);
+//! let w2 = PartitionSpec::new(&[Some("model"), None]);
+//! let plan = plan_matmul(&h, &w2, &mesh)?;
+//! assert_eq!(plan.collectives[0].kind, Collective::AllReduce);
+//! # Ok::<(), raxpp_mesh::MeshError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod collective;
+mod expert;
+mod mesh;
+mod propagate;
+mod sharding;
+mod spmd;
+
+pub use collective::{collective_time, Collective, LinkSpec};
+pub use expert::MoeLayerConfig;
+pub use mesh::{DeviceId, Mesh, MeshError};
+pub use propagate::{propagate_sharding, PlacedCollective, ShardingPlan};
+pub use sharding::{AxisRules, LogicalAxes, PartitionSpec};
+pub use spmd::{plan_comm_time, plan_matmul, CollectiveOp, MatmulPlan, Operand};

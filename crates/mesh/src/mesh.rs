@@ -1,0 +1,236 @@
+//! Logical device meshes with named axes (paper §2.1).
+
+use std::fmt;
+
+/// A physical device identifier (a GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Error raised by mesh construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// Device count does not equal the product of axis sizes, or devices
+    /// repeat.
+    BadDevices(String),
+    /// Axis name unknown or duplicated.
+    BadAxis(String),
+    /// A sharding referenced a mesh axis that does not divide the array
+    /// dimension it was mapped onto.
+    Indivisible {
+        /// The array dimension size.
+        dim: usize,
+        /// The mesh axis size.
+        axis_size: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::BadDevices(msg) | MeshError::BadAxis(msg) => write!(f, "{msg}"),
+            MeshError::Indivisible { dim, axis_size } => {
+                write!(
+                    f,
+                    "dimension {dim} is not divisible by mesh axis size {axis_size}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// A logical mesh: a multi-dimensional arrangement of non-repeating
+/// devices with *named* axes, e.g. `[("data", 4), ("model", 8)]` over 32
+/// GPUs where rows are nodes connected by NVSwitch (paper §2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    axis_names: Vec<String>,
+    axis_sizes: Vec<usize>,
+    devices: Vec<DeviceId>,
+}
+
+impl Mesh {
+    /// Builds a mesh from `(axis name, size)` pairs over devices numbered
+    /// `0..n` in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::BadAxis`] for duplicate axis names or zero
+    /// sizes.
+    pub fn new(axes: &[(&str, usize)]) -> Result<Mesh, MeshError> {
+        let n: usize = axes.iter().map(|&(_, s)| s).product();
+        let devices = (0..n as u32).map(DeviceId).collect();
+        Mesh::with_devices(axes, devices)
+    }
+
+    /// Builds a mesh over an explicit device order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::BadDevices`] when the device count does not
+    /// match the axis-size product or devices repeat, and
+    /// [`MeshError::BadAxis`] for duplicate/empty axes.
+    pub fn with_devices(axes: &[(&str, usize)], devices: Vec<DeviceId>) -> Result<Mesh, MeshError> {
+        if axes.is_empty() {
+            return Err(MeshError::BadAxis("mesh needs at least one axis".into()));
+        }
+        let mut names = Vec::with_capacity(axes.len());
+        let mut sizes = Vec::with_capacity(axes.len());
+        for &(name, size) in axes {
+            if size == 0 {
+                return Err(MeshError::BadAxis(format!("axis {name} has size 0")));
+            }
+            if names.iter().any(|n: &String| n == name) {
+                return Err(MeshError::BadAxis(format!("duplicate axis {name}")));
+            }
+            names.push(name.to_string());
+            sizes.push(size);
+        }
+        let expect: usize = sizes.iter().product();
+        if devices.len() != expect {
+            return Err(MeshError::BadDevices(format!(
+                "expected {expect} devices, got {}",
+                devices.len()
+            )));
+        }
+        let mut sorted = devices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != devices.len() {
+            return Err(MeshError::BadDevices("devices repeat".into()));
+        }
+        Ok(Mesh {
+            axis_names: names,
+            axis_sizes: sizes,
+            devices,
+        })
+    }
+
+    /// Axis names in order.
+    pub fn axis_names(&self) -> Vec<&str> {
+        self.axis_names.iter().map(String::as_str).collect()
+    }
+
+    /// Size of the named axis, if present.
+    pub fn axis_size(&self, name: &str) -> Option<usize> {
+        self.axis_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.axis_sizes[i])
+    }
+
+    /// Position of the named axis.
+    pub fn axis_index(&self, name: &str) -> Option<usize> {
+        self.axis_names.iter().position(|n| n == name)
+    }
+
+    /// Total number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All devices in row-major mesh order.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Mesh coordinates of the device at flat index `i`.
+    pub fn coords(&self, i: usize) -> Vec<usize> {
+        let mut rem = i;
+        let mut out = vec![0; self.axis_sizes.len()];
+        for (axis, &size) in self.axis_sizes.iter().enumerate().rev() {
+            out[axis] = rem % size;
+            rem /= size;
+        }
+        out
+    }
+
+    /// The groups of devices that communicate when a collective runs over
+    /// `axis`: one group per combination of the *other* axes' coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::BadAxis`] for unknown axes.
+    pub fn groups_along(&self, axis: &str) -> Result<Vec<Vec<DeviceId>>, MeshError> {
+        let ai = self
+            .axis_index(axis)
+            .ok_or_else(|| MeshError::BadAxis(format!("unknown axis {axis}")))?;
+        let mut groups: Vec<Vec<DeviceId>> = Vec::new();
+        let mut key_of = std::collections::HashMap::new();
+        for (i, &d) in self.devices.iter().enumerate() {
+            let mut c = self.coords(i);
+            c[ai] = 0;
+            let next = groups.len();
+            let g = *key_of.entry(c).or_insert(next);
+            if g == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[g].push(d);
+        }
+        Ok(groups)
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mesh[")?;
+        for (i, (n, s)) in self.axis_names.iter().zip(&self.axis_sizes).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(\"{n}\", {s})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let m = Mesh::new(&[("data", 4), ("model", 8)]).unwrap();
+        assert_eq!(m.num_devices(), 32);
+        assert_eq!(m.axis_size("data"), Some(4));
+        assert_eq!(m.axis_size("model"), Some(8));
+        assert_eq!(m.axis_size("nope"), None);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(&[("a", 2), ("b", 3)]).unwrap();
+        assert_eq!(m.coords(0), vec![0, 0]);
+        assert_eq!(m.coords(1), vec![0, 1]);
+        assert_eq!(m.coords(3), vec![1, 0]);
+        assert_eq!(m.coords(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn groups_along_axes() {
+        let m = Mesh::new(&[("data", 2), ("model", 3)]).unwrap();
+        let model_groups = m.groups_along("model").unwrap();
+        assert_eq!(model_groups.len(), 2);
+        assert_eq!(model_groups[0], vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+        let data_groups = m.groups_along("data").unwrap();
+        assert_eq!(data_groups.len(), 3);
+        assert_eq!(data_groups[0], vec![DeviceId(0), DeviceId(3)]);
+        assert!(m.groups_along("x").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Mesh::new(&[]).is_err());
+        assert!(Mesh::new(&[("a", 0)]).is_err());
+        assert!(Mesh::new(&[("a", 2), ("a", 2)]).is_err());
+        assert!(Mesh::with_devices(&[("a", 2)], vec![DeviceId(0)]).is_err());
+        assert!(Mesh::with_devices(&[("a", 2)], vec![DeviceId(0), DeviceId(0)]).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! Whole-graph sharding propagation: the GSPMD behaviour of paper §2.1.
+//!
+//! Given input shardings (from named-axis annotations resolved against a
+//! mesh), propagate a [`PartitionSpec`] through every equation of a
+//! `Jaxpr`, inserting collectives exactly where the SPMD computation
+//! needs them — e.g. the single all-reduce of Figure 1c's tensor-parallel
+//! FFN. The result also carries per-device FLOP and communication-time
+//! estimates, which is what the performance model consumes.
+
+use raxpp_ir::{Jaxpr, Prim, Shape, VarId};
+
+use crate::collective::{collective_time, Collective, LinkSpec};
+use crate::mesh::{Mesh, MeshError};
+use crate::sharding::PartitionSpec;
+use crate::spmd::{plan_matmul, CollectiveOp, Operand};
+
+/// A collective inserted at a specific equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedCollective {
+    /// Index of the equation it attaches to.
+    pub eqn: usize,
+    /// The collective.
+    pub op: CollectiveOp,
+    /// Number of elements moved per participating device.
+    pub local_numel: usize,
+}
+
+/// The result of propagating shardings through a graph.
+#[derive(Debug, Clone)]
+pub struct ShardingPlan {
+    /// Sharding of every variable (indexed by `VarId`).
+    pub var_specs: Vec<PartitionSpec>,
+    /// Collectives inserted, in execution order.
+    pub collectives: Vec<PlacedCollective>,
+    /// Per-device FLOPs of the partitioned computation.
+    pub local_flops: u64,
+}
+
+impl ShardingPlan {
+    /// Sharding of one variable.
+    pub fn spec(&self, v: VarId) -> &PartitionSpec {
+        &self.var_specs[v.index()]
+    }
+
+    /// Total communication time under `link` with `elem_bytes`-sized
+    /// elements.
+    pub fn comm_time(&self, mesh: &Mesh, elem_bytes: usize, link: LinkSpec) -> f64 {
+        self.collectives
+            .iter()
+            .map(|c| {
+                let ranks = mesh.axis_size(&c.op.axis).unwrap_or(1);
+                collective_time(c.op.kind, (c.local_numel * elem_bytes) as f64, ranks, link)
+            })
+            .sum()
+    }
+}
+
+fn local_numel(shape: &Shape, spec: &PartitionSpec, mesh: &Mesh) -> Result<usize, MeshError> {
+    Ok(spec.local_shape(shape, mesh)?.numel())
+}
+
+/// Replicated batched-matmul flops: 2 · lhs numel · n.
+fn in_numel_flops(jaxpr: &Jaxpr, eqn: &raxpp_ir::Eqn) -> u64 {
+    let rhs = jaxpr.shape(eqn.inputs[1]);
+    2 * jaxpr.shape(eqn.inputs[0]).numel() as u64 * rhs.dim(rhs.rank() - 1) as u64
+}
+
+/// Gathers `spec`'s sharded dimension `dim`, recording the collective.
+fn gather_dim(
+    spec: &PartitionSpec,
+    dim: usize,
+    eqn: usize,
+    operand: Operand,
+    shape: &Shape,
+    mesh: &Mesh,
+    out: &mut Vec<PlacedCollective>,
+) -> Result<PartitionSpec, MeshError> {
+    let Some(axis) = spec.axis(dim) else {
+        return Ok(spec.clone());
+    };
+    let axis = axis.to_string();
+    let numel = local_numel(shape, spec, mesh)?;
+    out.push(PlacedCollective {
+        eqn,
+        op: CollectiveOp {
+            kind: Collective::AllGather,
+            axis: axis.clone(),
+            operand,
+        },
+        local_numel: numel,
+    });
+    let dims: Vec<Option<&str>> = (0..spec.rank())
+        .map(|d| if d == dim { None } else { spec.axis(d) })
+        .collect();
+    Ok(PartitionSpec::new(&dims))
+}
+
+/// Reconciles two elementwise operand specs: dimensions where they agree
+/// keep their sharding; conflicting dimensions are all-gathered to
+/// replicated on whichever operand is sharded.
+#[allow(clippy::too_many_arguments)]
+fn reconcile_elementwise(
+    a: &PartitionSpec,
+    b: &PartitionSpec,
+    a_shape: &Shape,
+    b_shape: &Shape,
+    eqn: usize,
+    mesh: &Mesh,
+    out: &mut Vec<PlacedCollective>,
+) -> Result<PartitionSpec, MeshError> {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    for d in 0..a.rank() {
+        if a.axis(d) != b.axis(d) {
+            if a.axis(d).is_some() {
+                a = gather_dim(&a, d, eqn, Operand::Lhs, a_shape, mesh, out)?;
+            }
+            if b.axis(d).is_some() {
+                b = gather_dim(&b, d, eqn, Operand::Rhs, b_shape, mesh, out)?;
+            }
+        }
+    }
+    Ok(a)
+}
+
+/// Propagates `in_specs` through `jaxpr` on `mesh`.
+///
+/// Reshape results are conservatively replicated (their operand is
+/// gathered first) — the one case where this pass is weaker than XLA's
+/// partitioner, and irrelevant for the transformer workloads modeled
+/// here.
+///
+/// # Errors
+///
+/// Returns [`MeshError`] for rank mismatches, unknown axes, or
+/// non-divisible shardings.
+pub fn propagate_sharding(
+    jaxpr: &Jaxpr,
+    in_specs: &[PartitionSpec],
+    mesh: &Mesh,
+) -> Result<ShardingPlan, MeshError> {
+    if in_specs.len() != jaxpr.invars().len() {
+        return Err(MeshError::BadAxis(format!(
+            "expected {} input specs, got {}",
+            jaxpr.invars().len(),
+            in_specs.len()
+        )));
+    }
+    let mut specs: Vec<PartitionSpec> = (0..jaxpr.num_vars())
+        .map(|_| PartitionSpec::replicated(0))
+        .collect();
+    for (&v, spec) in jaxpr.invars().iter().zip(in_specs) {
+        if spec.rank() != jaxpr.shape(v).rank() {
+            return Err(MeshError::BadAxis(format!(
+                "input spec rank {} does not match variable rank {}",
+                spec.rank(),
+                jaxpr.shape(v).rank()
+            )));
+        }
+        // Validate divisibility up front.
+        spec.local_shape(jaxpr.shape(v), mesh)?;
+        specs[v.index()] = spec.clone();
+    }
+
+    let mut collectives = Vec::new();
+    let mut local_flops: u64 = 0;
+
+    for (ei, eqn) in jaxpr.eqns().iter().enumerate() {
+        let out_shape = jaxpr.shape(eqn.output).clone();
+        let out_spec: PartitionSpec = match &eqn.prim {
+            Prim::Add | Prim::Sub | Prim::Mul | Prim::Div => {
+                let a = specs[eqn.inputs[0].index()].clone();
+                let b = specs[eqn.inputs[1].index()].clone();
+                let merged = reconcile_elementwise(
+                    &a,
+                    &b,
+                    jaxpr.shape(eqn.inputs[0]),
+                    jaxpr.shape(eqn.inputs[1]),
+                    ei,
+                    mesh,
+                    &mut collectives,
+                )?;
+                local_flops += local_numel(&out_shape, &merged, mesh)? as u64;
+                merged
+            }
+            Prim::MatMul => {
+                let a = specs[eqn.inputs[0].index()].clone();
+                let b = specs[eqn.inputs[1].index()].clone();
+                let plan = match plan_matmul(&a, &b, mesh) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Incompatible contraction shardings: gather the
+                        // lhs contraction dim and retry.
+                        let a2 = gather_dim(
+                            &a,
+                            1,
+                            ei,
+                            Operand::Lhs,
+                            jaxpr.shape(eqn.inputs[0]),
+                            mesh,
+                            &mut collectives,
+                        )?;
+                        plan_matmul(&a2, &b, mesh)?
+                    }
+                };
+                for op in &plan.collectives {
+                    let (shape, spec) = match op.operand {
+                        Operand::Lhs => (jaxpr.shape(eqn.inputs[0]), &a),
+                        Operand::Rhs => (jaxpr.shape(eqn.inputs[1]), &b),
+                        Operand::Out => (&out_shape, &plan.out_spec),
+                    };
+                    collectives.push(PlacedCollective {
+                        eqn: ei,
+                        op: op.clone(),
+                        local_numel: local_numel(shape, spec, mesh)?,
+                    });
+                }
+                // Local matmul flops from local shapes.
+                let la = a.local_shape(jaxpr.shape(eqn.inputs[0]), mesh)?;
+                let lb = b.local_shape(jaxpr.shape(eqn.inputs[1]), mesh)?;
+                local_flops += 2 * la.dim(0) as u64 * la.dim(1) as u64 * lb.dim(1) as u64;
+                plan.out_spec
+            }
+            Prim::Transpose => {
+                let a = &specs[eqn.inputs[0].index()];
+                let r = a.rank();
+                let dims: Vec<Option<&str>> = (0..r)
+                    .map(|d| {
+                        if d == r - 2 {
+                            a.axis(r - 1)
+                        } else if d == r - 1 {
+                            a.axis(r - 2)
+                        } else {
+                            a.axis(d)
+                        }
+                    })
+                    .collect();
+                PartitionSpec::new(&dims)
+            }
+            Prim::Permute { perm } => {
+                let a = &specs[eqn.inputs[0].index()];
+                let dims: Vec<Option<&str>> = perm.iter().map(|&p| a.axis(p)).collect();
+                PartitionSpec::new(&dims)
+            }
+            Prim::BatchMatMul => {
+                // Conservative: gather both operands fully (the paper's
+                // workloads shard attention over heads via TP, which the
+                // analytic cost model covers; this pass stays exact but
+                // pessimistic here).
+                let mut a = specs[eqn.inputs[0].index()].clone();
+                for d in 0..a.rank() {
+                    a = gather_dim(
+                        &a,
+                        d,
+                        ei,
+                        Operand::Lhs,
+                        jaxpr.shape(eqn.inputs[0]),
+                        mesh,
+                        &mut collectives,
+                    )?;
+                }
+                let mut bb = specs[eqn.inputs[1].index()].clone();
+                for d in 0..bb.rank() {
+                    bb = gather_dim(
+                        &bb,
+                        d,
+                        ei,
+                        Operand::Rhs,
+                        jaxpr.shape(eqn.inputs[1]),
+                        mesh,
+                        &mut collectives,
+                    )?;
+                }
+                let n = in_numel_flops(jaxpr, eqn);
+                local_flops += n;
+                PartitionSpec::replicated(out_shape.rank())
+            }
+            Prim::ReduceSum { axes, keepdims } | Prim::ReduceMax { axes, keepdims } => {
+                let a = specs[eqn.inputs[0].index()].clone();
+                // Reducing over a sharded axis yields partial results:
+                // all-reduce them.
+                for &ax in axes {
+                    if let Some(mesh_axis) = a.axis(ax) {
+                        let reduced_spec: Vec<Option<&str>> = (0..a.rank())
+                            .map(|d| if axes.contains(&d) { None } else { a.axis(d) })
+                            .collect();
+                        let reduced_spec = PartitionSpec::new(&reduced_spec);
+                        // Partial result has the output's shape locally.
+                        let kept = jaxpr
+                            .shape(eqn.inputs[0])
+                            .reduced(axes, *keepdims)
+                            .map_err(|e| MeshError::BadAxis(e.to_string()))?;
+                        let full_spec = if *keepdims {
+                            reduced_spec.clone()
+                        } else {
+                            let dims: Vec<Option<&str>> = (0..a.rank())
+                                .filter(|d| !axes.contains(d))
+                                .map(|d| a.axis(d))
+                                .collect();
+                            PartitionSpec::new(&dims)
+                        };
+                        collectives.push(PlacedCollective {
+                            eqn: ei,
+                            op: CollectiveOp {
+                                kind: Collective::AllReduce,
+                                axis: mesh_axis.to_string(),
+                                operand: Operand::Out,
+                            },
+                            local_numel: local_numel(&kept, &full_spec, mesh)?,
+                        });
+                    }
+                }
+                local_flops += local_numel(jaxpr.shape(eqn.inputs[0]), &a, mesh)? as u64;
+                // Output keeps the non-reduced dims' sharding.
+                if *keepdims {
+                    let dims: Vec<Option<&str>> = (0..a.rank())
+                        .map(|d| if axes.contains(&d) { None } else { a.axis(d) })
+                        .collect();
+                    PartitionSpec::new(&dims)
+                } else {
+                    let dims: Vec<Option<&str>> = (0..a.rank())
+                        .filter(|d| !axes.contains(d))
+                        .map(|d| a.axis(d))
+                        .collect();
+                    PartitionSpec::new(&dims)
+                }
+            }
+            Prim::Broadcast { shape } => {
+                let a = &specs[eqn.inputs[0].index()];
+                let offset = shape.rank() - a.rank();
+                let dims: Vec<Option<&str>> = (0..shape.rank())
+                    .map(|d| if d < offset { None } else { a.axis(d - offset) })
+                    .collect();
+                local_flops += 0;
+                PartitionSpec::new(&dims)
+            }
+            Prim::Reshape { shape } => {
+                // Conservative: gather every sharded dim, output
+                // replicated.
+                let mut a = specs[eqn.inputs[0].index()].clone();
+                for d in 0..a.rank() {
+                    a = gather_dim(
+                        &a,
+                        d,
+                        ei,
+                        Operand::Lhs,
+                        jaxpr.shape(eqn.inputs[0]),
+                        mesh,
+                        &mut collectives,
+                    )?;
+                }
+                PartitionSpec::replicated(shape.rank())
+            }
+            Prim::Fill { shape, .. } => PartitionSpec::replicated(shape.rank()),
+            // Unary elementwise and markers pass the sharding through.
+            _ => {
+                let a = specs[eqn.inputs[0].index()].clone();
+                local_flops += local_numel(&out_shape, &a, mesh)? as u64;
+                a
+            }
+        };
+        // Sanity: the output shape must be divisible under its spec.
+        out_spec.local_shape(&out_shape, mesh)?;
+        specs[eqn.output.index()] = out_spec;
+    }
+
+    Ok(ShardingPlan {
+        var_specs: specs,
+        collectives,
+        local_flops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raxpp_ir::TraceCtx;
+
+    /// Figure 1a's FFN: H2 = relu(X·W1)·W2.
+    fn ffn() -> (Jaxpr, VarId) {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([8, 16]);
+        let w1 = ctx.input([16, 32]);
+        let w2 = ctx.input([32, 16]);
+        let h1 = x.matmul(&w1).unwrap().relu();
+        let h2 = h1.matmul(&w2).unwrap();
+        let out = h2.var();
+        (ctx.finish(&[h2]).unwrap(), out)
+    }
+
+    #[test]
+    fn data_parallel_ffn_needs_no_collectives() {
+        // Figure 1c (top): batch ⊳ data, weights replicated.
+        let (jaxpr, out) = ffn();
+        let mesh = Mesh::new(&[("data", 2), ("model", 1)]).unwrap();
+        let plan = propagate_sharding(
+            &jaxpr,
+            &[
+                PartitionSpec::new(&[Some("data"), None]),
+                PartitionSpec::replicated(2),
+                PartitionSpec::replicated(2),
+            ],
+            &mesh,
+        )
+        .unwrap();
+        assert!(plan.collectives.is_empty());
+        assert_eq!(plan.spec(out), &PartitionSpec::new(&[Some("data"), None]));
+        // Each replica computes half the flops.
+        assert_eq!(plan.local_flops, jaxpr.flops() / 2);
+    }
+
+    #[test]
+    fn tensor_parallel_ffn_needs_one_allreduce() {
+        // Figure 1c (bottom): mlp ⊳ model — Megatron column+row parallel
+        // with exactly one final all-reduce, inserted automatically.
+        let (jaxpr, out) = ffn();
+        let mesh = Mesh::new(&[("data", 1), ("model", 2)]).unwrap();
+        let plan = propagate_sharding(
+            &jaxpr,
+            &[
+                PartitionSpec::replicated(2),
+                PartitionSpec::new(&[None, Some("model")]),
+                PartitionSpec::new(&[Some("model"), None]),
+            ],
+            &mesh,
+        )
+        .unwrap();
+        let ars: Vec<_> = plan
+            .collectives
+            .iter()
+            .filter(|c| c.op.kind == Collective::AllReduce)
+            .collect();
+        assert_eq!(
+            ars.len(),
+            1,
+            "exactly one all-reduce: {:?}",
+            plan.collectives
+        );
+        assert_eq!(ars[0].op.axis, "model");
+        assert_eq!(plan.spec(out), &PartitionSpec::replicated(2));
+        // Compute is halved.
+        let matmul_flops = 2 * (8 * 16 * 32 + 8 * 32 * 16) as u64;
+        assert!(plan.local_flops < matmul_flops);
+    }
+
+    #[test]
+    fn reduction_over_sharded_axis_allreduces() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([8, 16]);
+        let s = x.reduce_sum(&[1], false).unwrap();
+        let jaxpr = ctx.finish(&[s]).unwrap();
+        let mesh = Mesh::new(&[("model", 4)]).unwrap();
+        let plan = propagate_sharding(&jaxpr, &[PartitionSpec::new(&[None, Some("model")])], &mesh)
+            .unwrap();
+        assert_eq!(plan.collectives.len(), 1);
+        assert_eq!(plan.collectives[0].op.kind, Collective::AllReduce);
+    }
+
+    #[test]
+    fn elementwise_conflict_gathers() {
+        let ctx = TraceCtx::new();
+        let a = ctx.input([8, 8]);
+        let b = ctx.input([8, 8]);
+        let c = a.add(&b).unwrap();
+        let jaxpr = ctx.finish(&[c]).unwrap();
+        let mesh = Mesh::new(&[("x", 2)]).unwrap();
+        let plan = propagate_sharding(
+            &jaxpr,
+            &[
+                PartitionSpec::new(&[Some("x"), None]),
+                PartitionSpec::replicated(2),
+            ],
+            &mesh,
+        )
+        .unwrap();
+        assert_eq!(plan.collectives.len(), 1);
+        assert_eq!(plan.collectives[0].op.kind, Collective::AllGather);
+    }
+
+    #[test]
+    fn comm_time_is_positive_for_tp() {
+        let (jaxpr, _) = ffn();
+        let mesh = Mesh::new(&[("model", 2)]).unwrap();
+        let plan = propagate_sharding(
+            &jaxpr,
+            &[
+                PartitionSpec::replicated(2),
+                PartitionSpec::new(&[None, Some("model")]),
+                PartitionSpec::new(&[Some("model"), None]),
+            ],
+            &mesh,
+        )
+        .unwrap();
+        let t = plan.comm_time(&mesh, 2, LinkSpec::nvlink());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn bad_spec_counts_rejected() {
+        let (jaxpr, _) = ffn();
+        let mesh = Mesh::new(&[("model", 2)]).unwrap();
+        assert!(propagate_sharding(&jaxpr, &[], &mesh).is_err());
+        assert!(propagate_sharding(
+            &jaxpr,
+            &[
+                PartitionSpec::replicated(1), // wrong rank
+                PartitionSpec::replicated(2),
+                PartitionSpec::replicated(2),
+            ],
+            &mesh,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Partition specs and named-axis sharding (paper §2.1, Figure 1).
+//!
+//! Model code annotates arrays with *logical* axis names
+//! (`("batch", "emb")`); a separate partitioning specification maps
+//! logical names to mesh axes (`batch ⊳ data, mlp ⊳ model`). Resolving
+//! the two yields a concrete [`PartitionSpec`] per array, from which local
+//! (per-device) shapes follow.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use raxpp_ir::Shape;
+
+use crate::mesh::{Mesh, MeshError};
+
+/// A concrete sharding of one array: for each array dimension, the mesh
+/// axis it is split over (or `None` for replicated-along-that-dim).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionSpec(Vec<Option<String>>);
+
+impl PartitionSpec {
+    /// Builds a spec from per-dimension mesh-axis names.
+    pub fn new(dims: &[Option<&str>]) -> PartitionSpec {
+        PartitionSpec(dims.iter().map(|d| d.map(str::to_string)).collect())
+    }
+
+    /// A fully replicated spec of the given rank.
+    pub fn replicated(rank: usize) -> PartitionSpec {
+        PartitionSpec(vec![None; rank])
+    }
+
+    /// The number of array dimensions the spec describes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The mesh axis dimension `d` is sharded over, if any.
+    pub fn axis(&self, d: usize) -> Option<&str> {
+        self.0.get(d).and_then(|o| o.as_deref())
+    }
+
+    /// Iterates `(array dim, mesh axis)` for sharded dimensions.
+    pub fn sharded_dims(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_deref().map(|a| (i, a)))
+    }
+
+    /// The per-device local shape of a global array under this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::BadAxis`] for unknown mesh axes and
+    /// [`MeshError::Indivisible`] when a dimension is not divisible by
+    /// its mesh axis size.
+    pub fn local_shape(&self, global: &Shape, mesh: &Mesh) -> Result<Shape, MeshError> {
+        if global.rank() != self.rank() {
+            return Err(MeshError::BadAxis(format!(
+                "spec rank {} does not match array rank {}",
+                self.rank(),
+                global.rank()
+            )));
+        }
+        let mut dims = Vec::with_capacity(global.rank());
+        for (i, axis) in self.0.iter().enumerate() {
+            let d = global.dim(i);
+            match axis {
+                None => dims.push(d),
+                Some(a) => {
+                    let size = mesh
+                        .axis_size(a)
+                        .ok_or_else(|| MeshError::BadAxis(format!("unknown axis {a}")))?;
+                    if !d.is_multiple_of(size) {
+                        return Err(MeshError::Indivisible {
+                            dim: d,
+                            axis_size: size,
+                        });
+                    }
+                    dims.push(d / size);
+                }
+            }
+        }
+        Ok(Shape::new(dims))
+    }
+
+    /// Number of distinct shards (product of the used mesh axes' sizes);
+    /// the array is replicated over the remaining `num_devices / shards`
+    /// devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::BadAxis`] for unknown mesh axes.
+    pub fn num_shards(&self, mesh: &Mesh) -> Result<usize, MeshError> {
+        let mut n = 1;
+        for (_, a) in self.sharded_dims() {
+            n *= mesh
+                .axis_size(a)
+                .ok_or_else(|| MeshError::BadAxis(format!("unknown axis {a}")))?;
+        }
+        Ok(n)
+    }
+}
+
+impl fmt::Display for PartitionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P(")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match a {
+                Some(a) => write!(f, "\"{a}\"")?,
+                None => write!(f, "None")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Logical axis names of one array (e.g. `("batch", "emb")`), the
+/// model-side half of Figure 1a.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalAxes(Vec<Option<String>>);
+
+impl LogicalAxes {
+    /// Builds logical axes from per-dimension names (`None` = unnamed,
+    /// never sharded).
+    pub fn new(dims: &[Option<&str>]) -> LogicalAxes {
+        LogicalAxes(dims.iter().map(|d| d.map(str::to_string)).collect())
+    }
+
+    /// Resolves logical names to a concrete [`PartitionSpec`] under the
+    /// given `logical name → mesh axis` rules (Figure 1b). Unmapped
+    /// logical names are replicated.
+    pub fn resolve(&self, rules: &AxisRules) -> PartitionSpec {
+        PartitionSpec(
+            self.0
+                .iter()
+                .map(|name| {
+                    name.as_deref()
+                        .and_then(|n| rules.mesh_axis(n).map(str::to_string))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The partitioning specification of Figure 1b: a mapping from logical
+/// axis names to mesh axis names (`batch ⊳ data, mlp ⊳ model`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AxisRules {
+    rules: HashMap<String, String>,
+}
+
+impl AxisRules {
+    /// Builds rules from `(logical, mesh)` pairs.
+    pub fn new(pairs: &[(&str, &str)]) -> AxisRules {
+        AxisRules {
+            rules: pairs
+                .iter()
+                .map(|&(l, m)| (l.to_string(), m.to_string()))
+                .collect(),
+        }
+    }
+
+    /// The mesh axis a logical name maps to, if any.
+    pub fn mesh_axis(&self, logical: &str) -> Option<&str> {
+        self.rules.get(logical).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&[("data", 2), ("model", 4)]).unwrap()
+    }
+
+    #[test]
+    fn local_shapes_figure1() {
+        // A.shape = (n, m) = (8, 16) over mesh [data=2, model=4].
+        let a = Shape::new([8, 16]);
+        let m = mesh();
+        // Column sharding: (8, 4).
+        let col = PartitionSpec::new(&[None, Some("model")]);
+        assert_eq!(col.local_shape(&a, &m).unwrap(), Shape::new([8, 4]));
+        // Row sharding: (4, 16).
+        let row = PartitionSpec::new(&[Some("data"), None]);
+        assert_eq!(row.local_shape(&a, &m).unwrap(), Shape::new([4, 16]));
+        // 2-D sharding: (4, 4).
+        let both = PartitionSpec::new(&[Some("data"), Some("model")]);
+        assert_eq!(both.local_shape(&a, &m).unwrap(), Shape::new([4, 4]));
+    }
+
+    #[test]
+    fn indivisible_rejected() {
+        let a = Shape::new([6, 16]);
+        let spec = PartitionSpec::new(&[None, Some("model")]);
+        // 16 % 4 == 0, fine:
+        assert!(spec.local_shape(&a, &mesh()).is_ok());
+        let bad = PartitionSpec::new(&[Some("model"), None]);
+        // 6 % 4 != 0:
+        assert!(matches!(
+            bad.local_shape(&a, &mesh()),
+            Err(MeshError::Indivisible {
+                dim: 6,
+                axis_size: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_axis_rejected() {
+        let a = Shape::new([8, 8]);
+        let spec = PartitionSpec::new(&[Some("nonexistent"), None]);
+        assert!(spec.local_shape(&a, &mesh()).is_err());
+        assert!(spec.num_shards(&mesh()).is_err());
+    }
+
+    #[test]
+    fn num_shards_and_replication() {
+        let m = mesh();
+        assert_eq!(PartitionSpec::replicated(2).num_shards(&m).unwrap(), 1);
+        assert_eq!(
+            PartitionSpec::new(&[None, Some("model")])
+                .num_shards(&m)
+                .unwrap(),
+            4
+        );
+        assert_eq!(
+            PartitionSpec::new(&[Some("data"), Some("model")])
+                .num_shards(&m)
+                .unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn logical_resolution() {
+        // Figure 1: batch ⊳ data, mlp ⊳ model; emb unmapped → replicated.
+        let rules = AxisRules::new(&[("batch", "data"), ("mlp", "model")]);
+        let x = LogicalAxes::new(&[Some("batch"), Some("emb")]);
+        assert_eq!(x.resolve(&rules), PartitionSpec::new(&[Some("data"), None]));
+        let w1 = LogicalAxes::new(&[Some("emb"), Some("mlp")]);
+        assert_eq!(
+            w1.resolve(&rules),
+            PartitionSpec::new(&[None, Some("model")])
+        );
+        let w2 = LogicalAxes::new(&[Some("mlp"), Some("emb")]);
+        assert_eq!(
+            w2.resolve(&rules),
+            PartitionSpec::new(&[Some("model"), None])
+        );
+    }
+
+    #[test]
+    fn display() {
+        let spec = PartitionSpec::new(&[Some("data"), None]);
+        assert_eq!(spec.to_string(), "P(\"data\", None)");
+    }
+}

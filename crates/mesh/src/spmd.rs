@@ -1,0 +1,282 @@
+//! GSPMD-style SPMD partitioning of matrix multiplies: given operand
+//! shardings, decide the output sharding and the collectives the
+//! partitioner must insert (paper §2.1 — "XLA inserts them automatically
+//! as needed").
+
+use std::fmt;
+
+use raxpp_ir::Shape;
+
+use crate::collective::{collective_time, Collective, LinkSpec};
+use crate::mesh::{Mesh, MeshError};
+use crate::sharding::PartitionSpec;
+
+/// Which tensor of a matmul a collective applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// The left operand.
+    Lhs,
+    /// The right operand.
+    Rhs,
+    /// The result.
+    Out,
+}
+
+/// One collective the SPMD partitioner inserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveOp {
+    /// The collective kind.
+    pub kind: Collective,
+    /// The mesh axis it runs over.
+    pub axis: String,
+    /// The tensor it applies to.
+    pub operand: Operand,
+}
+
+impl fmt::Display for CollectiveOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] on {:?}", self.kind, self.axis, self.operand)
+    }
+}
+
+/// The partitioner's decision for one matmul.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatmulPlan {
+    /// Sharding of the result.
+    pub out_spec: PartitionSpec,
+    /// Collectives inserted, in execution order.
+    pub collectives: Vec<CollectiveOp>,
+}
+
+/// Plans the SPMD execution of `C[m,n] = A[m,k] @ B[k,n]` given operand
+/// shardings.
+///
+/// Handles the patterns used by Megatron-style tensor parallelism and
+/// data parallelism:
+///
+/// * both contraction dims sharded on the same axis → local partial
+///   matmuls + **all-reduce** of the result (row-parallel linear);
+/// * `B` sharded on its output dim → result column-sharded, no
+///   communication (column-parallel linear);
+/// * `A` row-sharded on the batch dim → result row-sharded, no
+///   communication (data parallelism);
+/// * a contraction dim sharded on one side only → **all-gather** that
+///   operand first.
+///
+/// # Errors
+///
+/// Returns [`MeshError::BadAxis`] when specs rank-mismatch the operands
+/// or contraction dims are sharded on *different* mesh axes (unsupported
+/// — re-shard first).
+pub fn plan_matmul(
+    a_spec: &PartitionSpec,
+    b_spec: &PartitionSpec,
+    mesh: &Mesh,
+) -> Result<MatmulPlan, MeshError> {
+    if a_spec.rank() != 2 || b_spec.rank() != 2 {
+        return Err(MeshError::BadAxis("matmul specs must be rank 2".into()));
+    }
+    for spec in [a_spec, b_spec] {
+        for (_, axis) in spec.sharded_dims() {
+            if mesh.axis_size(axis).is_none() {
+                return Err(MeshError::BadAxis(format!("unknown mesh axis {axis}")));
+            }
+        }
+    }
+    let a_k = a_spec.axis(1);
+    let b_k = b_spec.axis(0);
+    let mut collectives = Vec::new();
+
+    let contraction_axis = match (a_k, b_k) {
+        (Some(x), Some(y)) if x == y => Some(x.to_string()),
+        (Some(x), Some(y)) => {
+            return Err(MeshError::BadAxis(format!(
+                "contraction dim sharded on different axes ({x} vs {y}); reshard first"
+            )));
+        }
+        (Some(x), None) => {
+            // A's k sharded, B replicated on k: gather A.
+            collectives.push(CollectiveOp {
+                kind: Collective::AllGather,
+                axis: x.to_string(),
+                operand: Operand::Lhs,
+            });
+            None
+        }
+        (None, Some(y)) => {
+            collectives.push(CollectiveOp {
+                kind: Collective::AllGather,
+                axis: y.to_string(),
+                operand: Operand::Rhs,
+            });
+            None
+        }
+        (None, None) => None,
+    };
+
+    let mut out_m = a_spec.axis(0).map(str::to_string);
+    let mut out_n = b_spec.axis(1).map(str::to_string);
+    // The result cannot be sharded twice over one axis; prefer the batch
+    // dim and gather the other.
+    if out_m.is_some() && out_m == out_n {
+        collectives.push(CollectiveOp {
+            kind: Collective::AllGather,
+            axis: out_n.take().unwrap(),
+            operand: Operand::Rhs,
+        });
+    }
+    // A dim sharded over the contraction axis would collide with the
+    // partial-sum reduction; gather it.
+    if let Some(ref c) = contraction_axis {
+        if out_m.as_deref() == Some(c) {
+            collectives.push(CollectiveOp {
+                kind: Collective::AllGather,
+                axis: out_m.take().unwrap(),
+                operand: Operand::Lhs,
+            });
+        }
+        if out_n.as_deref() == Some(c) {
+            collectives.push(CollectiveOp {
+                kind: Collective::AllGather,
+                axis: out_n.take().unwrap(),
+                operand: Operand::Rhs,
+            });
+        }
+        collectives.push(CollectiveOp {
+            kind: Collective::AllReduce,
+            axis: c.clone(),
+            operand: Operand::Out,
+        });
+    }
+
+    let out_spec = PartitionSpec::new(&[out_m.as_deref(), out_n.as_deref()]);
+    Ok(MatmulPlan {
+        out_spec,
+        collectives,
+    })
+}
+
+/// Total communication time of a [`MatmulPlan`] for the given global
+/// operand shapes (bytes = local shard size on the wire).
+///
+/// # Errors
+///
+/// Returns [`MeshError`] when shapes and specs are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_comm_time(
+    plan: &MatmulPlan,
+    a_shape: &Shape,
+    b_shape: &Shape,
+    a_spec: &PartitionSpec,
+    b_spec: &PartitionSpec,
+    mesh: &Mesh,
+    elem_bytes: usize,
+    link: LinkSpec,
+) -> Result<f64, MeshError> {
+    let out_shape = Shape::new([a_shape.dim(0), b_shape.dim(1)]);
+    let mut total = 0.0;
+    for op in &plan.collectives {
+        let ranks = mesh
+            .axis_size(&op.axis)
+            .ok_or_else(|| MeshError::BadAxis(format!("unknown axis {}", op.axis)))?;
+        let local = match op.operand {
+            Operand::Lhs => a_spec.local_shape(a_shape, mesh)?,
+            Operand::Rhs => b_spec.local_shape(b_shape, mesh)?,
+            Operand::Out => plan.out_spec.local_shape(&out_shape, mesh)?,
+        };
+        let bytes = (local.numel() * elem_bytes) as f64;
+        total += collective_time(op.kind, bytes, ranks, link);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&[("data", 2), ("model", 4)]).unwrap()
+    }
+
+    #[test]
+    fn column_parallel_needs_no_comm() {
+        // Megatron column-parallel: X replicated, W1 sharded on output dim.
+        let x = PartitionSpec::replicated(2);
+        let w1 = PartitionSpec::new(&[None, Some("model")]);
+        let plan = plan_matmul(&x, &w1, &mesh()).unwrap();
+        assert!(plan.collectives.is_empty());
+        assert_eq!(plan.out_spec, PartitionSpec::new(&[None, Some("model")]));
+    }
+
+    #[test]
+    fn row_parallel_needs_one_allreduce() {
+        // Megatron row-parallel: H sharded on k, W2 sharded on k →
+        // one all-reduce of the replicated output (paper §2.1, Fig 1c).
+        let h = PartitionSpec::new(&[None, Some("model")]);
+        let w2 = PartitionSpec::new(&[Some("model"), None]);
+        let plan = plan_matmul(&h, &w2, &mesh()).unwrap();
+        assert_eq!(plan.out_spec, PartitionSpec::replicated(2));
+        assert_eq!(plan.collectives.len(), 1);
+        assert_eq!(plan.collectives[0].kind, Collective::AllReduce);
+        assert_eq!(plan.collectives[0].axis, "model");
+        assert_eq!(plan.collectives[0].operand, Operand::Out);
+    }
+
+    #[test]
+    fn data_parallel_shards_batch() {
+        let x = PartitionSpec::new(&[Some("data"), None]);
+        let w = PartitionSpec::replicated(2);
+        let plan = plan_matmul(&x, &w, &mesh()).unwrap();
+        assert!(plan.collectives.is_empty());
+        assert_eq!(plan.out_spec, PartitionSpec::new(&[Some("data"), None]));
+    }
+
+    #[test]
+    fn one_sided_contraction_gathers() {
+        let a = PartitionSpec::new(&[None, Some("model")]);
+        let b = PartitionSpec::replicated(2);
+        let plan = plan_matmul(&a, &b, &mesh()).unwrap();
+        assert_eq!(plan.collectives.len(), 1);
+        assert_eq!(plan.collectives[0].kind, Collective::AllGather);
+        assert_eq!(plan.collectives[0].operand, Operand::Lhs);
+        assert_eq!(plan.out_spec, PartitionSpec::replicated(2));
+    }
+
+    #[test]
+    fn mismatched_contraction_axes_rejected() {
+        let a = PartitionSpec::new(&[None, Some("data")]);
+        let b = PartitionSpec::new(&[Some("model"), None]);
+        assert!(plan_matmul(&a, &b, &mesh()).is_err());
+    }
+
+    #[test]
+    fn conflicting_output_axes_gather_rhs() {
+        // Both output dims want "data": keep the batch dim sharded.
+        let a = PartitionSpec::new(&[Some("data"), None]);
+        let b = PartitionSpec::new(&[None, Some("data")]);
+        let plan = plan_matmul(&a, &b, &mesh()).unwrap();
+        assert_eq!(plan.out_spec, PartitionSpec::new(&[Some("data"), None]));
+        assert_eq!(plan.collectives.len(), 1);
+        assert_eq!(plan.collectives[0].kind, Collective::AllGather);
+    }
+
+    #[test]
+    fn comm_time_row_parallel() {
+        let m = mesh();
+        let h_shape = Shape::new([128, 1024]);
+        let w_shape = Shape::new([1024, 512]);
+        let h = PartitionSpec::new(&[None, Some("model")]);
+        let w = PartitionSpec::new(&[Some("model"), None]);
+        let plan = plan_matmul(&h, &w, &m).unwrap();
+        let t =
+            plan_comm_time(&plan, &h_shape, &w_shape, &h, &w, &m, 2, LinkSpec::nvlink()).unwrap();
+        // all-reduce of the full [128, 512] bf16 output across 4 ranks.
+        let expect = collective_time(
+            Collective::AllReduce,
+            (128 * 512 * 2) as f64,
+            4,
+            LinkSpec::nvlink(),
+        );
+        assert!((t - expect).abs() < 1e-12);
+    }
+}

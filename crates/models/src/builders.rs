@@ -1,0 +1,411 @@
+//! Executable tiny models traced over `raxpp-ir`, used by the examples
+//! and the correctness tests of the MPMD runtime.
+//!
+//! These are real trainable networks (a deep MLP and a small transformer
+//! language model with single-head attention, residuals, layer norm, and
+//! optionally *tied embeddings* — the paper's §3.4 shared-weight case),
+//! small enough for the CPU interpreter yet exercising every compiler
+//! feature: multi-stage partitioning, non-adjacent dataflow, and shared
+//! weights.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use raxpp_ir::{IrError, Jaxpr, Result, Tensor, TraceCtx, TracedTensor};
+
+/// A traced model plus its initial parameter values.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The traced training-step function `(params…, data…) → (loss,…)`,
+    /// annotated with `pipeline_yield` stage markers.
+    pub jaxpr: Jaxpr,
+    /// How many leading inputs are parameters.
+    pub n_params: usize,
+    /// Initial parameter tensors, aligned with the first `n_params`
+    /// inputs.
+    pub init: Vec<Tensor>,
+}
+
+/// Builds an `n_stages`-stage MLP chain with square `width`×`width`
+/// layers and tanh activations; loss is half the squared output norm.
+///
+/// Data input: one microbatch `[batch, width]`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] when `layers < n_stages` or `n_stages`
+/// is 0.
+pub fn mlp_chain(
+    width: usize,
+    batch: usize,
+    layers: usize,
+    n_stages: usize,
+    seed: u64,
+) -> Result<BuiltModel> {
+    if n_stages == 0 || layers < n_stages {
+        return Err(IrError::Invalid(format!(
+            "need at least one layer per stage (layers={layers}, stages={n_stages})"
+        )));
+    }
+    let ctx = TraceCtx::new();
+    let ws: Vec<TracedTensor> = (0..layers).map(|_| ctx.input([width, width])).collect();
+    let x = ctx.input([batch, width]);
+    let mut h = x;
+    let boundaries = stage_boundaries(layers, n_stages);
+    for (i, w) in ws.iter().enumerate() {
+        h = h.matmul(w)?.tanh();
+        if boundaries.contains(&(i + 1)) {
+            h = ctx.pipeline_yield(&h);
+        }
+    }
+    let loss = h.mul(&h)?.sum().scale(0.5);
+    let jaxpr = ctx.finish(&[loss])?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let init = (0..layers)
+        .map(|_| Tensor::randn([width, width], 1.0 / (width as f32).sqrt(), &mut rng))
+        .collect();
+    Ok(BuiltModel {
+        jaxpr,
+        n_params: layers,
+        init,
+    })
+}
+
+/// Indices after which a stage boundary is placed (excluding the end).
+fn stage_boundaries(layers: usize, n_stages: usize) -> Vec<usize> {
+    let mut b = Vec::new();
+    let mut acc = 0;
+    for s in 0..n_stages - 1 {
+        acc += layers / n_stages + usize::from(s < layers % n_stages);
+        b.push(acc);
+    }
+    b
+}
+
+/// Configuration of the tiny transformer language model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TinyLmConfig {
+    /// Sequence length (one sequence per microbatch).
+    pub seq: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub emb: usize,
+    /// Feed-forward inner dimension.
+    pub ffn: usize,
+    /// Number of transformer blocks.
+    pub blocks: usize,
+    /// Attention heads per block (must divide `emb`; 1 = single-head).
+    pub heads: usize,
+    /// Number of pipeline stages to mark.
+    pub n_stages: usize,
+    /// Tie the output head to the embedding table (the shared-weight
+    /// pattern of paper §3.4).
+    pub tied_embeddings: bool,
+}
+
+impl Default for TinyLmConfig {
+    fn default() -> Self {
+        TinyLmConfig {
+            seq: 8,
+            vocab: 16,
+            emb: 16,
+            ffn: 32,
+            blocks: 4,
+            heads: 1,
+            n_stages: 2,
+            tied_embeddings: true,
+        }
+    }
+}
+
+/// Builds a tiny decoder-only language model: token embeddings, `blocks`
+/// attention blocks (single- or multi-head; pre-norm, residual, GELU
+/// MLP), a final norm, and a (optionally tied) LM head with mean token
+/// cross-entropy loss.
+///
+/// Data inputs, in order: one-hot tokens `[seq, vocab]`, one-hot targets
+/// `[seq, vocab]`, and an additive attention mask `[seq, seq]` (use
+/// [`causal_mask`]).
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] for inconsistent stage counts.
+pub fn tiny_lm(cfg: TinyLmConfig, seed: u64) -> Result<BuiltModel> {
+    if cfg.n_stages == 0 || cfg.blocks < cfg.n_stages {
+        return Err(IrError::Invalid(format!(
+            "need at least one block per stage (blocks={}, stages={})",
+            cfg.blocks, cfg.n_stages
+        )));
+    }
+    if cfg.heads == 0 || !cfg.emb.is_multiple_of(cfg.heads) {
+        return Err(IrError::Invalid(format!(
+            "heads ({}) must divide the embedding dim ({})",
+            cfg.heads, cfg.emb
+        )));
+    }
+    let (s, v, e, f) = (cfg.seq, cfg.vocab, cfg.emb, cfg.ffn);
+    let ctx = TraceCtx::new();
+
+    // Parameters (trace order = parameter order).
+    let w_emb = ctx.input([v, e]);
+    struct Block {
+        wq: TracedTensor,
+        wk: TracedTensor,
+        wv: TracedTensor,
+        wo: TracedTensor,
+        ln1_g: TracedTensor,
+        ln1_b: TracedTensor,
+        w1: TracedTensor,
+        w2: TracedTensor,
+        ln2_g: TracedTensor,
+        ln2_b: TracedTensor,
+    }
+    let blocks: Vec<Block> = (0..cfg.blocks)
+        .map(|_| Block {
+            wq: ctx.input([e, e]),
+            wk: ctx.input([e, e]),
+            wv: ctx.input([e, e]),
+            wo: ctx.input([e, e]),
+            ln1_g: ctx.input([e]),
+            ln1_b: ctx.input([e]),
+            w1: ctx.input([e, f]),
+            w2: ctx.input([f, e]),
+            ln2_g: ctx.input([e]),
+            ln2_b: ctx.input([e]),
+        })
+        .collect();
+    let lnf_g = ctx.input([e]);
+    let lnf_b = ctx.input([e]);
+    let w_out = if cfg.tied_embeddings {
+        None
+    } else {
+        Some(ctx.input([e, v]))
+    };
+    let n_params = 1 + 10 * cfg.blocks + 2 + usize::from(w_out.is_some());
+
+    // Data inputs.
+    let x_onehot = ctx.input([s, v]);
+    let y_onehot = ctx.input([s, v]);
+    let mask = ctx.input([s, s]);
+
+    // Forward.
+    let mut h = x_onehot.matmul(&w_emb)?;
+    let boundaries = stage_boundaries(cfg.blocks, cfg.n_stages);
+    for (i, blk) in blocks.iter().enumerate() {
+        let hn = h.layer_norm(&blk.ln1_g, &blk.ln1_b, 1e-5)?;
+        let q = hn.matmul(&blk.wq)?;
+        let k = hn.matmul(&blk.wk)?;
+        let val = hn.matmul(&blk.wv)?;
+        let ctx_out = if cfg.heads == 1 {
+            let scores = q
+                .matmul(&k.t()?)?
+                .scale(1.0 / (e as f32).sqrt())
+                .add(&mask)?;
+            let attn = scores.softmax(1)?;
+            attn.matmul(&val)?
+        } else {
+            // Multi-head: [s, e] → [heads, s, dh], batched attention per
+            // head, then back.
+            let dh = e / cfg.heads;
+            let split = |t: &TracedTensor| -> raxpp_ir::Result<TracedTensor> {
+                t.reshape([s, cfg.heads, dh])?.permute(&[1, 0, 2])
+            };
+            let qh = split(&q)?;
+            let kh = split(&k)?;
+            let vh = split(&val)?;
+            let scores = qh
+                .bmm(&kh.t()?)?
+                .scale(1.0 / (dh as f32).sqrt())
+                .add(&mask.broadcast_to([cfg.heads, s, s])?)?;
+            let attn = scores.softmax(2)?;
+            attn.bmm(&vh)?.permute(&[1, 0, 2])?.reshape([s, e])?
+        };
+        let o = ctx_out.matmul(&blk.wo)?;
+        h = h.add(&o)?;
+        let hn2 = h.layer_norm(&blk.ln2_g, &blk.ln2_b, 1e-5)?;
+        let m = hn2.matmul(&blk.w1)?.gelu().matmul(&blk.w2)?;
+        h = h.add(&m)?;
+        if boundaries.contains(&(i + 1)) {
+            h = ctx.pipeline_yield(&h);
+        }
+    }
+    let hf = h.layer_norm(&lnf_g, &lnf_b, 1e-5)?;
+    let logits = match &w_out {
+        Some(w) => hf.matmul(w)?,
+        // Tied head: reuse the embedding table — a shared weight across
+        // the first and last stage (paper §3.4).
+        None => hf.matmul(&w_emb.t()?)?,
+    };
+    let log_probs = logits.log_softmax(1)?;
+    let loss = y_onehot.mul(&log_probs)?.sum().neg().scale(1.0 / s as f32);
+    let jaxpr = ctx.finish(&[loss])?;
+
+    // Initialization.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = Vec::with_capacity(n_params);
+    let scale = 0.3 / (e as f32).sqrt();
+    init.push(Tensor::randn([v, e], scale, &mut rng));
+    for _ in 0..cfg.blocks {
+        init.push(Tensor::randn([e, e], scale, &mut rng)); // wq
+        init.push(Tensor::randn([e, e], scale, &mut rng)); // wk
+        init.push(Tensor::randn([e, e], scale, &mut rng)); // wv
+        init.push(Tensor::randn([e, e], scale, &mut rng)); // wo
+        init.push(Tensor::ones([e])); // ln1_g
+        init.push(Tensor::zeros([e])); // ln1_b
+        init.push(Tensor::randn([e, f], scale, &mut rng)); // w1
+        init.push(Tensor::randn([f, e], scale, &mut rng)); // w2
+        init.push(Tensor::ones([e])); // ln2_g
+        init.push(Tensor::zeros([e])); // ln2_b
+    }
+    init.push(Tensor::ones([e]));
+    init.push(Tensor::zeros([e]));
+    if w_out.is_some() {
+        init.push(Tensor::randn([e, v], scale, &mut rng));
+    }
+    debug_assert_eq!(init.len(), n_params);
+    Ok(BuiltModel {
+        jaxpr,
+        n_params,
+        init,
+    })
+}
+
+/// Additive causal attention mask: 0 on and below the diagonal, a large
+/// negative value above it.
+pub fn causal_mask(seq: usize) -> Tensor {
+    let mut data = vec![0.0f32; seq * seq];
+    for i in 0..seq {
+        for j in (i + 1)..seq {
+            data[i * seq + j] = -1e9;
+        }
+    }
+    Tensor::from_vec([seq, seq], data).expect("mask shape")
+}
+
+/// One-hot encodes a token sequence into `[len, vocab]`.
+///
+/// # Panics
+///
+/// Panics if any token id is out of range.
+pub fn one_hot(tokens: &[usize], vocab: usize) -> Tensor {
+    let mut data = vec![0.0f32; tokens.len() * vocab];
+    for (i, &t) in tokens.iter().enumerate() {
+        assert!(t < vocab, "token {t} out of range for vocab {vocab}");
+        data[i * vocab + t] = 1.0;
+    }
+    Tensor::from_vec([tokens.len(), vocab], data).expect("one-hot shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raxpp_ir::eval;
+
+    #[test]
+    fn boundaries_are_balanced() {
+        assert_eq!(stage_boundaries(4, 2), vec![2]);
+        assert_eq!(stage_boundaries(5, 2), vec![3]);
+        assert_eq!(stage_boundaries(6, 3), vec![2, 4]);
+        assert!(stage_boundaries(4, 1).is_empty());
+    }
+
+    #[test]
+    fn mlp_chain_builds_and_evaluates() {
+        let m = mlp_chain(4, 2, 4, 2, 0).unwrap();
+        assert_eq!(m.n_params, 4);
+        let mut args = m.init.clone();
+        args.push(Tensor::ones([2, 4]));
+        let out = eval(&m.jaxpr, &args).unwrap();
+        assert!(out[0].item().unwrap().is_finite());
+    }
+
+    #[test]
+    fn mlp_chain_rejects_too_many_stages() {
+        assert!(mlp_chain(4, 2, 2, 3, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_lm_loss_starts_near_uniform() {
+        // With random init, loss ≈ ln(vocab).
+        let cfg = TinyLmConfig::default();
+        let m = tiny_lm(cfg, 1).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq).map(|i| i % cfg.vocab).collect();
+        let targets: Vec<usize> = (1..=cfg.seq).map(|i| i % cfg.vocab).collect();
+        let mut args = m.init.clone();
+        args.push(one_hot(&tokens, cfg.vocab));
+        args.push(one_hot(&targets, cfg.vocab));
+        args.push(causal_mask(cfg.seq));
+        let out = eval(&m.jaxpr, &args).unwrap();
+        let loss = out[0].item().unwrap();
+        let uniform = (cfg.vocab as f32).ln();
+        assert!(
+            (loss - uniform).abs() < 1.0,
+            "initial loss {loss} far from ln(V) = {uniform}"
+        );
+    }
+
+    #[test]
+    fn tied_model_has_one_fewer_param() {
+        let tied = tiny_lm(TinyLmConfig::default(), 2).unwrap();
+        let untied = tiny_lm(
+            TinyLmConfig {
+                tied_embeddings: false,
+                ..TinyLmConfig::default()
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(untied.n_params, tied.n_params + 1);
+    }
+
+    #[test]
+    fn multi_head_lm_builds_and_evaluates() {
+        let cfg = TinyLmConfig {
+            heads: 4,
+            ..TinyLmConfig::default()
+        };
+        let m = tiny_lm(cfg, 3).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq).map(|i| i % cfg.vocab).collect();
+        let mut args = m.init.clone();
+        args.push(one_hot(&tokens, cfg.vocab));
+        args.push(one_hot(&tokens, cfg.vocab));
+        args.push(causal_mask(cfg.seq));
+        let out = eval(&m.jaxpr, &args).unwrap();
+        assert!(out[0].item().unwrap().is_finite());
+    }
+
+    #[test]
+    fn invalid_head_counts_rejected() {
+        assert!(tiny_lm(
+            TinyLmConfig {
+                heads: 0,
+                ..TinyLmConfig::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(tiny_lm(
+            TinyLmConfig {
+                heads: 3,
+                ..TinyLmConfig::default()
+            },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(3);
+        assert_eq!(m.data()[1], -1e9);
+        assert_eq!(m.data()[2 * 3], 0.0);
+        assert_eq!(m.data()[3 + 1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_checks_range() {
+        one_hot(&[5], 4);
+    }
+}

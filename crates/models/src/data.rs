@@ -1,0 +1,206 @@
+//! Synthetic training data for the executable examples and tests:
+//! deterministic token tasks, a character vocabulary for real text, and
+//! a batcher that produces exactly the `data[input][mubatch]` layout the
+//! `raxpp-core` trainer consumes for [`crate::tiny_lm`] models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use raxpp_ir::Tensor;
+
+use crate::builders::{causal_mask, one_hot, TinyLmConfig};
+
+/// A synthetic next-token prediction task over integer tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticTask {
+    /// Predict `(t + stride) mod V` from token `t` of a cyclic sequence.
+    CyclicNext {
+        /// The cycle stride.
+        stride: usize,
+    },
+    /// Sequences of random tokens where the target repeats the input
+    /// token (an identity/copy task — learnable with zero context).
+    Copy,
+    /// Random tokens; target is the *previous* input token (requires the
+    /// causal attention to look one step back).
+    Previous,
+}
+
+impl SyntheticTask {
+    /// Generates `(input, target)` token sequences for microbatch `mb`.
+    pub fn sequences(
+        &self,
+        seq: usize,
+        vocab: usize,
+        mb: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        match *self {
+            SyntheticTask::CyclicNext { stride } => {
+                let tokens: Vec<usize> = (0..seq).map(|i| (i * stride + mb) % vocab).collect();
+                let targets = tokens.iter().map(|&t| (t + stride) % vocab).collect();
+                (tokens, targets)
+            }
+            SyntheticTask::Copy => {
+                let tokens: Vec<usize> = (0..seq).map(|_| rng.gen_range(0..vocab)).collect();
+                let targets = tokens.clone();
+                (tokens, targets)
+            }
+            SyntheticTask::Previous => {
+                let tokens: Vec<usize> = (0..seq).map(|_| rng.gen_range(0..vocab)).collect();
+                let mut targets = vec![0];
+                targets.extend_from_slice(&tokens[..seq - 1]);
+                (tokens, targets)
+            }
+        }
+    }
+}
+
+/// Builds the three data inputs ([one-hot tokens, one-hot targets,
+/// causal masks], each with `n_mb` microbatches) a [`crate::tiny_lm`]
+/// trainer expects.
+pub fn lm_batches(
+    cfg: &TinyLmConfig,
+    task: SyntheticTask,
+    n_mb: usize,
+    seed: u64,
+) -> Vec<Vec<Tensor>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = causal_mask(cfg.seq);
+    let mut xs = Vec::with_capacity(n_mb);
+    let mut ys = Vec::with_capacity(n_mb);
+    let mut masks = Vec::with_capacity(n_mb);
+    for mb in 0..n_mb {
+        let (tokens, targets) = task.sequences(cfg.seq, cfg.vocab, mb, &mut rng);
+        xs.push(one_hot(&tokens, cfg.vocab));
+        ys.push(one_hot(&targets, cfg.vocab));
+        masks.push(mask.clone());
+    }
+    vec![xs, ys, masks]
+}
+
+/// A character-level vocabulary built from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharVocab {
+    chars: Vec<char>,
+}
+
+impl CharVocab {
+    /// Builds the vocabulary of distinct characters in `text`, sorted for
+    /// determinism.
+    pub fn from_text(text: &str) -> CharVocab {
+        let mut chars: Vec<char> = text.chars().collect();
+        chars.sort_unstable();
+        chars.dedup();
+        CharVocab { chars }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Encodes text to token ids, skipping out-of-vocabulary characters.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.chars()
+            .filter_map(|c| self.chars.binary_search(&c).ok())
+            .collect()
+    }
+
+    /// Decodes token ids back to text.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids.
+    pub fn decode(&self, tokens: &[usize]) -> String {
+        tokens.iter().map(|&t| self.chars[t]).collect()
+    }
+
+    /// Cuts next-character training windows of length `seq` from `text`,
+    /// as `(input, target)` id sequences, stepping by `seq`.
+    pub fn windows(&self, text: &str, seq: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let ids = self.encode(text);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + seq < ids.len() {
+            out.push((
+                ids[start..start + seq].to_vec(),
+                ids[start + 1..start + seq + 1].to_vec(),
+            ));
+            start += seq;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_task_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(0);
+        let t = SyntheticTask::CyclicNext { stride: 2 };
+        assert_eq!(
+            t.sequences(8, 10, 1, &mut r1),
+            t.sequences(8, 10, 1, &mut r2)
+        );
+        let (x, y) = t.sequences(4, 10, 0, &mut r1);
+        assert_eq!(x, vec![0, 2, 4, 6]);
+        assert_eq!(y, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn copy_targets_equal_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = SyntheticTask::Copy.sequences(16, 8, 0, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn previous_targets_shift() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = SyntheticTask::Previous.sequences(8, 8, 0, &mut rng);
+        assert_eq!(&y[1..], &x[..7]);
+    }
+
+    #[test]
+    fn lm_batches_shape_matches_trainer_contract() {
+        let cfg = TinyLmConfig::default();
+        let data = lm_batches(&cfg, SyntheticTask::Copy, 4, 3);
+        assert_eq!(data.len(), 3); // tokens, targets, masks
+        assert_eq!(data[0].len(), 4);
+        assert_eq!(data[0][0].shape().dims(), &[cfg.seq, cfg.vocab]);
+        assert_eq!(data[2][0].shape().dims(), &[cfg.seq, cfg.seq]);
+    }
+
+    #[test]
+    fn char_vocab_roundtrip() {
+        let v = CharVocab::from_text("hello pipeline");
+        assert!(!v.is_empty());
+        let ids = v.encode("pipe");
+        assert_eq!(v.decode(&ids), "pipe");
+        // OOV characters are skipped.
+        assert_eq!(v.decode(&v.encode("pi~pe")), "pipe");
+    }
+
+    #[test]
+    fn windows_cover_text() {
+        let v = CharVocab::from_text("abcabcabcabc");
+        let w = v.windows("abcabcabcabc", 4);
+        assert_eq!(w.len(), 2);
+        for (x, y) in &w {
+            assert_eq!(x.len(), 4);
+            assert_eq!(y.len(), 4);
+        }
+        // Targets are the input shifted by one character.
+        assert_eq!(v.decode(&w[0].0), "abca");
+        assert_eq!(v.decode(&w[0].1), "bcab");
+    }
+}

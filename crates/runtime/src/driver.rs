@@ -1,0 +1,555 @@
+//! The single-controller MPMD runtime (paper §4.1).
+//!
+//! A [`Runtime`] spawns one OS thread per actor (standing in for the
+//! paper's Ray workers, each managing an SPMD device group). The driver
+//! dispatches each actor's *entire fused instruction stream* in a single
+//! message per step (§4.4); all cross-actor coordination happens through
+//! per-pair FIFO data channels (standing in for NCCL P2P, whose
+//! matching-order requirement the compiler's §4.2 pass guarantees).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use raxpp_ir::{eval, Tensor};
+use raxpp_taskgraph::{BufferId, Fetch, InputSource, Instr, MpmdProgram};
+
+use crate::error::RuntimeError;
+use crate::store::{ObjectStore, SendToken};
+
+type DataMsg = (BufferId, Arc<Tensor>, SendToken);
+
+enum Command {
+    Place(Vec<(BufferId, Tensor)>),
+    Execute,
+    Fetch(Vec<BufferId>),
+    Read(BufferId),
+    PeakBytes,
+    /// Test-only failure injection: the actor thread exits immediately.
+    Die,
+    Shutdown,
+}
+
+enum Reply {
+    Placed,
+    Executed(Result<ActorProfile, String>),
+    Fetched(Result<Vec<Tensor>, String>),
+    Read(Result<Tensor, String>),
+    PeakBytes(usize),
+}
+
+struct ActorLink {
+    cmd: Sender<Command>,
+    reply: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Per-instruction-kind wall-clock accounting for one actor's step.
+///
+/// Keys are instruction kinds (`"fwd"`, `"bwd"`, `"bwdw"`,
+/// `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`, `"send"`,
+/// `"recv"`, `"free"`). `recv` time is mostly *waiting* for upstream
+/// data — the executable analogue of the pipeline bubble.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActorProfile {
+    entries: HashMap<&'static str, (Duration, u32)>,
+}
+
+impl ActorProfile {
+    fn record(&mut self, kind: &'static str, dur: Duration) {
+        let e = self.entries.entry(kind).or_insert((Duration::ZERO, 0));
+        e.0 += dur;
+        e.1 += 1;
+    }
+
+    /// Total time and invocation count for an instruction kind.
+    pub fn get(&self, kind: &str) -> Option<(Duration, u32)> {
+        self.entries.get(kind).copied()
+    }
+
+    /// All recorded kinds with their totals, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, Duration, u32)> + '_ {
+        self.entries.iter().map(|(&k, &(d, c))| (k, d, c))
+    }
+}
+
+/// Statistics of one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// Wall-clock duration of the dispatched step (excluding input
+    /// placement).
+    pub wall: Duration,
+    /// Number of driver→actor dispatch messages this step (1 per actor —
+    /// task fusion, §4.4).
+    pub rpcs: usize,
+    /// Per-actor instruction-kind profiles.
+    pub profiles: Vec<ActorProfile>,
+}
+
+/// The outputs of one step: every fetched buffer with its [`Fetch`]
+/// descriptor (gradients, per-microbatch losses/metrics).
+#[derive(Debug, Clone)]
+pub struct StepOutputs {
+    /// Fetched buffers in program fetch order.
+    pub fetched: Vec<(Fetch, Tensor)>,
+    /// Step statistics.
+    pub stats: StepStats,
+}
+
+/// A single-controller MPMD runtime executing a compiled
+/// [`MpmdProgram`] on actor threads.
+///
+/// # Examples
+///
+/// See `raxpp-core`'s `distributed` API, which compiles traced training
+/// steps into programs and drives this runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    program: Arc<MpmdProgram>,
+    actors: Vec<ActorLink>,
+}
+
+impl std::fmt::Debug for ActorLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorLink")
+    }
+}
+
+impl Runtime {
+    /// Spawns actor threads and wires their P2P channels.
+    pub fn new(program: MpmdProgram) -> Runtime {
+        let n = program.n_actors();
+        let program = Arc::new(program);
+        // data_tx[i][j]: sender on actor i for messages to actor j.
+        let mut senders: Vec<Vec<Sender<DataMsg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<DataMsg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (i, sender_row) in senders.iter_mut().enumerate() {
+            for (j, recv_row) in receivers.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                sender_row.push(tx);
+                recv_row[i] = Some(rx);
+                let _ = j;
+            }
+        }
+        let mut actors = Vec::with_capacity(n);
+        for (a, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let (reply_tx, reply_rx) = unbounded::<Reply>();
+            let prog = Arc::clone(&program);
+            let rx_row: Vec<Receiver<DataMsg>> = rx_row.into_iter().map(Option::unwrap).collect();
+            let handle = std::thread::Builder::new()
+                .name(format!("raxpp-actor-{a}"))
+                .spawn(move || actor_main(a, prog, cmd_rx, reply_tx, tx_row, rx_row))
+                .expect("spawn actor thread");
+            actors.push(ActorLink {
+                cmd: cmd_tx,
+                reply: reply_rx,
+                handle: Some(handle),
+            });
+        }
+        Runtime { program, actors }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &MpmdProgram {
+        &self.program
+    }
+
+    /// Places the model parameters on their actors (done once; parameters
+    /// stay resident across steps and are updated in place by optimizer
+    /// tasks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadInput`] on shape mismatch and
+    /// [`RuntimeError::ActorDied`] if an actor is gone.
+    pub fn place_params(&self, params: &[Tensor]) -> Result<(), RuntimeError> {
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
+            (0..self.actors.len()).map(|_| Vec::new()).collect();
+        for p in &self.program.placements {
+            if let InputSource::Param(i) = p.source {
+                let t = params
+                    .get(i)
+                    .ok_or_else(|| RuntimeError::BadInput(format!("missing parameter {i}")))?;
+                if t.shape() != &p.shape {
+                    return Err(RuntimeError::BadInput(format!(
+                        "parameter {i} has shape {} but program expects {}",
+                        t.shape(),
+                        p.shape
+                    )));
+                }
+                per_actor[p.actor].push((p.buf, t.clone()));
+            }
+        }
+        self.place(per_actor)
+    }
+
+    /// Runs one step: places the per-microbatch data inputs, dispatches
+    /// every actor's fused stream (one message each), and fetches the
+    /// result buffers.
+    ///
+    /// `data[input][mubatch]` follows the traced function's data-input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on bad inputs, actor failure, or task
+    /// execution errors.
+    pub fn step(&self, data: &[Vec<Tensor>]) -> Result<StepOutputs, RuntimeError> {
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
+            (0..self.actors.len()).map(|_| Vec::new()).collect();
+        for p in &self.program.placements {
+            if let InputSource::Data { input, mubatch } = p.source {
+                let t = data
+                    .get(input)
+                    .and_then(|mbs| mbs.get(mubatch))
+                    .ok_or_else(|| {
+                        RuntimeError::BadInput(format!(
+                            "missing data input {input} microbatch {mubatch}"
+                        ))
+                    })?;
+                if t.shape() != &p.shape {
+                    return Err(RuntimeError::BadInput(format!(
+                        "data input {input} mb {mubatch} has shape {} but program expects {}",
+                        t.shape(),
+                        p.shape
+                    )));
+                }
+                per_actor[p.actor].push((p.buf, t.clone()));
+            }
+        }
+        self.place(per_actor)?;
+
+        // One fused dispatch per actor (§4.4), then wait for all.
+        let start = Instant::now();
+        let mut rpcs = 0;
+        for (a, link) in self.actors.iter().enumerate() {
+            link.cmd
+                .send(Command::Execute)
+                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+            rpcs += 1;
+        }
+        let mut profiles = Vec::with_capacity(self.actors.len());
+        for (a, link) in self.actors.iter().enumerate() {
+            match link.reply.recv() {
+                Ok(Reply::Executed(Ok(profile))) => profiles.push(profile),
+                Ok(Reply::Executed(Err(message))) => {
+                    return Err(RuntimeError::Exec { actor: a, message })
+                }
+                _ => return Err(RuntimeError::ActorDied { actor: a }),
+            }
+        }
+        let wall = start.elapsed();
+
+        // Fetch results.
+        let mut wanted: Vec<Vec<BufferId>> = (0..self.actors.len()).map(|_| Vec::new()).collect();
+        for f in &self.program.fetches {
+            wanted[f.actor].push(f.buf);
+        }
+        let mut fetched_per_actor: Vec<std::collections::HashMap<BufferId, Tensor>> =
+            (0..self.actors.len()).map(|_| Default::default()).collect();
+        for (a, link) in self.actors.iter().enumerate() {
+            if wanted[a].is_empty() {
+                continue;
+            }
+            link.cmd
+                .send(Command::Fetch(wanted[a].clone()))
+                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+        }
+        for (a, link) in self.actors.iter().enumerate() {
+            if wanted[a].is_empty() {
+                continue;
+            }
+            match link.reply.recv() {
+                Ok(Reply::Fetched(Ok(ts))) => {
+                    for (b, t) in wanted[a].iter().zip(ts) {
+                        fetched_per_actor[a].insert(*b, t);
+                    }
+                }
+                Ok(Reply::Fetched(Err(message))) => {
+                    return Err(RuntimeError::Exec { actor: a, message })
+                }
+                _ => return Err(RuntimeError::ActorDied { actor: a }),
+            }
+        }
+        let fetched = self
+            .program
+            .fetches
+            .iter()
+            .map(|f| (*f, fetched_per_actor[f.actor][&f.buf].clone()))
+            .collect();
+        Ok(StepOutputs {
+            fetched,
+            stats: StepStats {
+                wall,
+                rpcs,
+                profiles,
+            },
+        })
+    }
+
+    /// Places arbitrary buffers on actors (e.g. optimizer state appended
+    /// by `raxpp-core`'s compiler, which the program lists with a
+    /// `State` source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
+    pub fn place_buffers(&self, items: &[(usize, BufferId, Tensor)]) -> Result<(), RuntimeError> {
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
+            (0..self.actors.len()).map(|_| Vec::new()).collect();
+        for (actor, buf, t) in items {
+            if *actor >= per_actor.len() {
+                return Err(RuntimeError::BadInput(format!("unknown actor {actor}")));
+            }
+            per_actor[*actor].push((*buf, t.clone()));
+        }
+        self.place(per_actor)
+    }
+
+    /// Reads one buffer from an actor's store (e.g. an updated parameter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] if the actor died or the buffer is
+    /// missing.
+    pub fn read_buffer(&self, actor: usize, buf: BufferId) -> Result<Tensor, RuntimeError> {
+        let link = self
+            .actors
+            .get(actor)
+            .ok_or(RuntimeError::ActorDied { actor })?;
+        link.cmd
+            .send(Command::Read(buf))
+            .map_err(|_| RuntimeError::ActorDied { actor })?;
+        match link.reply.recv() {
+            Ok(Reply::Read(Ok(t))) => Ok(t),
+            Ok(Reply::Read(Err(message))) => Err(RuntimeError::Exec { actor, message }),
+            _ => Err(RuntimeError::ActorDied { actor }),
+        }
+    }
+
+    /// Peak object-store bytes per actor since launch — the executable
+    /// analogue of the schedules' activation-memory footprints
+    /// (§2.2.1: GPipe's grows with the microbatch count, 1F1B's with
+    /// the stage count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
+    pub fn peak_store_bytes(&self) -> Result<Vec<usize>, RuntimeError> {
+        let mut out = Vec::with_capacity(self.actors.len());
+        for (a, link) in self.actors.iter().enumerate() {
+            link.cmd
+                .send(Command::PeakBytes)
+                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+            match link.reply.recv() {
+                Ok(Reply::PeakBytes(b)) => out.push(b),
+                _ => return Err(RuntimeError::ActorDied { actor: a }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Test-only failure injection: terminate one actor's thread. The
+    /// next `step` fails with [`RuntimeError::ActorDied`] instead of
+    /// hanging.
+    pub fn inject_failure(&self, actor: usize) {
+        if let Some(link) = self.actors.get(actor) {
+            let _ = link.cmd.send(Command::Die);
+        }
+    }
+
+    fn place(&self, per_actor: Vec<Vec<(BufferId, Tensor)>>) -> Result<(), RuntimeError> {
+        for (a, bufs) in per_actor.iter().enumerate() {
+            if bufs.is_empty() {
+                continue;
+            }
+            self.actors[a]
+                .cmd
+                .send(Command::Place(bufs.clone()))
+                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+        }
+        for (a, bufs) in per_actor.iter().enumerate() {
+            if bufs.is_empty() {
+                continue;
+            }
+            match self.actors[a].reply.recv() {
+                Ok(Reply::Placed) => {}
+                _ => return Err(RuntimeError::ActorDied { actor: a }),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        for link in &self.actors {
+            let _ = link.cmd.send(Command::Shutdown);
+        }
+        for link in &mut self.actors {
+            if let Some(h) = link.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn actor_main(
+    me: usize,
+    program: Arc<MpmdProgram>,
+    cmd: Receiver<Command>,
+    reply: Sender<Reply>,
+    tx: Vec<Sender<DataMsg>>,
+    rx: Vec<Receiver<DataMsg>>,
+) {
+    let mut store = ObjectStore::new();
+    while let Ok(c) = cmd.recv() {
+        match c {
+            Command::Place(bufs) => {
+                for (b, t) in bufs {
+                    store.insert(b, Arc::new(t));
+                }
+                if reply.send(Reply::Placed).is_err() {
+                    return;
+                }
+            }
+            Command::Execute => {
+                let r = execute_stream(me, &program, &mut store, &tx, &rx);
+                if reply.send(Reply::Executed(r)).is_err() {
+                    return;
+                }
+            }
+            Command::Fetch(bufs) => {
+                let r: Result<Vec<Tensor>, String> = bufs
+                    .iter()
+                    .map(|b| {
+                        store
+                            .get(*b)
+                            .map(|t| (**t).clone())
+                            .ok_or_else(|| format!("missing buffer {b}"))
+                    })
+                    .collect();
+                if reply.send(Reply::Fetched(r)).is_err() {
+                    return;
+                }
+            }
+            Command::Read(b) => {
+                let r = store
+                    .get(b)
+                    .map(|t| (**t).clone())
+                    .ok_or_else(|| format!("missing buffer {b}"));
+                if reply.send(Reply::Read(r)).is_err() {
+                    return;
+                }
+            }
+            Command::PeakBytes => {
+                if reply.send(Reply::PeakBytes(store.peak_bytes())).is_err() {
+                    return;
+                }
+            }
+            Command::Die => return,
+            Command::Shutdown => return,
+        }
+    }
+}
+
+fn label_kind(label: &raxpp_taskgraph::TaskLabel) -> &'static str {
+    use raxpp_taskgraph::TaskLabel;
+    match label {
+        TaskLabel::Fwd { .. } => "fwd",
+        TaskLabel::Bwd { .. } => "bwd",
+        TaskLabel::BwdW { .. } => "bwdw",
+        TaskLabel::AccumGrad { .. } => "accum_grad",
+        TaskLabel::CotangentSum { .. } => "ct_sum",
+        TaskLabel::GradReduce { .. } => "grad_reduce",
+        TaskLabel::Update { .. } => "update",
+    }
+}
+
+fn execute_stream(
+    me: usize,
+    program: &MpmdProgram,
+    store: &mut ObjectStore,
+    tx: &[Sender<DataMsg>],
+    rx: &[Receiver<DataMsg>],
+) -> Result<ActorProfile, String> {
+    let mut profile = ActorProfile::default();
+    for instr in &program.actors[me] {
+        let t0 = Instant::now();
+        match instr {
+            Instr::Run {
+                jaxpr,
+                inputs,
+                outputs,
+                label,
+            } => {
+                let args: Vec<Tensor> = inputs
+                    .iter()
+                    .map(|b| {
+                        store
+                            .get(*b)
+                            .map(|t| (**t).clone())
+                            .ok_or_else(|| format!("{label}: missing input {b}"))
+                    })
+                    .collect::<Result<_, String>>()?;
+                let outs = eval(&program.jaxprs[jaxpr.0 as usize], &args)
+                    .map_err(|e| format!("{label}: {e}"))?;
+                for (b, t) in outputs.iter().zip(outs) {
+                    store.insert(*b, Arc::new(t));
+                }
+            }
+            Instr::Send { buf, to } => {
+                let t = store
+                    .get(*buf)
+                    .cloned()
+                    .ok_or_else(|| format!("send of missing buffer {buf}"))?;
+                let token = SendToken::new();
+                store.record_send(*buf, token.clone());
+                tx[*to]
+                    .send((*buf, t, token))
+                    .map_err(|_| format!("actor {to} hung up"))?;
+            }
+            Instr::Recv {
+                buf,
+                src,
+                from,
+                shape,
+            } => {
+                let (id, t, token) = rx[*from]
+                    .recv()
+                    .map_err(|_| format!("actor {from} hung up"))?;
+                if id != *src {
+                    return Err(format!(
+                        "out-of-order receive: expected {src}, got {id} (paper §4.2 \
+                         ordering violated)"
+                    ));
+                }
+                if t.shape() != shape {
+                    return Err(format!(
+                        "receive shape mismatch for {buf}: {} vs {shape}",
+                        t.shape()
+                    ));
+                }
+                token.complete();
+                store.insert(*buf, t);
+            }
+            Instr::Free { buf } => {
+                if !store.free(*buf) {
+                    return Err(format!("free of missing buffer {buf}"));
+                }
+            }
+        }
+        let kind = match instr {
+            Instr::Run { label, .. } => label_kind(label),
+            Instr::Send { .. } => "send",
+            Instr::Recv { .. } => "recv",
+            Instr::Free { .. } => "free",
+        };
+        profile.record(kind, t0.elapsed());
+    }
+    Ok(profile)
+}

@@ -1,0 +1,36 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Error raised by the MPMD runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// An actor's thread terminated or its channel closed.
+    ActorDied {
+        /// The actor that died.
+        actor: usize,
+    },
+    /// A task failed to execute on an actor.
+    Exec {
+        /// The actor that failed.
+        actor: usize,
+        /// Failure description.
+        message: String,
+    },
+    /// The driver was given inputs inconsistent with the program.
+    BadInput(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ActorDied { actor } => write!(f, "actor {actor} died"),
+            RuntimeError::Exec { actor, message } => {
+                write!(f, "execution failed on actor {actor}: {message}")
+            }
+            RuntimeError::BadInput(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

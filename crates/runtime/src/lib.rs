@@ -1,0 +1,25 @@
+//! `raxpp-runtime` — the single-controller MPMD runtime of RaxPP
+//! (paper §4).
+//!
+//! The [`Runtime`] plays the role of JaxPP's driver process plus its Ray
+//! actor fleet: it spawns one thread per actor, places parameter and data
+//! buffers into per-actor [`ObjectStore`]s, dispatches each actor's fused
+//! instruction stream in a single message per step (§4.4), moves
+//! activations over per-pair FIFO channels with NCCL-style matching-order
+//! semantics (§4.2), and honours deferred buffer deletion through the
+//! pending-deletions queue (§4.3).
+//!
+//! The compute substrate is the `raxpp-ir` CPU interpreter, so the
+//! runtime executes *real* training steps whose gradients are validated
+//! against single-device autodiff; wall-clock performance at paper scale
+//! is modelled separately by `raxpp-simcluster`.
+
+#![warn(missing_docs)]
+
+mod driver;
+mod error;
+mod store;
+
+pub use driver::{ActorProfile, Runtime, StepOutputs, StepStats};
+pub use error::RuntimeError;
+pub use store::{ObjectStore, SendToken};

@@ -1,0 +1,200 @@
+//! Per-actor on-device object store with the pending-deletions queue of
+//! paper §4.3.
+//!
+//! A buffer with an outstanding asynchronous send cannot be deleted
+//! immediately: the store parks it in a pending queue and reclaims it at
+//! a later deletion point once the send has completed — exactly the
+//! behaviour the paper describes for its NCCL-backed stores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use raxpp_ir::Tensor;
+use raxpp_taskgraph::BufferId;
+
+/// Completion token of one asynchronous send: set once the receiver has
+/// taken the payload.
+#[derive(Debug, Clone, Default)]
+pub struct SendToken(Arc<AtomicBool>);
+
+impl SendToken {
+    /// Creates an incomplete token.
+    pub fn new() -> SendToken {
+        SendToken::default()
+    }
+
+    /// Marks the send complete (called by the receiving side).
+    pub fn complete(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the send has completed.
+    pub fn is_complete(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// An actor's buffer store.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    bufs: HashMap<BufferId, Arc<Tensor>>,
+    outstanding: HashMap<BufferId, Vec<SendToken>>,
+    pending: Vec<(BufferId, Arc<Tensor>, Vec<SendToken>)>,
+    peak_bytes: usize,
+    live_bytes: usize,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Inserts or overwrites a buffer, updating the memory high-water
+    /// mark (4 bytes per element, the interpreter's f32).
+    pub fn insert(&mut self, buf: BufferId, t: Arc<Tensor>) {
+        self.live_bytes += 4 * t.numel();
+        if let Some(old) = self.bufs.insert(buf, t) {
+            self.live_bytes -= 4 * old.numel();
+        }
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+    }
+
+    /// Reads a buffer.
+    pub fn get(&self, buf: BufferId) -> Option<&Arc<Tensor>> {
+        self.bufs.get(&buf)
+    }
+
+    /// Records an in-flight send of `buf` tracked by `token`.
+    pub fn record_send(&mut self, buf: BufferId, token: SendToken) {
+        self.outstanding.entry(buf).or_default().push(token);
+    }
+
+    /// Deletes `buf`, deferring to the pending queue if it still has
+    /// incomplete sends (§4.3). Every call first drains previously
+    /// pending deletions whose sends have since completed.
+    ///
+    /// Returns `false` if the buffer was unknown.
+    pub fn free(&mut self, buf: BufferId) -> bool {
+        self.drain_pending();
+        let Some(t) = self.bufs.remove(&buf) else {
+            return false;
+        };
+        self.live_bytes -= 4 * t.numel();
+        let tokens = self.outstanding.remove(&buf).unwrap_or_default();
+        if tokens.iter().all(SendToken::is_complete) {
+            drop(t); // reclaimed immediately
+        } else {
+            self.pending.push((buf, t, tokens));
+        }
+        true
+    }
+
+    /// Reclaims pending deletions whose sends have completed. Returns how
+    /// many buffers were reclaimed.
+    pub fn drain_pending(&mut self) -> usize {
+        let before = self.pending.len();
+        self.pending
+            .retain(|(_, _, tokens)| !tokens.iter().all(SendToken::is_complete));
+        before - self.pending.len()
+    }
+
+    /// Number of live buffers (excluding parked pending deletions).
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether the store holds no live buffers.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Number of deletions parked awaiting send completion.
+    pub fn pending_deletions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ids of all live buffers (unordered).
+    pub fn buffer_ids(&self) -> Vec<BufferId> {
+        self.bufs.keys().copied().collect()
+    }
+
+    /// Peak bytes ever resident in this store (the executable analogue
+    /// of the paper's activation-memory discussion, §2.2.1). Deletions
+    /// parked in the pending queue still count until reclaimed.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> Arc<Tensor> {
+        Arc::new(Tensor::scalar(1.0))
+    }
+
+    #[test]
+    fn insert_get_free() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, tensor());
+        assert!(s.get(b).is_some());
+        assert!(s.free(b));
+        assert!(s.get(b).is_none());
+        assert!(!s.free(b));
+    }
+
+    #[test]
+    fn free_with_incomplete_send_is_deferred() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, tensor());
+        let token = SendToken::new();
+        s.record_send(b, token.clone());
+        assert!(s.free(b));
+        // The buffer left the visible store but is parked, not reclaimed.
+        assert!(s.get(b).is_none());
+        assert_eq!(s.pending_deletions(), 1);
+        // Completing the send lets the next deletion point reclaim it.
+        token.complete();
+        assert_eq!(s.drain_pending(), 1);
+        assert_eq!(s.pending_deletions(), 0);
+    }
+
+    #[test]
+    fn later_free_drains_earlier_pending() {
+        let mut s = ObjectStore::new();
+        let b0 = BufferId(0);
+        let b1 = BufferId(1);
+        s.insert(b0, tensor());
+        s.insert(b1, tensor());
+        let token = SendToken::new();
+        s.record_send(b0, token.clone());
+        s.free(b0);
+        assert_eq!(s.pending_deletions(), 1);
+        token.complete();
+        // The next deletion operation checks the queue (paper §4.3).
+        s.free(b1);
+        assert_eq!(s.pending_deletions(), 0);
+    }
+
+    #[test]
+    fn completed_send_frees_immediately() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, tensor());
+        let token = SendToken::new();
+        token.complete();
+        s.record_send(b, token);
+        s.free(b);
+        assert_eq!(s.pending_deletions(), 0);
+    }
+}

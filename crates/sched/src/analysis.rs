@@ -1,0 +1,400 @@
+//! Schedule analytics: idealized timing, bubble ratio, and activation
+//! memory high-water marks.
+//!
+//! This module evaluates schedules under a *uniform* cost model (one
+//! duration per forward task, one per backward, a flat P2P latency). It is
+//! the tool used for Figure 2-style reasoning — e.g. "1F1B bounds live
+//! activations by the stage count". The full machine model with kernel
+//! efficiency, bandwidth, and memory capacity lives in `raxpp-simcluster`.
+
+use crate::schedule::{Schedule, ScheduleError};
+use crate::task::{Dir, Task};
+
+/// Uniform task costs for idealized schedule analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformCost {
+    /// Duration of one forward stage task.
+    pub fwd: f64,
+    /// Duration of one backward stage task (typically ≈2× forward for a
+    /// combined backward, ≈1× when the schedule splits backward and this
+    /// covers only the activation-gradient half).
+    pub bwd: f64,
+    /// Duration of a deferred weight-gradient task (split backward
+    /// only; ≈1× forward).
+    pub wgrad: f64,
+    /// Latency added to a dependency crossing actors.
+    pub p2p: f64,
+}
+
+impl Default for UniformCost {
+    fn default() -> Self {
+        UniformCost {
+            fwd: 1.0,
+            bwd: 2.0,
+            wgrad: 1.0,
+            p2p: 0.0,
+        }
+    }
+}
+
+/// One executed task in the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEntry {
+    /// The task that ran.
+    pub task: Task,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Result of simulating a schedule under a [`UniformCost`] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// End-to-end time of the gradient-accumulation loop.
+    pub makespan: f64,
+    /// Executed tasks per actor, in execution order.
+    pub timeline: Vec<Vec<TimelineEntry>>,
+    /// Fraction of total actor-time spent idle (the pipeline *bubble*).
+    pub bubble_ratio: f64,
+    /// Peak number of live microbatch activations per actor (allocated at
+    /// the end of a forward task, freed at the end of the matching
+    /// backward task).
+    pub peak_live_activations: Vec<usize>,
+}
+
+/// Simulates in-order execution of `schedule` under `cost`.
+///
+/// Each actor executes its task list in order; a task starts when the
+/// actor is free and all data dependencies have completed (plus `p2p`
+/// latency for cross-actor edges).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Deadlock`] if execution cannot complete —
+/// [`Schedule`]s constructed through the public API never deadlock, so
+/// this only fires for hand-crafted invalid inputs.
+pub fn simulate(schedule: &Schedule, cost: UniformCost) -> Result<SimResult, ScheduleError> {
+    let n_actors = schedule.n_actors();
+    let n_stages = schedule.n_stages();
+    let n_mb = schedule.n_mubatches();
+    let stage_actor = schedule.stage_actor();
+    let owner = |t: &Task| stage_actor[t.stage];
+
+    // Dense completion table indexed by (stage, mubatch, dir) — the
+    // greedy walk is on the tuner's hot path.
+    let idx = |t: &Task| {
+        (t.stage * n_mb + t.mubatch) * 3
+            + match t.dir {
+                Dir::Fwd => 0,
+                Dir::Bwd => 1,
+                Dir::BwdW => 2,
+            }
+    };
+    let mut completion: Vec<f64> = vec![f64::NAN; n_stages * n_mb * 3];
+    let done = |c: &[f64], t: &Task| !c[idx(t)].is_nan();
+    let mut cursor = vec![0usize; n_actors];
+    let mut actor_time = vec![0.0f64; n_actors];
+    let mut timeline: Vec<Vec<TimelineEntry>> = vec![Vec::new(); n_actors];
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for a in 0..n_actors {
+            let tasks = schedule.actor_tasks(a);
+            while cursor[a] < tasks.len() {
+                let t = tasks[cursor[a]];
+                let deps = t.deps(n_stages);
+                let Some(ready) = deps
+                    .iter()
+                    .map(|d| {
+                        if done(&completion, d) {
+                            Some(if owner(d) != a {
+                                completion[idx(d)] + cost.p2p
+                            } else {
+                                completion[idx(d)]
+                            })
+                        } else {
+                            None
+                        }
+                    })
+                    .try_fold(0.0f64, |acc, c| c.map(|c| acc.max(c)))
+                else {
+                    break;
+                };
+                let start = actor_time[a].max(ready);
+                let dur = match t.dir {
+                    Dir::Fwd => cost.fwd,
+                    Dir::Bwd => cost.bwd,
+                    Dir::BwdW => cost.wgrad,
+                };
+                let end = start + dur;
+                completion[idx(&t)] = end;
+                timeline[a].push(TimelineEntry {
+                    task: t,
+                    start,
+                    end,
+                });
+                actor_time[a] = end;
+                cursor[a] += 1;
+                progressed = true;
+            }
+            if cursor[a] < schedule.actor_tasks(a).len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked = (0..n_actors)
+                .filter(|&a| cursor[a] < schedule.actor_tasks(a).len())
+                .map(|a| schedule.actor_tasks(a)[cursor[a]])
+                .collect();
+            return Err(ScheduleError::Deadlock { blocked });
+        }
+    }
+
+    let makespan = actor_time.iter().copied().fold(0.0, f64::max);
+    let busy: f64 = timeline
+        .iter()
+        .flat_map(|tl| tl.iter().map(|e| e.end - e.start))
+        .sum();
+    let bubble_ratio = if makespan > 0.0 {
+        1.0 - busy / (makespan * n_actors as f64)
+    } else {
+        0.0
+    };
+
+    // Activation liveness per actor: interval from fwd end to the end of
+    // the matching backward — the weight-gradient half when the schedule
+    // splits backward (residuals stay live until W consumes them).
+    let split = schedule.split_backward();
+    let mut peak = vec![0usize; n_actors];
+    for a in 0..n_actors {
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for e in &timeline[a] {
+            if e.task.dir == Dir::Fwd {
+                let b = if split {
+                    Task::bwd_w(e.task.mubatch, e.task.stage)
+                } else {
+                    Task::bwd(e.task.mubatch, e.task.stage)
+                };
+                let c = completion[idx(&b)];
+                let free = if c.is_nan() { makespan } else { c };
+                events.push((e.end, 1));
+                events.push((free, -1));
+            }
+        }
+        events.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        let mut live = 0i32;
+        let mut max_live = 0i32;
+        for (_, delta) in events {
+            live += delta;
+            max_live = max_live.max(live);
+        }
+        peak[a] = max_live as usize;
+    }
+
+    Ok(SimResult {
+        makespan,
+        timeline,
+        bubble_ratio,
+        peak_live_activations: peak,
+    })
+}
+
+/// Analytic bubble ratio of an ideal (non-interleaved) pipeline with `pp`
+/// stages and `m` microbatches: `(pp - 1) / (m + pp - 1)`.
+///
+/// With interleaving degree `v` the warm-up shrinks:
+/// `(pp - 1) / (v·m + pp - 1)` per Narayanan et al. (2021).
+pub fn ideal_bubble_ratio(pp: usize, m: usize, v: usize) -> f64 {
+    let pp = pp as f64;
+    let m = m as f64;
+    let v = v as f64;
+    (pp - 1.0) / (v * m + pp - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{gpipe, interleaved_1f1b, one_f1b};
+
+    #[test]
+    fn gpipe_memory_grows_with_microbatches() {
+        let s = gpipe(4, 16).unwrap();
+        let r = simulate(&s, UniformCost::default()).unwrap();
+        // Stage 0 holds all 16 microbatch activations at once.
+        assert_eq!(r.peak_live_activations[0], 16);
+    }
+
+    #[test]
+    fn one_f1b_memory_bounded_by_stages() {
+        // The paper's 2-3x activation-memory reduction (§2.2.1): live
+        // activations on actor r are at most pp - r, independent of the
+        // microbatch count.
+        let pp = 4;
+        let s = one_f1b(pp, 32).unwrap();
+        let r = simulate(&s, UniformCost::default()).unwrap();
+        for (rank, &peak) in r.peak_live_activations.iter().enumerate() {
+            assert!(
+                peak <= pp - rank,
+                "actor {rank} peak {peak} exceeds bound {}",
+                pp - rank
+            );
+        }
+    }
+
+    #[test]
+    fn one_f1b_not_slower_than_gpipe() {
+        for (pp, m) in [(2, 4), (4, 8), (4, 16), (8, 32)] {
+            let g = simulate(&gpipe(pp, m).unwrap(), UniformCost::default()).unwrap();
+            let f = simulate(&one_f1b(pp, m).unwrap(), UniformCost::default()).unwrap();
+            assert!(
+                f.makespan <= g.makespan + 1e-9,
+                "pp={pp} m={m}: 1f1b {} vs gpipe {}",
+                f.makespan,
+                g.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn interleaving_reduces_bubble() {
+        // With per-task durations scaled down by the repeat degree
+        // (stages shrink as they are sliced finer), a higher circular
+        // repeat must reduce the bubble ratio (paper §5.1.1, Figure 6's
+        // rising segment).
+        let pp = 4;
+        let m = 8;
+        let mut last = f64::INFINITY;
+        for v in [1usize, 2, 4] {
+            let s = interleaved_1f1b(pp, m, v).unwrap();
+            let cost = UniformCost {
+                fwd: 1.0 / v as f64,
+                bwd: 2.0 / v as f64,
+                wgrad: 0.0,
+                p2p: 0.0,
+            };
+            let r = simulate(&s, cost).unwrap();
+            assert!(
+                r.bubble_ratio < last + 1e-9,
+                "v={v}: bubble {} did not improve on {last}",
+                r.bubble_ratio
+            );
+            last = r.bubble_ratio;
+        }
+    }
+
+    #[test]
+    fn bubble_matches_ideal_for_1f1b() {
+        let pp = 4;
+        let m = 16;
+        let s = one_f1b(pp, m).unwrap();
+        // With bwd = fwd the ideal formula is exact.
+        let cost = UniformCost {
+            fwd: 1.0,
+            bwd: 1.0,
+            wgrad: 0.0,
+            p2p: 0.0,
+        };
+        let r = simulate(&s, cost).unwrap();
+        let ideal = ideal_bubble_ratio(pp, m, 1);
+        assert!(
+            (r.bubble_ratio - ideal).abs() < 1e-9,
+            "measured {} vs ideal {ideal}",
+            r.bubble_ratio
+        );
+    }
+
+    #[test]
+    fn more_microbatches_shrink_bubble() {
+        let pp = 4;
+        let mut last = 1.0;
+        for m in [4, 8, 16, 32] {
+            let r = simulate(&one_f1b(pp, m).unwrap(), UniformCost::default()).unwrap();
+            assert!(r.bubble_ratio < last);
+            last = r.bubble_ratio;
+        }
+    }
+
+    #[test]
+    fn p2p_latency_extends_makespan() {
+        let s = one_f1b(4, 8).unwrap();
+        let base = simulate(&s, UniformCost::default()).unwrap();
+        let lat = simulate(
+            &s,
+            UniformCost {
+                p2p: 0.5,
+                ..UniformCost::default()
+            },
+        )
+        .unwrap();
+        assert!(lat.makespan > base.makespan);
+    }
+
+    #[test]
+    fn zero_bubble_beats_1f1b_makespan() {
+        // Split backward: B and W are each ~1 forward; combined backward
+        // is 2 forwards. Same total work, but ZB-H1's drain is shorter
+        // and W fills the idle slots.
+        use crate::builders::zero_bubble_h1;
+        for (pp, m) in [(2, 8), (4, 8), (4, 16), (8, 32)] {
+            let combined = simulate(&one_f1b(pp, m).unwrap(), UniformCost::default()).unwrap();
+            let split_cost = UniformCost {
+                fwd: 1.0,
+                bwd: 1.0,
+                wgrad: 1.0,
+                p2p: 0.0,
+            };
+            let zb = simulate(&zero_bubble_h1(pp, m).unwrap(), split_cost).unwrap();
+            assert!(
+                zb.makespan < combined.makespan - 1e-9,
+                "pp={pp} m={m}: zb {} vs 1f1b {}",
+                zb.makespan,
+                combined.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bubble_memory_bounded_by_stage_count() {
+        // ZB-H1 keeps activation memory in the same O(pp) class as 1F1B
+        // (vs GPipe's O(m)). Our liveness counter holds the *full*
+        // residual set until W runs, so the per-rank bound is pp + 1
+        // rather than 1F1B's pp - r (the real system retains only W's
+        // smaller working set for the deferred half).
+        use crate::builders::zero_bubble_h1;
+        let pp = 4;
+        let m = 16;
+        let split_cost = UniformCost {
+            fwd: 1.0,
+            bwd: 1.0,
+            wgrad: 1.0,
+            p2p: 0.0,
+        };
+        let zb = simulate(&zero_bubble_h1(pp, m).unwrap(), split_cost).unwrap();
+        for a in 0..pp {
+            assert!(
+                zb.peak_live_activations[a] <= pp + 1,
+                "actor {a}: zb peak {} exceeds stage-count bound",
+                zb.peak_live_activations[a]
+            );
+        }
+        // Crucially it does NOT scale with the microbatch count.
+        let zb_big = simulate(&zero_bubble_h1(pp, 32).unwrap(), split_cost).unwrap();
+        assert_eq!(
+            zb.peak_live_activations, zb_big.peak_live_activations,
+            "ZB memory must be independent of the microbatch count"
+        );
+    }
+
+    #[test]
+    fn single_actor_has_no_bubble() {
+        let s = one_f1b(1, 4).unwrap();
+        let r = simulate(&s, UniformCost::default()).unwrap();
+        assert!(r.bubble_ratio.abs() < 1e-9);
+        assert_eq!(r.makespan, 4.0 * (1.0 + 2.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Pipeline task descriptors: the unit a schedule orders.
+
+use std::fmt;
+
+/// Whether a task is a forward or backward stage computation.
+///
+/// Zero-bubble schedules (Qi et al., 2024 — the schedule family the
+/// paper's related work points at) split the backward pass in two:
+/// [`Dir::Bwd`] then carries only the *activation* gradient (the part on
+/// the critical path to earlier stages) while [`Dir::BwdW`] computes the
+/// *weight* gradient, which can be deferred into pipeline bubbles. A
+/// schedule either uses combined backwards (no `BwdW` tasks at all) or
+/// split backwards (`BwdW` exactly once per forward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Forward pass of a stage for one microbatch.
+    Fwd,
+    /// Backward pass of a stage for one microbatch: the full backward in
+    /// combined mode, or only the activation-gradient half in split
+    /// mode.
+    Bwd,
+    /// Deferred weight-gradient half of a split backward.
+    BwdW,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}",
+            match self {
+                Dir::Fwd => "fwd",
+                Dir::Bwd => "bwd",
+                Dir::BwdW => "bwdw",
+            }
+        )
+    }
+}
+
+/// One schedulable unit of pipeline work: run stage `stage`'s forward or
+/// backward computation for microbatch `mubatch` (paper §4.2's
+/// `Task(i=.., ty=.., stage=..)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Task {
+    /// Gradient-accumulation iteration (microbatch index).
+    pub mubatch: usize,
+    /// Logical pipeline stage index in `0..n_stages`.
+    pub stage: usize,
+    /// Forward or backward.
+    pub dir: Dir,
+}
+
+impl Task {
+    /// Convenience constructor for a forward task.
+    pub fn fwd(mubatch: usize, stage: usize) -> Task {
+        Task {
+            mubatch,
+            stage,
+            dir: Dir::Fwd,
+        }
+    }
+
+    /// Convenience constructor for a backward task.
+    pub fn bwd(mubatch: usize, stage: usize) -> Task {
+        Task {
+            mubatch,
+            stage,
+            dir: Dir::Bwd,
+        }
+    }
+
+    /// Convenience constructor for a deferred weight-gradient task.
+    pub fn bwd_w(mubatch: usize, stage: usize) -> Task {
+        Task {
+            mubatch,
+            stage,
+            dir: Dir::BwdW,
+        }
+    }
+
+    /// The tasks this one depends on, given the total stage count:
+    ///
+    /// * `fwd(i, s)` needs `fwd(i, s-1)`;
+    /// * `bwd(i, s)` needs `fwd(i, s)` (saved activations) and
+    ///   `bwd(i, s+1)` (incoming cotangent), except for the last stage
+    ///   whose backward follows directly from its own forward;
+    /// * `bwdw(i, s)` needs `bwd(i, s)` (same operands, but deferrable).
+    pub fn deps(&self, n_stages: usize) -> Vec<Task> {
+        match self.dir {
+            Dir::Fwd => {
+                if self.stage == 0 {
+                    vec![]
+                } else {
+                    vec![Task::fwd(self.mubatch, self.stage - 1)]
+                }
+            }
+            Dir::Bwd => {
+                let mut d = vec![Task::fwd(self.mubatch, self.stage)];
+                if self.stage + 1 < n_stages {
+                    d.push(Task::bwd(self.mubatch, self.stage + 1));
+                }
+                d
+            }
+            Dir::BwdW => vec![Task::bwd(self.mubatch, self.stage)],
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(mb={}, s={})", self.dir, self.mubatch, self.stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_chain_deps() {
+        assert!(Task::fwd(0, 0).deps(4).is_empty());
+        assert_eq!(Task::fwd(2, 3).deps(4), vec![Task::fwd(2, 2)]);
+    }
+
+    #[test]
+    fn backward_deps() {
+        assert_eq!(Task::bwd(1, 3).deps(4), vec![Task::fwd(1, 3)]);
+        assert_eq!(
+            Task::bwd(1, 1).deps(4),
+            vec![Task::fwd(1, 1), Task::bwd(1, 2)]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Task::fwd(0, 2).to_string(), "fwd(mb=0, s=2)");
+        assert_eq!(Task::bwd(3, 1).to_string(), "bwd(mb=3, s=1)");
+        assert_eq!(Task::bwd_w(3, 1).to_string(), "bwdw(mb=3, s=1)");
+    }
+
+    #[test]
+    fn weight_grad_follows_activation_grad() {
+        assert_eq!(Task::bwd_w(2, 1).deps(4), vec![Task::bwd(2, 1)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! ASCII timeline rendering of simulated schedules (Figure 2 of the
+//! paper).
+//!
+//! Forward tasks render as the microbatch digit, backward tasks as
+//! lowercase letters (`a` = microbatch 0), deferred weight-gradient
+//! tasks as uppercase letters, idle time as `.`:
+//!
+//! ```text
+//! actor 0 |0123a.b.c.d|
+//! actor 1 |.0123aabbccdd|
+//! ```
+
+use crate::analysis::SimResult;
+use crate::schedule::Schedule;
+use crate::task::Dir;
+
+/// Renders a simulated timeline as one text row per actor.
+///
+/// `cols` is the number of character columns the makespan is quantized
+/// into. Each cell shows the task occupying that instant (forward: digit,
+/// backward: letter, idle: `.`).
+pub fn render_timeline(sim: &SimResult, cols: usize) -> String {
+    let cols = cols.max(1);
+    let scale = cols as f64 / sim.makespan.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (a, tl) in sim.timeline.iter().enumerate() {
+        let mut row = vec!['.'; cols];
+        for e in tl {
+            let start = (e.start * scale).floor() as usize;
+            let end = ((e.end * scale).ceil() as usize).min(cols).max(start + 1);
+            let c = match e.task.dir {
+                Dir::Fwd => char::from_digit((e.task.mubatch % 10) as u32, 10).unwrap(),
+                Dir::Bwd => (b'a' + (e.task.mubatch % 26) as u8) as char,
+                Dir::BwdW => (b'A' + (e.task.mubatch % 26) as u8) as char,
+            };
+            for cell in row.iter_mut().take(end.min(cols)).skip(start.min(cols)) {
+                *cell = c;
+            }
+        }
+        out.push_str(&format!("actor {a} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders the schedule's task-dependency graph in Graphviz DOT format:
+/// one cluster per actor (in execution order), edges for the pipeline's
+/// data dependencies. Pipe into `dot -Tsvg` to inspect.
+pub fn schedule_dot(schedule: &Schedule) -> String {
+    let mut out =
+        String::from("digraph schedule {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    let name_of = |t: &crate::task::Task| format!("\"{}_mb{}_s{}\"", t.dir, t.mubatch, t.stage);
+    for (a, tasks) in schedule.actors().iter().enumerate() {
+        out.push_str(&format!(
+            "  subgraph cluster_{a} {{\n    label=\"actor {a}\";\n"
+        ));
+        for t in tasks {
+            let color = match t.dir {
+                Dir::Fwd => "lightblue",
+                Dir::Bwd => "lightsalmon",
+                Dir::BwdW => "lightgoldenrod",
+            };
+            out.push_str(&format!(
+                "    {} [label=\"{}\\nmb{} s{}\", style=filled, fillcolor={color}];\n",
+                name_of(t),
+                t.dir,
+                t.mubatch,
+                t.stage
+            ));
+        }
+        out.push_str("  }\n");
+    }
+    for tasks in schedule.actors() {
+        for t in tasks {
+            for d in t.deps(schedule.n_stages()) {
+                out.push_str(&format!("  {} -> {};\n", name_of(&d), name_of(t)));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{simulate, UniformCost};
+    use crate::builders::{gpipe, one_f1b};
+
+    #[test]
+    fn renders_one_row_per_actor() {
+        let s = gpipe(3, 4).unwrap();
+        let sim = simulate(&s, UniformCost::default()).unwrap();
+        let text = render_timeline(&sim, 60);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("actor 0"));
+        assert!(text.contains('0'));
+        assert!(text.contains('a'));
+    }
+
+    #[test]
+    fn first_actor_of_gpipe_starts_busy() {
+        let s = gpipe(2, 2).unwrap();
+        let sim = simulate(&s, UniformCost::default()).unwrap();
+        let text = render_timeline(&sim, 40);
+        let row0 = text.lines().next().unwrap();
+        // Column right after the '|' must be microbatch 0's forward.
+        let after_bar = row0.split('|').nth(1).unwrap();
+        assert!(after_bar.starts_with('0'));
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let s = one_f1b(2, 2).unwrap();
+        let dot = schedule_dot(&s);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // 2 actors x 4 tasks = 8 nodes; each bwd depends on its fwd and
+        // the downstream bwd.
+        assert_eq!(dot.matches("style=filled").count(), 8);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("\"fwd_mb0_s0\" -> \"fwd_mb0_s1\""));
+        assert!(dot.contains("\"bwd_mb0_s1\" -> \"bwd_mb0_s0\""));
+    }
+
+    #[test]
+    fn later_actors_idle_at_start() {
+        let s = one_f1b(4, 4).unwrap();
+        let sim = simulate(&s, UniformCost::default()).unwrap();
+        let text = render_timeline(&sim, 80);
+        let last_row = text.lines().last().unwrap();
+        let after_bar = last_row.split('|').nth(1).unwrap();
+        assert!(
+            after_bar.starts_with('.'),
+            "expected leading idle: {last_row}"
+        );
+    }
+}

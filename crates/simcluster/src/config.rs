@@ -1,0 +1,168 @@
+//! Parallelism configurations: the knobs of Table 1 and Figures 6-9.
+
+use std::fmt;
+
+use raxpp_sched::{gpipe, interleaved_1f1b, one_f1b, zero_bubble_h1, Schedule, ScheduleError};
+
+/// Which pipeline schedule a configuration runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// GPipe: all-forward then all-backward (the SPMD-PP baseline's only
+    /// option, §2.2.2).
+    GPipe,
+    /// 1F1B (Narayanan et al., 2019).
+    OneF1B,
+    /// Interleaved 1F1B with the configured circular repeat (JaxPP's
+    /// evaluation schedule).
+    Interleaved1F1B,
+    /// Zero-bubble (ZB-H1-style) schedule with split backward passes —
+    /// the schedule family the paper's related work cites as enabled by
+    /// MPMD runtimes. Extension beyond the paper's own evaluation.
+    ZeroBubbleH1,
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScheduleKind::GPipe => "gpipe",
+            ScheduleKind::OneF1B => "1f1b",
+            ScheduleKind::Interleaved1F1B => "interleaved-1f1b",
+            ScheduleKind::ZeroBubbleH1 => "zero-bubble-h1",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A complete parallelism configuration for one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelConfig {
+    /// Pipeline-parallel degree (number of actors).
+    pub pp: usize,
+    /// Tensor-parallel degree within each actor.
+    pub tp: usize,
+    /// Data-parallel degree (replica pipelines).
+    pub dp: usize,
+    /// Microbatch size in sequences.
+    pub microbatch: usize,
+    /// Number of microbatches per step (gradient accumulation).
+    pub n_microbatches: usize,
+    /// Circular repeat: stages per actor (§2.2.1).
+    pub circular_repeat: usize,
+    /// The pipeline schedule.
+    pub schedule: ScheduleKind,
+}
+
+impl ParallelConfig {
+    /// Total GPUs used.
+    pub fn gpus(&self) -> usize {
+        self.pp * self.tp * self.dp
+    }
+
+    /// Global batch size in sequences.
+    pub fn global_batch(&self) -> usize {
+        self.microbatch * self.n_microbatches * self.dp
+    }
+
+    /// Total pipeline stages.
+    pub fn n_stages(&self) -> usize {
+        self.pp * self.circular_repeat
+    }
+
+    /// Builds the configured schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from the schedule builders.
+    pub fn build_schedule(&self) -> Result<Schedule, ScheduleError> {
+        match self.schedule {
+            ScheduleKind::GPipe => {
+                if self.circular_repeat != 1 {
+                    return Err(ScheduleError::Invalid(
+                        "gpipe does not support circular repeat".into(),
+                    ));
+                }
+                gpipe(self.pp, self.n_microbatches)
+            }
+            ScheduleKind::OneF1B => {
+                if self.circular_repeat != 1 {
+                    return Err(ScheduleError::Invalid(
+                        "1f1b requires circular repeat 1 (use interleaved)".into(),
+                    ));
+                }
+                one_f1b(self.pp, self.n_microbatches)
+            }
+            ScheduleKind::Interleaved1F1B => {
+                interleaved_1f1b(self.pp, self.n_microbatches, self.circular_repeat)
+            }
+            ScheduleKind::ZeroBubbleH1 => {
+                if self.circular_repeat != 1 {
+                    return Err(ScheduleError::Invalid(
+                        "zero-bubble-h1 requires circular repeat 1".into(),
+                    ));
+                }
+                zero_bubble_h1(self.pp, self.n_microbatches)
+            }
+        }
+    }
+
+    /// The paper's flagship JaxPP configuration (Table 1): PP=8, TP=8,
+    /// interleaved 1F1B with circular repeat 6, GA=32, microbatch 4,
+    /// scaled by `dp` data-parallel replicas.
+    pub fn jaxpp_gpt3(dp: usize) -> ParallelConfig {
+        ParallelConfig {
+            pp: 8,
+            tp: 8,
+            dp,
+            microbatch: 4,
+            n_microbatches: 32,
+            circular_repeat: 6,
+            schedule: ScheduleKind::Interleaved1F1B,
+        }
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pp={} tp={} dp={} mbs={} ga={} repeat={} {}",
+            self.pp,
+            self.tp,
+            self.dp,
+            self.microbatch,
+            self.n_microbatches,
+            self.circular_repeat,
+            self.schedule
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaxpp_flagship_matches_table1() {
+        let c = ParallelConfig::jaxpp_gpt3(1);
+        assert_eq!(c.gpus(), 64);
+        assert_eq!(c.global_batch(), 128);
+        assert_eq!(c.n_stages(), 48);
+        c.build_schedule().unwrap();
+    }
+
+    #[test]
+    fn gpipe_rejects_repeat() {
+        let c = ParallelConfig {
+            circular_repeat: 2,
+            schedule: ScheduleKind::GPipe,
+            ..ParallelConfig::jaxpp_gpt3(1)
+        };
+        assert!(c.build_schedule().is_err());
+    }
+
+    #[test]
+    fn scaling_dp_scales_batch() {
+        assert_eq!(ParallelConfig::jaxpp_gpt3(4).global_batch(), 512);
+        assert_eq!(ParallelConfig::jaxpp_gpt3(16).gpus(), 1024);
+    }
+}

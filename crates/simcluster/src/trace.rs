@@ -1,0 +1,135 @@
+//! Chrome-trace export of simulated timelines.
+//!
+//! Writes the `chrome://tracing` / Perfetto JSON array format, one
+//! complete-duration event per simulated task, with pipeline ranks as
+//! "threads". Open the file at <https://ui.perfetto.dev> to inspect
+//! warm-up bubbles, steady-state interleaving, and cool-down drain
+//! exactly as the paper's Figure 2 diagrams them.
+
+use std::io::Write;
+
+use raxpp_sched::Dir;
+
+use crate::sim::{SimEvent, StepReport};
+
+/// Serializes a recorded timeline to chrome-trace JSON.
+///
+/// Times are exported in microseconds (the format's unit). Events carry
+/// the task name (`fwd`/`bwd`/`bwdw`), microbatch and stage as
+/// arguments, and a category by direction so the UI can color them.
+pub fn chrome_trace_json(events: &[SimEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = match e.task.dir {
+            Dir::Fwd => "fwd",
+            Dir::Bwd => "bwd",
+            Dir::BwdW => "bwdw",
+        };
+        let ts = e.start * 1e6;
+        let dur = (e.end - e.start) * 1e6;
+        out.push_str(&format!(
+            concat!(
+                "  {{\"name\": \"{} mb{} s{}\", \"cat\": \"{}\", \"ph\": \"X\", ",
+                "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, ",
+                "\"args\": {{\"mubatch\": {}, \"stage\": {}}}}}"
+            ),
+            name,
+            e.task.mubatch,
+            e.task.stage,
+            name,
+            ts,
+            dur,
+            e.actor,
+            e.task.mubatch,
+            e.task.stage,
+        ));
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Writes a [`StepReport`]'s recorded timeline as a chrome-trace file.
+///
+/// # Errors
+///
+/// Returns an I/O error from writing, or `InvalidInput` when the report
+/// has no recorded timeline (simulate with
+/// [`crate::SimOptions::record_timeline`] set).
+pub fn write_chrome_trace(report: &StepReport, mut w: impl Write) -> std::io::Result<()> {
+    if report.timeline.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "report has no timeline; set SimOptions::record_timeline",
+        ));
+    }
+    w.write_all(chrome_trace_json(&report.timeline).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParallelConfig;
+    use crate::sim::{simulate_pipeline, SimOptions};
+    use crate::specs::ClusterSpec;
+    use raxpp_models::ModelConfig;
+    use raxpp_sched::Task;
+
+    #[test]
+    fn trace_json_is_wellformed() {
+        let events = vec![
+            SimEvent {
+                actor: 0,
+                task: Task::fwd(0, 0),
+                start: 0.0,
+                end: 0.5,
+            },
+            SimEvent {
+                actor: 1,
+                task: Task::bwd(0, 1),
+                start: 0.5,
+                end: 1.5,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"fwd mb0 s0\""));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"dur\": 1000000.000"));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn recorded_simulation_exports() {
+        let r = simulate_pipeline(
+            &ModelConfig::gpt3_175b(),
+            ParallelConfig::jaxpp_gpt3(1),
+            &ClusterSpec::eos(),
+            &SimOptions {
+                record_timeline: true,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        // 48 stages × 32 microbatches × (fwd + bwd).
+        assert_eq!(r.timeline.len(), 48 * 32 * 2);
+        let mut buf = Vec::new();
+        write_chrome_trace(&r, &mut buf).unwrap();
+        assert!(buf.len() > 10_000);
+    }
+
+    #[test]
+    fn unrecorded_simulation_refuses_export() {
+        let r = simulate_pipeline(
+            &ModelConfig::gpt3_175b(),
+            ParallelConfig::jaxpp_gpt3(1),
+            &ClusterSpec::eos(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        assert!(write_chrome_trace(&r, &mut buf).is_err());
+    }
+}

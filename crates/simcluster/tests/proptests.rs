@@ -1,0 +1,115 @@
+//! Property-based tests over the performance model: for every feasible
+//! random configuration, the simulator's invariants hold.
+
+use proptest::prelude::*;
+use raxpp_models::ModelConfig;
+use raxpp_simcluster::{
+    simulate_pipeline, ClusterSpec, ParallelConfig, ScheduleKind, SimError, SimOptions,
+};
+
+fn config_strategy() -> impl Strategy<Value = ParallelConfig> {
+    (
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        1usize..=8,
+        prop_oneof![Just(1usize), Just(2), Just(3), Just(6)],
+        prop_oneof![
+            Just(ScheduleKind::GPipe),
+            Just(ScheduleKind::OneF1B),
+            Just(ScheduleKind::Interleaved1F1B),
+            Just(ScheduleKind::ZeroBubbleH1),
+        ],
+    )
+        .prop_map(
+            |(pp, tp, dp, microbatch, ga_mult, repeat, schedule)| ParallelConfig {
+                pp,
+                tp,
+                dp,
+                microbatch,
+                n_microbatches: pp * ga_mult,
+                circular_repeat: match schedule {
+                    ScheduleKind::Interleaved1F1B => repeat,
+                    _ => 1,
+                },
+                schedule,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Feasible configurations produce internally consistent reports;
+    /// infeasible ones produce typed errors, never panics.
+    #[test]
+    fn reports_are_internally_consistent(par in config_strategy()) {
+        let gpt3 = ModelConfig::gpt3_175b();
+        let eos = ClusterSpec::eos();
+        match simulate_pipeline(&gpt3, par, &eos, &SimOptions::default()) {
+            Ok(r) => {
+                prop_assert!(r.step_time > 0.0);
+                prop_assert!(r.tflops_per_gpu > 0.0);
+                prop_assert!(r.mfu > 0.0 && r.mfu < 1.0, "mfu {}", r.mfu);
+                prop_assert!(r.peak_mem_bytes <= eos.gpu.memory_bytes);
+                let b = r.breakdown;
+                for part in [
+                    b.compute, b.remat, b.tp_comm, b.p2p_exposed,
+                    b.sync_send_block, b.dispatch, b.bubble, b.dp_and_opt,
+                ] {
+                    prop_assert!(part >= 0.0, "negative breakdown component");
+                }
+                // TFLOPS is definitionally flops/(time·gpus).
+                let implied = gpt3.train_flops(par.global_batch() as u64)
+                    / (r.step_time * par.gpus() as f64) / 1e12;
+                prop_assert!((implied - r.tflops_per_gpu).abs() < 1.0);
+                // The per-GPU breakdown cannot exceed the step time by
+                // more than numeric noise.
+                let accounted = b.compute + b.remat + b.tp_comm + b.p2p_exposed
+                    + b.sync_send_block + b.dispatch + b.bubble + b.dp_and_opt;
+                prop_assert!(accounted <= r.step_time * 1.001 + 1e-6,
+                    "accounted {accounted} vs step {}", r.step_time);
+            }
+            Err(SimError::Oom { required, capacity }) => {
+                prop_assert!(required > capacity);
+            }
+            Err(SimError::Invalid(_)) | Err(SimError::Schedule(_)) => {}
+        }
+    }
+
+    /// Synchronous P2P is never faster than asynchronous P2P for the
+    /// same configuration.
+    #[test]
+    fn async_p2p_never_loses(par in config_strategy()) {
+        let gpt3 = ModelConfig::gpt3_175b();
+        let eos = ClusterSpec::eos();
+        let a = simulate_pipeline(&gpt3, par, &eos, &SimOptions::default());
+        let s = simulate_pipeline(
+            &gpt3,
+            par,
+            &eos,
+            &SimOptions { async_p2p: false, ..SimOptions::default() },
+        );
+        if let (Ok(a), Ok(s)) = (a, s) {
+            prop_assert!(a.step_time <= s.step_time + 1e-9);
+        }
+    }
+
+    /// Fused dispatch is never slower than per-task RPCs.
+    #[test]
+    fn fusion_never_loses(par in config_strategy()) {
+        let gpt3 = ModelConfig::gpt3_175b();
+        let eos = ClusterSpec::eos();
+        let fused = simulate_pipeline(&gpt3, par, &eos, &SimOptions::default());
+        let unfused = simulate_pipeline(
+            &gpt3,
+            par,
+            &eos,
+            &SimOptions { per_task_rpc: true, ..SimOptions::default() },
+        );
+        if let (Ok(f), Ok(u)) = (fused, unfused) {
+            prop_assert!(f.step_time <= u.step_time + 1e-9);
+        }
+    }
+}

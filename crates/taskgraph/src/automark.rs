@@ -1,0 +1,193 @@
+//! Automatic stage marking: inserting `pipeline_yield` boundaries into an
+//! unmarked graph at balanced-FLOP cut points.
+//!
+//! JaxPP's position (contrasting with Alpa, paper §6) is that stage
+//! boundaries are *user* decisions — but nothing stops a library from
+//! offering a good default. This pass walks the traced graph in
+//! definition order, accumulates per-equation FLOPs, and inserts a yield
+//! after the equation that crosses each balanced threshold (preferring
+//! cut values that are actually consumed downstream, so no stage ends up
+//! empty). The result is an ordinary marked graph — everything downstream
+//! (partitioning, differentiation, unrolling) is unchanged.
+
+use std::collections::HashSet;
+
+use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, Result, Shape, VarId};
+
+/// Inserts `n_stages - 1` yield markers into `jaxpr` at balanced-FLOP
+/// boundaries.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] when the graph already contains forward
+/// yields, when `n_stages` is 0, or when no valid cut points exist
+/// (fewer meaningful equations than stages).
+pub fn auto_mark_stages(jaxpr: &Jaxpr, n_stages: usize) -> Result<Jaxpr> {
+    if n_stages == 0 {
+        return Err(IrError::Invalid("n_stages must be positive".into()));
+    }
+    if jaxpr.eqns().iter().any(|e| {
+        matches!(
+            e.prim,
+            Prim::PipelineYield {
+                backward: false,
+                ..
+            }
+        )
+    }) {
+        return Err(IrError::Invalid(
+            "auto_mark_stages expects an unmarked graph (it already has yields)".into(),
+        ));
+    }
+    if n_stages == 1 {
+        return Ok(jaxpr.clone());
+    }
+
+    // Per-equation flops and the set of equation outputs with later uses.
+    let eqns = jaxpr.eqns();
+    let mut has_later_use: Vec<bool> = vec![false; eqns.len()];
+    {
+        let mut used: HashSet<VarId> = jaxpr.outvars().iter().copied().collect();
+        for (i, e) in eqns.iter().enumerate().rev() {
+            has_later_use[i] = used.contains(&e.output);
+            for &v in &e.inputs {
+                used.insert(v);
+            }
+        }
+        // `used` marks use-anywhere; has_later_use[i] as computed marks
+        // "used by outvars or any equation after i", because we insert
+        // inputs after checking the output.
+    }
+    let flops: Vec<f64> = eqns
+        .iter()
+        .map(|e| {
+            let in_shapes: Vec<&Shape> = e.inputs.iter().map(|&v| jaxpr.shape(v)).collect();
+            let in_numels: Vec<usize> = in_shapes.iter().map(|s| s.numel()).collect();
+            e.prim
+                .flops(&in_numels, jaxpr.shape(e.output).numel(), &in_shapes) as f64
+        })
+        .collect();
+    let total: f64 = flops.iter().sum();
+    if total <= 0.0 {
+        return Err(IrError::Invalid("graph has no measurable compute".into()));
+    }
+
+    // Pick cut equations: after crossing each k/n_stages threshold, the
+    // next equation with a later-used output (and not the final one).
+    let mut cuts: Vec<usize> = Vec::new();
+    let mut acc = 0.0;
+    let mut next_threshold = 1;
+    for (i, f) in flops.iter().enumerate() {
+        acc += f;
+        if next_threshold < n_stages
+            && acc >= total * next_threshold as f64 / n_stages as f64
+            && i + 1 < eqns.len()
+            && has_later_use[i]
+        {
+            cuts.push(i);
+            next_threshold += 1;
+        }
+    }
+    if cuts.len() != n_stages - 1 {
+        return Err(IrError::Invalid(format!(
+            "could not place {} balanced cuts (found {}); fewer usable equations than stages",
+            n_stages - 1,
+            cuts.len()
+        )));
+    }
+
+    // Rebuild with yields after the cut equations, remapping later uses
+    // of each cut value to the yield's output.
+    let mut b = GraphBuilder::new();
+    let mut map: std::collections::HashMap<VarId, VarId> = std::collections::HashMap::new();
+    for &v in jaxpr.invars() {
+        map.insert(v, b.input(jaxpr.shape(v).clone()));
+    }
+    let mut next_yield = 0u32;
+    for (i, e) in eqns.iter().enumerate() {
+        let inputs: Vec<VarId> = e.inputs.iter().map(|v| map[v]).collect();
+        let out = b.emit(e.prim.clone(), &inputs)?;
+        map.insert(e.output, out);
+        if cuts.contains(&i) {
+            let marked = b.emit(
+                Prim::PipelineYield {
+                    id: raxpp_ir::YieldId(next_yield),
+                    backward: false,
+                },
+                &[out],
+            )?;
+            next_yield += 1;
+            map.insert(e.output, marked);
+        }
+    }
+    let outs: Vec<VarId> = jaxpr.outvars().iter().map(|v| map[v]).collect();
+    b.finish(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::partition_stages;
+    use raxpp_ir::TraceCtx;
+
+    fn unmarked_chain(layers: usize) -> Jaxpr {
+        let ctx = TraceCtx::new();
+        let ws: Vec<_> = (0..layers).map(|_| ctx.input([8, 8])).collect();
+        let x = ctx.input([4, 8]);
+        let mut h = x;
+        for w in &ws {
+            h = h.matmul(w).unwrap().tanh();
+        }
+        let loss = h.mul(&h).unwrap().sum();
+        ctx.finish(&[loss]).unwrap()
+    }
+
+    #[test]
+    fn marks_balanced_stages() {
+        let j = unmarked_chain(8);
+        for n_stages in [2usize, 4] {
+            let marked = auto_mark_stages(&j, n_stages).unwrap();
+            let staged = partition_stages(&marked).unwrap();
+            assert_eq!(staged.n_stages(), n_stages);
+            // Per-stage flops within 2x of each other (matmuls dominate).
+            let per: Vec<u64> = staged.stages.iter().map(|s| s.jaxpr.flops()).collect();
+            let max = *per.iter().max().unwrap();
+            let min = *per.iter().min().unwrap();
+            assert!(
+                max <= 2 * min.max(1),
+                "unbalanced stages at n={n_stages}: {per:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn marked_graph_evaluates_identically() {
+        use raxpp_ir::{eval, Tensor};
+        let j = unmarked_chain(4);
+        let marked = auto_mark_stages(&j, 2).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let inputs: Vec<Tensor> = j
+            .in_shapes()
+            .iter()
+            .map(|s| Tensor::randn(s.clone(), 0.5, &mut rng))
+            .collect();
+        assert_eq!(eval(&j, &inputs).unwrap(), eval(&marked, &inputs).unwrap());
+    }
+
+    #[test]
+    fn single_stage_is_identity() {
+        let j = unmarked_chain(2);
+        let marked = auto_mark_stages(&j, 1).unwrap();
+        assert_eq!(marked.eqns().len(), j.eqns().len());
+    }
+
+    #[test]
+    fn rejects_marked_graphs_and_silly_inputs() {
+        let j = unmarked_chain(4);
+        let marked = auto_mark_stages(&j, 2).unwrap();
+        assert!(auto_mark_stages(&marked, 2).is_err());
+        assert!(auto_mark_stages(&j, 0).is_err());
+        assert!(auto_mark_stages(&j, 50).is_err()); // more stages than eqns
+    }
+}

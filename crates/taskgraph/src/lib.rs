@@ -1,0 +1,33 @@
+//! `raxpp-taskgraph` — the RaxPP compiler: stage partitioning, per-stage
+//! differentiation, loop unrolling with automatic send/receive inference,
+//! buffer-liveness deletion, and task fusion (paper §3-§4).
+//!
+//! Pipeline: trace a model with `pipeline_yield` markers (`raxpp-ir`) →
+//! [`partition_stages`] (§3.2-3.3) → [`pipeline_model`] (per-stage
+//! autodiff) → [`unroll_loop`] over a `raxpp-sched` schedule (§4.2) →
+//! [`insert_frees`] (§4.3). The result is one fused instruction stream
+//! per actor ([`MpmdProgram`], §4.4) ready for the `raxpp-runtime`
+//! driver.
+
+#![warn(missing_docs)]
+
+mod automark;
+mod model;
+mod program;
+mod stage;
+mod stats;
+mod unroll;
+mod verify;
+
+pub use automark::auto_mark_stages;
+pub use model::{pipeline_model, BwdOut, PipelinedModel};
+pub use program::{
+    ActorId, BufferId, Fetch, FetchRole, InputPlacement, InputSource, Instr, JaxprId, MpmdProgram,
+    TaskLabel,
+};
+pub use stage::{partition_stages, StageFwd, StageInput, StageOutput, StagedForward};
+pub use stats::{program_stats, ProgramStats};
+pub use unroll::{
+    check_send_recv_order, insert_frees, unroll_loop, CompileError, CompiledLoop, UnrollOptions,
+};
+pub use verify::{verify_program, VerifyError};

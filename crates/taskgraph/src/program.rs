@@ -1,0 +1,341 @@
+//! The fused MPMD program representation: one instruction stream per
+//! actor, dispatched in a single message (paper §4.4 "task fusion").
+
+use std::fmt;
+
+use raxpp_ir::{Jaxpr, Shape};
+
+/// Identifier of a device buffer in the global buffer namespace.
+///
+/// Buffer ids are assigned by the compiler; each actor's on-device object
+/// store maps ids to tensors at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u32);
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Index of an actor (an SPMD process group).
+pub type ActorId = usize;
+
+/// Index into the program's jaxpr table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JaxprId(pub u32);
+
+/// What a [`Instr::Run`] instruction computes, for diagnostics, cost
+/// modeling, and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskLabel {
+    /// Forward computation of a stage for one microbatch.
+    Fwd {
+        /// Microbatch index.
+        mubatch: usize,
+        /// Stage index.
+        stage: usize,
+    },
+    /// Backward computation of a stage for one microbatch (the full
+    /// backward, or its activation-gradient half under a split-backward
+    /// schedule).
+    Bwd {
+        /// Microbatch index.
+        mubatch: usize,
+        /// Stage index.
+        stage: usize,
+    },
+    /// Deferred weight-gradient half of a split backward (zero-bubble
+    /// schedules).
+    BwdW {
+        /// Microbatch index.
+        mubatch: usize,
+        /// Stage index.
+        stage: usize,
+    },
+    /// Local gradient accumulation (`acc += partial`).
+    AccumGrad {
+        /// The parameter whose gradient is accumulated.
+        param: usize,
+    },
+    /// Summing cotangent contributions from multiple consumer stages.
+    CotangentSum {
+        /// Stage whose output's cotangent is being summed.
+        stage: usize,
+    },
+    /// Cross-actor reduction of shared-weight partial gradients
+    /// (the loop-commuting rewrite of paper §3.4).
+    GradReduce {
+        /// The shared parameter.
+        param: usize,
+    },
+    /// Optimizer update of one parameter.
+    Update {
+        /// The parameter updated.
+        param: usize,
+    },
+}
+
+impl fmt::Display for TaskLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskLabel::Fwd { mubatch, stage } => write!(f, "fwd(mb={mubatch}, s={stage})"),
+            TaskLabel::Bwd { mubatch, stage } => write!(f, "bwd(mb={mubatch}, s={stage})"),
+            TaskLabel::BwdW { mubatch, stage } => write!(f, "bwdw(mb={mubatch}, s={stage})"),
+            TaskLabel::AccumGrad { param } => write!(f, "accum_grad(p={param})"),
+            TaskLabel::CotangentSum { stage } => write!(f, "ct_sum(s={stage})"),
+            TaskLabel::GradReduce { param } => write!(f, "grad_reduce(p={param})"),
+            TaskLabel::Update { param } => write!(f, "update(p={param})"),
+        }
+    }
+}
+
+/// One instruction of an actor's fused stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Execute a jaxpr: read `inputs` from the object store, write
+    /// `outputs` (outputs may overwrite existing buffers, e.g. parameter
+    /// updates).
+    Run {
+        /// Which jaxpr in the program table.
+        jaxpr: JaxprId,
+        /// Input buffers, in jaxpr input order.
+        inputs: Vec<BufferId>,
+        /// Output buffers, in jaxpr output order.
+        outputs: Vec<BufferId>,
+        /// What this task is, for diagnostics and cost models.
+        label: TaskLabel,
+    },
+    /// Asynchronously send `buf` to actor `to`. Sends between the same
+    /// actor pair must be received in issue order (NCCL semantics,
+    /// paper §4.2).
+    Send {
+        /// Buffer to transmit.
+        buf: BufferId,
+        /// Destination actor.
+        to: ActorId,
+    },
+    /// Receive the next message from actor `from` into `buf`.
+    ///
+    /// `src` is the sender-side buffer id expected on the wire (the
+    /// §4.2 matching-order check); it usually equals `buf`, but differs
+    /// when a value is received into a different local buffer (e.g.
+    /// propagating an updated shared weight into a replica's own
+    /// parameter buffer).
+    Recv {
+        /// Local buffer to store into.
+        buf: BufferId,
+        /// Sender-side buffer id expected next from `from`.
+        src: BufferId,
+        /// Source actor.
+        from: ActorId,
+        /// Expected shape (checked by the runtime).
+        shape: Shape,
+    },
+    /// Delete a buffer from the object store. If the buffer has an
+    /// outstanding asynchronous send, the runtime defers the deletion via
+    /// its pending-deletions queue (paper §4.3).
+    Free {
+        /// Buffer to delete.
+        buf: BufferId,
+    },
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Run {
+                label,
+                inputs,
+                outputs,
+                ..
+            } => {
+                write!(f, "run {label} (in: ")?;
+                for (i, b) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, "; out: ")?;
+                for (i, b) in outputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            Instr::Send { buf, to } => write!(f, "send {buf} -> actor {to}"),
+            Instr::Recv { buf, from, .. } => write!(f, "recv {buf} <- actor {from}"),
+            Instr::Free { buf } => write!(f, "free {buf}"),
+        }
+    }
+}
+
+/// Where an initial buffer comes from when the driver places it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputSource {
+    /// The `i`-th model parameter (resident across steps).
+    Param(usize),
+    /// Microbatch `mubatch` of the `input`-th data input (placed every
+    /// step).
+    Data {
+        /// Which data input of the traced function.
+        input: usize,
+        /// Which microbatch.
+        mubatch: usize,
+    },
+    /// Optimizer state slot `slot` of parameter `param` (resident across
+    /// steps, placed once at initialization by the caller that appended
+    /// the optimizer tasks).
+    State {
+        /// The parameter this state belongs to.
+        param: usize,
+        /// State slot index (e.g. Adam's m and v).
+        slot: usize,
+    },
+}
+
+/// A buffer the driver must place on an actor before execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputPlacement {
+    /// Target buffer id.
+    pub buf: BufferId,
+    /// Target actor.
+    pub actor: ActorId,
+    /// Buffer shape.
+    pub shape: Shape,
+    /// What fills it.
+    pub source: InputSource,
+}
+
+/// What a fetched result buffer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchRole {
+    /// Final accumulated gradient of a parameter.
+    Grad(usize),
+    /// A global output (e.g. per-microbatch loss).
+    Output {
+        /// Which output of the traced function.
+        output: usize,
+        /// Which microbatch produced it.
+        mubatch: usize,
+    },
+}
+
+/// A buffer the driver fetches after execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fetch {
+    /// Buffer to fetch.
+    pub buf: BufferId,
+    /// Actor holding it.
+    pub actor: ActorId,
+    /// Meaning of the value.
+    pub role: FetchRole,
+}
+
+/// A complete fused MPMD program: the output of the RaxPP compiler and
+/// the input of the `raxpp-runtime` driver.
+#[derive(Debug, Clone, Default)]
+pub struct MpmdProgram {
+    /// Jaxpr table shared by all actors.
+    pub jaxprs: Vec<Jaxpr>,
+    /// Per-actor instruction streams (one fused dispatch each, §4.4).
+    pub actors: Vec<Vec<Instr>>,
+    /// Buffers the driver places before running.
+    pub placements: Vec<InputPlacement>,
+    /// Buffers the driver fetches afterwards.
+    pub fetches: Vec<Fetch>,
+}
+
+impl MpmdProgram {
+    /// Number of actors.
+    pub fn n_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of driver→actor dispatches per step — one per actor thanks
+    /// to task fusion (§4.4); without fusion it would be one per
+    /// instruction.
+    pub fn num_rpcs(&self) -> usize {
+        self.actors.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Total instruction count across actors.
+    pub fn num_instrs(&self) -> usize {
+        self.actors.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a jaxpr to the table, returning its id.
+    pub fn add_jaxpr(&mut self, jaxpr: Jaxpr) -> JaxprId {
+        self.jaxprs.push(jaxpr);
+        JaxprId(self.jaxprs.len() as u32 - 1)
+    }
+
+    /// Counts `Run` instructions matching a predicate on their label.
+    pub fn count_runs(&self, pred: impl Fn(&TaskLabel) -> bool) -> usize {
+        self.actors
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Instr::Run { label, .. } if pred(label)))
+            .count()
+    }
+
+    /// Pretty-prints the streams for debugging.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for (a, stream) in self.actors.iter().enumerate() {
+            s.push_str(&format!("actor {a}:\n"));
+            for i in stream {
+                s.push_str(&format!("  {i}\n"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_display() {
+        assert_eq!(
+            TaskLabel::Fwd {
+                mubatch: 1,
+                stage: 2
+            }
+            .to_string(),
+            "fwd(mb=1, s=2)"
+        );
+        assert_eq!(
+            TaskLabel::GradReduce { param: 3 }.to_string(),
+            "grad_reduce(p=3)"
+        );
+    }
+
+    #[test]
+    fn program_counters() {
+        let mut p = MpmdProgram::default();
+        p.actors.push(vec![
+            Instr::Send {
+                buf: BufferId(0),
+                to: 1,
+            },
+            Instr::Free { buf: BufferId(0) },
+        ]);
+        p.actors.push(vec![Instr::Recv {
+            buf: BufferId(0),
+            src: BufferId(0),
+            from: 0,
+            shape: Shape::new([2]),
+        }]);
+        p.actors.push(vec![]);
+        assert_eq!(p.n_actors(), 3);
+        assert_eq!(p.num_rpcs(), 2); // empty stream needs no dispatch
+        assert_eq!(p.num_instrs(), 3);
+        assert_eq!(p.count_runs(|_| true), 0);
+        assert!(p.dump().contains("send b0 -> actor 1"));
+    }
+}

@@ -1,0 +1,509 @@
+//! Stage partitioning: splitting a traced forward graph into pipeline
+//! stages at its `pipeline_yield` markers (paper §3.2-3.3).
+//!
+//! The placement heuristic is the paper's: a task is formed for each
+//! `pipeline_yield`, comprising every computation it transitively depends
+//! on that an earlier yield did not already claim; the remaining
+//! computations are placed with their operands ("closer to their use").
+//! The resulting stage assignment is guaranteed acyclic: every value
+//! flows from a lower-numbered stage to a higher-numbered one.
+
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+
+use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, Result, VarId};
+
+/// Where a stage-graph input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageInput {
+    /// The `i`-th input of the original traced function (parameter or
+    /// data).
+    Global(usize),
+    /// Output `index` of an earlier stage (an activation — possibly from
+    /// a *non-adjacent* stage, which the paper's comm inference supports
+    /// out of the box).
+    CrossStage {
+        /// Producing stage.
+        stage: usize,
+        /// Index into the producing stage's output list.
+        index: usize,
+    },
+}
+
+/// Metadata of one stage-graph output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageOutput {
+    /// Later stages that consume this value.
+    pub consumers: Vec<usize>,
+    /// Positions in the original function's output list this value fills
+    /// (e.g. the scalar loss), if any.
+    pub global_outputs: Vec<usize>,
+}
+
+/// One forward pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageFwd {
+    /// The stage's dataflow graph.
+    pub jaxpr: Jaxpr,
+    /// Provenance of each graph input, aligned with `jaxpr.invars()`.
+    pub inputs: Vec<StageInput>,
+    /// Metadata of each graph output, aligned with `jaxpr.outvars()`.
+    pub outputs: Vec<StageOutput>,
+}
+
+/// A forward graph split into pipeline stages.
+#[derive(Debug, Clone)]
+pub struct StagedForward {
+    /// The stages, in pipeline order.
+    pub stages: Vec<StageFwd>,
+    /// For each original input, the sorted list of stages that consume it
+    /// directly. More than one stage means a *shared weight* (paper §3.4,
+    /// e.g. tied embeddings).
+    pub invar_stages: Vec<Vec<usize>>,
+    /// Number of inputs of the original function.
+    pub n_invars: usize,
+    /// Number of outputs of the original function.
+    pub n_outvars: usize,
+}
+
+impl StagedForward {
+    /// Number of pipeline stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Original input indices used by more than one stage (shared
+    /// weights).
+    pub fn shared_invars(&self) -> Vec<usize> {
+        self.invar_stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len() > 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Splits `jaxpr` into pipeline stages at its `pipeline_yield` markers.
+///
+/// A graph with `k` yields produces `k + 1` stages. Yield equations stay
+/// in their producing stage (they are identity markers and execute for
+/// free).
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] when a stage would be empty (e.g. a
+/// trailing yield with no computation after it), when an output of the
+/// original function is a passthrough of one of its inputs, or when yield
+/// ids are out of trace order.
+pub fn partition_stages(jaxpr: &Jaxpr) -> Result<StagedForward> {
+    let eqns = jaxpr.eqns();
+    // Yield equation indices, in trace (= definition) order.
+    let yields: Vec<usize> = eqns
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(
+                e.prim,
+                Prim::PipelineYield {
+                    backward: false,
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for (k, &ei) in yields.iter().enumerate() {
+        if let Prim::PipelineYield { id, .. } = eqns[ei].prim {
+            if id.0 as usize != k {
+                return Err(IrError::Invalid(format!(
+                    "yield ids out of trace order: expected {k}, found {}",
+                    id.0
+                )));
+            }
+        }
+    }
+    let n_stages = yields.len() + 1;
+
+    // Map var -> defining eqn index.
+    let mut def_eqn: HashMap<VarId, usize> = HashMap::new();
+    for (i, e) in eqns.iter().enumerate() {
+        def_eqn.insert(e.output, i);
+    }
+
+    // Pass 1: claim each yield's transitive dependencies.
+    const UNASSIGNED: usize = usize::MAX;
+    let mut stage_of = vec![UNASSIGNED; eqns.len()];
+    for (k, &yi) in yields.iter().enumerate() {
+        let mut stack = vec![yi];
+        while let Some(i) = stack.pop() {
+            if stage_of[i] != UNASSIGNED {
+                continue;
+            }
+            stage_of[i] = k;
+            for &v in &eqns[i].inputs {
+                if let Some(&d) = def_eqn.get(&v) {
+                    if stage_of[d] == UNASSIGNED {
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: the rest go with their operands ("closer to their use",
+    // §3.2), defaulting to the last stage for operand-free computations.
+    //
+    // For placement purposes a value produced by `pipeline_yield` k
+    // belongs to stage k + 1: the marker's whole point is that anything
+    // depending on it runs in the *next* stage.
+    //
+    // Inputs (parameters/data) take a tentative placement from the
+    // yield-claimed equations that read them, so that e.g. an auxiliary
+    // computation on the stage-0 data input stays on stage 0 and ships
+    // its (small) result instead of its (large) operand.
+    let mut invar_tentative: HashMap<VarId, usize> = HashMap::new();
+    for (i, e) in eqns.iter().enumerate() {
+        if stage_of[i] == UNASSIGNED {
+            continue;
+        }
+        for &v in &e.inputs {
+            if !def_eqn.contains_key(&v) {
+                let entry = invar_tentative.entry(v).or_insert(stage_of[i]);
+                *entry = (*entry).min(stage_of[i]);
+            }
+        }
+    }
+    let value_stage = |v: VarId, stage_of: &[usize]| -> Option<usize> {
+        match def_eqn.get(&v) {
+            Some(&d) => {
+                let s = stage_of[d];
+                if s == UNASSIGNED {
+                    return Some(s);
+                }
+                // A forward yield's output belongs to the next stage.
+                if matches!(
+                    eqns[d].prim,
+                    Prim::PipelineYield {
+                        backward: false,
+                        ..
+                    }
+                ) {
+                    Some(s + 1)
+                } else {
+                    Some(s)
+                }
+            }
+            None => invar_tentative.get(&v).copied(),
+        }
+    };
+    for i in 0..eqns.len() {
+        if stage_of[i] != UNASSIGNED {
+            continue;
+        }
+        let s = eqns[i]
+            .inputs
+            .iter()
+            .filter_map(|&v| value_stage(v, &stage_of))
+            .max()
+            .unwrap_or(n_stages - 1)
+            .min(n_stages - 1);
+        debug_assert_ne!(s, UNASSIGNED, "operand processed before its consumer");
+        stage_of[i] = s;
+    }
+
+    // Sanity: dataflow must run from lower to higher stages.
+    for (i, e) in eqns.iter().enumerate() {
+        for &v in &e.inputs {
+            if let Some(&d) = def_eqn.get(&v) {
+                if stage_of[d] > stage_of[i] {
+                    return Err(IrError::Invalid(format!(
+                        "stage assignment produced a backward edge ({} -> {})",
+                        stage_of[d], stage_of[i]
+                    )));
+                }
+            }
+        }
+    }
+    for s in 0..n_stages {
+        if !stage_of.contains(&s) {
+            return Err(IrError::Invalid(format!(
+                "stage {s} is empty; every yield must be followed by computation"
+            )));
+        }
+    }
+
+    // Original outputs must be computed values (their producing stage
+    // owns them).
+    let invar_set: std::collections::HashSet<VarId> = jaxpr.invars().iter().copied().collect();
+    for &o in jaxpr.outvars() {
+        if invar_set.contains(&o) {
+            return Err(IrError::Invalid(
+                "function outputs that are passthroughs of inputs are not supported".into(),
+            ));
+        }
+    }
+
+    // Which values cross stage boundaries, and which fill global outputs.
+    // outputs_of[s] = ordered list of original VarIds exported by stage s.
+    let mut out_meta: HashMap<VarId, StageOutput> = HashMap::new();
+    for (i, e) in eqns.iter().enumerate() {
+        for &v in &e.inputs {
+            if let Some(&d) = def_eqn.get(&v) {
+                if stage_of[d] < stage_of[i] {
+                    let m = out_meta.entry(v).or_default();
+                    if !m.consumers.contains(&stage_of[i]) {
+                        m.consumers.push(stage_of[i]);
+                    }
+                }
+            }
+        }
+    }
+    for (pos, &o) in jaxpr.outvars().iter().enumerate() {
+        out_meta.entry(o).or_default().global_outputs.push(pos);
+    }
+    let mut outputs_of: Vec<Vec<VarId>> = vec![Vec::new(); n_stages];
+    {
+        let mut exported: Vec<(&VarId, &StageOutput)> = out_meta.iter().collect();
+        exported.sort_by_key(|(v, _)| **v);
+        for (v, _) in exported {
+            let s = stage_of[def_eqn[v]];
+            outputs_of[s].push(*v);
+        }
+    }
+    for outs in &mut outputs_of {
+        outs.sort();
+    }
+    let output_index: HashMap<VarId, usize> = outputs_of
+        .iter()
+        .flat_map(|outs| outs.iter().enumerate().map(|(i, &v)| (v, i)))
+        .collect();
+
+    // Which original invars each stage reads.
+    let mut invar_stages: Vec<Vec<usize>> = vec![Vec::new(); jaxpr.invars().len()];
+    let invar_pos: HashMap<VarId, usize> = jaxpr
+        .invars()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    for (i, e) in eqns.iter().enumerate() {
+        for &v in &e.inputs {
+            if let Some(&p) = invar_pos.get(&v) {
+                if !invar_stages[p].contains(&stage_of[i]) {
+                    invar_stages[p].push(stage_of[i]);
+                }
+            }
+        }
+    }
+    for s in &mut invar_stages {
+        s.sort_unstable();
+    }
+
+    // Build each stage's jaxpr.
+    let mut stages = Vec::with_capacity(n_stages);
+    for s in 0..n_stages {
+        let mut b = GraphBuilder::new();
+        let mut local: HashMap<VarId, VarId> = HashMap::new();
+        let mut inputs: Vec<StageInput> = Vec::new();
+        // Global inputs, in original order.
+        for (p, &v) in jaxpr.invars().iter().enumerate() {
+            if invar_stages[p].contains(&s) {
+                local.insert(v, b.input(jaxpr.shape(v).clone()));
+                inputs.push(StageInput::Global(p));
+            }
+        }
+        // Cross-stage inputs, ordered by (producing stage, output index).
+        let mut cross: Vec<(usize, usize, VarId)> = Vec::new();
+        for (i, e) in eqns.iter().enumerate() {
+            if stage_of[i] != s {
+                continue;
+            }
+            for &v in &e.inputs {
+                if let Some(&d) = def_eqn.get(&v) {
+                    if stage_of[d] < s && !cross.iter().any(|&(_, _, cv)| cv == v) {
+                        cross.push((stage_of[d], output_index[&v], v));
+                    }
+                }
+            }
+        }
+        cross.sort_unstable();
+        for &(ps, idx, v) in &cross {
+            local.insert(v, b.input(jaxpr.shape(v).clone()));
+            inputs.push(StageInput::CrossStage {
+                stage: ps,
+                index: idx,
+            });
+        }
+        // Stage equations, in original order.
+        for (i, e) in eqns.iter().enumerate() {
+            if stage_of[i] != s {
+                continue;
+            }
+            let ins: Vec<VarId> = e.inputs.iter().map(|v| local[v]).collect();
+            let out = b.emit(e.prim.clone(), &ins)?;
+            local.insert(e.output, out);
+        }
+        let outs: Vec<VarId> = outputs_of[s].iter().map(|v| local[v]).collect();
+        let jx = b.finish(outs)?;
+        let metas: Vec<StageOutput> = outputs_of[s].iter().map(|v| out_meta[v].clone()).collect();
+        stages.push(StageFwd {
+            jaxpr: jx,
+            inputs,
+            outputs: metas,
+        });
+    }
+
+    Ok(StagedForward {
+        stages,
+        invar_stages,
+        n_invars: jaxpr.invars().len(),
+        n_outvars: jaxpr.outvars().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raxpp_ir::{eval, Tensor, TraceCtx};
+
+    /// Two-stage MLP: x@w1 |> relu |> yield |> @w2 |> square-sum loss.
+    fn two_stage() -> Jaxpr {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 4]);
+        let w1 = ctx.input([4, 8]);
+        let w2 = ctx.input([8, 2]);
+        let h = x.matmul(&w1).unwrap().relu();
+        let h = ctx.pipeline_yield(&h);
+        let y = h.matmul(&w2).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        ctx.finish(&[loss]).unwrap()
+    }
+
+    #[test]
+    fn splits_into_two_stages() {
+        let staged = partition_stages(&two_stage()).unwrap();
+        assert_eq!(staged.n_stages(), 2);
+        // Stage 0 reads x and w1; stage 1 reads w2.
+        assert_eq!(staged.invar_stages, vec![vec![0], vec![0], vec![1]]);
+        assert_eq!(staged.stages[0].inputs.len(), 2);
+        assert_eq!(
+            staged.stages[1].inputs,
+            vec![
+                StageInput::Global(2),
+                StageInput::CrossStage { stage: 0, index: 0 }
+            ]
+        );
+        // Stage 0 exports one activation; stage 1 exports the loss.
+        assert_eq!(staged.stages[0].outputs.len(), 1);
+        assert_eq!(staged.stages[0].outputs[0].consumers, vec![1]);
+        assert_eq!(staged.stages[1].outputs[0].global_outputs, vec![0]);
+        assert!(staged.shared_invars().is_empty());
+    }
+
+    #[test]
+    fn stage_composition_matches_original() {
+        let jaxpr = two_stage();
+        let staged = partition_stages(&jaxpr).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let w1 = Tensor::randn([4, 8], 0.5, &mut rng);
+        let w2 = Tensor::randn([8, 2], 0.5, &mut rng);
+        let whole = eval(&jaxpr, &[x.clone(), w1.clone(), w2.clone()]).unwrap();
+        let s0 = eval(&staged.stages[0].jaxpr, &[x, w1]).unwrap();
+        let s1 = eval(&staged.stages[1].jaxpr, &[w2, s0[0].clone()]).unwrap();
+        assert!(whole[0].allclose(&s1[0], 1e-6));
+    }
+
+    #[test]
+    fn single_stage_without_yields() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let loss = x.mul(&x).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let staged = partition_stages(&jaxpr).unwrap();
+        assert_eq!(staged.n_stages(), 1);
+        assert!(staged.stages[0].inputs == vec![StageInput::Global(0)]);
+    }
+
+    #[test]
+    fn dependence_based_placement() {
+        // `a` is defined before the yield but only used after it, so the
+        // paper's heuristic schedules it with its operands (stage 0 here,
+        // because its operand x lives there) and ships the value —
+        // definition order alone does not dictate stages.
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w = ctx.input([2, 2]);
+        let a = x.scale(2.0); // not consumed by the yield's value
+        let h = x.matmul(&w).unwrap();
+        let h = ctx.pipeline_yield(&h);
+        let y = h.add(&a).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let staged = partition_stages(&jaxpr).unwrap();
+        assert_eq!(staged.n_stages(), 2);
+        // Stage 0 exports both the yielded activation and `a`.
+        assert_eq!(staged.stages[0].outputs.len(), 2);
+    }
+
+    #[test]
+    fn shared_weight_detected() {
+        // w used in both stages (tied-embedding pattern, §3.4).
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w = ctx.input([2, 2]);
+        let h = x.matmul(&w).unwrap();
+        let h = ctx.pipeline_yield(&h);
+        let y = h.matmul(&w).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let staged = partition_stages(&jaxpr).unwrap();
+        assert_eq!(staged.shared_invars(), vec![1]);
+        assert_eq!(staged.invar_stages[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn skip_connection_crosses_nonadjacent_stages() {
+        // Stage 0's activation consumed by stage 2 directly.
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let w1 = ctx.input([2, 2]);
+        let w2 = ctx.input([2, 2]);
+        let h0 = x.matmul(&w1).unwrap();
+        let h0y = ctx.pipeline_yield(&h0);
+        let h1 = h0y.matmul(&w2).unwrap();
+        let h1y = ctx.pipeline_yield(&h1);
+        let y = h1y.add(&h0y).unwrap(); // skip connection
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let staged = partition_stages(&jaxpr).unwrap();
+        assert_eq!(staged.n_stages(), 3);
+        // The yielded h0 value is consumed by stages 1 and 2.
+        let s0_out = &staged.stages[0].outputs;
+        assert!(s0_out.iter().any(|o| o.consumers == vec![1, 2]));
+        assert!(staged.stages[2]
+            .inputs
+            .iter()
+            .any(|i| matches!(i, StageInput::CrossStage { stage: 0, .. })));
+    }
+
+    #[test]
+    fn trailing_yield_rejected() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let h = x.scale(2.0);
+        let h = ctx.pipeline_yield(&h);
+        let jaxpr = ctx.finish(&[h]).unwrap();
+        assert!(partition_stages(&jaxpr).is_err());
+    }
+
+    #[test]
+    fn passthrough_output_rejected() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input([2, 2]);
+        let jaxpr = ctx.finish(&[x]).unwrap();
+        assert!(partition_stages(&jaxpr).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Static verification of compiled MPMD programs.
+//!
+//! Abstractly executes every actor's instruction stream (shapes only, no
+//! tensor data) and checks the invariants the runtime relies on:
+//!
+//! * every buffer a `Run`/`Send` uses is live (defined by a placement,
+//!   an earlier `Run` output, or a `Recv` — and not yet freed);
+//! * `Run` operand/result counts and shapes match the jaxpr's signature;
+//! * receives match sends in order and shape per actor pair (§4.2);
+//! * frees hit live buffers exactly once;
+//! * every fetch target is live at the end of the step;
+//! * the streams make progress to completion (no deadlock).
+//!
+//! The compiler's output is verified in tests and in
+//! `debug_assertions` builds of `raxpp-core`; the checker is also useful
+//! for anyone generating [`MpmdProgram`]s by hand.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use raxpp_ir::Shape;
+
+use crate::program::{BufferId, Instr, MpmdProgram};
+
+/// A violated program invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A `Run` or `Send` referenced a buffer that is not live.
+    UseOfDeadBuffer {
+        /// Offending actor.
+        actor: usize,
+        /// Instruction index within the actor's stream.
+        pos: usize,
+        /// The buffer.
+        buf: BufferId,
+    },
+    /// A `Run`'s operands do not match its jaxpr signature.
+    SignatureMismatch {
+        /// Offending actor.
+        actor: usize,
+        /// Instruction index.
+        pos: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A receive's source id or shape does not match the send stream.
+    CommMismatch {
+        /// Receiving actor.
+        actor: usize,
+        /// Instruction index.
+        pos: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A `Free` targeted a buffer that is not live.
+    BadFree {
+        /// Offending actor.
+        actor: usize,
+        /// Instruction index.
+        pos: usize,
+        /// The buffer.
+        buf: BufferId,
+    },
+    /// A fetch names a buffer that is not live at the end of the step.
+    MissingFetch {
+        /// Actor the fetch targets.
+        actor: usize,
+        /// The buffer.
+        buf: BufferId,
+    },
+    /// The streams cannot run to completion.
+    Deadlock {
+        /// Actors stuck mid-stream with their cursor positions.
+        stuck: Vec<(usize, usize)>,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UseOfDeadBuffer { actor, pos, buf } => {
+                write!(f, "actor {actor} instr {pos}: use of dead buffer {buf}")
+            }
+            VerifyError::SignatureMismatch { actor, pos, detail } => {
+                write!(f, "actor {actor} instr {pos}: {detail}")
+            }
+            VerifyError::CommMismatch { actor, pos, detail } => {
+                write!(f, "actor {actor} instr {pos}: {detail}")
+            }
+            VerifyError::BadFree { actor, pos, buf } => {
+                write!(f, "actor {actor} instr {pos}: free of dead buffer {buf}")
+            }
+            VerifyError::MissingFetch { actor, buf } => {
+                write!(
+                    f,
+                    "fetch of {buf} on actor {actor}: buffer not live at step end"
+                )
+            }
+            VerifyError::Deadlock { stuck } => {
+                write!(f, "program cannot complete; stuck at {stuck:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies `program` (see the module docs for the invariant list).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_program(program: &MpmdProgram) -> Result<(), VerifyError> {
+    let n = program.n_actors();
+    let mut live: Vec<HashMap<BufferId, Shape>> = vec![HashMap::new(); n];
+    for p in &program.placements {
+        live[p.actor].insert(p.buf, p.shape.clone());
+    }
+    // In-flight messages per directed pair.
+    let mut wires: HashMap<(usize, usize), VecDeque<(BufferId, Shape)>> = HashMap::new();
+    let mut cursor = vec![0usize; n];
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for a in 0..n {
+            let stream = &program.actors[a];
+            while cursor[a] < stream.len() {
+                let pos = cursor[a];
+                match &stream[pos] {
+                    Instr::Run {
+                        jaxpr,
+                        inputs,
+                        outputs,
+                        ..
+                    } => {
+                        let jx = &program.jaxprs[jaxpr.0 as usize];
+                        if inputs.len() != jx.invars().len() || outputs.len() != jx.outvars().len()
+                        {
+                            return Err(VerifyError::SignatureMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!(
+                                    "arity mismatch: {}/{} operands, {}/{} results",
+                                    inputs.len(),
+                                    jx.invars().len(),
+                                    outputs.len(),
+                                    jx.outvars().len()
+                                ),
+                            });
+                        }
+                        for (b, &v) in inputs.iter().zip(jx.invars()) {
+                            let Some(shape) = live[a].get(b) else {
+                                return Err(VerifyError::UseOfDeadBuffer {
+                                    actor: a,
+                                    pos,
+                                    buf: *b,
+                                });
+                            };
+                            if shape != jx.shape(v) {
+                                return Err(VerifyError::SignatureMismatch {
+                                    actor: a,
+                                    pos,
+                                    detail: format!(
+                                        "operand {b} has shape {shape}, jaxpr wants {}",
+                                        jx.shape(v)
+                                    ),
+                                });
+                            }
+                        }
+                        for (b, &v) in outputs.iter().zip(jx.outvars()) {
+                            live[a].insert(*b, jx.shape(v).clone());
+                        }
+                    }
+                    Instr::Send { buf, to } => {
+                        let Some(shape) = live[a].get(buf) else {
+                            return Err(VerifyError::UseOfDeadBuffer {
+                                actor: a,
+                                pos,
+                                buf: *buf,
+                            });
+                        };
+                        wires
+                            .entry((a, *to))
+                            .or_default()
+                            .push_back((*buf, shape.clone()));
+                    }
+                    Instr::Recv {
+                        buf,
+                        src,
+                        from,
+                        shape,
+                    } => {
+                        let queue = wires.entry((*from, a)).or_default();
+                        let Some((id, wire_shape)) = queue.front() else {
+                            break; // wait for the sender
+                        };
+                        if id != src {
+                            return Err(VerifyError::CommMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!(
+                                    "expected {src} from actor {from}, wire has {id} \
+                                     (§4.2 order violated)"
+                                ),
+                            });
+                        }
+                        if wire_shape != shape {
+                            return Err(VerifyError::CommMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!(
+                                    "shape mismatch on {src}: wire {wire_shape}, recv {shape}"
+                                ),
+                            });
+                        }
+                        queue.pop_front();
+                        live[a].insert(*buf, shape.clone());
+                    }
+                    Instr::Free { buf } => {
+                        if live[a].remove(buf).is_none() {
+                            return Err(VerifyError::BadFree {
+                                actor: a,
+                                pos,
+                                buf: *buf,
+                            });
+                        }
+                    }
+                }
+                cursor[a] += 1;
+                progressed = true;
+            }
+            if cursor[a] < stream.len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let stuck = (0..n)
+                .filter(|&a| cursor[a] < program.actors[a].len())
+                .map(|a| (a, cursor[a]))
+                .collect();
+            return Err(VerifyError::Deadlock { stuck });
+        }
+    }
+
+    for f in &program.fetches {
+        if !live[f.actor].contains_key(&f.buf) {
+            return Err(VerifyError::MissingFetch {
+                actor: f.actor,
+                buf: f.buf,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pipeline_model;
+    use crate::program::{Fetch, FetchRole, JaxprId, TaskLabel};
+    use crate::unroll::{insert_frees, unroll_loop, UnrollOptions};
+    use raxpp_ir::{GraphBuilder, Prim, TraceCtx};
+    use raxpp_sched::{one_f1b, zero_bubble_h1};
+
+    fn compiled_program(split: bool) -> MpmdProgram {
+        let ctx = TraceCtx::new();
+        let w1 = ctx.input([4, 4]);
+        let w2 = ctx.input([4, 4]);
+        let x = ctx.input([2, 4]);
+        let h = ctx.pipeline_yield(&x.matmul(&w1).unwrap().tanh());
+        let y = h.matmul(&w2).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let model = pipeline_model(&jaxpr, 2).unwrap();
+        let schedule = if split {
+            zero_bubble_h1(2, 4).unwrap()
+        } else {
+            one_f1b(2, 4).unwrap()
+        };
+        let mut compiled = unroll_loop(&model, &schedule, UnrollOptions::default()).unwrap();
+        insert_frees(&mut compiled.program);
+        compiled.program
+    }
+
+    #[test]
+    fn compiled_programs_verify() {
+        verify_program(&compiled_program(false)).unwrap();
+        verify_program(&compiled_program(true)).unwrap();
+    }
+
+    #[test]
+    fn detects_use_after_free() {
+        let mut p = compiled_program(false);
+        // Free a buffer right before its first use as a Run input.
+        let (a, pos, buf) = p
+            .actors
+            .iter()
+            .enumerate()
+            .find_map(|(a, s)| {
+                s.iter().enumerate().find_map(|(i, instr)| match instr {
+                    Instr::Run { inputs, .. } if !inputs.is_empty() => Some((a, i, inputs[0])),
+                    _ => None,
+                })
+            })
+            .unwrap();
+        p.actors[a].insert(pos, Instr::Free { buf });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::UseOfDeadBuffer { .. }) | Err(VerifyError::BadFree { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_double_free() {
+        let mut p = compiled_program(false);
+        let (a, pos) = p
+            .actors
+            .iter()
+            .enumerate()
+            .find_map(|(a, s)| {
+                s.iter()
+                    .position(|i| matches!(i, Instr::Free { .. }))
+                    .map(|pos| (a, pos))
+            })
+            .expect("liveness pass emitted frees");
+        let dup = p.actors[a][pos].clone();
+        p.actors[a].insert(pos + 1, dup);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadFree { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_reordered_receives() {
+        let mut p = compiled_program(false);
+        // Swap two receives from the same source on some actor.
+        'outer: for stream in &mut p.actors {
+            let recv_positions: Vec<usize> = stream
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::Recv { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            for w in recv_positions.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                let from_match = match (&stream[x], &stream[y]) {
+                    (Instr::Recv { from: f1, .. }, Instr::Recv { from: f2, .. }) => f1 == f2,
+                    _ => false,
+                };
+                if from_match {
+                    stream.swap(x, y);
+                    break 'outer;
+                }
+            }
+        }
+        match verify_program(&p) {
+            Err(VerifyError::CommMismatch { .. }) | Err(VerifyError::Deadlock { .. }) => {}
+            other => panic!("expected comm mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_signature_mismatch() {
+        let mut p = MpmdProgram::default();
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 2]);
+        let y = b.emit(Prim::Neg, &[x]).unwrap();
+        let j = b.finish(vec![y]).unwrap();
+        p.add_jaxpr(j);
+        p.actors.push(vec![Instr::Run {
+            jaxpr: JaxprId(0),
+            inputs: vec![],
+            outputs: vec![BufferId(0)],
+            label: TaskLabel::Update { param: 0 },
+        }]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_missing_fetch() {
+        let mut p = compiled_program(false);
+        p.fetches.push(Fetch {
+            buf: BufferId(999_999),
+            actor: 0,
+            role: FetchRole::Grad(0),
+        });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::MissingFetch { .. })
+        ));
+    }
+}

@@ -1,0 +1,2 @@
+//! Helper-free placeholder library target so `raxpp-examples` builds; all
+//! content lives in the example binaries at the package root.

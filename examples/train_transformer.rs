@@ -1,0 +1,73 @@
+//! Train a small transformer language model (single-head attention,
+//! pre-norm residual blocks, tied embeddings) across 4 MPMD actors with
+//! the interleaved 1F1B schedule — the paper's full feature set on the
+//! executable runtime.
+//!
+//! The task is synthetic character-level modeling: predict the next
+//! token of cyclic sequences. Watch the loss fall from ≈ln(V) toward 0.
+//!
+//! Run with: `cargo run --release -p raxpp-examples --bin train_transformer`
+
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
+use raxpp_models::{lm_batches, tiny_lm, SyntheticTask, TinyLmConfig};
+use raxpp_sched::interleaved_1f1b;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TinyLmConfig {
+        seq: 12,
+        vocab: 12,
+        emb: 24,
+        ffn: 48,
+        blocks: 8,
+        heads: 4,
+        n_stages: 8, // 8 stages over 4 actors = circular repeat 2
+        tied_embeddings: true,
+    };
+    let n_mubatches = 8;
+    let schedule = interleaved_1f1b(4, n_mubatches, 2)?;
+    println!("schedule: {}", schedule.name());
+
+    let model = tiny_lm(cfg, 7)?;
+    println!(
+        "model: {} params, 4-head attention, {} stages (embedding tied to the LM head: \
+         stage 0 and stage {} share a weight — paper §3.4)",
+        model.n_params,
+        cfg.n_stages,
+        cfg.n_stages - 1
+    );
+
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::adam(3e-3),
+        CompileOptions::default(),
+    )?;
+    trainer.init(&model.init)?;
+
+    // Synthetic dataset: cyclic token sequences with different offsets.
+    let data = lm_batches(
+        &cfg,
+        SyntheticTask::CyclicNext { stride: 2 },
+        n_mubatches,
+        0,
+    );
+
+    let tokens_per_step = (cfg.seq * n_mubatches) as f64;
+    println!(
+        "uniform-guessing loss would be ln({}) = {:.3}\n",
+        cfg.vocab,
+        (cfg.vocab as f32).ln()
+    );
+    for step in 1..=60 {
+        let r = trainer.step(&data)?;
+        if step % 5 == 0 || step == 1 {
+            let tput = tokens_per_step / r.stats.wall.as_secs_f64();
+            println!(
+                "step {step:3}: mean loss {:.4}   ({:>8.0} interpreter-tokens/s, {} RPCs)",
+                r.mean_loss, tput, r.stats.rpcs
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Integration: the paper's activation-memory claims (§2.2.1, Figure 2)
+//! measured on *real execution* — the threaded runtime's object-store
+//! high-water marks, not a model.
+
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
+use raxpp_ir::Tensor;
+use raxpp_models::mlp_chain;
+use raxpp_sched::{gpipe, one_f1b, Schedule};
+
+/// Runs one step and returns the first actor's peak store bytes.
+fn peak_bytes_actor0(schedule: &Schedule, layers: usize, width: usize, seed: u64) -> usize {
+    let model = mlp_chain(width, 4, layers, schedule.n_stages(), seed).unwrap();
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        schedule,
+        Optimizer::Sgd { lr: 0.01 },
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([4, width], 1.0, &mut rng))
+        .collect()];
+    trainer.step(&data).unwrap();
+    trainer.runtime().peak_store_bytes().unwrap()[0]
+}
+
+#[test]
+fn one_f1b_uses_less_memory_than_gpipe() {
+    // 16 microbatches over 2 stages: GPipe's first actor must retain all
+    // 16 microbatches of saved activations; 1F1B caps it at the stage
+    // count (paper: "potentially a 2x-3x reduction in activation
+    // memory").
+    let layers = 4;
+    let width = 16;
+    let gpipe_peak = peak_bytes_actor0(&gpipe(2, 16).unwrap(), layers, width, 11);
+    let f1b_peak = peak_bytes_actor0(&one_f1b(2, 16).unwrap(), layers, width, 11);
+    assert!(
+        (f1b_peak as f64) < 0.6 * gpipe_peak as f64,
+        "1F1B peak {f1b_peak} should be well under GPipe peak {gpipe_peak}"
+    );
+}
+
+#[test]
+fn gpipe_memory_grows_with_microbatches_in_practice() {
+    let layers = 4;
+    let width = 16;
+    let small = peak_bytes_actor0(&gpipe(2, 4).unwrap(), layers, width, 12);
+    let large = peak_bytes_actor0(&gpipe(2, 16).unwrap(), layers, width, 12);
+    assert!(
+        large as f64 > 2.5 * small as f64,
+        "GPipe peak should scale with microbatches: {small} -> {large}"
+    );
+}
+
+#[test]
+fn one_f1b_memory_is_flat_in_microbatches_in_practice() {
+    let layers = 4;
+    let width = 16;
+    let small = peak_bytes_actor0(&one_f1b(2, 4).unwrap(), layers, width, 13);
+    let large = peak_bytes_actor0(&one_f1b(2, 16).unwrap(), layers, width, 13);
+    assert!(
+        (large as f64) < 1.5 * small as f64,
+        "1F1B peak should be ~flat in microbatches: {small} -> {large}"
+    );
+}

@@ -1,0 +1,236 @@
+//! Integration: multi-step pipelined training on the threaded MPMD
+//! runtime must track single-device reference training exactly (up to
+//! float associativity), across schedules.
+
+#![allow(clippy::needless_range_loop)]
+
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
+use raxpp_ir::{eval, value_and_grad, Tensor};
+use raxpp_models::{causal_mask, mlp_chain, one_hot, tiny_lm, BuiltModel, TinyLmConfig};
+use raxpp_sched::{gpipe, interleaved_1f1b, one_f1b, Schedule};
+
+/// Reference trainer: whole-graph autodiff + the same optimizer, run on
+/// one device.
+struct Reference {
+    grad_graph: raxpp_ir::Jaxpr,
+    params: Vec<Tensor>,
+    opt_state: Vec<Vec<Tensor>>,
+    optimizer: Optimizer,
+    n_params: usize,
+}
+
+impl Reference {
+    fn new(model: &BuiltModel, optimizer: Optimizer) -> Reference {
+        let wrt: Vec<usize> = (0..model.n_params).collect();
+        Reference {
+            grad_graph: value_and_grad(&model.jaxpr, &wrt).unwrap(),
+            params: model.init.clone(),
+            opt_state: model
+                .init
+                .iter()
+                .map(|p| optimizer.init_state(p.shape()))
+                .collect(),
+            optimizer,
+            n_params: model.n_params,
+        }
+    }
+
+    /// One step over all microbatches; returns the mean loss.
+    fn step(&mut self, data: &[Vec<Tensor>]) -> f32 {
+        let n_mb = data[0].len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.n_params];
+        let mut loss_sum = 0.0;
+        for mb in 0..n_mb {
+            let mut args = self.params.clone();
+            for d in data {
+                args.push(d[mb].clone());
+            }
+            let outs = eval(&self.grad_graph, &args).unwrap();
+            loss_sum += outs[0].item().unwrap();
+            for p in 0..self.n_params {
+                let g = outs[1 + p].clone();
+                grads[p] = Some(match grads[p].take() {
+                    None => g,
+                    Some(acc) => acc.zip(&g, |a, b| a + b).unwrap(),
+                });
+            }
+        }
+        for p in 0..self.n_params {
+            let update = self.optimizer.update_jaxpr(self.params[p].shape()).unwrap();
+            let mut args = vec![self.params[p].clone(), grads[p].take().unwrap()];
+            args.extend(self.opt_state[p].iter().cloned());
+            let outs = eval(&update, &args).unwrap();
+            self.params[p] = outs[0].clone();
+            self.opt_state[p] = outs[1..].to_vec();
+        }
+        loss_sum / n_mb as f32
+    }
+}
+
+fn mlp_data(n_mb: usize, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    vec![(0..n_mb)
+        .map(|_| Tensor::randn([batch, width], 1.0, &mut rng))
+        .collect()]
+}
+
+fn assert_tracks_reference(model: &BuiltModel, schedule: &Schedule, optimizer: Optimizer) {
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        schedule,
+        optimizer,
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    let mut reference = Reference::new(model, optimizer);
+
+    let data = mlp_data(schedule.n_mubatches(), 4, 2, 99);
+    for step in 0..5 {
+        let got = trainer.step(&data).unwrap();
+        let want = reference.step(&data);
+        assert!(
+            (got.mean_loss - want).abs() <= 1e-4 * want.abs().max(1.0),
+            "step {step}: loss {} vs reference {want}",
+            got.mean_loss
+        );
+        let got_params = trainer.params().unwrap();
+        for (p, (gp, rp)) in got_params.iter().zip(&reference.params).enumerate() {
+            assert!(
+                gp.allclose(rp, 1e-3),
+                "step {step}: param {p} diverged under {}",
+                schedule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sgd_training_tracks_reference_under_gpipe() {
+    let model = mlp_chain(4, 2, 4, 2, 41).unwrap();
+    assert_tracks_reference(&model, &gpipe(2, 4).unwrap(), Optimizer::Sgd { lr: 0.02 });
+}
+
+#[test]
+fn sgd_training_tracks_reference_under_1f1b() {
+    let model = mlp_chain(4, 2, 4, 4, 42).unwrap();
+    assert_tracks_reference(&model, &one_f1b(4, 8).unwrap(), Optimizer::Sgd { lr: 0.02 });
+}
+
+#[test]
+fn adam_training_tracks_reference_under_interleaved() {
+    let model = mlp_chain(4, 2, 4, 4, 43).unwrap();
+    assert_tracks_reference(
+        &model,
+        &interleaved_1f1b(2, 4, 2).unwrap(),
+        Optimizer::adam(0.01),
+    );
+}
+
+#[test]
+fn momentum_training_tracks_reference() {
+    let model = mlp_chain(4, 2, 2, 2, 44).unwrap();
+    assert_tracks_reference(
+        &model,
+        &one_f1b(2, 4).unwrap(),
+        Optimizer::Momentum {
+            lr: 0.02,
+            momentum: 0.9,
+        },
+    );
+}
+
+#[test]
+fn all_schedules_agree_with_each_other() {
+    // Same model, same data: GPipe, 1F1B, and interleaved 1F1B must all
+    // produce the same losses (they are different orderings of the same
+    // dataflow).
+    let model = mlp_chain(4, 2, 4, 2, 45).unwrap();
+    let data = mlp_data(4, 4, 2, 46);
+    let mut losses = Vec::new();
+    for schedule in [
+        gpipe(2, 4).unwrap(),
+        one_f1b(2, 4).unwrap(),
+        interleaved_1f1b(2, 4, 2).unwrap(),
+    ] {
+        let model_for = if schedule.n_stages() == 4 {
+            mlp_chain(4, 2, 4, 4, 45).unwrap()
+        } else {
+            model.clone()
+        };
+        let trainer = compile_train_step(
+            &model_for.jaxpr,
+            model_for.n_params,
+            &schedule,
+            Optimizer::Sgd { lr: 0.05 },
+            CompileOptions::default(),
+        )
+        .unwrap();
+        trainer.init(&model_for.init).unwrap();
+        let mut per_step = Vec::new();
+        for _ in 0..3 {
+            per_step.push(trainer.step(&data).unwrap().mean_loss);
+        }
+        losses.push(per_step);
+    }
+    for other in &losses[1..] {
+        for (a, b) in losses[0].iter().zip(other) {
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn tiny_transformer_with_tied_embeddings_learns() {
+    // The full §3.4 scenario: a transformer LM whose embedding table is
+    // shared between the first and last pipeline stage, trained with the
+    // interleaved schedule on the threaded runtime. The model must learn
+    // a deterministic next-token pattern.
+    let cfg = TinyLmConfig {
+        seq: 8,
+        vocab: 8,
+        emb: 16,
+        ffn: 32,
+        blocks: 4,
+        heads: 2, // multi-head attention through the pipeline
+        n_stages: 4,
+        tied_embeddings: true,
+    };
+    let model = tiny_lm(cfg, 47).unwrap();
+    let schedule = interleaved_1f1b(2, 4, 2).unwrap();
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::adam(3e-3),
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+
+    // Task: predict token (t + 1) mod V from token t.
+    let mask = causal_mask(cfg.seq);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut masks = Vec::new();
+    for mb in 0..4usize {
+        let tokens: Vec<usize> = (0..cfg.seq).map(|i| (i + mb) % cfg.vocab).collect();
+        let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
+        xs.push(one_hot(&tokens, cfg.vocab));
+        ys.push(one_hot(&targets, cfg.vocab));
+        masks.push(mask.clone());
+    }
+    let data = vec![xs, ys, masks];
+
+    let first = trainer.step(&data).unwrap().mean_loss;
+    let mut last = first;
+    for _ in 0..40 {
+        last = trainer.step(&data).unwrap().mean_loss;
+    }
+    assert!(
+        last < 0.5 * first,
+        "tied-embedding LM failed to learn: {first} -> {last}"
+    );
+}
