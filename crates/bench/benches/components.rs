@@ -1,8 +1,9 @@
-//! Criterion microbenchmarks of RaxPP's own machinery: tracing,
-//! differentiation, pipeline compilation, schedule generation, the
-//! discrete-event simulator, and one full executable training step.
+//! Microbenchmarks of RaxPP's own machinery: tracing, differentiation,
+//! pipeline compilation, schedule generation, the discrete-event
+//! simulator, and one full executable training step. Timed with the
+//! in-tree harness (`raxpp_bench::time_it`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raxpp_bench::time_it;
 use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
 use raxpp_ir::{grad, Tensor, TraceCtx};
 use raxpp_models::{mlp_chain, ModelConfig};
@@ -22,52 +23,49 @@ fn trace_mlp(layers: usize) -> raxpp_ir::Jaxpr {
     ctx.finish(&[loss]).unwrap()
 }
 
-fn bench_compiler(c: &mut Criterion) {
-    c.bench_function("trace_16_layer_mlp", |b| b.iter(|| trace_mlp(16)));
+fn bench_compiler() {
+    time_it("trace_16_layer_mlp", 3, 20, || {
+        let _ = trace_mlp(16);
+    });
     let jaxpr = trace_mlp(16);
-    c.bench_function("autodiff_16_layer_mlp", |b| {
-        b.iter(|| grad(&jaxpr).unwrap())
+    time_it("autodiff_16_layer_mlp", 3, 20, || {
+        let _ = grad(&jaxpr).unwrap();
     });
 
     let model = mlp_chain(16, 4, 8, 4, 0).unwrap();
     let pmodel = pipeline_model(&model.jaxpr, model.n_params).unwrap();
     let schedule = interleaved_1f1b(2, 8, 2).unwrap();
-    c.bench_function("unroll_8x4_pipeline", |b| {
-        b.iter(|| {
-            let mut compiled = unroll_loop(&pmodel, &schedule, UnrollOptions::default()).unwrap();
-            insert_frees(&mut compiled.program);
-            compiled
-        })
+    time_it("unroll_8x4_pipeline", 3, 20, || {
+        let mut compiled = unroll_loop(&pmodel, &schedule, UnrollOptions::default()).unwrap();
+        insert_frees(&mut compiled.program);
     });
 }
 
-fn bench_schedules(c: &mut Criterion) {
-    c.bench_function("build_interleaved_pp8_ga32_v6", |b| {
-        b.iter(|| interleaved_1f1b(8, 32, 6).unwrap())
+fn bench_schedules() {
+    time_it("build_interleaved_pp8_ga32_v6", 3, 20, || {
+        let _ = interleaved_1f1b(8, 32, 6).unwrap();
     });
     let schedule = interleaved_1f1b(8, 32, 6).unwrap();
-    c.bench_function("uniform_simulate_pp8_ga32_v6", |b| {
-        b.iter(|| simulate(&schedule, UniformCost::default()).unwrap())
+    time_it("uniform_simulate_pp8_ga32_v6", 3, 20, || {
+        let _ = simulate(&schedule, UniformCost::default()).unwrap();
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let gpt3 = ModelConfig::gpt3_175b();
     let eos = ClusterSpec::eos();
-    c.bench_function("des_gpt3_flagship", |b| {
-        b.iter(|| {
-            simulate_pipeline(
-                &gpt3,
-                ParallelConfig::jaxpp_gpt3(1),
-                &eos,
-                &SimOptions::default(),
-            )
-            .unwrap()
-        })
+    time_it("des_gpt3_flagship", 3, 20, || {
+        let _ = simulate_pipeline(
+            &gpt3,
+            ParallelConfig::jaxpp_gpt3(1),
+            &eos,
+            &SimOptions::default(),
+        )
+        .unwrap();
     });
 }
 
-fn bench_runtime(c: &mut Criterion) {
+fn bench_runtime() {
     let model = mlp_chain(8, 2, 4, 2, 0).unwrap();
     let schedule = raxpp_sched::one_f1b(2, 4).unwrap();
     let trainer = compile_train_step(
@@ -80,20 +78,14 @@ fn bench_runtime(c: &mut Criterion) {
     .unwrap();
     trainer.init(&model.init).unwrap();
     let data: Vec<Vec<Tensor>> = vec![(0..4).map(|_| Tensor::ones([2, 8])).collect()];
-    c.bench_function("mpmd_training_step_2actors", |b| {
-        b.iter_batched(
-            || data.clone(),
-            |d| trainer.step(&d).unwrap(),
-            BatchSize::SmallInput,
-        )
+    time_it("mpmd_training_step_2actors", 2, 10, || {
+        let _ = trainer.step(&data).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_compiler,
-    bench_schedules,
-    bench_simulator,
-    bench_runtime
-);
-criterion_main!(benches);
+fn main() {
+    bench_compiler();
+    bench_schedules();
+    bench_simulator();
+    bench_runtime();
+}

@@ -1,0 +1,242 @@
+//! End-to-end training-step wall-time benchmark for the executable
+//! MPMD path (ISSUE acceptance gate).
+//!
+//! Runs a 4-stage tanh MLP at `[256,1024]x[1024,1024]` scale under a
+//! GPipe schedule twice:
+//!
+//! * **optimized** — the default backend: blocked/parallel kernels,
+//!   zero-copy `Arc` tensors, and the buffer-reuse interpreter
+//!   (`RAXPP_THREADS=4`);
+//! * **reference** — the seed-equivalent baseline
+//!   (`set_reference_mode(true)`): naive kernels, deep-copied
+//!   operands/results, single-threaded.
+//!
+//! Both paths start from the same initial parameters and consume the
+//! same data, so per-step losses must match **bitwise** — asserted
+//! here, which makes the benchmark double as an integration check of
+//! the bit-compatibility contract.
+//!
+//! Writes `BENCH_step.json` at the workspace root with median/p95 step
+//! wall time, per-step RPC count, peak resident store bytes, allocator
+//! stats, and the measured speedup.
+//!
+//! Knobs: `RAXPP_BENCH_STEPS` (timed optimized steps, default 7) and
+//! `RAXPP_BENCH_REF_STEPS` (timed reference steps, default 2 — each
+//! reference step is tens of seconds).
+
+use std::time::{Duration, Instant};
+
+use raxpp_bench::{median, percentile, rule, workspace_root, write_json, Json};
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, Trainer};
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::{set_num_threads, set_reference_mode, EvalStats, Tensor};
+use raxpp_models::{mlp_chain, BuiltModel};
+use raxpp_sched::gpipe;
+
+const WIDTH: usize = 1024;
+const BATCH: usize = 256;
+const LAYERS: usize = 4;
+const STAGES: usize = 4;
+const N_MB: usize = 4;
+const THREADS: usize = 4;
+
+fn env_steps(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn build_trainer(model: &BuiltModel) -> Trainer {
+    let schedule = gpipe(STAGES, N_MB).unwrap();
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::Sgd { lr: 1e-3 },
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    trainer
+}
+
+/// One measured pass: `steps` timed training steps over pre-generated
+/// per-step data. Returns per-step walls, per-step losses, and the
+/// runtime stats of the final step.
+struct Measured {
+    walls: Vec<Duration>,
+    losses: Vec<Vec<f32>>,
+    rpcs: usize,
+    peak_bytes: usize,
+    alloc: EvalStats,
+    kinds: Vec<(&'static str, Duration, u32)>,
+}
+
+fn run(trainer: &Trainer, data: &[Vec<Vec<Tensor>>]) -> Measured {
+    let mut walls = Vec::new();
+    let mut losses = Vec::new();
+    let mut rpcs = 0;
+    let mut alloc = EvalStats::default();
+    let mut kind_map: std::collections::HashMap<&'static str, (Duration, u32)> =
+        std::collections::HashMap::new();
+    for step_data in data {
+        let t0 = Instant::now();
+        let out = trainer.step(step_data).unwrap();
+        walls.push(t0.elapsed());
+        losses.push(out.losses.clone());
+        rpcs = out.stats.rpcs;
+        alloc = out.stats.alloc_stats();
+        kind_map.clear();
+        for p in &out.stats.profiles {
+            for (k, d, c) in p.entries() {
+                let e = kind_map.entry(k).or_insert((Duration::ZERO, 0));
+                e.0 += d;
+                e.1 += c;
+            }
+        }
+    }
+    let mut kinds: Vec<_> = kind_map.into_iter().map(|(k, (d, c))| (k, d, c)).collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1));
+    let peak_bytes = trainer
+        .runtime()
+        .peak_store_bytes()
+        .map(|v| v.iter().sum())
+        .unwrap_or(0);
+    Measured {
+        walls,
+        losses,
+        rpcs,
+        peak_bytes,
+        alloc,
+        kinds,
+    }
+}
+
+fn step_data(rng: &mut StdRng, steps: usize) -> Vec<Vec<Vec<Tensor>>> {
+    (0..steps)
+        .map(|_| {
+            vec![(0..N_MB)
+                .map(|_| Tensor::randn([BATCH, WIDTH], 1.0, rng))
+                .collect()]
+        })
+        .collect()
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn main() {
+    let steps = env_steps("RAXPP_BENCH_STEPS", 7);
+    let ref_steps = env_steps("RAXPP_BENCH_REF_STEPS", 2);
+    let model = mlp_chain(WIDTH, BATCH, LAYERS, STAGES, 42).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    // One shared data stream; both paths replay the same prefix so the
+    // parameter trajectories — and therefore per-step losses — align.
+    let data = step_data(&mut rng, steps + 1);
+
+    println!(
+        "step_time: {STAGES}-stage MLP, {LAYERS}x[{WIDTH},{WIDTH}] weights, \
+         batch [{BATCH},{WIDTH}], {N_MB} microbatches, gpipe"
+    );
+    rule(72);
+
+    // Optimized path: blocked kernels + zero-copy interpreter.
+    set_reference_mode(false);
+    set_num_threads(THREADS);
+    let trainer = build_trainer(&model);
+    let warm = run(&trainer, &data[..1]); // warmup step (untimed below)
+    let fast = run(&trainer, &data[1..]);
+    println!(
+        "optimized ({THREADS} threads): median {:>8.2?}  p95 {:>8.2?}  ({steps} steps)",
+        median(&fast.walls),
+        percentile(&fast.walls, 95.0),
+    );
+    println!(
+        "  rpcs/step {}  peak store {:.1} MiB  alloc/reused/freed per step: {}/{}/{}",
+        fast.rpcs,
+        fast.peak_bytes as f64 / (1024.0 * 1024.0),
+        fast.alloc.allocated,
+        fast.alloc.reused,
+        fast.alloc.freed,
+    );
+    for &(k, d, c) in &fast.kinds {
+        println!("    {k:<12} {:>9.1?} total  ({c} instrs)", d);
+    }
+
+    // Reference path: seed-equivalent deep-copy interpreter, naive
+    // kernels, single thread. Fresh trainer from the same init params.
+    set_reference_mode(true);
+    set_num_threads(1);
+    let ref_trainer = build_trainer(&model);
+    let reference = run(&ref_trainer, &data[..1 + ref_steps]);
+    set_reference_mode(false);
+    set_num_threads(THREADS);
+    // Skip the shared warmup step when timing the baseline.
+    let ref_walls = &reference.walls[1..];
+    println!(
+        "reference (1 thread):        median {:>8.2?}  p95 {:>8.2?}  ({ref_steps} steps)",
+        median(ref_walls),
+        percentile(ref_walls, 95.0),
+    );
+
+    // Bit-compatibility gate: identical params + data => identical
+    // losses, down to the last bit, on every overlapping step.
+    let fast_losses: Vec<&Vec<f32>> = std::iter::once(&warm.losses[0])
+        .chain(fast.losses.iter())
+        .collect();
+    for (i, want) in reference.losses.iter().enumerate() {
+        assert_eq!(
+            fast_losses[i], want,
+            "step {i}: optimized losses diverge bitwise from reference"
+        );
+    }
+    println!(
+        "bitwise loss parity: OK over {} shared steps",
+        reference.losses.len()
+    );
+
+    let speedup = secs(median(ref_walls)) / secs(median(&fast.walls));
+    rule(72);
+    println!("speedup (median step wall): {speedup:.2}x  (acceptance: >= 3x)");
+
+    let json = Json::obj(vec![
+        (
+            "workload",
+            Json::Str(format!(
+                "{STAGES}-stage MLP {LAYERS}x[{WIDTH},{WIDTH}], batch [{BATCH},{WIDTH}], \
+                 {N_MB} microbatches, gpipe"
+            )),
+        ),
+        ("threads", Json::Num(THREADS as f64)),
+        ("steps", Json::Num(steps as f64)),
+        ("median_step_s", Json::Num(secs(median(&fast.walls)))),
+        ("p95_step_s", Json::Num(secs(percentile(&fast.walls, 95.0)))),
+        ("rpcs_per_step", Json::Num(fast.rpcs as f64)),
+        ("peak_store_bytes", Json::Num(fast.peak_bytes as f64)),
+        (
+            "alloc_per_step",
+            Json::obj(vec![
+                ("allocated", Json::Num(fast.alloc.allocated as f64)),
+                ("reused", Json::Num(fast.alloc.reused as f64)),
+                ("freed", Json::Num(fast.alloc.freed as f64)),
+            ]),
+        ),
+        (
+            "reference",
+            Json::obj(vec![
+                ("steps", Json::Num(ref_steps as f64)),
+                ("median_step_s", Json::Num(secs(median(ref_walls)))),
+                ("p95_step_s", Json::Num(secs(percentile(ref_walls, 95.0)))),
+                ("rpcs_per_step", Json::Num(reference.rpcs as f64)),
+                ("peak_store_bytes", Json::Num(reference.peak_bytes as f64)),
+            ]),
+        ),
+        ("speedup_median", Json::Num(speedup)),
+    ]);
+    let path = workspace_root().join("BENCH_step.json");
+    write_json(&path, &json);
+    println!("wrote {}", path.display());
+}

@@ -1,25 +1,136 @@
 //! Shared helpers for the paper-reproduction bench harnesses: pretty
-//! tables on stdout plus machine-readable JSON records under
-//! `target/paper_artifacts/`.
+//! tables on stdout plus machine-readable JSON records, emitted by an
+//! in-tree writer (the workspace builds with an empty registry, so
+//! there is no serde here).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-use serde::Serialize;
+/// A minimal JSON value for the artifact dumps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers print without a fraction).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The workspace root (anchor for artifact paths regardless of the
+/// bench's CWD).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes a JSON value to `path` (best-effort; printing is the primary
+/// output of every harness).
+pub fn write_json(path: &Path, value: &Json) {
+    if let Some(dir) = path.parent() {
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    let _ = fs::write(path, value.to_string_pretty() + "\n");
+}
 
 /// Writes one experiment's records as JSON under
-/// `target/paper_artifacts/<name>.json` (best-effort; printing is the
-/// primary output).
-pub fn dump_json<T: Serialize>(name: &str, value: &T) {
-    // Anchor at the workspace root regardless of the bench's CWD.
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper_artifacts");
-    if fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = fs::write(dir.join(format!("{name}.json")), s);
-    }
+/// `target/paper_artifacts/<name>.json` (best-effort).
+pub fn dump_json(name: &str, records: &[Compared]) {
+    let arr = Json::Arr(records.iter().map(Compared::to_json).collect());
+    let path = workspace_root()
+        .join("target/paper_artifacts")
+        .join(format!("{name}.json"));
+    write_json(&path, &arr);
 }
 
 /// Prints a horizontal rule sized for the harness tables.
@@ -32,8 +143,8 @@ pub fn pct_err(measured: f64, paper: f64) -> String {
     format!("{:+.1}%", (measured - paper) / paper * 100.0)
 }
 
-/// A serializable (measured, paper) pair for the JSON dumps.
-#[derive(Debug, Serialize)]
+/// A (measured, paper) pair for the JSON dumps.
+#[derive(Debug)]
 pub struct Compared {
     /// Label of the data point.
     pub label: String,
@@ -51,5 +162,83 @@ impl Compared {
             measured,
             paper,
         }
+    }
+
+    /// This record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("measured", Json::Num(self.measured)),
+            ("paper", self.paper.map(Json::Num).unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+/// Times `f` over `iters` iterations after `warmup` discarded ones and
+/// prints the mean per-iteration wall time. Returns the mean duration.
+/// The hand-rolled replacement for the criterion micro-bench harness.
+pub fn time_it(label: &str, warmup: usize, iters: usize, mut f: impl FnMut()) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = t0.elapsed() / iters.max(1) as u32;
+    println!("{label:<40} {mean:>12.2?}/iter  ({iters} iters)");
+    mean
+}
+
+/// The `p`-th percentile (0..=100) of a set of durations, by
+/// nearest-rank on a sorted copy.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1).min(sorted.len()) - 1]
+}
+
+/// The median of a set of durations.
+pub fn median(samples: &[Duration]) -> Duration {
+    percentile(samples, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_pretty_output() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("a\"b".into())),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("none", Json::Null),
+            ("ok", Json::Bool(true)),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.contains("\"a\\\"b\""), "{s}");
+        assert!(s.contains("2.5"), "{s}");
+        assert!(s.contains("null"), "{s}");
+        // Integral floats print without a fraction.
+        assert!(s.contains("\n    1,"), "{s}");
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(median(&xs), Duration::from_millis(50));
+        assert_eq!(percentile(&xs, 95.0), Duration::from_millis(95));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn compared_to_json() {
+        let c = Compared::new("x", 1.5, None);
+        let s = c.to_json().to_string_pretty();
+        assert!(s.contains("\"paper\": null"), "{s}");
     }
 }

@@ -499,8 +499,8 @@ mod tests {
         let h = x.matmul(&w1).unwrap().tanh();
         let y = h.matmul(&w2).unwrap().sum();
         let j = ctx.finish(&[y]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        use rand::SeedableRng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(7);
+        use crate::rng::SeedableRng;
         let inputs = vec![
             Tensor::randn([2, 3], 0.5, &mut rng),
             Tensor::randn([3, 4], 0.5, &mut rng),
@@ -517,8 +517,8 @@ mod tests {
         let y = x.add(&b.broadcast_to([2, 3]).unwrap()).unwrap();
         let loss = y.mul(&y).unwrap().sum();
         let j = ctx.finish(&[loss]).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        use crate::rng::SeedableRng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(8);
         let inputs = vec![
             Tensor::randn([2, 3], 1.0, &mut rng),
             Tensor::randn([3], 1.0, &mut rng),
@@ -557,8 +557,8 @@ mod tests {
         let y = x.layer_norm(&gm, &bt, 1e-5).unwrap();
         let loss = y.mul(&y).unwrap().sum();
         let j = ctx.finish(&[loss]).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use crate::rng::SeedableRng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(9);
         let inputs = vec![
             Tensor::randn([2, 4], 1.0, &mut rng),
             Tensor::randn([4], 0.3, &mut rng).map(|v| v + 1.0),
@@ -635,8 +635,8 @@ mod tests {
         let b = ctx.input([2, 3, 2]);
         let loss = a.bmm(&b).unwrap().sum();
         let j = ctx.finish(&[loss]).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        use crate::rng::SeedableRng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(31);
         let inputs = vec![
             Tensor::randn([2, 2, 3], 0.5, &mut rng),
             Tensor::randn([2, 3, 2], 0.5, &mut rng),
@@ -652,8 +652,8 @@ mod tests {
         let p = x.permute(&[2, 0, 1]).unwrap();
         let loss = p.mul(&p).unwrap().sum().scale(0.5);
         let j = ctx.finish(&[loss]).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        use crate::rng::SeedableRng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(32);
         let inputs = vec![Tensor::randn([2, 3, 4], 1.0, &mut rng)];
         check_grads(&j, &inputs, 2e-2);
     }

@@ -1,9 +1,68 @@
-//! Reference CPU interpreter for [`Jaxpr`] graphs.
+//! CPU interpreter for [`Jaxpr`] graphs with buffer-liveness tracking.
+//!
+//! The interpreter mirrors the paper's buffer-deletion discipline
+//! (§4.2–4.3) on a single device: before execution it computes a
+//! last-use table over the graph, drops each intermediate buffer at its
+//! last consuming equation, and lets elementwise primitives *steal* a
+//! uniquely-owned operand buffer for in-place execution. Buffers that
+//! arrived from the caller (or sit in an actor's object store) are
+//! always aliased from outside the interpreter, so `Arc::get_mut` fails
+//! on them and they are never mutated — only graph-local intermediates
+//! are recycled.
+//!
+//! [`eval_reference`] preserves the pre-optimization execution model
+//! (deep-copied inputs, naive serial kernels, copying yields) so
+//! benchmarks can measure the speedup against an honest baseline;
+//! [`set_reference_mode`] (or `RAXPP_REFERENCE=1`) routes [`eval`]
+//! through it globally.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 use crate::error::{IrError, Result};
 use crate::graph::Jaxpr;
 use crate::prim::Prim;
 use crate::tensor::{gelu, gelu_grad, Tensor};
+
+/// Buffer-allocator counters for one [`eval_with_stats`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Output buffers freshly allocated.
+    pub allocated: u64,
+    /// Outputs that reused an operand buffer in place or aliased it
+    /// zero-copy (reshape, pipeline yield).
+    pub reused: u64,
+    /// Intermediate buffers dropped at their last use.
+    pub freed: u64,
+}
+
+impl EvalStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.allocated += other.allocated;
+        self.reused += other.reused;
+        self.freed += other.freed;
+    }
+}
+
+static REFERENCE: AtomicBool = AtomicBool::new(false);
+static REFERENCE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Globally routes [`eval`] through [`eval_reference`] (the pre-optimization
+/// deep-copy + naive-kernel execution model). Used by benchmarks to measure
+/// the optimized path against an honest baseline.
+pub fn set_reference_mode(on: bool) {
+    REFERENCE.store(on, Ordering::SeqCst);
+}
+
+fn reference_mode() -> bool {
+    REFERENCE.load(Ordering::SeqCst)
+        || *REFERENCE_ENV.get_or_init(|| {
+            std::env::var("RAXPP_REFERENCE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false)
+        })
+}
 
 /// Evaluates a single primitive on concrete tensors.
 ///
@@ -49,14 +108,217 @@ pub fn eval_prim(prim: &Prim, inputs: &[&Tensor]) -> Result<Tensor> {
     }
 }
 
-/// Evaluates a graph on concrete inputs, returning its outputs in order.
+/// Evaluates a primitive on *owned* operands, writing in place when an
+/// operand buffer is uniquely held and aliasing zero-copy where the op
+/// permits it. Numerically bit-identical to [`eval_prim`].
+fn eval_prim_owned(prim: &Prim, mut inputs: Vec<Tensor>, stats: &mut EvalStats) -> Result<Tensor> {
+    if inputs.len() != prim.arity() {
+        return Err(IrError::ArityMismatch {
+            context: prim.name().into(),
+            expected: prim.arity(),
+            found: inputs.len(),
+        });
+    }
+    macro_rules! unary {
+        ($f:expr) => {{
+            let (t, reused) = inputs.pop().expect("arity checked").map_into($f);
+            if reused {
+                stats.reused += 1;
+            } else {
+                stats.allocated += 1;
+            }
+            Ok(t)
+        }};
+    }
+    macro_rules! binary {
+        ($f:expr) => {{
+            let b = inputs.pop().expect("arity checked");
+            let a = inputs.pop().expect("arity checked");
+            let (t, reused) = a.zip_into(b, $f)?;
+            if reused {
+                stats.reused += 1;
+            } else {
+                stats.allocated += 1;
+            }
+            Ok(t)
+        }};
+    }
+    match prim {
+        Prim::Add => binary!(|a, b| a + b),
+        Prim::Sub => binary!(|a, b| a - b),
+        Prim::Mul => binary!(|a, b| a * b),
+        Prim::Div => binary!(|a, b| a / b),
+        Prim::Neg => unary!(|x| -x),
+        Prim::Scale(c) => {
+            let c = *c;
+            unary!(move |x| x * c)
+        }
+        Prim::AddScalar(c) => {
+            let c = *c;
+            unary!(move |x| x + c)
+        }
+        Prim::Relu => unary!(|x: f32| x.max(0.0)),
+        Prim::Gelu => unary!(gelu),
+        Prim::Tanh => unary!(f32::tanh),
+        Prim::Exp => unary!(f32::exp),
+        Prim::Log => unary!(f32::ln),
+        Prim::Sqrt => unary!(f32::sqrt),
+        Prim::Rsqrt => unary!(|x: f32| 1.0 / x.sqrt()),
+        Prim::Step => unary!(|x| if x > 0.0 { 1.0 } else { 0.0 }),
+        Prim::GeluGrad => unary!(gelu_grad),
+        // Zero-copy aliases: no buffer traffic at all.
+        Prim::Reshape { shape } => {
+            stats.reused += 1;
+            inputs[0].reshape(shape.clone())
+        }
+        Prim::PipelineYield { .. } => {
+            stats.reused += 1;
+            Ok(inputs.pop().expect("arity checked"))
+        }
+        // Layout- and shape-changing ops allocate a fresh output.
+        _ => {
+            stats.allocated += 1;
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            eval_prim(prim, &refs)
+        }
+    }
+}
+
+/// For each variable, the 1-based index of the equation that consumes it
+/// last; `usize::MAX` for graph outputs (never dropped), 0 for variables
+/// that are never consumed.
+fn last_use_table(jaxpr: &Jaxpr) -> Vec<usize> {
+    let mut last_use = vec![0usize; jaxpr.num_vars()];
+    for (i, eqn) in jaxpr.eqns().iter().enumerate() {
+        for v in &eqn.inputs {
+            last_use[v.index()] = i + 1;
+        }
+    }
+    for v in jaxpr.outvars() {
+        last_use[v.index()] = usize::MAX;
+    }
+    last_use
+}
+
+/// Evaluates a graph on concrete inputs, returning outputs and
+/// buffer-allocator statistics.
+///
+/// Intermediates are dropped at their last use and elementwise ops run
+/// in place on uniquely-owned buffers; results are bit-identical to the
+/// allocate-everything path because only buffer *lifetimes*, never
+/// reduction orders, change.
 ///
 /// # Errors
 ///
 /// Returns an arity error when `inputs.len()` differs from the graph's
 /// input count, a shape error when an input tensor's shape differs from
 /// the declared one, or any primitive evaluation error.
+pub fn eval_with_stats(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<(Vec<Tensor>, EvalStats)> {
+    if reference_mode() {
+        return eval_reference(jaxpr, inputs).map(|o| (o, EvalStats::default()));
+    }
+    if inputs.len() != jaxpr.invars().len() {
+        return Err(IrError::ArityMismatch {
+            context: "eval".into(),
+            expected: jaxpr.invars().len(),
+            found: inputs.len(),
+        });
+    }
+    let mut stats = EvalStats::default();
+    let last_use = last_use_table(jaxpr);
+    let mut env: Vec<Option<Tensor>> = vec![None; jaxpr.num_vars()];
+    for (&v, t) in jaxpr.invars().iter().zip(inputs) {
+        if t.shape() != jaxpr.shape(v) {
+            return Err(IrError::ShapeMismatch {
+                context: format!("eval input {v}"),
+                expected: jaxpr.shape(v).clone(),
+                found: t.shape().clone(),
+            });
+        }
+        // O(1) handle copy; the caller keeps its reference, so this
+        // buffer can never be stolen for in-place writes.
+        env[v.index()] = Some(t.clone());
+    }
+    for (i, eqn) in jaxpr.eqns().iter().enumerate() {
+        let idx = i + 1;
+        let mut operands: Vec<Tensor> = Vec::with_capacity(eqn.inputs.len());
+        for (j, v) in eqn.inputs.iter().enumerate() {
+            let vi = v.index();
+            // Take (move out of the environment) at the variable's last
+            // use — and, within this equation, only at its last
+            // occurrence so duplicate operands stay consistent.
+            let recurs_later = eqn.inputs[j + 1..].iter().any(|w| w.index() == vi);
+            let t = if last_use[vi] == idx && !recurs_later {
+                stats.freed += 1;
+                env[vi].take()
+            } else {
+                env[vi].clone()
+            };
+            operands.push(t.ok_or(IrError::InvalidVar {
+                context: "eval".into(),
+                var: v.0,
+            })?);
+        }
+        let out = eval_prim_owned(&eqn.prim, operands, &mut stats)?;
+        let oi = eqn.output.index();
+        if last_use[oi] == 0 {
+            // Dead output: drop immediately instead of holding it until
+            // the end of the run.
+            stats.freed += 1;
+        } else {
+            env[oi] = Some(out);
+        }
+    }
+    let outputs = jaxpr
+        .outvars()
+        .iter()
+        .map(|v| {
+            env[v.index()].clone().ok_or(IrError::InvalidVar {
+                context: "eval output".into(),
+                var: v.0,
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok((outputs, stats))
+}
+
+/// Evaluates a graph on concrete inputs, returning its outputs in order.
+///
+/// # Errors
+///
+/// See [`eval_with_stats`].
 pub fn eval(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+    eval_with_stats(jaxpr, inputs).map(|(o, _)| o)
+}
+
+fn eval_prim_reference(prim: &Prim, inputs: &[&Tensor]) -> Result<Tensor> {
+    if inputs.len() != prim.arity() {
+        return Err(IrError::ArityMismatch {
+            context: prim.name().into(),
+            expected: prim.arity(),
+            found: inputs.len(),
+        });
+    }
+    match prim {
+        Prim::MatMul => inputs[0].matmul_naive(inputs[1]),
+        Prim::BatchMatMul => inputs[0].batch_matmul_naive(inputs[1]),
+        Prim::Transpose => inputs[0].transpose_naive(),
+        // Pre-optimization clones were deep copies.
+        Prim::PipelineYield { .. } => Ok(inputs[0].deep_copy()),
+        Prim::Reshape { shape } => Ok(inputs[0].reshape(shape.clone())?.deep_copy()),
+        _ => eval_prim(prim, inputs),
+    }
+}
+
+/// Evaluates a graph with the pre-optimization execution model: inputs
+/// are deep-copied on entry, every equation allocates its output, and
+/// matmul/transpose run on the naive serial kernels. Numerically
+/// bit-identical to [`eval`]; used as the baseline in `step_time`.
+///
+/// # Errors
+///
+/// Same contract as [`eval`].
+pub fn eval_reference(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
     if inputs.len() != jaxpr.invars().len() {
         return Err(IrError::ArityMismatch {
             context: "eval".into(),
@@ -73,7 +335,7 @@ pub fn eval(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
                 found: t.shape().clone(),
             });
         }
-        env[v.index()] = Some(t.clone());
+        env[v.index()] = Some(t.deep_copy());
     }
     for eqn in jaxpr.eqns() {
         let operands: Vec<&Tensor> = eqn
@@ -86,17 +348,20 @@ pub fn eval(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
                 })
             })
             .collect::<Result<_>>()?;
-        let out = eval_prim(&eqn.prim, &operands)?;
+        let out = eval_prim_reference(&eqn.prim, &operands)?;
         env[eqn.output.index()] = Some(out);
     }
     jaxpr
         .outvars()
         .iter()
         .map(|v| {
-            env[v.index()].clone().ok_or(IrError::InvalidVar {
-                context: "eval output".into(),
-                var: v.0,
-            })
+            env[v.index()]
+                .as_ref()
+                .map(Tensor::deep_copy)
+                .ok_or(IrError::InvalidVar {
+                    context: "eval output".into(),
+                    var: v.0,
+                })
         })
         .collect()
 }
@@ -105,6 +370,7 @@ pub fn eval(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
+    use crate::rng::{Rng, SeedableRng, StdRng};
     use crate::shape::Shape;
 
     #[test]
@@ -173,5 +439,133 @@ mod tests {
         let x = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap();
         let y = eval_prim(&p, &[&x]).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    fn mlp_graph() -> Jaxpr {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 8]);
+        let w1 = b.input([8, 8]);
+        let w2 = b.input([8, 8]);
+        let h = b.emit(Prim::MatMul, &[x, w1]).unwrap();
+        let a = b.emit(Prim::Tanh, &[h]).unwrap();
+        let h2 = b.emit(Prim::MatMul, &[a, w2]).unwrap();
+        let a2 = b.emit(Prim::Gelu, &[h2]).unwrap();
+        let s = b
+            .emit(
+                Prim::ReduceSum {
+                    axes: vec![0, 1],
+                    keepdims: false,
+                },
+                &[a2],
+            )
+            .unwrap();
+        let j = b.finish(vec![s]).unwrap();
+        j
+    }
+
+    fn mlp_inputs() -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(7);
+        vec![
+            Tensor::randn([4, 8], 1.0, &mut rng),
+            Tensor::randn([8, 8], 0.5, &mut rng),
+            Tensor::randn([8, 8], 0.5, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn stats_count_inplace_reuse_and_frees() {
+        let j = mlp_graph();
+        let (_, stats) = eval_with_stats(&j, &mlp_inputs()).unwrap();
+        // tanh steals matmul's fresh output; gelu steals the second
+        // matmul's output.
+        assert_eq!(stats.reused, 2, "{stats:?}");
+        // Two matmuls + reduce allocate.
+        assert_eq!(stats.allocated, 3, "{stats:?}");
+        // Every intermediate (and each input at its last use) is dropped.
+        assert!(stats.freed >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn inplace_eval_never_mutates_caller_inputs() {
+        let j = mlp_graph();
+        let inputs = mlp_inputs();
+        let snapshot: Vec<Tensor> = inputs.iter().map(Tensor::deep_copy).collect();
+        let _ = eval_with_stats(&j, &inputs).unwrap();
+        for (a, b) in inputs.iter().zip(&snapshot) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn eval_matches_reference_bitwise() {
+        let j = mlp_graph();
+        let inputs = mlp_inputs();
+        let fast = eval(&j, &inputs).unwrap();
+        let slow = eval_reference(&j, &inputs).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn duplicate_operands_in_one_eqn() {
+        // y = x * x where the multiply is x's last use: the second
+        // occurrence is taken, the first cloned; result must be exact.
+        let mut b = GraphBuilder::new();
+        let x = b.input([8]);
+        let sq = b.emit(Prim::Mul, &[x, x]).unwrap();
+        let j = b.finish(vec![sq]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::randn([8], 1.0, &mut rng);
+        let want: Vec<f32> = t.data().iter().map(|&v| v * v).collect();
+        let out = eval(&j, &[t.clone()]).unwrap();
+        assert_eq!(out[0].data(), &want[..]);
+        // x itself is untouched.
+        let _ = rng.next_u64();
+        assert_eq!(t.numel(), 8);
+    }
+
+    #[test]
+    fn outputs_survive_liveness_drops() {
+        // A graph output consumed mid-graph must not be freed.
+        let mut b = GraphBuilder::new();
+        let x = b.input([4]);
+        let y = b.emit(Prim::Scale(2.0), &[x]).unwrap();
+        let z = b.emit(Prim::AddScalar(1.0), &[y]).unwrap();
+        let j = b.finish(vec![y, z]).unwrap();
+        let out = eval(&j, &[Tensor::ones([4])]).unwrap();
+        assert_eq!(out[0].data(), &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(out[1].data(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_and_yield_are_zero_copy() {
+        use crate::prim::YieldId;
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 6]);
+        let r = b
+            .emit(
+                Prim::Reshape {
+                    shape: Shape::new([3, 4]),
+                },
+                &[x],
+            )
+            .unwrap();
+        let y = b
+            .emit(
+                Prim::PipelineYield {
+                    id: YieldId(0),
+                    backward: false,
+                },
+                &[r],
+            )
+            .unwrap();
+        let j = b.finish(vec![y]).unwrap();
+        let t = Tensor::ones([2, 6]);
+        let (out, stats) = eval_with_stats(&j, &[t.clone()]).unwrap();
+        assert!(std::ptr::eq(t.data().as_ptr(), out[0].data().as_ptr()));
+        assert_eq!(stats.allocated, 0);
+        assert_eq!(stats.reused, 2);
     }
 }

@@ -34,8 +34,10 @@ mod dtype;
 mod error;
 mod graph;
 mod interp;
+pub mod kernels;
 mod optimize;
 mod prim;
+pub mod rng;
 mod shape;
 mod tensor;
 mod trace;
@@ -44,7 +46,8 @@ pub use autodiff::{grad, linearize, value_and_grad, Linearized};
 pub use dtype::DType;
 pub use error::{IrError, Result};
 pub use graph::{Eqn, GraphBuilder, Jaxpr, VarId};
-pub use interp::{eval, eval_prim};
+pub use interp::{eval, eval_prim, eval_reference, eval_with_stats, set_reference_mode, EvalStats};
+pub use kernels::{num_threads, set_num_threads};
 pub use optimize::{optimize, OptimizeStats};
 pub use prim::{Prim, YieldId};
 pub use shape::Shape;

@@ -1,20 +1,25 @@
-//! Dense row-major `f32` tensors and the CPU kernels backing the
-//! interpreter.
+//! Dense row-major `f32` tensors backed by shared, immutable buffers.
 //!
-//! These are deliberately simple reference kernels: the goal of the
-//! executable path is *correctness* of the MPMD pipeline (gradients must
-//! match a single-device run bit-for-bit up to float associativity), not
-//! throughput. Performance at paper scale is handled by the
-//! `raxpp-simcluster` discrete-event model instead.
+//! `Tensor` data lives in an `Arc<[f32]>`: cloning a tensor, reshaping
+//! it, yielding it across a pipeline boundary, or sending it to another
+//! actor are all O(1) handle copies — the executable analogue of passing
+//! device-buffer references between the paper's Ray actors. Compute
+//! kernels (matmul, batched matmul, transpose) are cache-blocked and
+//! multi-threaded (see [`crate::kernels`]), with reduction orders that
+//! are bit-compatible with the naive seed kernels at any thread count.
+//! The interpreter additionally runs elementwise ops in place when it
+//! holds the only reference to a buffer ([`Tensor::map_into`],
+//! [`Tensor::zip_into`]).
 
 use std::fmt;
-
-use rand::Rng;
+use std::sync::Arc;
 
 use crate::error::{IrError, Result};
+use crate::kernels;
+use crate::rng::Rng;
 use crate::shape::Shape;
 
-/// A dense row-major tensor of `f32` values.
+/// A dense row-major tensor of `f32` values with shared storage.
 ///
 /// # Examples
 ///
@@ -29,10 +34,18 @@ use crate::shape::Shape;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<[f32]>,
 }
 
 impl Tensor {
+    fn from_parts(shape: Shape, data: Vec<f32>) -> Tensor {
+        debug_assert_eq!(shape.numel(), data.len());
+        Tensor {
+            shape,
+            data: data.into(),
+        }
+    }
+
     /// Builds a tensor from a shape and a flat row-major buffer.
     ///
     /// # Errors
@@ -49,25 +62,19 @@ impl Tensor {
                 shape.numel()
             )));
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor::from_parts(shape, data))
     }
 
     /// A scalar tensor.
     pub fn scalar(value: f32) -> Tensor {
-        Tensor {
-            shape: Shape::scalar(),
-            data: vec![value],
-        }
+        Tensor::from_parts(Shape::scalar(), vec![value])
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        Tensor::from_parts(shape, vec![value; n])
     }
 
     /// An all-zeros tensor.
@@ -82,11 +89,11 @@ impl Tensor {
 
     /// The `n`-by-`n` identity matrix.
     pub fn eye(n: usize) -> Tensor {
-        let mut t = Tensor::zeros([n, n]);
+        let mut data = vec![0.0f32; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor::from_parts(Shape::new([n, n]), data)
     }
 
     /// A tensor of i.i.d. standard normal samples drawn from `rng`, scaled
@@ -94,7 +101,7 @@ impl Tensor {
     pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        // Box-Muller keeps us independent of rand_distr.
+        // Box-Muller keeps us independent of any distributions crate.
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
@@ -106,7 +113,7 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Tensor { shape, data }
+        Tensor::from_parts(shape, data)
     }
 
     /// The tensor's shape.
@@ -122,6 +129,19 @@ impl Tensor {
     /// Total number of elements.
     pub fn numel(&self) -> usize {
         self.data.len()
+    }
+
+    /// Whether this handle is the sole owner of its buffer (no other
+    /// tensor, store, or in-flight send aliases it).
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// A tensor with the same shape whose buffer is freshly allocated
+    /// (never shared). Used by the reference interpreter to reproduce
+    /// the pre-optimization deep-copy cost model.
+    pub fn deep_copy(&self) -> Tensor {
+        Tensor::from_parts(self.shape.clone(), self.data.to_vec())
     }
 
     /// The single value of a scalar tensor.
@@ -148,6 +168,21 @@ impl Tensor {
         }
     }
 
+    /// Applies `f` elementwise, stealing this tensor's buffer when it is
+    /// uniquely owned (no allocation) and falling back to [`Tensor::map`]
+    /// otherwise. Returns the result and whether the buffer was reused.
+    pub fn map_into(mut self, f: impl Fn(f32) -> f32) -> (Tensor, bool) {
+        match Arc::get_mut(&mut self.data) {
+            Some(buf) => {
+                for x in buf.iter_mut() {
+                    *x = f(*x);
+                }
+                (self, true)
+            }
+            None => (self.map(f), false),
+        }
+    }
+
     /// Combines two same-shaped tensors elementwise.
     ///
     /// # Errors
@@ -166,7 +201,7 @@ impl Tensor {
         let data = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
         Ok(Tensor {
@@ -175,7 +210,42 @@ impl Tensor {
         })
     }
 
-    /// 2-D matrix multiply.
+    /// Elementwise combine that steals a uniquely-owned operand buffer
+    /// (preferring `self`, then `other`) and writes the result in place;
+    /// allocates only when both operands are shared. Returns the result
+    /// and whether a buffer was reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ShapeMismatch`] when shapes differ.
+    pub fn zip_into(
+        mut self,
+        mut other: Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<(Tensor, bool)> {
+        if self.shape != other.shape {
+            return Err(IrError::ShapeMismatch {
+                context: "elementwise op".into(),
+                expected: self.shape.clone(),
+                found: other.shape.clone(),
+            });
+        }
+        if let Some(buf) = Arc::get_mut(&mut self.data) {
+            for (x, &y) in buf.iter_mut().zip(other.data.iter()) {
+                *x = f(*x, y);
+            }
+            return Ok((self, true));
+        }
+        if let Some(buf) = Arc::get_mut(&mut other.data) {
+            for (y, &x) in buf.iter_mut().zip(self.data.iter()) {
+                *y = f(x, *y);
+            }
+            return Ok((other, true));
+        }
+        self.zip(&other, f).map(|t| (t, false))
+    }
+
+    /// 2-D matrix multiply (cache-blocked, multi-threaded).
     ///
     /// # Errors
     ///
@@ -185,27 +255,26 @@ impl Tensor {
         let out_shape = self.shape.matmul(&rhs.shape)?;
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let n = rhs.shape.dim(1);
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams over rhs rows, decent cache behaviour for
-        // a reference kernel.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
-        Tensor::from_vec(out_shape, out)
+        let out = kernels::matmul(&self.data, &rhs.data, m, k, n);
+        Ok(Tensor::from_parts(out_shape, out))
+    }
+
+    /// 2-D matrix multiply using the seed repo's naive serial kernel.
+    /// Kept for kernel-parity tests and pre-optimization baselines.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Result<Tensor> {
+        let out_shape = self.shape.matmul(&rhs.shape)?;
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let n = rhs.shape.dim(1);
+        let out = kernels::matmul_naive(&self.data, &rhs.data, m, k, n);
+        Ok(Tensor::from_parts(out_shape, out))
     }
 
     /// Transpose of the last two dimensions (rank ≥ 2; leading batch
-    /// dimensions are preserved).
+    /// dimensions are preserved). Tile-blocked and multi-threaded.
     ///
     /// # Errors
     ///
@@ -221,21 +290,42 @@ impl Tensor {
         }
         let out_shape = self.shape.transposed()?;
         let (m, n) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
-        let batch = self.numel() / (m * n);
-        let mut out = vec![0.0f32; self.numel()];
-        for b in 0..batch {
-            let src = &self.data[b * m * n..(b + 1) * m * n];
-            let dst = &mut out[b * m * n..(b + 1) * m * n];
-            for i in 0..m {
-                for j in 0..n {
-                    dst[j * m + i] = src[i * n + j];
-                }
-            }
-        }
-        Tensor::from_vec(out_shape, out)
+        let batch = if m * n == 0 {
+            0
+        } else {
+            self.numel() / (m * n)
+        };
+        let out = kernels::transpose(&self.data, batch, m, n);
+        Ok(Tensor::from_parts(out_shape, out))
     }
 
-    /// Batched matrix multiply `[b…, m, k] @ [b…, k, n]`.
+    /// Transpose using the seed repo's naive serial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::transpose`].
+    pub fn transpose_naive(&self) -> Result<Tensor> {
+        let r = self.shape.rank();
+        if r < 2 {
+            return Err(IrError::RankMismatch {
+                context: "transpose".into(),
+                expected: 2,
+                found: r,
+            });
+        }
+        let out_shape = self.shape.transposed()?;
+        let (m, n) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
+        let batch = if m * n == 0 {
+            0
+        } else {
+            self.numel() / (m * n)
+        };
+        let out = kernels::transpose_naive(&self.data, batch, m, n);
+        Ok(Tensor::from_parts(out_shape, out))
+    }
+
+    /// Batched matrix multiply `[b…, m, k] @ [b…, k, n]` (blocked,
+    /// multi-threaded).
     ///
     /// # Errors
     ///
@@ -245,27 +335,24 @@ impl Tensor {
         let r = self.shape.rank();
         let (m, k) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
         let n = rhs.shape.dim(r - 1);
-        let batch = self.numel() / (m * k);
-        let mut out = vec![0.0f32; batch * m * n];
-        for b in 0..batch {
-            let a = &self.data[b * m * k..(b + 1) * m * k];
-            let rb = &rhs.data[b * k * n..(b + 1) * k * n];
-            let ob = &mut out[b * m * n..(b + 1) * m * n];
-            for i in 0..m {
-                for p in 0..k {
-                    let av = a[i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let rrow = &rb[p * n..(p + 1) * n];
-                    let orow = &mut ob[i * n..(i + 1) * n];
-                    for j in 0..n {
-                        orow[j] += av * rrow[j];
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out_shape, out)
+        let batch = self.shape.dims()[..r - 2].iter().product();
+        let out = kernels::batch_matmul(&self.data, &rhs.data, batch, m, k, n);
+        Ok(Tensor::from_parts(out_shape, out))
+    }
+
+    /// Batched matmul using the seed repo's naive serial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::batch_matmul`].
+    pub fn batch_matmul_naive(&self, rhs: &Tensor) -> Result<Tensor> {
+        let out_shape = self.shape.batch_matmul(&rhs.shape)?;
+        let r = self.shape.rank();
+        let (m, k) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
+        let n = rhs.shape.dim(r - 1);
+        let batch = self.shape.dims()[..r - 2].iter().product();
+        let out = kernels::batch_matmul_naive(&self.data, &rhs.data, batch, m, k, n);
+        Ok(Tensor::from_parts(out_shape, out))
     }
 
     /// General axis permutation.
@@ -286,10 +373,11 @@ impl Tensor {
             }
             *slot = self.data[src];
         }
-        Tensor::from_vec(out_shape, out)
+        Ok(Tensor::from_parts(out_shape, out))
     }
 
-    /// Reshape preserving element count.
+    /// Reshape preserving element count. O(1): the result shares this
+    /// tensor's buffer.
     ///
     /// # Errors
     ///
@@ -304,7 +392,7 @@ impl Tensor {
         }
         Ok(Tensor {
             shape,
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         })
     }
 
@@ -340,7 +428,7 @@ impl Tensor {
             }
             *slot = self.data[src_index];
         }
-        Tensor::from_vec(target, out)
+        Ok(Tensor::from_parts(target, out))
     }
 
     /// Sum over `axes`.
@@ -384,7 +472,7 @@ impl Tensor {
             }
             out[idx] = f(out[idx], v);
         }
-        let t = Tensor::from_vec(kept, out)?;
+        let t = Tensor::from_parts(kept, out);
         if keepdims {
             Ok(t)
         } else {
@@ -400,7 +488,7 @@ impl Tensor {
         Some(
             self.data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| (a - b).abs())
                 .fold(0.0, f32::max),
         )
@@ -412,7 +500,7 @@ impl Tensor {
         if self.shape != other.shape {
             return false;
         }
-        self.data.iter().zip(&other.data).all(|(&a, &b)| {
+        self.data.iter().zip(other.data.iter()).all(|(&a, &b)| {
             let scale = 1.0f32.max(a.abs()).max(b.abs());
             (a - b).abs() <= tol * scale
         })
@@ -448,8 +536,7 @@ pub fn gelu_grad(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn construction_validates_length() {
@@ -590,5 +677,77 @@ mod tests {
         let var: f32 = t.data().iter().map(|x| x * x).sum::<f32>() / 10_000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn clone_and_reshape_share_storage() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = a.clone();
+        let r = a.reshape([3, 2]).unwrap();
+        assert!(std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+        assert!(std::ptr::eq(a.data().as_ptr(), r.data().as_ptr()));
+        assert!(!a.is_unique());
+    }
+
+    #[test]
+    fn map_into_steals_unique_buffers() {
+        let a = Tensor::from_vec([4], vec![1., 2., 3., 4.]).unwrap();
+        let ptr = a.data().as_ptr();
+        let (b, reused) = a.map_into(|x| x * 2.0);
+        assert!(reused);
+        assert!(std::ptr::eq(ptr, b.data().as_ptr()));
+        assert_eq!(b.data(), &[2., 4., 6., 8.]);
+
+        // A shared buffer must not be mutated.
+        let keep = b.clone();
+        let (c, reused) = b.map_into(|x| x + 1.0);
+        assert!(!reused);
+        assert_eq!(keep.data(), &[2., 4., 6., 8.]);
+        assert_eq!(c.data(), &[3., 5., 7., 9.]);
+    }
+
+    #[test]
+    fn zip_into_steals_either_operand() {
+        let a = Tensor::from_vec([3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec([3], vec![10., 20., 30.]).unwrap();
+        let a_ptr = a.data().as_ptr();
+        let (c, reused) = a.zip_into(b, |x, y| x + y).unwrap();
+        assert!(reused);
+        assert!(std::ptr::eq(a_ptr, c.data().as_ptr()));
+        assert_eq!(c.data(), &[11., 22., 33.]);
+
+        // self shared, other unique → other's buffer is stolen, with the
+        // non-commutative argument order preserved.
+        let a = Tensor::from_vec([3], vec![8., 8., 8.]).unwrap();
+        let a_alias = a.clone();
+        let b = Tensor::from_vec([3], vec![1., 2., 3.]).unwrap();
+        let b_ptr = b.data().as_ptr();
+        let (c, reused) = a.zip_into(b, |x, y| x - y).unwrap();
+        assert!(reused);
+        assert!(std::ptr::eq(b_ptr, c.data().as_ptr()));
+        assert_eq!(c.data(), &[7., 6., 5.]);
+        assert_eq!(a_alias.data(), &[8., 8., 8.]);
+
+        // Both shared → allocate.
+        let a = Tensor::from_vec([2], vec![1., 1.]).unwrap();
+        let b = Tensor::from_vec([2], vec![2., 2.]).unwrap();
+        let (_a2, _b2) = (a.clone(), b.clone());
+        let (c, reused) = a.zip_into(b, |x, y| x * y).unwrap();
+        assert!(!reused);
+        assert_eq!(c.data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(m, k, n) in &[(1, 1, 1), (7, 5, 3), (64, 64, 64), (33, 17, 65)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b).unwrap().data(),
+                a.matmul_naive(&b).unwrap().data(),
+                "({m},{k},{n})"
+            );
+        }
     }
 }

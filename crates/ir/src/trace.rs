@@ -455,8 +455,6 @@ mod tests {
         let x = ctx.input([3, 5]);
         let s = x.softmax(1).unwrap();
         let j = ctx.finish(&[s]).unwrap();
-        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
-        let _ = &mut rng;
         let input =
             Tensor::from_vec([3, 5], (0..15).map(|i| (i as f32) * 0.3 - 2.0).collect()).unwrap();
         let out = eval(&j, &[input]).unwrap();

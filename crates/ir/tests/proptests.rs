@@ -1,62 +1,84 @@
-//! Property-based tests for tensor kernels and autodiff.
+//! Property-style tests for tensor kernels and autodiff, driven by the
+//! in-tree deterministic PRNG (the registry-free replacement for the
+//! original proptest harness — same properties, fixed case streams).
 
-use proptest::prelude::*;
+use raxpp_ir::rng::{Rng, SeedableRng, StdRng};
 use raxpp_ir::{eval, grad, optimize, Shape, Tensor, TraceCtx, TracedTensor};
 
-fn tensor_strategy(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+const CASES: u64 = 64;
+
+fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
     let n: usize = shape.iter().product();
-    proptest::collection::vec(-2.0f32..2.0, n)
-        .prop_map(move |data| Tensor::from_vec(shape.clone(), data).unwrap())
+    let data = (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    Tensor::from_vec(shape.to_vec(), data).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// (A·B)ᵀ = Bᵀ·Aᵀ
-    #[test]
-    fn matmul_transpose_identity(
-        a in tensor_strategy(vec![3, 4]),
-        b in tensor_strategy(vec![4, 2]),
-    ) {
+/// (A·B)ᵀ = Bᵀ·Aᵀ
+#[test]
+fn matmul_transpose_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let a = rand_tensor(&[3, 4], &mut rng);
+        let b = rand_tensor(&[4, 2], &mut rng);
         let lhs = a.matmul(&b).unwrap().transpose().unwrap();
-        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
-        prop_assert!(lhs.allclose(&rhs, 1e-4));
+        let rhs = b
+            .transpose()
+            .unwrap()
+            .matmul(&a.transpose().unwrap())
+            .unwrap();
+        assert!(lhs.allclose(&rhs, 1e-4), "case {case}");
     }
+}
 
-    /// Matmul distributes over addition.
-    #[test]
-    fn matmul_distributes(
-        a in tensor_strategy(vec![2, 3]),
-        b in tensor_strategy(vec![3, 2]),
-        c in tensor_strategy(vec![3, 2]),
-    ) {
+/// Matmul distributes over addition.
+#[test]
+fn matmul_distributes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let a = rand_tensor(&[2, 3], &mut rng);
+        let b = rand_tensor(&[3, 2], &mut rng);
+        let c = rand_tensor(&[3, 2], &mut rng);
         let sum_first = a.matmul(&b.zip(&c, |x, y| x + y).unwrap()).unwrap();
-        let dist = a.matmul(&b).unwrap().zip(&a.matmul(&c).unwrap(), |x, y| x + y).unwrap();
-        prop_assert!(sum_first.allclose(&dist, 1e-3));
+        let dist = a
+            .matmul(&b)
+            .unwrap()
+            .zip(&a.matmul(&c).unwrap(), |x, y| x + y)
+            .unwrap();
+        assert!(sum_first.allclose(&dist, 1e-3), "case {case}");
     }
+}
 
-    /// Reducing a broadcast tensor scales by the broadcast factor.
-    #[test]
-    fn broadcast_then_reduce(t in tensor_strategy(vec![4])) {
+/// Reducing a broadcast tensor scales by the broadcast factor.
+#[test]
+fn broadcast_then_reduce() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let t = rand_tensor(&[4], &mut rng);
         let b = t.broadcast_to([3, 4]).unwrap();
         let r = b.reduce_sum(&[0], false).unwrap();
         let expected = t.map(|x| 3.0 * x);
-        prop_assert!(r.allclose(&expected, 1e-5));
+        assert!(r.allclose(&expected, 1e-5), "case {case}");
     }
+}
 
-    /// reshape is a bijection on data.
-    #[test]
-    fn reshape_roundtrip(t in tensor_strategy(vec![2, 6])) {
+/// reshape is a bijection on data.
+#[test]
+fn reshape_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let t = rand_tensor(&[2, 6], &mut rng);
         let r = t.reshape([3, 4]).unwrap().reshape([2, 6]).unwrap();
-        prop_assert_eq!(r.data(), t.data());
+        assert_eq!(r.data(), t.data(), "case {case}");
     }
+}
 
-    /// Analytic gradient of sum((x@w).tanh()) matches finite differences.
-    #[test]
-    fn mlp_grad_matches_finite_difference(
-        x in tensor_strategy(vec![2, 3]),
-        w in tensor_strategy(vec![3, 2]),
-    ) {
+/// Analytic gradient of sum((x@w).tanh()) matches finite differences.
+#[test]
+fn mlp_grad_matches_finite_difference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let x = rand_tensor(&[2, 3], &mut rng);
+        let w = rand_tensor(&[3, 2], &mut rng);
         let ctx = TraceCtx::new();
         let xv = ctx.input([2, 3]);
         let wv = ctx.input([3, 2]);
@@ -80,19 +102,23 @@ proptest! {
             fd[i] = (fp - fm) / (2.0 * h);
         }
         let fd = Tensor::from_vec(w.shape().clone(), fd).unwrap();
-        prop_assert!(
+        assert!(
             outs[2].allclose(&fd, 5e-2),
-            "analytic {:?} vs numeric {:?}", outs[2].data(), fd.data()
+            "case {case}: analytic {:?} vs numeric {:?}",
+            outs[2].data(),
+            fd.data()
         );
     }
+}
 
-    /// Gradient of a linear function is constant in x.
-    #[test]
-    fn linear_grad_is_input_independent(
-        x1 in tensor_strategy(vec![2, 2]),
-        x2 in tensor_strategy(vec![2, 2]),
-        w in tensor_strategy(vec![2, 2]),
-    ) {
+/// Gradient of a linear function is constant in x.
+#[test]
+fn linear_grad_is_input_independent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let x1 = rand_tensor(&[2, 2], &mut rng);
+        let x2 = rand_tensor(&[2, 2], &mut rng);
+        let w = rand_tensor(&[2, 2], &mut rng);
         let ctx = TraceCtx::new();
         let xv = ctx.input([2, 2]);
         let wv = ctx.input([2, 2]);
@@ -102,17 +128,20 @@ proptest! {
         // d/dx (sum x@w) does not depend on x.
         let g1 = eval(&g, &[x1, w.clone()]).unwrap()[1].clone();
         let g2 = eval(&g, &[x2, w]).unwrap()[1].clone();
-        prop_assert!(g1.allclose(&g2, 1e-5));
+        assert!(g1.allclose(&g2, 1e-5), "case {case}");
     }
+}
 
-    /// Optimization (CSE + constant folding + DCE) never changes the
-    /// value of a randomly composed graph.
-    #[test]
-    fn optimize_preserves_semantics(
-        ops in proptest::collection::vec(0u8..6, 1..12),
-        x0 in tensor_strategy(vec![2, 2]),
-        w0 in tensor_strategy(vec![2, 2]),
-    ) {
+/// Optimization (CSE + constant folding + DCE) never changes the
+/// value of a randomly composed graph.
+#[test]
+fn optimize_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let n_ops = rng.gen_range(1usize..12);
+        let ops: Vec<u8> = (0..n_ops).map(|_| rng.gen_range(0u8..6)).collect();
+        let x0 = rand_tensor(&[2, 2], &mut rng);
+        let w0 = rand_tensor(&[2, 2], &mut rng);
         let ctx = TraceCtx::new();
         let x = ctx.input([2, 2]);
         let w = ctx.input([2, 2]);
@@ -130,26 +159,36 @@ proptest! {
             };
             vals.push(next);
         }
-        let loss = vals.last().unwrap().mul(vals.last().unwrap()).unwrap().sum();
+        let loss = vals
+            .last()
+            .unwrap()
+            .mul(vals.last().unwrap())
+            .unwrap()
+            .sum();
         let jaxpr = ctx.finish(&[loss]).unwrap();
         let (opt, _) = optimize(&jaxpr).unwrap();
         let a = eval(&jaxpr, &[x0.clone(), w0.clone()]).unwrap();
         let b = eval(&opt, &[x0, w0]).unwrap();
-        prop_assert_eq!(a[0].data(), b[0].data());
-        prop_assert!(opt.eqns().len() <= jaxpr.eqns().len());
+        assert_eq!(a[0].data(), b[0].data(), "case {case}");
+        assert!(opt.eqns().len() <= jaxpr.eqns().len(), "case {case}");
     }
+}
 
-    /// Shape::broadcast_axes returns exactly the axes that differ.
-    #[test]
-    fn broadcast_axes_are_consistent(
-        d0 in 1usize..4, d1 in 1usize..4,
-        pick0 in any::<bool>(), pick1 in any::<bool>(),
-    ) {
-        let target = Shape::new([d0, d1]);
-        let from = Shape::new([if pick0 { 1 } else { d0 }, if pick1 { 1 } else { d1 }]);
-        let axes = from.broadcast_axes(&target).unwrap();
-        for (i, &want) in [pick0 && d0 > 1, pick1 && d1 > 1].iter().enumerate() {
-            prop_assert_eq!(axes.contains(&i), want);
+/// Shape::broadcast_axes returns exactly the axes that differ.
+#[test]
+fn broadcast_axes_are_consistent() {
+    for d0 in 1usize..4 {
+        for d1 in 1usize..4 {
+            for pick0 in [false, true] {
+                for pick1 in [false, true] {
+                    let target = Shape::new([d0, d1]);
+                    let from = Shape::new([if pick0 { 1 } else { d0 }, if pick1 { 1 } else { d1 }]);
+                    let axes = from.broadcast_axes(&target).unwrap();
+                    for (i, &want) in [pick0 && d0 > 1, pick1 && d1 > 1].iter().enumerate() {
+                        assert_eq!(axes.contains(&i), want, "d0={d0} d1={d1} axis {i}");
+                    }
+                }
+            }
         }
     }
 }

@@ -8,8 +8,7 @@
 //! feature: multi-stage partitioning, non-adjacent dataflow, and shared
 //! weights.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use raxpp_ir::rng::{SeedableRng, StdRng};
 
 use raxpp_ir::{IrError, Jaxpr, Result, Tensor, TraceCtx, TracedTensor};
 

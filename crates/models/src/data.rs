@@ -3,8 +3,7 @@
 //! a batcher that produces exactly the `data[input][mubatch]` layout the
 //! `raxpp-core` trainer consumes for [`crate::tiny_lm`] models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use raxpp_ir::rng::{Rng, SeedableRng, StdRng};
 
 use raxpp_ir::Tensor;
 

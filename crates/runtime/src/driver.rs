@@ -6,20 +6,27 @@
 //! message per step (§4.4); all cross-actor coordination happens through
 //! per-pair FIFO data channels (standing in for NCCL P2P, whose
 //! matching-order requirement the compiler's §4.2 pass guarantees).
+//!
+//! Tensors are `Arc`-backed handles, so placing a buffer, sending it to
+//! a peer actor, and fetching it back to the driver are all O(1) moves
+//! of a reference — the executable analogue of passing device-buffer
+//! handles rather than copying host memory. Each `Run` instruction
+//! executes through the liveness interpreter and its allocator counters
+//! are accumulated into the actor's [`ActorProfile`].
 
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use raxpp_ir::{eval, Tensor};
+use raxpp_ir::{eval_with_stats, EvalStats, Tensor};
 use raxpp_taskgraph::{BufferId, Fetch, InputSource, Instr, MpmdProgram};
 
 use crate::error::RuntimeError;
 use crate::store::{ObjectStore, SendToken};
 
-type DataMsg = (BufferId, Arc<Tensor>, SendToken);
+type DataMsg = (BufferId, Tensor, SendToken);
 
 enum Command {
     Place(Vec<(BufferId, Tensor)>),
@@ -51,10 +58,13 @@ struct ActorLink {
 /// Keys are instruction kinds (`"fwd"`, `"bwd"`, `"bwdw"`,
 /// `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`, `"send"`,
 /// `"recv"`, `"free"`). `recv` time is mostly *waiting* for upstream
-/// data — the executable analogue of the pipeline bubble.
+/// data — the executable analogue of the pipeline bubble. The profile
+/// also carries the interpreter's buffer-allocator counters summed over
+/// the step's `Run` instructions.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ActorProfile {
     entries: HashMap<&'static str, (Duration, u32)>,
+    alloc: EvalStats,
 }
 
 impl ActorProfile {
@@ -73,6 +83,12 @@ impl ActorProfile {
     pub fn entries(&self) -> impl Iterator<Item = (&'static str, Duration, u32)> + '_ {
         self.entries.iter().map(|(&k, &(d, c))| (k, d, c))
     }
+
+    /// Buffer-allocator counters (allocated / reused / freed) summed
+    /// over this step's `Run` instructions.
+    pub fn alloc_stats(&self) -> &EvalStats {
+        &self.alloc
+    }
 }
 
 /// Statistics of one training step.
@@ -86,6 +102,17 @@ pub struct StepStats {
     pub rpcs: usize,
     /// Per-actor instruction-kind profiles.
     pub profiles: Vec<ActorProfile>,
+}
+
+impl StepStats {
+    /// Buffer-allocator counters summed across all actors for this step.
+    pub fn alloc_stats(&self) -> EvalStats {
+        let mut total = EvalStats::default();
+        for p in &self.profiles {
+            total.merge(p.alloc_stats());
+        }
+        total
+    }
 }
 
 /// The outputs of one step: every fetched buffer with its [`Fetch`]
@@ -127,17 +154,16 @@ impl Runtime {
         let mut receivers: Vec<Vec<Option<Receiver<DataMsg>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for (i, sender_row) in senders.iter_mut().enumerate() {
-            for (j, recv_row) in receivers.iter_mut().enumerate() {
-                let (tx, rx) = unbounded();
+            for recv_row in receivers.iter_mut() {
+                let (tx, rx) = channel();
                 sender_row.push(tx);
                 recv_row[i] = Some(rx);
-                let _ = j;
             }
         }
         let mut actors = Vec::with_capacity(n);
         for (a, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
-            let (cmd_tx, cmd_rx) = unbounded::<Command>();
-            let (reply_tx, reply_rx) = unbounded::<Reply>();
+            let (cmd_tx, cmd_rx) = channel::<Command>();
+            let (reply_tx, reply_rx) = channel::<Reply>();
             let prog = Arc::clone(&program);
             let rx_row: Vec<Receiver<DataMsg>> = rx_row.into_iter().map(Option::unwrap).collect();
             let handle = std::thread::Builder::new()
@@ -411,7 +437,7 @@ fn actor_main(
         match c {
             Command::Place(bufs) => {
                 for (b, t) in bufs {
-                    store.insert(b, Arc::new(t));
+                    store.insert(b, t);
                 }
                 if reply.send(Reply::Placed).is_err() {
                     return;
@@ -429,7 +455,7 @@ fn actor_main(
                     .map(|b| {
                         store
                             .get(*b)
-                            .map(|t| (**t).clone())
+                            .cloned()
                             .ok_or_else(|| format!("missing buffer {b}"))
                     })
                     .collect();
@@ -440,7 +466,7 @@ fn actor_main(
             Command::Read(b) => {
                 let r = store
                     .get(b)
-                    .map(|t| (**t).clone())
+                    .cloned()
                     .ok_or_else(|| format!("missing buffer {b}"));
                 if reply.send(Reply::Read(r)).is_err() {
                     return;
@@ -487,19 +513,22 @@ fn execute_stream(
                 outputs,
                 label,
             } => {
+                // O(1) handle copies; the store keeps its references, so
+                // the interpreter can never mutate resident buffers.
                 let args: Vec<Tensor> = inputs
                     .iter()
                     .map(|b| {
                         store
                             .get(*b)
-                            .map(|t| (**t).clone())
+                            .cloned()
                             .ok_or_else(|| format!("{label}: missing input {b}"))
                     })
                     .collect::<Result<_, String>>()?;
-                let outs = eval(&program.jaxprs[jaxpr.0 as usize], &args)
+                let (outs, stats) = eval_with_stats(&program.jaxprs[jaxpr.0 as usize], &args)
                     .map_err(|e| format!("{label}: {e}"))?;
+                profile.alloc.merge(&stats);
                 for (b, t) in outputs.iter().zip(outs) {
-                    store.insert(*b, Arc::new(t));
+                    store.insert(*b, t);
                 }
             }
             Instr::Send { buf, to } => {

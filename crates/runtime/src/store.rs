@@ -5,6 +5,10 @@
 //! immediately: the store parks it in a pending queue and reclaims it at
 //! a later deletion point once the send has completed — exactly the
 //! behaviour the paper describes for its NCCL-backed stores.
+//!
+//! Since [`Tensor`] is itself an `Arc`-backed handle, the store holds
+//! tensors directly: inserting, reading, and sending a buffer are O(1)
+//! handle copies with no extra indirection.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,9 +42,9 @@ impl SendToken {
 /// An actor's buffer store.
 #[derive(Debug, Default)]
 pub struct ObjectStore {
-    bufs: HashMap<BufferId, Arc<Tensor>>,
+    bufs: HashMap<BufferId, Tensor>,
     outstanding: HashMap<BufferId, Vec<SendToken>>,
-    pending: Vec<(BufferId, Arc<Tensor>, Vec<SendToken>)>,
+    pending: Vec<(BufferId, Tensor, Vec<SendToken>)>,
     peak_bytes: usize,
     live_bytes: usize,
 }
@@ -53,7 +57,7 @@ impl ObjectStore {
 
     /// Inserts or overwrites a buffer, updating the memory high-water
     /// mark (4 bytes per element, the interpreter's f32).
-    pub fn insert(&mut self, buf: BufferId, t: Arc<Tensor>) {
+    pub fn insert(&mut self, buf: BufferId, t: Tensor) {
         self.live_bytes += 4 * t.numel();
         if let Some(old) = self.bufs.insert(buf, t) {
             self.live_bytes -= 4 * old.numel();
@@ -62,7 +66,7 @@ impl ObjectStore {
     }
 
     /// Reads a buffer.
-    pub fn get(&self, buf: BufferId) -> Option<&Arc<Tensor>> {
+    pub fn get(&self, buf: BufferId) -> Option<&Tensor> {
         self.bufs.get(&buf)
     }
 
@@ -137,8 +141,8 @@ impl ObjectStore {
 mod tests {
     use super::*;
 
-    fn tensor() -> Arc<Tensor> {
-        Arc::new(Tensor::scalar(1.0))
+    fn tensor() -> Tensor {
+        Tensor::scalar(1.0)
     }
 
     #[test]
@@ -196,5 +200,16 @@ mod tests {
         s.record_send(b, token);
         s.free(b);
         assert_eq!(s.pending_deletions(), 0);
+    }
+
+    #[test]
+    fn store_reads_share_storage() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        let t = Tensor::ones([16]);
+        let ptr = t.data().as_ptr();
+        s.insert(b, t);
+        let got = s.get(b).cloned().unwrap();
+        assert!(std::ptr::eq(ptr, got.data().as_ptr()));
     }
 }

@@ -1,96 +1,148 @@
-//! Property-based tests over the schedule builders and the idealized
-//! simulator.
+//! Property-style tests over the schedule builders and the idealized
+//! simulator, exhaustively sweeping the parameter grids the original
+//! proptest harness sampled from.
 
-use proptest::prelude::*;
 use raxpp_sched::{
     gpipe, ideal_bubble_ratio, interleaved_1f1b, one_f1b, simulate, zero_bubble_h1, UniformCost,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every builder output validates (construction implies validation)
-    /// and simulates to completion for arbitrary sizes.
-    #[test]
-    fn builders_always_validate(pp in 1usize..=8, mult in 1usize..=4, v in 1usize..=4) {
-        let mb = pp * mult;
-        for s in [
-            gpipe(pp, mb).unwrap(),
-            one_f1b(pp, mb).unwrap(),
-            interleaved_1f1b(pp, mb, v).unwrap(),
-            zero_bubble_h1(pp, mb).unwrap(),
-        ] {
-            let sim = simulate(&s, UniformCost::default()).unwrap();
-            prop_assert!(sim.makespan > 0.0);
-            prop_assert!(sim.bubble_ratio >= -1e-9 && sim.bubble_ratio < 1.0);
+/// Every builder output validates (construction implies validation)
+/// and simulates to completion for arbitrary sizes.
+#[test]
+fn builders_always_validate() {
+    for pp in 1usize..=8 {
+        for mult in 1usize..=4 {
+            for v in 1usize..=4 {
+                let mb = pp * mult;
+                for s in [
+                    gpipe(pp, mb).unwrap(),
+                    one_f1b(pp, mb).unwrap(),
+                    interleaved_1f1b(pp, mb, v).unwrap(),
+                    zero_bubble_h1(pp, mb).unwrap(),
+                ] {
+                    let sim = simulate(&s, UniformCost::default()).unwrap();
+                    assert!(sim.makespan > 0.0, "pp={pp} mb={mb} v={v}");
+                    assert!(
+                        sim.bubble_ratio >= -1e-9 && sim.bubble_ratio < 1.0,
+                        "pp={pp} mb={mb} v={v}: {}",
+                        sim.bubble_ratio
+                    );
+                }
+            }
         }
     }
+}
 
-    /// 1F1B never has a longer makespan than GPipe, and both contain the
-    /// serial lower bound m·(fwd+bwd).
-    #[test]
-    fn one_f1b_at_most_gpipe(pp in 1usize..=8, mb in 1usize..=24) {
-        let cost = UniformCost::default();
-        let g = simulate(&gpipe(pp, mb).unwrap(), cost).unwrap();
-        let f = simulate(&one_f1b(pp, mb).unwrap(), cost).unwrap();
-        prop_assert!(f.makespan <= g.makespan + 1e-9);
-        let serial = mb as f64 * (cost.fwd + cost.bwd);
-        prop_assert!(f.makespan >= serial - 1e-9);
-    }
-
-    /// With equal fwd/bwd costs, 1F1B's bubble matches the analytic
-    /// (pp-1)/(m+pp-1) exactly.
-    #[test]
-    fn one_f1b_bubble_matches_formula(pp in 1usize..=8, mb in 1usize..=24) {
-        let cost = UniformCost { fwd: 1.0, bwd: 1.0, wgrad: 0.0, p2p: 0.0 };
-        let f = simulate(&one_f1b(pp, mb).unwrap(), cost).unwrap();
-        let ideal = ideal_bubble_ratio(pp, mb, 1);
-        prop_assert!((f.bubble_ratio - ideal).abs() < 1e-9,
-            "pp={pp} mb={mb}: {} vs {ideal}", f.bubble_ratio);
-    }
-
-    /// 1F1B's per-rank live activations never exceed pp - rank.
-    #[test]
-    fn one_f1b_memory_bound(pp in 1usize..=8, mb in 1usize..=24) {
-        let f = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
-        for (r, &peak) in f.peak_live_activations.iter().enumerate() {
-            prop_assert!(peak <= (pp - r).min(mb), "rank {r}: {peak}");
+/// 1F1B never has a longer makespan than GPipe, and both contain the
+/// serial lower bound m·(fwd+bwd).
+#[test]
+fn one_f1b_at_most_gpipe() {
+    let cost = UniformCost::default();
+    for pp in 1usize..=8 {
+        for mb in 1usize..=24 {
+            let g = simulate(&gpipe(pp, mb).unwrap(), cost).unwrap();
+            let f = simulate(&one_f1b(pp, mb).unwrap(), cost).unwrap();
+            assert!(f.makespan <= g.makespan + 1e-9, "pp={pp} mb={mb}");
+            let serial = mb as f64 * (cost.fwd + cost.bwd);
+            assert!(f.makespan >= serial - 1e-9, "pp={pp} mb={mb}");
         }
     }
+}
 
-    /// GPipe's rank-0 peak equals the microbatch count exactly.
-    #[test]
-    fn gpipe_memory_is_microbatch_count(pp in 2usize..=8, mb in 1usize..=24) {
-        let g = simulate(&gpipe(pp, mb).unwrap(), UniformCost::default()).unwrap();
-        prop_assert_eq!(g.peak_live_activations[0], mb);
+/// With equal fwd/bwd costs, 1F1B's bubble matches the analytic
+/// (pp-1)/(m+pp-1) exactly.
+#[test]
+fn one_f1b_bubble_matches_formula() {
+    let cost = UniformCost {
+        fwd: 1.0,
+        bwd: 1.0,
+        wgrad: 0.0,
+        p2p: 0.0,
+    };
+    for pp in 1usize..=8 {
+        for mb in 1usize..=24 {
+            let f = simulate(&one_f1b(pp, mb).unwrap(), cost).unwrap();
+            let ideal = ideal_bubble_ratio(pp, mb, 1);
+            assert!(
+                (f.bubble_ratio - ideal).abs() < 1e-9,
+                "pp={pp} mb={mb}: {} vs {ideal}",
+                f.bubble_ratio
+            );
+        }
     }
+}
 
-    /// Zero-bubble never loses to 1F1B when the split halves sum to the
-    /// combined backward cost.
-    #[test]
-    fn zero_bubble_never_loses(pp in 1usize..=8, mult in 1usize..=3) {
-        let mb = pp * mult + 1; // deliberately not divisible by pp
-        let combined = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
-        let split = simulate(
-            &zero_bubble_h1(pp, mb).unwrap(),
-            UniformCost { fwd: 1.0, bwd: 1.0, wgrad: 1.0, p2p: 0.0 },
-        ).unwrap();
-        prop_assert!(split.makespan <= combined.makespan + 1e-9);
+/// 1F1B's per-rank live activations never exceed pp - rank.
+#[test]
+fn one_f1b_memory_bound() {
+    for pp in 1usize..=8 {
+        for mb in 1usize..=24 {
+            let f = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
+            for (r, &peak) in f.peak_live_activations.iter().enumerate() {
+                assert!(peak <= (pp - r).min(mb), "pp={pp} mb={mb} rank {r}: {peak}");
+            }
+        }
     }
+}
 
-    /// Interleaving with scaled-down task sizes never increases the
-    /// bubble ratio relative to plain 1F1B.
-    #[test]
-    fn interleaving_never_hurts_bubble(pp in 2usize..=6, mult in 1usize..=3, v in 2usize..=4) {
-        let mb = pp * mult;
-        let base = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
-        let scaled = UniformCost {
-            fwd: 1.0 / v as f64,
-            bwd: 2.0 / v as f64,
-            wgrad: 0.0,
-            p2p: 0.0,
-        };
-        let inter = simulate(&interleaved_1f1b(pp, mb, v).unwrap(), scaled).unwrap();
-        prop_assert!(inter.bubble_ratio <= base.bubble_ratio + 1e-9);
+/// GPipe's rank-0 peak equals the microbatch count exactly.
+#[test]
+fn gpipe_memory_is_microbatch_count() {
+    for pp in 2usize..=8 {
+        for mb in 1usize..=24 {
+            let g = simulate(&gpipe(pp, mb).unwrap(), UniformCost::default()).unwrap();
+            assert_eq!(g.peak_live_activations[0], mb, "pp={pp} mb={mb}");
+        }
+    }
+}
+
+/// Zero-bubble never loses to 1F1B when the split halves sum to the
+/// combined backward cost.
+#[test]
+fn zero_bubble_never_loses() {
+    for pp in 1usize..=8 {
+        for mult in 1usize..=3 {
+            let mb = pp * mult + 1; // deliberately not divisible by pp
+            let combined = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
+            let split = simulate(
+                &zero_bubble_h1(pp, mb).unwrap(),
+                UniformCost {
+                    fwd: 1.0,
+                    bwd: 1.0,
+                    wgrad: 1.0,
+                    p2p: 0.0,
+                },
+            )
+            .unwrap();
+            assert!(
+                split.makespan <= combined.makespan + 1e-9,
+                "pp={pp} mb={mb}"
+            );
+        }
+    }
+}
+
+/// Interleaving with scaled-down task sizes never increases the
+/// bubble ratio relative to plain 1F1B.
+#[test]
+fn interleaving_never_hurts_bubble() {
+    for pp in 2usize..=6 {
+        for mult in 1usize..=3 {
+            for v in 2usize..=4 {
+                let mb = pp * mult;
+                let base = simulate(&one_f1b(pp, mb).unwrap(), UniformCost::default()).unwrap();
+                let scaled = UniformCost {
+                    fwd: 1.0 / v as f64,
+                    bwd: 2.0 / v as f64,
+                    wgrad: 0.0,
+                    p2p: 0.0,
+                };
+                let inter = simulate(&interleaved_1f1b(pp, mb, v).unwrap(), scaled).unwrap();
+                assert!(
+                    inter.bubble_ratio <= base.bubble_ratio + 1e-9,
+                    "pp={pp} mb={mb} v={v}"
+                );
+            }
+        }
     }
 }

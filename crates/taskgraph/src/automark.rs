@@ -165,8 +165,8 @@ mod tests {
         use raxpp_ir::{eval, Tensor};
         let j = unmarked_chain(4);
         let marked = auto_mark_stages(&j, 2).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        use raxpp_ir::rng::SeedableRng;
+        let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(51);
         let inputs: Vec<Tensor> = j
             .in_shapes()
             .iter()

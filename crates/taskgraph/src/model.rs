@@ -306,8 +306,8 @@ mod tests {
 
         let m = pipeline_model(&jaxpr, 2).unwrap();
 
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use raxpp_ir::rng::SeedableRng;
+        let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(3);
         let w1t = Tensor::randn([4, 8], 0.5, &mut rng);
         let w2t = Tensor::randn([8, 2], 0.5, &mut rng);
         let xt = Tensor::randn([2, 4], 1.0, &mut rng);

@@ -405,8 +405,8 @@ mod tests {
     fn stage_composition_matches_original() {
         let jaxpr = two_stage();
         let staged = partition_stages(&jaxpr).unwrap();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use raxpp_ir::rng::SeedableRng;
+        let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(11);
         let x = Tensor::randn([2, 4], 1.0, &mut rng);
         let w1 = Tensor::randn([4, 8], 0.5, &mut rng);
         let w2 = Tensor::randn([8, 2], 0.5, &mut rng);

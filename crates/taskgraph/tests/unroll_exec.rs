@@ -208,8 +208,8 @@ fn rand_inputs(
     n_mb: usize,
     seed: u64,
 ) -> (Vec<Tensor>, Vec<Vec<Tensor>>) {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(seed);
     let shapes = jaxpr.in_shapes();
     let params: Vec<Tensor> = shapes[..n_params]
         .iter()

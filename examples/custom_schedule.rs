@@ -75,8 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // different execution orders of the same dataflow produce identical
     // losses.
     let model = mlp_chain(6, 2, 4, 2, 5)?;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(1);
     let data: Vec<Vec<Tensor>> = vec![(0..n_mb)
         .map(|_| Tensor::randn([2, 6], 1.0, &mut rng))
         .collect()];

@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 3. Initialize parameters and make training data.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(0);
     let params = vec![
         Tensor::randn([8, 16], 0.3, &mut rng),
         Tensor::randn([16, 4], 0.3, &mut rng),

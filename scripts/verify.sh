@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, format check.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "verify: OK"

@@ -10,7 +10,7 @@ use raxpp_sched::one_f1b;
 use raxpp_taskgraph::auto_mark_stages;
 
 fn unmarked_mlp(layers: usize, width: usize) -> (Jaxpr, usize, Vec<Tensor>) {
-    use rand::SeedableRng;
+    use raxpp_ir::rng::SeedableRng;
     let ctx = TraceCtx::new();
     let ws: Vec<_> = (0..layers).map(|_| ctx.input([width, width])).collect();
     let x = ctx.input([2, width]);
@@ -20,7 +20,7 @@ fn unmarked_mlp(layers: usize, width: usize) -> (Jaxpr, usize, Vec<Tensor>) {
     }
     let loss = h.mul(&h).unwrap().sum().scale(0.5);
     let jaxpr = ctx.finish(&[loss]).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(61);
     let init = (0..layers)
         .map(|_| Tensor::randn([width, width], 1.0 / (width as f32).sqrt(), &mut rng))
         .collect();
@@ -45,8 +45,8 @@ fn auto_marked_model_trains_like_reference() {
     .unwrap();
     trainer.init(&init).unwrap();
 
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(62);
     let data: Vec<Vec<Tensor>> = vec![(0..6)
         .map(|_| Tensor::randn([2, 8], 1.0, &mut rng))
         .collect()];

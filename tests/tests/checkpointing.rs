@@ -8,8 +8,8 @@ use raxpp_models::mlp_chain;
 use raxpp_sched::one_f1b;
 
 fn data(n_mb: usize, seed: u64) -> Vec<Vec<Tensor>> {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(seed);
     vec![(0..n_mb)
         .map(|_| Tensor::randn([2, 6], 1.0, &mut rng))
         .collect()]

@@ -19,8 +19,8 @@ fn peak_bytes_actor0(schedule: &Schedule, layers: usize, width: usize, seed: u64
     )
     .unwrap();
     trainer.init(&model.init).unwrap();
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(seed);
     let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
         .map(|_| Tensor::randn([4, width], 1.0, &mut rng))
         .collect()];

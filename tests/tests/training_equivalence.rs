@@ -68,8 +68,8 @@ impl Reference {
 }
 
 fn mlp_data(n_mb: usize, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(seed);
     vec![(0..n_mb)
         .map(|_| Tensor::randn([batch, width], 1.0, &mut rng))
         .collect()]

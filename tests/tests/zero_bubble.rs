@@ -13,8 +13,8 @@ fn split_backward_training_matches_combined() {
     // Same model, same data: ZB-H1 (split backward) and 1F1B (combined)
     // are different factorizations of the same gradient computation.
     let model = mlp_chain(6, 2, 4, 4, 71).unwrap();
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+    use raxpp_ir::rng::SeedableRng;
+    let mut rng = raxpp_ir::rng::StdRng::seed_from_u64(72);
     let data: Vec<Vec<Tensor>> = vec![(0..8)
         .map(|_| Tensor::randn([2, 6], 1.0, &mut rng))
         .collect()];
