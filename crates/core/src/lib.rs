@@ -56,4 +56,6 @@ mod optimizer;
 mod trainer;
 
 pub use optimizer::Optimizer;
-pub use trainer::{compile_train_step, CompileOptions, CoreError, RemoteMesh, StepResult, Trainer};
+pub use trainer::{
+    compile_train_step, CompileOptions, CoreError, RemoteMesh, RetryPolicy, StepResult, Trainer,
+};

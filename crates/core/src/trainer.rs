@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use raxpp_ir::{IrError, Jaxpr, Shape, Tensor};
 use raxpp_runtime::{Runtime, RuntimeError, StepStats};
@@ -85,6 +87,25 @@ impl Default for CompileOptions {
     }
 }
 
+/// Retry-with-backoff policy for [`Trainer::step_with_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum recovery attempts per step (0 = behave like
+    /// [`Trainer::step`]).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
 /// A compiled, launched training step bound to a live MPMD runtime.
 #[derive(Debug)]
 pub struct Trainer {
@@ -97,6 +118,11 @@ pub struct Trainer {
     state_init: Vec<(ActorId, BufferId, Shape)>,
     param_read: Vec<(ActorId, BufferId)>,
     fetch_grads: bool,
+    /// Last-known-good training state (params, then optimizer moments),
+    /// captured after `init` and after every successful
+    /// `step_with_recovery` — the restore point for bitwise-identical
+    /// retries.
+    snapshot: Mutex<Option<Vec<Tensor>>>,
 }
 
 /// One step's results.
@@ -264,6 +290,7 @@ pub fn compile_train_step(
         state_init,
         param_read,
         fetch_grads: opts.fetch_grads,
+        snapshot: Mutex::new(None),
     })
 }
 
@@ -289,6 +316,33 @@ impl Trainer {
             .map(|(a, b, s)| (*a, *b, Tensor::zeros(s.clone())))
             .collect();
         self.runtime.place_buffers(&zeros)?;
+        *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
+        Ok(())
+    }
+
+    /// Reads the full training state (parameters, then optimizer
+    /// moments) back from the actors — O(1) `Arc` handle moves per
+    /// tensor, not data copies.
+    fn capture_state(&self) -> Result<Vec<Tensor>, CoreError> {
+        let mut tensors = self.params()?;
+        for &(a, b, _) in &self.state_init {
+            tensors.push(self.runtime.read_buffer(a, b)?);
+        }
+        Ok(tensors)
+    }
+
+    /// Re-places a previously captured state on every actor (parameters
+    /// to all of their replicas, moments to their owners).
+    fn restore_state(&self, tensors: &[Tensor]) -> Result<(), CoreError> {
+        let (params, states) = tensors.split_at(self.n_params);
+        self.runtime.place_params(params)?;
+        let items: Vec<(usize, BufferId, Tensor)> = self
+            .state_init
+            .iter()
+            .zip(states)
+            .map(|(&(a, b, _), t)| (a, b, t.clone()))
+            .collect();
+        self.runtime.place_buffers(&items)?;
         Ok(())
     }
 
@@ -348,6 +402,56 @@ impl Trainer {
         })
     }
 
+    /// Runs one training step with automatic failure recovery: on an
+    /// actor death, task error, or timeout, the runtime is recovered
+    /// ([`Runtime::recover`]: dead actors respawned, channels rewired),
+    /// the last-known-good state (captured after [`Trainer::init`] and
+    /// after every successful recovered step) is restored on all actors,
+    /// and the step is retried after an exponential backoff.
+    ///
+    /// Because the restore point is the exact post-previous-step state
+    /// and the retried step re-places its data inputs, a recovered run
+    /// is **bitwise identical** to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`CoreError`] once `policy.max_retries` is
+    /// exhausted, and immediately for non-recoverable errors (bad
+    /// inputs).
+    pub fn step_with_recovery(
+        &self,
+        data: &[Vec<Tensor>],
+        policy: RetryPolicy,
+    ) -> Result<StepResult, CoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.step(data) {
+                Ok(r) => {
+                    *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
+                    return Ok(r);
+                }
+                Err(CoreError::Runtime(e))
+                    if e.is_recoverable() && attempt < policy.max_retries =>
+                {
+                    let backoff = policy.backoff * 2u32.saturating_pow(attempt);
+                    attempt += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    self.runtime.recover()?;
+                    let snapshot = self.snapshot.lock().unwrap();
+                    let state = snapshot.as_ref().ok_or_else(|| {
+                        CoreError::BadInput(
+                            "cannot recover: no snapshot (init was never called)".into(),
+                        )
+                    })?;
+                    self.restore_state(state)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Reads the current (updated) parameter values back from the actors.
     ///
     /// # Errors
@@ -383,10 +487,7 @@ impl Trainer {
     /// Returns [`CoreError::Runtime`] if state cannot be read back, or
     /// [`CoreError::BadInput`] wrapping I/O failures.
     pub fn save_checkpoint(&self, w: impl std::io::Write) -> Result<(), CoreError> {
-        let mut tensors = self.params()?;
-        for &(a, b, _) in &self.state_init {
-            tensors.push(self.runtime.read_buffer(a, b)?);
-        }
+        let tensors = self.capture_state()?;
         crate::checkpoint::save_tensors(w, &tensors)
             .map_err(|e| CoreError::BadInput(format!("checkpoint write failed: {e}")))
     }
@@ -408,24 +509,19 @@ impl Trainer {
                 self.n_params + self.state_init.len()
             )));
         }
-        let (params, states) = tensors.split_at(self.n_params);
-        self.runtime.place_params(params)?;
-        let items: Vec<_> = self
-            .state_init
-            .iter()
-            .zip(states)
-            .map(|(&(a, b, ref shape), t)| {
-                if t.shape() != shape {
-                    return Err(CoreError::BadInput(format!(
-                        "optimizer state shape mismatch: {} vs {}",
-                        t.shape(),
-                        shape
-                    )));
-                }
-                Ok((a, b, t.clone()))
-            })
-            .collect::<Result<_, _>>()?;
-        self.runtime.place_buffers(&items)?;
+        let (_, states) = tensors.split_at(self.n_params);
+        for (&(_, _, ref shape), t) in self.state_init.iter().zip(states) {
+            if t.shape() != shape {
+                return Err(CoreError::BadInput(format!(
+                    "optimizer state shape mismatch: {} vs {}",
+                    t.shape(),
+                    shape
+                )));
+            }
+        }
+        self.restore_state(&tensors)?;
+        // The checkpoint becomes the new recovery restore point.
+        *self.snapshot.lock().unwrap() = Some(tensors);
         Ok(())
     }
 }

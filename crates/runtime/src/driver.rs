@@ -1,22 +1,53 @@
-//! The single-controller MPMD runtime (paper §4.1).
+//! The single-controller MPMD runtime (paper §4.1) with fail-fast
+//! failure semantics.
 //!
 //! A [`Runtime`] spawns one OS thread per actor (standing in for the
 //! paper's Ray workers, each managing an SPMD device group). The driver
 //! dispatches each actor's *entire fused instruction stream* in a single
 //! message per step (§4.4); all cross-actor coordination happens through
-//! per-pair FIFO data channels (standing in for NCCL P2P, whose
-//! matching-order requirement the compiler's §4.2 pass guarantees).
+//! per-actor inbox channels carrying per-peer FIFO streams (standing in
+//! for NCCL P2P, whose matching-order requirement the compiler's §4.2
+//! pass guarantees).
+//!
+//! # Failure protocol
+//!
+//! Failure is a first-class, bounded-time outcome, mirroring what the
+//! paper inherits from Ray actor supervision plus NCCL communicator
+//! aborts:
+//!
+//! * **Step epochs.** Every driver command carries a sequence number
+//!   that its reply echoes, and every data message carries the epoch
+//!   (the `Execute` sequence number) it belongs to. Stale messages from
+//!   an aborted step are drained instead of being matched against the
+//!   next step's expectations, so one failed step can never desynchronize
+//!   the command/reply channels or the data streams.
+//! * **Abort broadcast.** When an instruction errors on an actor, the
+//!   actor broadcasts a poison `Abort` message to *every* peer inbox
+//!   before replying, so peers blocked in `Recv` wake and abandon the
+//!   epoch instead of hanging. A dying actor thread (injected death or
+//!   panic) broadcasts the same poison on its way out, and the driver
+//!   broadcasts on the actors' behalf when it detects a death itself —
+//!   the thread-scale analogue of Ray's death notifications.
+//! * **Complete reply collection.** The driver collects one reply per
+//!   dispatched actor per command — also on the error path — so the
+//!   reply channels are in a clean, reusable state after a failed step
+//!   and the same `Runtime` can run the next step.
+//! * **Recovery.** [`Runtime::recover`] respawns dead actor threads,
+//!   rewires the surviving actors' channels to the replacements, and
+//!   re-places the parameter/state buffers the driver holds resident
+//!   copies of (`raxpp-core`'s trainer then restores its post-step
+//!   snapshot on top for bitwise-identical retries).
 //!
 //! Tensors are `Arc`-backed handles, so placing a buffer, sending it to
 //! a peer actor, and fetching it back to the driver are all O(1) moves
-//! of a reference — the executable analogue of passing device-buffer
-//! handles rather than copying host memory. Each `Run` instruction
-//! executes through the liveness interpreter and its allocator counters
-//! are accumulated into the actor's [`ActorProfile`].
+//! of a reference. Each `Run` instruction executes through the liveness
+//! interpreter and its allocator counters are accumulated into the
+//! actor's [`ActorProfile`].
 
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -26,31 +57,116 @@ use raxpp_taskgraph::{BufferId, Fetch, InputSource, Instr, MpmdProgram};
 use crate::error::RuntimeError;
 use crate::store::{ObjectStore, SendToken};
 
-type DataMsg = (BufferId, Tensor, SendToken);
+/// A step sequence number: the `Execute` command's sequence number tags
+/// every data message the step produces.
+type Epoch = u64;
+
+/// `from` id the driver uses when it broadcasts aborts itself.
+const DRIVER: usize = usize::MAX;
+
+/// How long the driver blocks between reply polls while waiting on a
+/// step — bounds the latency of detecting a silent actor death.
+const REPLY_POLL: Duration = Duration::from_millis(20);
+
+/// Default step timeout (overridable via `RAXPP_STEP_TIMEOUT_MS` or
+/// [`Runtime::set_step_timeout`]) — the last-resort bound when the
+/// abort protocol itself is broken.
+const DEFAULT_STEP_TIMEOUT: Duration = Duration::from_secs(60);
+
+enum Payload {
+    /// A tensor for `buf`, completing via the send token.
+    Data(BufferId, Tensor, SendToken),
+    /// The sender abandoned this epoch; the receiver must too.
+    Abort(String),
+}
+
+/// One message on an actor's inbox: the per-peer FIFO streams are
+/// demultiplexed by `from` on the receiving side.
+struct Msg {
+    from: usize,
+    epoch: Epoch,
+    payload: Payload,
+}
+
+/// A deterministic, one-shot fault for failure testing: injected with
+/// [`Runtime::inject_fault`], consumed when it triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The actor thread exits as soon as it processes the injection —
+    /// the classic "worker crashed between steps".
+    DieNow,
+    /// The actor thread exits just before executing instruction `n` of
+    /// its next fused stream — "worker crashed mid-step".
+    DieAtInstr(usize),
+    /// Instruction `n` of the next stream fails with an injected task
+    /// error (the actor survives).
+    ErrorAtInstr(usize),
+    /// The first `Run` instruction whose task label's rendering contains
+    /// this substring fails with an injected task error.
+    ErrorAtTask(String),
+}
 
 enum Command {
-    Place(Vec<(BufferId, Tensor)>),
-    Execute,
-    Fetch(Vec<BufferId>),
-    Read(BufferId),
-    PeakBytes,
-    /// Test-only failure injection: the actor thread exits immediately.
-    Die,
+    Place {
+        seq: u64,
+        bufs: Vec<(BufferId, Tensor)>,
+    },
+    Execute {
+        seq: u64,
+    },
+    Fetch {
+        seq: u64,
+        bufs: Vec<BufferId>,
+    },
+    Read {
+        seq: u64,
+        buf: BufferId,
+    },
+    PeakBytes {
+        seq: u64,
+    },
+    /// Replace the inbox sender for `peer` (after a respawn). No reply.
+    Reconnect {
+        peer: usize,
+        tx: Sender<Msg>,
+    },
+    /// Arm a one-shot fault. No reply.
+    InjectFault(Fault),
     Shutdown,
 }
 
-enum Reply {
+/// Why an `Execute` failed on one actor, as reported on the wire.
+enum ExecFailure {
+    /// A genuine error on this actor (task error, protocol violation).
+    Error(String),
+    /// Cascade: peer `by` aborted the epoch and this actor abandoned it.
+    Aborted { by: usize, reason: String },
+}
+
+enum ReplyKind {
     Placed,
-    Executed(Result<ActorProfile, String>),
+    Executed(Box<Result<ActorProfile, ExecFailure>>),
     Fetched(Result<Vec<Tensor>, String>),
     Read(Result<Tensor, String>),
     PeakBytes(usize),
+}
+
+struct Reply {
+    seq: u64,
+    kind: ReplyKind,
 }
 
 struct ActorLink {
     cmd: Sender<Command>,
     reply: Receiver<Reply>,
     handle: Option<JoinHandle<()>>,
+    dead: bool,
+}
+
+impl std::fmt::Debug for ActorLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorLink {{ dead: {} }}", self.dead)
+    }
 }
 
 /// Per-instruction-kind wall-clock accounting for one actor's step.
@@ -125,6 +241,29 @@ pub struct StepOutputs {
     pub stats: StepStats,
 }
 
+/// What [`Runtime::recover`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Actors whose threads were respawned.
+    pub respawned: Vec<usize>,
+    /// Driver-held resident buffers re-placed onto respawned actors.
+    pub replaced_buffers: usize,
+}
+
+struct Inner {
+    actors: Vec<ActorLink>,
+    /// Driver-held clone of every actor's inbox sender, used for abort
+    /// broadcasts and for wiring respawned actors.
+    inbox_tx: Vec<Sender<Msg>>,
+    /// Monotone command sequence counter; the `Execute` seq is the step
+    /// epoch.
+    seq: u64,
+    /// Last tensor explicitly placed per (actor, buffer) — the
+    /// driver-held copies re-placed onto respawned actors. Per-step data
+    /// placements are not recorded.
+    resident: HashMap<(usize, BufferId), Tensor>,
+}
+
 /// A single-controller MPMD runtime executing a compiled
 /// [`MpmdProgram`] on actor threads.
 ///
@@ -132,51 +271,73 @@ pub struct StepOutputs {
 ///
 /// See `raxpp-core`'s `distributed` API, which compiles traced training
 /// steps into programs and drives this runtime.
-#[derive(Debug)]
 pub struct Runtime {
     program: Arc<MpmdProgram>,
-    actors: Vec<ActorLink>,
+    inner: Mutex<Inner>,
+    step_timeout: Duration,
 }
 
-impl std::fmt::Debug for ActorLink {
+impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ActorLink")
+        write!(f, "Runtime {{ n_actors: {} }}", self.program.n_actors())
     }
 }
 
+fn spawn_actor(
+    a: usize,
+    program: Arc<MpmdProgram>,
+    inbox_rx: Receiver<Msg>,
+    tx_row: Vec<Sender<Msg>>,
+) -> ActorLink {
+    let (cmd_tx, cmd_rx) = channel::<Command>();
+    let (reply_tx, reply_rx) = channel::<Reply>();
+    let handle = std::thread::Builder::new()
+        .name(format!("raxpp-actor-{a}"))
+        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx))
+        .expect("spawn actor thread");
+    ActorLink {
+        cmd: cmd_tx,
+        reply: reply_rx,
+        handle: Some(handle),
+        dead: false,
+    }
+}
+
+fn step_timeout_from_env() -> Duration {
+    std::env::var("RAXPP_STEP_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_STEP_TIMEOUT)
+}
+
 impl Runtime {
-    /// Spawns actor threads and wires their P2P channels.
+    /// Spawns actor threads and wires their inbox channels.
     pub fn new(program: MpmdProgram) -> Runtime {
         let n = program.n_actors();
         let program = Arc::new(program);
-        // data_tx[i][j]: sender on actor i for messages to actor j.
-        let mut senders: Vec<Vec<Sender<DataMsg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<DataMsg>>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        for (i, sender_row) in senders.iter_mut().enumerate() {
-            for recv_row in receivers.iter_mut() {
-                let (tx, rx) = channel();
-                sender_row.push(tx);
-                recv_row[i] = Some(rx);
-            }
+        let mut inbox_tx = Vec::with_capacity(n);
+        let mut inbox_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Msg>();
+            inbox_tx.push(tx);
+            inbox_rx.push(rx);
         }
-        let mut actors = Vec::with_capacity(n);
-        for (a, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
-            let (cmd_tx, cmd_rx) = channel::<Command>();
-            let (reply_tx, reply_rx) = channel::<Reply>();
-            let prog = Arc::clone(&program);
-            let rx_row: Vec<Receiver<DataMsg>> = rx_row.into_iter().map(Option::unwrap).collect();
-            let handle = std::thread::Builder::new()
-                .name(format!("raxpp-actor-{a}"))
-                .spawn(move || actor_main(a, prog, cmd_rx, reply_tx, tx_row, rx_row))
-                .expect("spawn actor thread");
-            actors.push(ActorLink {
-                cmd: cmd_tx,
-                reply: reply_rx,
-                handle: Some(handle),
-            });
+        let actors = inbox_rx
+            .into_iter()
+            .enumerate()
+            .map(|(a, rx)| spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone()))
+            .collect();
+        Runtime {
+            program,
+            inner: Mutex::new(Inner {
+                actors,
+                inbox_tx,
+                seq: 0,
+                resident: HashMap::new(),
+            }),
+            step_timeout: step_timeout_from_env(),
         }
-        Runtime { program, actors }
     }
 
     /// The program being executed.
@@ -184,9 +345,17 @@ impl Runtime {
         &self.program
     }
 
+    /// Overrides the step timeout (default 60 s, or
+    /// `RAXPP_STEP_TIMEOUT_MS`): the bound on how long the driver waits
+    /// for any single actor's reply before declaring the step failed.
+    pub fn set_step_timeout(&mut self, timeout: Duration) {
+        self.step_timeout = timeout;
+    }
+
     /// Places the model parameters on their actors (done once; parameters
     /// stay resident across steps and are updated in place by optimizer
-    /// tasks).
+    /// tasks). The driver keeps a handle to each placed tensor so
+    /// [`Runtime::recover`] can re-place it after an actor respawn.
     ///
     /// # Errors
     ///
@@ -194,7 +363,7 @@ impl Runtime {
     /// [`RuntimeError::ActorDied`] if an actor is gone.
     pub fn place_params(&self, params: &[Tensor]) -> Result<(), RuntimeError> {
         let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
-            (0..self.actors.len()).map(|_| Vec::new()).collect();
+            (0..self.program.n_actors()).map(|_| Vec::new()).collect();
         for p in &self.program.placements {
             if let InputSource::Param(i) = p.source {
                 let t = params
@@ -210,7 +379,8 @@ impl Runtime {
                 per_actor[p.actor].push((p.buf, t.clone()));
             }
         }
-        self.place(per_actor)
+        let mut inner = self.inner.lock().unwrap();
+        self.place(&mut inner, per_actor, true)
     }
 
     /// Runs one step: places the per-microbatch data inputs, dispatches
@@ -220,13 +390,19 @@ impl Runtime {
     /// `data[input][mubatch]` follows the traced function's data-input
     /// order.
     ///
+    /// A failed step returns in bounded time (the failing actor's abort
+    /// broadcast wakes every blocked peer; the step timeout is the
+    /// last-resort bound) and leaves the runtime in a clean state: the
+    /// same `Runtime` can run the next step, after [`Runtime::recover`]
+    /// if an actor died.
+    ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError`] on bad inputs, actor failure, or task
-    /// execution errors.
+    /// Returns [`RuntimeError`] on bad inputs, actor failure, task
+    /// execution errors, or timeout.
     pub fn step(&self, data: &[Vec<Tensor>]) -> Result<StepOutputs, RuntimeError> {
-        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
-            (0..self.actors.len()).map(|_| Vec::new()).collect();
+        let n = self.program.n_actors();
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
         for p in &self.program.placements {
             if let InputSource::Data { input, mubatch } = p.source {
                 let t = data
@@ -247,59 +423,178 @@ impl Runtime {
                 per_actor[p.actor].push((p.buf, t.clone()));
             }
         }
-        self.place(per_actor)?;
+        let mut inner = self.inner.lock().unwrap();
+        self.place(&mut inner, per_actor, false)?;
 
-        // One fused dispatch per actor (§4.4), then wait for all.
+        // One fused dispatch per actor (§4.4): the Execute seq is the
+        // step epoch tagging every data message of this step.
         let start = Instant::now();
+        inner.seq += 1;
+        let epoch = inner.seq;
+        let mut dispatched = vec![false; n];
+        let mut fatal: Vec<Option<RuntimeError>> = vec![None; n];
         let mut rpcs = 0;
-        for (a, link) in self.actors.iter().enumerate() {
-            link.cmd
-                .send(Command::Execute)
-                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+        for a in 0..n {
+            if inner.actors[a].dead
+                || inner.actors[a]
+                    .cmd
+                    .send(Command::Execute { seq: epoch })
+                    .is_err()
+            {
+                inner.actors[a].dead = true;
+                fatal[a] = Some(RuntimeError::ActorDied { actor: a });
+                continue;
+            }
+            dispatched[a] = true;
             rpcs += 1;
         }
-        let mut profiles = Vec::with_capacity(self.actors.len());
-        for (a, link) in self.actors.iter().enumerate() {
-            match link.reply.recv() {
-                Ok(Reply::Executed(Ok(profile))) => profiles.push(profile),
-                Ok(Reply::Executed(Err(message))) => {
-                    return Err(RuntimeError::Exec { actor: a, message })
+        let mut outcome: Vec<Option<Result<ActorProfile, ExecFailure>>> =
+            (0..n).map(|_| None).collect();
+        let mut abort_sent = false;
+        if fatal.iter().flatten().next().is_some() {
+            broadcast_driver_abort(&inner, epoch, "actor died before dispatch");
+            abort_sent = true;
+        }
+        let deadline = Instant::now() + self.step_timeout;
+        loop {
+            let mut progressed = false;
+            let mut first_pending = None;
+            for a in 0..n {
+                if !dispatched[a] || outcome[a].is_some() || fatal[a].is_some() {
+                    continue;
                 }
-                _ => return Err(RuntimeError::ActorDied { actor: a }),
+                loop {
+                    match inner.actors[a].reply.try_recv() {
+                        Ok(r) if r.seq == epoch => {
+                            if let ReplyKind::Executed(res) = r.kind {
+                                outcome[a] = Some(*res);
+                            }
+                            progressed = true;
+                            break;
+                        }
+                        // Stale reply from an earlier aborted command:
+                        // drain and keep looking.
+                        Ok(_) => continue,
+                        Err(TryRecvError::Empty) => {
+                            first_pending.get_or_insert(a);
+                            break;
+                        }
+                        Err(TryRecvError::Disconnected) => {
+                            inner.actors[a].dead = true;
+                            fatal[a] = Some(RuntimeError::ActorDied { actor: a });
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let failed = fatal.iter().flatten().next().is_some()
+                || outcome.iter().flatten().any(|r| r.is_err());
+            if failed && !abort_sent {
+                // Wake peers blocked in Recv on the failed epoch. The
+                // failing actor (or its death guard) broadcast already;
+                // this covers deaths whose guard ran under an older
+                // epoch, and is harmless otherwise.
+                broadcast_driver_abort(&inner, epoch, "step aborted by driver");
+                abort_sent = true;
+            }
+            let pending = first_pending.is_some();
+            if !pending {
+                break;
+            }
+            if progressed {
+                continue;
+            }
+            if Instant::now() >= deadline {
+                for a in 0..n {
+                    if dispatched[a] && outcome[a].is_none() && fatal[a].is_none() {
+                        fatal[a] = Some(RuntimeError::Timeout { actor: a });
+                    }
+                }
+                if !abort_sent {
+                    broadcast_driver_abort(&inner, epoch, "step timeout");
+                }
+                break;
+            }
+            // Block briefly on one pending actor; silent deaths surface
+            // as channel disconnects on the next try_recv sweep.
+            if let Some(a) = first_pending {
+                let _ = inner.actors[a].reply.recv_timeout(REPLY_POLL).map(|r| {
+                    if r.seq == epoch {
+                        if let ReplyKind::Executed(res) = r.kind {
+                            outcome[a] = Some(*res);
+                        }
+                    }
+                });
+            }
+        }
+        if let Some(err) = step_error(&fatal, &outcome) {
+            return Err(err);
+        }
+        let mut profiles = Vec::with_capacity(n);
+        for r in outcome {
+            match r {
+                Some(Ok(p)) => profiles.push(p),
+                _ => unreachable!("step_error covers non-Ok outcomes"),
             }
         }
         let wall = start.elapsed();
 
         // Fetch results.
-        let mut wanted: Vec<Vec<BufferId>> = (0..self.actors.len()).map(|_| Vec::new()).collect();
+        let mut wanted: Vec<Vec<BufferId>> = (0..n).map(|_| Vec::new()).collect();
         for f in &self.program.fetches {
             wanted[f.actor].push(f.buf);
         }
-        let mut fetched_per_actor: Vec<std::collections::HashMap<BufferId, Tensor>> =
-            (0..self.actors.len()).map(|_| Default::default()).collect();
-        for (a, link) in self.actors.iter().enumerate() {
+        inner.seq += 1;
+        let seq = inner.seq;
+        let mut fetch_dispatched = vec![false; n];
+        let mut first_err = None;
+        for a in 0..n {
             if wanted[a].is_empty() {
                 continue;
             }
-            link.cmd
-                .send(Command::Fetch(wanted[a].clone()))
-                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+            let cmd = Command::Fetch {
+                seq,
+                bufs: wanted[a].clone(),
+            };
+            if inner.actors[a].cmd.send(cmd).is_err() {
+                inner.actors[a].dead = true;
+                first_err.get_or_insert(RuntimeError::ActorDied { actor: a });
+                continue;
+            }
+            fetch_dispatched[a] = true;
         }
-        for (a, link) in self.actors.iter().enumerate() {
-            if wanted[a].is_empty() {
+        let mut fetched_per_actor: Vec<HashMap<BufferId, Tensor>> =
+            (0..n).map(|_| Default::default()).collect();
+        for a in 0..n {
+            if !fetch_dispatched[a] {
                 continue;
             }
-            match link.reply.recv() {
-                Ok(Reply::Fetched(Ok(ts))) => {
+            match recv_reply(&inner.actors[a], a, seq, self.step_timeout) {
+                Ok(ReplyKind::Fetched(Ok(ts))) => {
                     for (b, t) in wanted[a].iter().zip(ts) {
                         fetched_per_actor[a].insert(*b, t);
                     }
                 }
-                Ok(Reply::Fetched(Err(message))) => {
-                    return Err(RuntimeError::Exec { actor: a, message })
+                Ok(ReplyKind::Fetched(Err(message))) => {
+                    first_err.get_or_insert(RuntimeError::Exec { actor: a, message });
                 }
-                _ => return Err(RuntimeError::ActorDied { actor: a }),
+                Ok(_) => {
+                    first_err.get_or_insert(RuntimeError::Exec {
+                        actor: a,
+                        message: "protocol error: unexpected reply kind".into(),
+                    });
+                }
+                Err(e) => {
+                    if matches!(e, RuntimeError::ActorDied { .. }) {
+                        inner.actors[a].dead = true;
+                    }
+                    first_err.get_or_insert(e);
+                }
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let fetched = self
             .program
@@ -319,21 +614,23 @@ impl Runtime {
 
     /// Places arbitrary buffers on actors (e.g. optimizer state appended
     /// by `raxpp-core`'s compiler, which the program lists with a
-    /// `State` source).
+    /// `State` source). The driver keeps a handle to each placed tensor
+    /// so [`Runtime::recover`] can re-place it after an actor respawn.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
     pub fn place_buffers(&self, items: &[(usize, BufferId, Tensor)]) -> Result<(), RuntimeError> {
-        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
-            (0..self.actors.len()).map(|_| Vec::new()).collect();
+        let n = self.program.n_actors();
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
         for (actor, buf, t) in items {
-            if *actor >= per_actor.len() {
+            if *actor >= n {
                 return Err(RuntimeError::BadInput(format!("unknown actor {actor}")));
             }
             per_actor[*actor].push((*buf, t.clone()));
         }
-        self.place(per_actor)
+        let mut inner = self.inner.lock().unwrap();
+        self.place(&mut inner, per_actor, true)
     }
 
     /// Reads one buffer from an actor's store (e.g. an updated parameter).
@@ -343,80 +640,339 @@ impl Runtime {
     /// Returns [`RuntimeError`] if the actor died or the buffer is
     /// missing.
     pub fn read_buffer(&self, actor: usize, buf: BufferId) -> Result<Tensor, RuntimeError> {
-        let link = self
-            .actors
-            .get(actor)
-            .ok_or(RuntimeError::ActorDied { actor })?;
+        let mut inner = self.inner.lock().unwrap();
+        if actor >= inner.actors.len() {
+            return Err(RuntimeError::ActorDied { actor });
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        let link = &inner.actors[actor];
         link.cmd
-            .send(Command::Read(buf))
+            .send(Command::Read { seq, buf })
             .map_err(|_| RuntimeError::ActorDied { actor })?;
-        match link.reply.recv() {
-            Ok(Reply::Read(Ok(t))) => Ok(t),
-            Ok(Reply::Read(Err(message))) => Err(RuntimeError::Exec { actor, message }),
-            _ => Err(RuntimeError::ActorDied { actor }),
+        match recv_reply(link, actor, seq, self.step_timeout) {
+            Ok(ReplyKind::Read(Ok(t))) => Ok(t),
+            Ok(ReplyKind::Read(Err(message))) => Err(RuntimeError::Exec { actor, message }),
+            Ok(_) => Err(RuntimeError::Exec {
+                actor,
+                message: "protocol error: unexpected reply kind".into(),
+            }),
+            Err(e) => {
+                if matches!(e, RuntimeError::ActorDied { .. }) {
+                    inner.actors[actor].dead = true;
+                }
+                Err(e)
+            }
         }
     }
 
     /// Peak object-store bytes per actor since launch — the executable
     /// analogue of the schedules' activation-memory footprints
     /// (§2.2.1: GPipe's grows with the microbatch count, 1F1B's with
-    /// the stage count).
+    /// the stage count). Answers even after failed steps: stores survive
+    /// aborts.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
     pub fn peak_store_bytes(&self) -> Result<Vec<usize>, RuntimeError> {
-        let mut out = Vec::with_capacity(self.actors.len());
-        for (a, link) in self.actors.iter().enumerate() {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.actors.len();
+        let mut out = Vec::with_capacity(n);
+        for a in 0..n {
+            inner.seq += 1;
+            let seq = inner.seq;
+            let link = &inner.actors[a];
             link.cmd
-                .send(Command::PeakBytes)
+                .send(Command::PeakBytes { seq })
                 .map_err(|_| RuntimeError::ActorDied { actor: a })?;
-            match link.reply.recv() {
-                Ok(Reply::PeakBytes(b)) => out.push(b),
-                _ => return Err(RuntimeError::ActorDied { actor: a }),
+            match recv_reply(link, a, seq, self.step_timeout)? {
+                ReplyKind::PeakBytes(b) => out.push(b),
+                _ => {
+                    return Err(RuntimeError::Exec {
+                        actor: a,
+                        message: "protocol error: unexpected reply kind".into(),
+                    })
+                }
             }
         }
         Ok(out)
     }
 
-    /// Test-only failure injection: terminate one actor's thread. The
-    /// next `step` fails with [`RuntimeError::ActorDied`] instead of
-    /// hanging.
+    /// Failure injection: terminate one actor's thread immediately.
+    /// Equivalent to `inject_fault(actor, Fault::DieNow)`; the next
+    /// `step` fails with [`RuntimeError::ActorDied`] instead of hanging.
     pub fn inject_failure(&self, actor: usize) {
-        if let Some(link) = self.actors.get(actor) {
-            let _ = link.cmd.send(Command::Die);
-        }
+        let _ = self.inject_fault(actor, Fault::DieNow);
     }
 
-    fn place(&self, per_actor: Vec<Vec<(BufferId, Tensor)>>) -> Result<(), RuntimeError> {
-        for (a, bufs) in per_actor.iter().enumerate() {
-            if bufs.is_empty() {
-                continue;
-            }
-            self.actors[a]
-                .cmd
-                .send(Command::Place(bufs.clone()))
-                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+    /// Arms a one-shot deterministic [`Fault`] on one actor: die or
+    /// error at a chosen instruction index or task label of the next
+    /// executed stream. Repeated injections queue and fire in order, one
+    /// per triggering execution. The fault-injection surface behind
+    /// every failure test and the failure-mode bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ActorDied`] if the actor is already gone.
+    pub fn inject_fault(&self, actor: usize, fault: Fault) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if actor >= inner.actors.len() || inner.actors[actor].dead {
+            return Err(RuntimeError::ActorDied { actor });
         }
-        for (a, bufs) in per_actor.iter().enumerate() {
-            if bufs.is_empty() {
-                continue;
-            }
-            match self.actors[a].reply.recv() {
-                Ok(Reply::Placed) => {}
-                _ => return Err(RuntimeError::ActorDied { actor: a }),
-            }
+        let sent = inner.actors[actor]
+            .cmd
+            .send(Command::InjectFault(fault))
+            .is_ok();
+        if !sent {
+            inner.actors[actor].dead = true;
+            return Err(RuntimeError::ActorDied { actor });
         }
         Ok(())
     }
+
+    /// Respawns dead actors and reconnects the fleet: each dead actor's
+    /// thread is replaced, every survivor's channel to it is rewired, and
+    /// the parameter/state buffers the driver holds resident copies of
+    /// (from [`Runtime::place_params`] / [`Runtime::place_buffers`]) are
+    /// re-placed on the replacements.
+    ///
+    /// Values updated in place by optimizer tasks since their placement
+    /// are *not* recovered from here — `raxpp-core`'s trainer restores
+    /// its own post-step snapshot on top to resume bitwise-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] if re-placement on a respawned actor
+    /// fails.
+    pub fn recover(&self) -> Result<RecoveryReport, RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.actors.len();
+        let mut report = RecoveryReport::default();
+        // A reconnect send can itself discover a newly-dead survivor, so
+        // iterate to a fixed point (bounded: each pass respawns).
+        for _ in 0..=n {
+            let dead: Vec<usize> = (0..n)
+                .filter(|&a| {
+                    inner.actors[a].dead
+                        || inner.actors[a]
+                            .handle
+                            .as_ref()
+                            .map_or(true, |h| h.is_finished())
+                })
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            // Fresh inbox channels first, so every respawn sees the full
+            // updated sender row.
+            let mut rxs = Vec::with_capacity(dead.len());
+            for &a in &dead {
+                let (tx, rx) = channel::<Msg>();
+                inner.inbox_tx[a] = tx;
+                rxs.push(rx);
+            }
+            for (&a, rx) in dead.iter().zip(rxs) {
+                if let Some(h) = inner.actors[a].handle.take() {
+                    let _ = h.join();
+                }
+                let tx_row = inner.inbox_tx.clone();
+                inner.actors[a] = spawn_actor(a, Arc::clone(&self.program), rx, tx_row);
+                if !report.respawned.contains(&a) {
+                    report.respawned.push(a);
+                }
+            }
+            for b in 0..n {
+                if dead.contains(&b) {
+                    continue;
+                }
+                for &a in &dead {
+                    let tx = inner.inbox_tx[a].clone();
+                    if inner.actors[b]
+                        .cmd
+                        .send(Command::Reconnect { peer: a, tx })
+                        .is_err()
+                    {
+                        inner.actors[b].dead = true;
+                    }
+                }
+            }
+        }
+        report.respawned.sort_unstable();
+        // Re-place the driver-held resident copies on the replacements.
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
+        for (&(a, buf), t) in &inner.resident {
+            if report.respawned.contains(&a) {
+                per_actor[a].push((buf, t.clone()));
+                report.replaced_buffers += 1;
+            }
+        }
+        self.place(&mut inner, per_actor, false)?;
+        Ok(report)
+    }
+
+    fn place(
+        &self,
+        inner: &mut Inner,
+        per_actor: Vec<Vec<(BufferId, Tensor)>>,
+        record_resident: bool,
+    ) -> Result<(), RuntimeError> {
+        inner.seq += 1;
+        let seq = inner.seq;
+        let mut dispatched = vec![false; per_actor.len()];
+        let mut first_err: Option<RuntimeError> = None;
+        for (a, bufs) in per_actor.iter().enumerate() {
+            if bufs.is_empty() {
+                continue;
+            }
+            if inner.actors[a].dead {
+                first_err.get_or_insert(RuntimeError::ActorDied { actor: a });
+                continue;
+            }
+            let cmd = Command::Place {
+                seq,
+                bufs: bufs.clone(),
+            };
+            if inner.actors[a].cmd.send(cmd).is_err() {
+                inner.actors[a].dead = true;
+                first_err.get_or_insert(RuntimeError::ActorDied { actor: a });
+                continue;
+            }
+            dispatched[a] = true;
+        }
+        // Collect every dispatched reply — also on the error path — so
+        // the reply channels stay synchronized.
+        for (a, bufs) in per_actor.iter().enumerate() {
+            if !dispatched[a] {
+                continue;
+            }
+            match recv_reply(&inner.actors[a], a, seq, self.step_timeout) {
+                Ok(ReplyKind::Placed) => {
+                    if record_resident {
+                        for (b, t) in bufs {
+                            inner.resident.insert((a, *b), t.clone());
+                        }
+                    }
+                }
+                Ok(_) => {
+                    first_err.get_or_insert(RuntimeError::Exec {
+                        actor: a,
+                        message: "protocol error: unexpected reply kind".into(),
+                    });
+                }
+                Err(e) => {
+                    if matches!(e, RuntimeError::ActorDied { .. }) {
+                        inner.actors[a].dead = true;
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Drains stale replies until the one matching `seq` arrives.
+fn recv_reply(
+    link: &ActorLink,
+    actor: usize,
+    seq: u64,
+    timeout: Duration,
+) -> Result<ReplyKind, RuntimeError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match link.reply.recv_timeout(remaining) {
+            Ok(r) if r.seq == seq => return Ok(r.kind),
+            Ok(r) if r.seq < seq => continue, // stale reply from an aborted command
+            Ok(_) => {
+                return Err(RuntimeError::Exec {
+                    actor,
+                    message: "protocol error: reply from the future".into(),
+                })
+            }
+            Err(RecvTimeoutError::Timeout) => return Err(RuntimeError::Timeout { actor }),
+            Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::ActorDied { actor }),
+        }
+    }
+}
+
+/// Sends a driver-originated abort for `epoch` to every actor inbox.
+fn broadcast_driver_abort(inner: &Inner, epoch: Epoch, reason: &str) {
+    for tx in &inner.inbox_tx {
+        let _ = tx.send(Msg {
+            from: DRIVER,
+            epoch,
+            payload: Payload::Abort(reason.to_string()),
+        });
+    }
+}
+
+/// Maps one step's per-actor outcomes to the root-cause error, if any.
+/// Priority: a genuine task error, then a death, then a timeout, then a
+/// pure abort cascade (possible only transiently).
+fn step_error(
+    fatal: &[Option<RuntimeError>],
+    outcome: &[Option<Result<ActorProfile, ExecFailure>>],
+) -> Option<RuntimeError> {
+    let mut died = None;
+    let mut timeout = None;
+    let mut cascade = None;
+    for (a, f) in fatal.iter().enumerate() {
+        match f {
+            Some(RuntimeError::ActorDied { .. }) => {
+                died.get_or_insert(RuntimeError::ActorDied { actor: a });
+            }
+            Some(RuntimeError::Timeout { .. }) => {
+                timeout.get_or_insert(RuntimeError::Timeout { actor: a });
+            }
+            Some(e) => {
+                died.get_or_insert(e.clone());
+            }
+            None => {}
+        }
+    }
+    for (a, r) in outcome.iter().enumerate() {
+        match r {
+            Some(Err(ExecFailure::Error(message))) => {
+                return Some(RuntimeError::Exec {
+                    actor: a,
+                    message: message.clone(),
+                });
+            }
+            Some(Err(ExecFailure::Aborted { by, reason })) => {
+                cascade.get_or_insert(if *by == DRIVER {
+                    RuntimeError::Exec {
+                        actor: a,
+                        message: reason.clone(),
+                    }
+                } else {
+                    RuntimeError::Exec {
+                        actor: *by,
+                        message: reason.clone(),
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+    died.or(timeout).or(cascade)
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        for link in &self.actors {
+        let mut inner = self.inner.lock().unwrap();
+        for link in &inner.actors {
             let _ = link.cmd.send(Command::Shutdown);
         }
-        for link in &mut self.actors {
+        // Wake any actor still parked in a Recv from a timed-out step so
+        // it can reach the Shutdown command: epoch MAX outranks every
+        // current epoch.
+        broadcast_driver_abort(&inner, u64::MAX, "runtime shutdown");
+        for link in &mut inner.actors {
             if let Some(h) = link.handle.take() {
                 let _ = h.join();
             }
@@ -424,63 +980,274 @@ impl Drop for Runtime {
     }
 }
 
+// ---------------------------------------------------------------------
+// Actor side
+// ---------------------------------------------------------------------
+
+/// Per-peer FIFO demultiplexer over the actor's single inbox. Queues
+/// hold data that arrived from other peers while a `Recv` waited on a
+/// specific one; aborts are surfaced immediately, stale epochs dropped.
+struct Mailbox {
+    rx: Receiver<Msg>,
+    queues: Vec<VecDeque<(Epoch, BufferId, Tensor, SendToken)>>,
+    /// An abort observed for an epoch not yet abandoned.
+    pending_abort: Option<(Epoch, usize, String)>,
+}
+
+impl Mailbox {
+    fn new(n: usize, rx: Receiver<Msg>) -> Mailbox {
+        Mailbox {
+            rx,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            pending_abort: None,
+        }
+    }
+
+    /// Drops everything belonging to epochs before `epoch` — called at
+    /// the start of each Execute so an aborted step's leftovers can
+    /// never be matched against this step's Recvs.
+    fn purge_stale(&mut self, epoch: Epoch) {
+        if matches!(self.pending_abort, Some((e, _, _)) if e < epoch) {
+            self.pending_abort = None;
+        }
+        for q in &mut self.queues {
+            q.retain(|(e, _, _, _)| *e >= epoch);
+        }
+        while let Ok(msg) = self.rx.try_recv() {
+            self.intake(msg, epoch);
+        }
+    }
+
+    fn intake(&mut self, msg: Msg, epoch: Epoch) {
+        if msg.epoch < epoch {
+            return; // stale: from an aborted earlier step
+        }
+        match msg.payload {
+            Payload::Abort(reason) => {
+                if self.pending_abort.is_none() {
+                    self.pending_abort = Some((msg.epoch, msg.from, reason));
+                }
+            }
+            Payload::Data(buf, t, token) => {
+                self.queues[msg.from].push_back((msg.epoch, buf, t, token));
+            }
+        }
+    }
+
+    /// Receives the next current-epoch data message from `from`,
+    /// stashing messages from other peers. Any abort for this epoch (or
+    /// a later one — the shutdown poison uses `u64::MAX`) ends the wait.
+    fn recv_from(
+        &mut self,
+        from: usize,
+        epoch: Epoch,
+    ) -> Result<(BufferId, Tensor, SendToken), (usize, String)> {
+        loop {
+            if let Some((e, by, reason)) = &self.pending_abort {
+                if *e >= epoch {
+                    return Err((*by, reason.clone()));
+                }
+                self.pending_abort = None;
+            }
+            while let Some((e, buf, t, token)) = self.queues[from].pop_front() {
+                if e < epoch {
+                    continue; // stale
+                }
+                return Ok((buf, t, token));
+            }
+            match self.rx.recv() {
+                Ok(msg) => {
+                    if msg.epoch < epoch {
+                        continue;
+                    }
+                    match msg.payload {
+                        Payload::Abort(reason) => return Err((msg.from, reason)),
+                        Payload::Data(buf, t, token) if msg.from == from => {
+                            return Ok((buf, t, token))
+                        }
+                        Payload::Data(buf, t, token) => {
+                            self.queues[msg.from].push_back((msg.epoch, buf, t, token));
+                        }
+                    }
+                }
+                // Every peer and the driver dropped their senders: the
+                // runtime is gone.
+                Err(_) => return Err((DRIVER, "inbox closed".to_string())),
+            }
+        }
+    }
+}
+
+struct ActorState {
+    me: usize,
+    program: Arc<MpmdProgram>,
+    store: ObjectStore,
+    mailbox: Mailbox,
+    /// Senders into every peer's inbox (self slot unused); updated by
+    /// `Reconnect` after a respawn.
+    tx_row: Vec<Sender<Msg>>,
+    /// Epoch of the stream currently (or last) executed.
+    epoch: Epoch,
+    /// Armed one-shot faults, consumed front-to-back as they trigger.
+    faults: VecDeque<Fault>,
+}
+
+impl ActorState {
+    /// Poisons every peer's inbox for `epoch` (§4.1-style abort
+    /// broadcast). Safe to call more than once; receivers drop
+    /// duplicates as stale after the epoch advances.
+    fn broadcast_abort(&self, epoch: Epoch, reason: &str) {
+        for (j, tx) in self.tx_row.iter().enumerate() {
+            if j == self.me {
+                continue;
+            }
+            let _ = tx.send(Msg {
+                from: self.me,
+                epoch,
+                payload: Payload::Abort(reason.to_string()),
+            });
+        }
+    }
+}
+
+enum Exit {
+    /// Orderly shutdown: no poison needed.
+    Clean,
+    /// The actor "crashed" (injected death): poison the fleet on the way
+    /// out.
+    Died,
+}
+
 fn actor_main(
     me: usize,
     program: Arc<MpmdProgram>,
     cmd: Receiver<Command>,
     reply: Sender<Reply>,
-    tx: Vec<Sender<DataMsg>>,
-    rx: Vec<Receiver<DataMsg>>,
+    tx_row: Vec<Sender<Msg>>,
+    inbox: Receiver<Msg>,
 ) {
-    let mut store = ObjectStore::new();
+    let n = tx_row.len();
+    let mut st = ActorState {
+        me,
+        program,
+        store: ObjectStore::new(),
+        mailbox: Mailbox::new(n, inbox),
+        tx_row,
+        epoch: 0,
+        faults: VecDeque::new(),
+    };
+    // The death guard: any exit that is not an orderly shutdown — an
+    // injected death or a panic in actor code — broadcasts an abort for
+    // the epoch in flight, so no peer blocks forever on this actor. This
+    // is the thread-scale stand-in for Ray's actor-death notifications.
+    let exit = std::panic::catch_unwind(AssertUnwindSafe(|| actor_loop(&mut st, &cmd, &reply)));
+    match exit {
+        Ok(Exit::Clean) => {}
+        Ok(Exit::Died) => st.broadcast_abort(st.epoch, &format!("actor {me} died")),
+        Err(_) => st.broadcast_abort(st.epoch, &format!("actor {me} panicked")),
+    }
+    // Dropping `reply` here tells the driver this actor is gone.
+}
+
+fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply>) -> Exit {
     while let Ok(c) = cmd.recv() {
         match c {
-            Command::Place(bufs) => {
+            Command::Place { seq, bufs } => {
                 for (b, t) in bufs {
-                    store.insert(b, t);
+                    st.store.insert(b, t);
                 }
-                if reply.send(Reply::Placed).is_err() {
-                    return;
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::Placed,
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
                 }
             }
-            Command::Execute => {
-                let r = execute_stream(me, &program, &mut store, &tx, &rx);
-                if reply.send(Reply::Executed(r)).is_err() {
-                    return;
+            Command::Execute { seq } => {
+                st.epoch = seq;
+                st.mailbox.purge_stale(seq);
+                let r = match execute_stream(st) {
+                    Ok(profile) => Ok(profile),
+                    Err(StreamFailure::Die) => return Exit::Died,
+                    Err(StreamFailure::Error(message)) => {
+                        st.broadcast_abort(seq, &message);
+                        st.store.abandon_outstanding_sends();
+                        Err(ExecFailure::Error(message))
+                    }
+                    Err(StreamFailure::Aborted { by, reason }) => {
+                        st.store.abandon_outstanding_sends();
+                        Err(ExecFailure::Aborted { by, reason })
+                    }
+                };
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::Executed(Box::new(r)),
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
                 }
             }
-            Command::Fetch(bufs) => {
+            Command::Fetch { seq, bufs } => {
                 let r: Result<Vec<Tensor>, String> = bufs
                     .iter()
                     .map(|b| {
-                        store
+                        st.store
                             .get(*b)
                             .cloned()
                             .ok_or_else(|| format!("missing buffer {b}"))
                     })
                     .collect();
-                if reply.send(Reply::Fetched(r)).is_err() {
-                    return;
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::Fetched(r),
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
                 }
             }
-            Command::Read(b) => {
-                let r = store
-                    .get(b)
+            Command::Read { seq, buf } => {
+                let r = st
+                    .store
+                    .get(buf)
                     .cloned()
-                    .ok_or_else(|| format!("missing buffer {b}"));
-                if reply.send(Reply::Read(r)).is_err() {
-                    return;
+                    .ok_or_else(|| format!("missing buffer {buf}"));
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::Read(r),
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
                 }
             }
-            Command::PeakBytes => {
-                if reply.send(Reply::PeakBytes(store.peak_bytes())).is_err() {
-                    return;
+            Command::PeakBytes { seq } => {
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::PeakBytes(st.store.peak_bytes()),
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
                 }
             }
-            Command::Die => return,
-            Command::Shutdown => return,
+            Command::Reconnect { peer, tx } => {
+                st.tx_row[peer] = tx;
+            }
+            Command::InjectFault(Fault::DieNow) => return Exit::Died,
+            Command::InjectFault(f) => st.faults.push_back(f),
+            Command::Shutdown => return Exit::Clean,
         }
     }
+    Exit::Clean
 }
 
 fn label_kind(label: &raxpp_taskgraph::TaskLabel) -> &'static str {
@@ -496,15 +1263,48 @@ fn label_kind(label: &raxpp_taskgraph::TaskLabel) -> &'static str {
     }
 }
 
-fn execute_stream(
-    me: usize,
-    program: &MpmdProgram,
-    store: &mut ObjectStore,
-    tx: &[Sender<DataMsg>],
-    rx: &[Receiver<DataMsg>],
-) -> Result<ActorProfile, String> {
+enum StreamFailure {
+    /// A genuine error on this actor.
+    Error(String),
+    /// A peer (or the driver) poisoned the epoch.
+    Aborted { by: usize, reason: String },
+    /// Injected death: the thread must exit.
+    Die,
+}
+
+/// Consults the front armed fault before instruction `idx` runs. Faults
+/// are one-shot: the one that fires is popped; later injections stay
+/// armed for later executions.
+fn check_fault(st: &mut ActorState, idx: usize, instr: &Instr) -> Result<(), StreamFailure> {
+    let fire = match st.faults.front() {
+        Some(Fault::DieAtInstr(at)) | Some(Fault::ErrorAtInstr(at)) => *at == idx,
+        Some(Fault::ErrorAtTask(s)) => {
+            matches!(instr, Instr::Run { label, .. } if format!("{label}").contains(s.as_str()))
+        }
+        _ => false,
+    };
+    if !fire {
+        return Ok(());
+    }
+    match st.faults.pop_front() {
+        Some(Fault::DieAtInstr(_)) => Err(StreamFailure::Die),
+        Some(Fault::ErrorAtInstr(at)) => Err(StreamFailure::Error(format!(
+            "injected fault at instruction {at}"
+        ))),
+        Some(Fault::ErrorAtTask(s)) => Err(StreamFailure::Error(format!(
+            "injected fault at task matching {s:?}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
+    let me = st.me;
+    let epoch = st.epoch;
+    let program = Arc::clone(&st.program);
     let mut profile = ActorProfile::default();
-    for instr in &program.actors[me] {
+    for (idx, instr) in program.actors[me].iter().enumerate() {
+        check_fault(st, idx, instr)?;
         let t0 = Instant::now();
         match instr {
             Instr::Run {
@@ -518,29 +1318,38 @@ fn execute_stream(
                 let args: Vec<Tensor> = inputs
                     .iter()
                     .map(|b| {
-                        store
-                            .get(*b)
-                            .cloned()
-                            .ok_or_else(|| format!("{label}: missing input {b}"))
+                        st.store.get(*b).cloned().ok_or_else(|| {
+                            StreamFailure::Error(format!("{label}: missing input {b}"))
+                        })
                     })
-                    .collect::<Result<_, String>>()?;
+                    .collect::<Result<_, StreamFailure>>()?;
                 let (outs, stats) = eval_with_stats(&program.jaxprs[jaxpr.0 as usize], &args)
-                    .map_err(|e| format!("{label}: {e}"))?;
+                    .map_err(|e| StreamFailure::Error(format!("{label}: {e}")))?;
                 profile.alloc.merge(&stats);
                 for (b, t) in outputs.iter().zip(outs) {
-                    store.insert(*b, t);
+                    st.store.insert(*b, t);
                 }
             }
             Instr::Send { buf, to } => {
-                let t = store
-                    .get(*buf)
-                    .cloned()
-                    .ok_or_else(|| format!("send of missing buffer {buf}"))?;
+                let t =
+                    st.store.get(*buf).cloned().ok_or_else(|| {
+                        StreamFailure::Error(format!("send of missing buffer {buf}"))
+                    })?;
                 let token = SendToken::new();
-                store.record_send(*buf, token.clone());
-                tx[*to]
-                    .send((*buf, t, token))
-                    .map_err(|_| format!("actor {to} hung up"))?;
+                st.store.record_send(*buf, token.clone());
+                st.tx_row[*to]
+                    .send(Msg {
+                        from: me,
+                        epoch,
+                        payload: Payload::Data(*buf, t, token),
+                    })
+                    // A closed peer inbox means that actor is dead: this
+                    // is a cascade of the peer's failure, not a genuine
+                    // error on this actor.
+                    .map_err(|_| StreamFailure::Aborted {
+                        by: *to,
+                        reason: format!("actor {to} hung up"),
+                    })?;
             }
             Instr::Recv {
                 buf,
@@ -548,27 +1357,30 @@ fn execute_stream(
                 from,
                 shape,
             } => {
-                let (id, t, token) = rx[*from]
-                    .recv()
-                    .map_err(|_| format!("actor {from} hung up"))?;
+                let (id, t, token) = st
+                    .mailbox
+                    .recv_from(*from, epoch)
+                    .map_err(|(by, reason)| StreamFailure::Aborted { by, reason })?;
                 if id != *src {
-                    return Err(format!(
+                    return Err(StreamFailure::Error(format!(
                         "out-of-order receive: expected {src}, got {id} (paper §4.2 \
                          ordering violated)"
-                    ));
+                    )));
                 }
                 if t.shape() != shape {
-                    return Err(format!(
+                    return Err(StreamFailure::Error(format!(
                         "receive shape mismatch for {buf}: {} vs {shape}",
                         t.shape()
-                    ));
+                    )));
                 }
                 token.complete();
-                store.insert(*buf, t);
+                st.store.insert(*buf, t);
             }
             Instr::Free { buf } => {
-                if !store.free(*buf) {
-                    return Err(format!("free of missing buffer {buf}"));
+                if !st.store.free(*buf) {
+                    return Err(StreamFailure::Error(format!(
+                        "free of missing buffer {buf}"
+                    )));
                 }
             }
         }

@@ -19,6 +19,21 @@ pub enum RuntimeError {
     },
     /// The driver was given inputs inconsistent with the program.
     BadInput(String),
+    /// An actor failed to reply within the driver's step timeout
+    /// (`RAXPP_STEP_TIMEOUT_MS`); the step was aborted.
+    Timeout {
+        /// The actor that did not reply.
+        actor: usize,
+    },
+}
+
+impl RuntimeError {
+    /// Whether `Runtime::recover()` plus a retry can plausibly clear
+    /// this error: actor deaths, task failures, and timeouts are
+    /// recoverable, caller input errors are not.
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, RuntimeError::BadInput(_))
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -29,6 +44,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "execution failed on actor {actor}: {message}")
             }
             RuntimeError::BadInput(m) => write!(f, "{m}"),
+            RuntimeError::Timeout { actor } => {
+                write!(f, "actor {actor} did not reply before the step timeout")
+            }
         }
     }
 }

@@ -13,6 +13,12 @@
 //! runtime executes *real* training steps whose gradients are validated
 //! against single-device autodiff; wall-clock performance at paper scale
 //! is modelled separately by `raxpp-simcluster`.
+//!
+//! Failure is a first-class outcome: step epochs, abort broadcasts, and
+//! actor respawn via [`Runtime::recover`] make any task error or actor
+//! death surface as a bounded-time [`RuntimeError`] that leaves the
+//! runtime reusable (see `driver` module docs and
+//! `docs/execution-backend.md` §6).
 
 #![warn(missing_docs)]
 
@@ -20,6 +26,6 @@ mod driver;
 mod error;
 mod store;
 
-pub use driver::{ActorProfile, Runtime, StepOutputs, StepStats};
+pub use driver::{ActorProfile, Fault, RecoveryReport, Runtime, StepOutputs, StepStats};
 pub use error::RuntimeError;
 pub use store::{ObjectStore, SendToken};

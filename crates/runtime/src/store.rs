@@ -57,10 +57,20 @@ impl ObjectStore {
 
     /// Inserts or overwrites a buffer, updating the memory high-water
     /// mark (4 bytes per element, the interpreter's f32).
+    ///
+    /// Overwriting a buffer that still has outstanding sends parks the
+    /// *old* tensor (with its tokens) in the pending queue, exactly as
+    /// [`ObjectStore::free`] would: the tokens belong to the old
+    /// allocation, and must never pin the new one.
     pub fn insert(&mut self, buf: BufferId, t: Tensor) {
         self.live_bytes += 4 * t.numel();
         if let Some(old) = self.bufs.insert(buf, t) {
-            self.live_bytes -= 4 * old.numel();
+            let tokens = self.outstanding.remove(&buf).unwrap_or_default();
+            if tokens.iter().all(SendToken::is_complete) {
+                self.live_bytes -= 4 * old.numel();
+            } else {
+                self.pending.push((buf, old, tokens));
+            }
         }
         self.peak_bytes = self.peak_bytes.max(self.live_bytes);
     }
@@ -79,15 +89,19 @@ impl ObjectStore {
     /// incomplete sends (§4.3). Every call first drains previously
     /// pending deletions whose sends have since completed.
     ///
+    /// A deferred deletion stays resident: its bytes keep counting
+    /// toward [`ObjectStore::live_bytes`] (and hence the high-water
+    /// mark) until [`ObjectStore::drain_pending`] reclaims it.
+    ///
     /// Returns `false` if the buffer was unknown.
     pub fn free(&mut self, buf: BufferId) -> bool {
         self.drain_pending();
         let Some(t) = self.bufs.remove(&buf) else {
             return false;
         };
-        self.live_bytes -= 4 * t.numel();
         let tokens = self.outstanding.remove(&buf).unwrap_or_default();
         if tokens.iter().all(SendToken::is_complete) {
+            self.live_bytes -= 4 * t.numel();
             drop(t); // reclaimed immediately
         } else {
             self.pending.push((buf, t, tokens));
@@ -99,9 +113,32 @@ impl ObjectStore {
     /// many buffers were reclaimed.
     pub fn drain_pending(&mut self) -> usize {
         let before = self.pending.len();
-        self.pending
-            .retain(|(_, _, tokens)| !tokens.iter().all(SendToken::is_complete));
+        let mut reclaimed_bytes = 0;
+        self.pending.retain(|(_, t, tokens)| {
+            if tokens.iter().all(SendToken::is_complete) {
+                reclaimed_bytes += 4 * t.numel();
+                false
+            } else {
+                true
+            }
+        });
+        self.live_bytes -= reclaimed_bytes;
         before - self.pending.len()
+    }
+
+    /// Abandons every outstanding send and force-reclaims the pending
+    /// queue. Called when a step is aborted: the receivers that would
+    /// have completed the tokens may never run, and the aborted epoch's
+    /// sends are semantically void, so nothing may stay pinned.
+    ///
+    /// Returns how many parked buffers were reclaimed.
+    pub fn abandon_outstanding_sends(&mut self) -> usize {
+        self.outstanding.clear();
+        let reclaimed = self.pending.len();
+        for (_, t, _) in self.pending.drain(..) {
+            self.live_bytes -= 4 * t.numel();
+        }
+        reclaimed
     }
 
     /// Number of live buffers (excluding parked pending deletions).
@@ -131,7 +168,9 @@ impl ObjectStore {
         self.peak_bytes
     }
 
-    /// Bytes currently resident.
+    /// Bytes currently resident, including deletions parked in the
+    /// pending queue (their memory is not reclaimed until
+    /// [`ObjectStore::drain_pending`]).
     pub fn live_bytes(&self) -> usize {
         self.live_bytes
     }
@@ -200,6 +239,82 @@ mod tests {
         s.record_send(b, token);
         s.free(b);
         assert_eq!(s.pending_deletions(), 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_inherit_stale_send_tokens() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, tensor());
+        // An incomplete send of the *old* tensor...
+        let token = SendToken::new();
+        s.record_send(b, token.clone());
+        // ...must not pin the *new* tensor after an overwrite: the old
+        // tensor is parked with its token, the new one has a clean slate.
+        s.insert(b, tensor());
+        assert_eq!(s.pending_deletions(), 1);
+        assert!(s.free(b), "new tensor frees without consulting old tokens");
+        assert_eq!(
+            s.pending_deletions(),
+            1,
+            "only the old allocation stays parked"
+        );
+        token.complete();
+        assert_eq!(s.drain_pending(), 1);
+    }
+
+    #[test]
+    fn overwrite_with_completed_sends_reclaims_old() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, Tensor::ones([8]));
+        let token = SendToken::new();
+        token.complete();
+        s.record_send(b, token);
+        s.insert(b, Tensor::ones([8]));
+        assert_eq!(s.pending_deletions(), 0);
+        assert_eq!(s.live_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn parked_deletion_bytes_stay_resident_until_drained() {
+        let mut s = ObjectStore::new();
+        let b = BufferId(0);
+        s.insert(b, Tensor::ones([16]));
+        assert_eq!(s.live_bytes(), 64);
+        let token = SendToken::new();
+        s.record_send(b, token.clone());
+        s.free(b);
+        // Deferred, not reclaimed: the bytes are still resident.
+        assert_eq!(s.pending_deletions(), 1);
+        assert_eq!(s.live_bytes(), 64, "parked deletion still counts");
+        // A new allocation while the old one is parked raises the peak
+        // above a single buffer — the §2.2.1 accounting the docstring
+        // promises.
+        s.insert(BufferId(1), Tensor::ones([16]));
+        assert_eq!(s.peak_bytes(), 128);
+        token.complete();
+        assert_eq!(s.drain_pending(), 1);
+        assert_eq!(s.live_bytes(), 64, "reclaim subtracts the parked bytes");
+    }
+
+    #[test]
+    fn abandon_outstanding_sends_unpins_everything() {
+        let mut s = ObjectStore::new();
+        let b0 = BufferId(0);
+        let b1 = BufferId(1);
+        s.insert(b0, Tensor::ones([4]));
+        s.insert(b1, Tensor::ones([4]));
+        s.record_send(b0, SendToken::new());
+        s.record_send(b1, SendToken::new());
+        s.free(b0);
+        assert_eq!(s.pending_deletions(), 1);
+        assert_eq!(s.abandon_outstanding_sends(), 1);
+        assert_eq!(s.pending_deletions(), 0);
+        // b1's token was abandoned too: its free is immediate.
+        s.free(b1);
+        assert_eq!(s.pending_deletions(), 0);
+        assert_eq!(s.live_bytes(), 0);
     }
 
     #[test]

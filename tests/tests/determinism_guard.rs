@@ -6,10 +6,13 @@
 
 #![allow(clippy::needless_range_loop)]
 
-use raxpp_core::{compile_train_step, CompileOptions, Optimizer};
+use std::time::Duration;
+
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, Trainer};
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::{eval, set_num_threads, value_and_grad, Tensor};
 use raxpp_models::{mlp_chain, BuiltModel};
+use raxpp_runtime::Fault;
 use raxpp_sched::{gpipe, one_f1b, Schedule};
 
 /// Single-device trainer: whole-graph autodiff, microbatch gradients
@@ -137,4 +140,57 @@ fn one_f1b_training_is_bit_identical_to_single_device() {
 #[test]
 fn four_stage_one_f1b_is_bit_identical_to_single_device() {
     run_guard(&one_f1b(4, 8).unwrap(), 53);
+}
+
+/// Recovery is part of the determinism contract too: a run that loses an
+/// actor mid-training, respawns it via `Runtime::recover`, restores the
+/// driver-held snapshot, and retries the step must be **bit-identical**
+/// to a run that was never interrupted — same losses, same parameters.
+#[test]
+fn recovered_training_is_bit_identical_to_uninterrupted() {
+    let schedule = gpipe(4, 4).unwrap();
+    let seed = 54;
+    let model = mlp_chain(6, 3, 4, schedule.n_stages(), seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+        .collect()];
+    let optimizer = Optimizer::Sgd { lr: 0.05 };
+    let build = || -> Trainer {
+        let t = compile_train_step(
+            &model.jaxpr,
+            model.n_params,
+            &schedule,
+            optimizer,
+            CompileOptions::default(),
+        )
+        .unwrap();
+        t.init(&model.init).unwrap();
+        t
+    };
+    let smooth = build();
+    let bumpy = build();
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+    };
+
+    for step in 0..4 {
+        if step == 2 {
+            // Kill stage 1 mid-stream; `step_with_recovery` must absorb
+            // the death, respawn, restore, and retry transparently.
+            bumpy
+                .runtime()
+                .inject_fault(1, Fault::DieAtInstr(2))
+                .unwrap();
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+    }
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+    }
 }

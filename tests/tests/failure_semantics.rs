@@ -1,0 +1,198 @@
+//! Failure semantics of the MPMD runtime: any task error or actor death
+//! at any stage of a pipelined step surfaces as a bounded-time
+//! `RuntimeError` (never a hang), the same runtime stays usable for the
+//! next step (no reply-channel desync, no stale data messages), and the
+//! recovery path restores training exactly.
+//!
+//! Every test runs under the watchdog helper, so a reintroduced
+//! deadlock fails fast instead of hanging the suite.
+
+use std::time::Duration;
+
+use raxpp_core::{compile_train_step, CompileOptions, CoreError, Optimizer, RetryPolicy, Trainer};
+use raxpp_integration::with_watchdog;
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::Tensor;
+use raxpp_models::mlp_chain;
+use raxpp_runtime::{Fault, RuntimeError};
+use raxpp_sched::gpipe;
+
+const N_STAGES: usize = 4;
+
+fn build_trainer(seed: u64) -> (Trainer, Vec<Vec<Tensor>>) {
+    let schedule = gpipe(N_STAGES, 4).unwrap();
+    let model = mlp_chain(6, 3, 4, N_STAGES, seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+        .collect()];
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::Sgd { lr: 0.05 },
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    (trainer, data)
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+    }
+}
+
+#[test]
+fn actor_death_at_any_stage_is_bounded_error_then_recoverable() {
+    with_watchdog("actor_death_at_any_stage", || {
+        for stage in 0..N_STAGES {
+            let (trainer, data) = build_trainer(70 + stage as u64);
+            let baseline = {
+                let (twin, twin_data) = build_trainer(70 + stage as u64);
+                twin.step(&twin_data).unwrap().losses
+            };
+            trainer
+                .runtime()
+                .inject_fault(stage, Fault::DieAtInstr(2))
+                .unwrap();
+            // The death must surface as an error in bounded time — stage
+            // `stage`'s peers are blocked in `Recv` and must be woken by
+            // the abort broadcast, not wait forever.
+            match trainer.step(&data) {
+                Err(CoreError::Runtime(RuntimeError::ActorDied { .. })) => {}
+                other => panic!("stage {stage}: expected ActorDied, got {other:?}"),
+            }
+            // Recovery respawns the dead actor, restores the snapshot,
+            // and the retried step matches an uninterrupted run bitwise.
+            let recovered = trainer.step_with_recovery(&data, fast_retry()).unwrap();
+            assert_eq!(
+                recovered.losses, baseline,
+                "stage {stage}: recovered step is not bitwise identical"
+            );
+        }
+    });
+}
+
+#[test]
+fn task_error_at_any_stage_drains_and_next_step_succeeds() {
+    with_watchdog("task_error_at_any_stage", || {
+        for stage in 0..N_STAGES {
+            let (trainer, data) = build_trainer(80 + stage as u64);
+            let baseline = {
+                let (twin, twin_data) = build_trainer(80 + stage as u64);
+                twin.step(&twin_data).unwrap().losses
+            };
+            trainer
+                .runtime()
+                .inject_fault(stage, Fault::ErrorAtInstr(0))
+                .unwrap();
+            // A task error on one actor: every other actor drains (no
+            // hang), and the root cause — not a cascade abort — is
+            // reported.
+            match trainer.step(&data) {
+                Err(CoreError::Runtime(RuntimeError::Exec { actor, message })) => {
+                    assert_eq!(actor, stage, "root cause must name the failing actor");
+                    assert!(
+                        message.contains("injected fault"),
+                        "unexpected message: {message}"
+                    );
+                }
+                other => panic!("stage {stage}: expected Exec error, got {other:?}"),
+            }
+            // All actors are still alive: memory accounting still answers.
+            let peaks = trainer.runtime().peak_store_bytes().unwrap();
+            assert_eq!(peaks.len(), N_STAGES);
+            // The error fired at instruction 0, so no parameter was
+            // updated anywhere: the next step must succeed on the same
+            // runtime (reply-channel resync + stale-message drain) and
+            // reproduce the uninterrupted first step bitwise.
+            let after = trainer.step(&data).unwrap();
+            assert_eq!(
+                after.losses, baseline,
+                "stage {stage}: step after failed step diverged"
+            );
+        }
+    });
+}
+
+#[test]
+fn failing_step_then_succeeding_step_regression() {
+    // Regression for the reply-channel desync: `step` used to return on
+    // the first `Executed(Err)` while other actors' replies were still
+    // in flight, so the next `place`/`step` consumed stale replies and
+    // mismatched variants. With epoch tagging the same runtime now runs
+    // an arbitrary error→success sequence.
+    with_watchdog("failing_then_succeeding", || {
+        let (trainer, data) = build_trainer(90);
+        for round in 0..3 {
+            trainer
+                .runtime()
+                .inject_fault(2, Fault::ErrorAtTask("fwd".into()))
+                .unwrap();
+            assert!(
+                matches!(trainer.step(&data), Err(CoreError::Runtime(_))),
+                "round {round}: injected fault did not surface"
+            );
+            trainer
+                .step(&data)
+                .unwrap_or_else(|e| panic!("round {round}: step after failure: {e}"));
+        }
+    });
+}
+
+#[test]
+fn recover_respawns_dead_actors_and_replaces_resident_buffers() {
+    with_watchdog("recover_respawns", || {
+        let (trainer, data) = build_trainer(91);
+        trainer.runtime().inject_fault(1, Fault::DieNow).unwrap();
+        match trainer.step(&data) {
+            Err(CoreError::Runtime(RuntimeError::ActorDied { .. })) => {}
+            other => panic!("expected ActorDied, got {other:?}"),
+        }
+        let report = trainer.runtime().recover().unwrap();
+        assert_eq!(report.respawned, vec![1], "exactly actor 1 respawned");
+        assert!(
+            report.replaced_buffers > 0,
+            "driver-held param/state copies re-placed on the respawn"
+        );
+        // A second recover is a no-op.
+        let again = trainer.runtime().recover().unwrap();
+        assert!(again.respawned.is_empty());
+        // The runtime is fully functional again.
+        trainer.step(&data).unwrap();
+        let peaks = trainer.runtime().peak_store_bytes().unwrap();
+        assert_eq!(peaks.len(), N_STAGES);
+    });
+}
+
+#[test]
+fn retry_exhaustion_reports_last_error() {
+    with_watchdog("retry_exhaustion", || {
+        let (trainer, data) = build_trainer(92);
+        // Arm one fault per allowed attempt (initial + 1 retry), so the
+        // policy runs out while faults keep firing.
+        let policy = RetryPolicy {
+            max_retries: 1,
+            backoff: Duration::ZERO,
+        };
+        trainer
+            .runtime()
+            .inject_fault(0, Fault::ErrorAtInstr(0))
+            .unwrap();
+        // Faults queue: the actor consumes one per execution, so the
+        // retry trips over the second injection too.
+        trainer
+            .runtime()
+            .inject_fault(0, Fault::ErrorAtInstr(0))
+            .unwrap();
+        match trainer.step_with_recovery(&data, policy) {
+            Err(CoreError::Runtime(RuntimeError::Exec { actor: 0, .. })) => {}
+            other => panic!("expected exhaustion with Exec on actor 0, got {other:?}"),
+        }
+        // And with faults cleared, the same trainer still trains.
+        trainer.step_with_recovery(&data, fast_retry()).unwrap();
+    });
+}
