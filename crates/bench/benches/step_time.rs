@@ -18,7 +18,9 @@
 //!
 //! Writes `BENCH_step.json` at the workspace root with median/p95 step
 //! wall time, per-step RPC count, peak resident store bytes, allocator
-//! stats, and the measured speedup.
+//! stats, and the measured speedup — plus `BENCH_trace.json`, the
+//! chrome-trace export of one traced step (see `docs/observability.md`),
+//! after asserting that tracing is zero-cost while disabled.
 //!
 //! Knobs: `RAXPP_BENCH_STEPS` (timed optimized steps, default 7) and
 //! `RAXPP_BENCH_REF_STEPS` (timed reference steps, default 2 — each
@@ -202,6 +204,53 @@ fn main() {
     rule(72);
     println!("speedup (median step wall): {speedup:.2}x  (acceptance: >= 3x)");
 
+    // Tracing overhead gate: interleave untraced and traced steps over
+    // the same data so machine drift hits both populations alike. The
+    // instrumentation must be zero-cost when disabled — a traced step
+    // does strictly more work (timestamps, span formatting, ring
+    // pushes), so an untraced step may cost at most traced + 1% noise.
+    // The last traced step's spans are exported next to BENCH_step.json
+    // for Perfetto.
+    let pairs = steps;
+    let mut off_walls = Vec::with_capacity(pairs);
+    let mut on_walls = Vec::with_capacity(pairs);
+    let mut last_trace = None;
+    for i in 0..pairs {
+        let d = &data[1 + (i % steps)];
+        trainer.runtime().set_tracing(false);
+        let t0 = Instant::now();
+        trainer.step(d).unwrap();
+        off_walls.push(t0.elapsed());
+        trainer.runtime().set_tracing(true);
+        let t0 = Instant::now();
+        trainer.step(d).unwrap();
+        on_walls.push(t0.elapsed());
+        last_trace = trainer.runtime().take_step_trace();
+    }
+    trainer.runtime().set_tracing(false);
+    let (m_off, m_on) = (median(&off_walls), median(&on_walls));
+    let traced_overhead = secs(m_on) / secs(m_off) - 1.0;
+    println!(
+        "tracing: untraced median {:>8.2?}  traced median {:>8.2?}  \
+         (traced overhead {:+.1}%, {pairs} interleaved pairs)",
+        m_off,
+        m_on,
+        traced_overhead * 100.0,
+    );
+    assert!(
+        secs(m_off) <= 1.01 * secs(m_on),
+        "tracing-disabled step ({m_off:?}) costs more than 1% over a traced \
+         step ({m_on:?}): the disabled path is not zero-cost"
+    );
+    let trace = last_trace.expect("traced step recorded no trace");
+    let trace_path = workspace_root().join("BENCH_trace.json");
+    std::fs::write(&trace_path, trace.chrome_trace_json()).unwrap();
+    println!(
+        "wrote {} ({} spans; load in Perfetto)",
+        trace_path.display(),
+        trace.span_count()
+    );
+
     let json = Json::obj(vec![
         (
             "workload",
@@ -235,6 +284,15 @@ fn main() {
             ]),
         ),
         ("speedup_median", Json::Num(speedup)),
+        (
+            "tracing",
+            Json::obj(vec![
+                ("untraced_median_step_s", Json::Num(secs(m_off))),
+                ("traced_median_step_s", Json::Num(secs(m_on))),
+                ("traced_overhead", Json::Num(traced_overhead)),
+                ("spans", Json::Num(trace.span_count() as f64)),
+            ]),
+        ),
     ]);
     let path = workspace_root().join("BENCH_step.json");
     write_json(&path, &json);

@@ -48,13 +48,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checkpoint;
 pub mod experiments;
+mod observe;
 mod optimizer;
 mod trainer;
 
+pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{
     compile_train_step, CompileOptions, CoreError, RemoteMesh, RetryPolicy, StepResult, Trainer,

@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use raxpp_ir::{IrError, Jaxpr, Shape, Tensor};
-use raxpp_runtime::{Runtime, RuntimeError, StepStats};
+use raxpp_runtime::{Metrics, Runtime, RuntimeError, StepEvent, StepStats, StepTrace};
 use raxpp_sched::Schedule;
 use raxpp_taskgraph::{
     check_send_recv_order, insert_frees, pipeline_model, unroll_loop, ActorId, BufferId,
@@ -123,6 +123,12 @@ pub struct Trainer {
     /// `step_with_recovery` — the restore point for bitwise-identical
     /// retries.
     snapshot: Mutex<Option<Vec<Tensor>>>,
+    /// The pipeline schedule this step was compiled for — kept so
+    /// [`Trainer::bubble_report`] can simulate the same schedule.
+    schedule: Schedule,
+    /// Cross-step counters/gauges/histograms (see `docs/observability.md`
+    /// for the catalog).
+    metrics: Metrics,
 }
 
 /// One step's results.
@@ -291,6 +297,8 @@ pub fn compile_train_step(
         param_read,
         fetch_grads: opts.fetch_grads,
         snapshot: Mutex::new(None),
+        schedule: schedule.clone(),
+        metrics: Metrics::new(),
     })
 }
 
@@ -360,7 +368,30 @@ impl Trainer {
                 data.len()
             )));
         }
-        let out = self.runtime.step(data)?;
+        let out = match self.runtime.step(data) {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.inc("step_failures_total", 1);
+                return Err(e.into());
+            }
+        };
+        self.metrics.inc("steps_total", 1);
+        self.metrics
+            .observe("step_time_s", out.stats.wall.as_secs_f64());
+        let alloc = out.stats.alloc_stats();
+        self.metrics.inc("alloc_allocated_total", alloc.allocated);
+        self.metrics.inc("alloc_reused_total", alloc.reused);
+        self.metrics.inc("alloc_freed_total", alloc.freed);
+        let touched = alloc.allocated + alloc.reused;
+        if touched > 0 {
+            self.metrics
+                .set_gauge("alloc_reuse_rate", alloc.reused as f64 / touched as f64);
+        }
+        if let Some(trace) = &out.trace {
+            let report = crate::observe::bubble_report(trace, &self.schedule);
+            self.metrics
+                .set_gauge("bubble_fraction_measured", report.measured_bubble);
+        }
         let mut outputs: Vec<Vec<Option<Tensor>>> =
             vec![vec![None; self.n_mubatches]; self.n_outputs];
         let mut grads: Vec<Option<Tensor>> = vec![None; self.n_params];
@@ -433,23 +464,141 @@ impl Trainer {
                 Err(CoreError::Runtime(e))
                     if e.is_recoverable() && attempt < policy.max_retries =>
                 {
-                    let backoff = policy.backoff * 2u32.saturating_pow(attempt);
+                    self.recover_and_restore(attempt, policy)?;
                     attempt += 1;
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                    }
-                    self.runtime.recover()?;
-                    let snapshot = self.snapshot.lock().unwrap();
-                    let state = snapshot.as_ref().ok_or_else(|| {
-                        CoreError::BadInput(
-                            "cannot recover: no snapshot (init was never called)".into(),
-                        )
-                    })?;
-                    self.restore_state(state)?;
                 }
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// One recovery round of the retry loop: backoff, respawn dead
+    /// actors, restore the last-known-good snapshot fleet-wide.
+    fn recover_and_restore(&self, attempt: u32, policy: RetryPolicy) -> Result<(), CoreError> {
+        let backoff = policy.backoff * 2u32.saturating_pow(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        let report = self.runtime.recover()?;
+        self.metrics.inc("retries_total", 1);
+        self.metrics.inc("recoveries_total", 1);
+        self.metrics
+            .inc("respawned_actors_total", report.respawned.len() as u64);
+        let snapshot = self.snapshot.lock().unwrap();
+        let state = snapshot.as_ref().ok_or_else(|| {
+            CoreError::BadInput("cannot recover: no snapshot (init was never called)".into())
+        })?;
+        self.restore_state(state)?;
+        Ok(())
+    }
+
+    /// Runs one step with per-instruction tracing forced on, returning
+    /// the results together with the step's [`StepTrace`] (the previous
+    /// tracing setting is restored afterwards).
+    ///
+    /// Tracing only observes execution, so a traced step computes
+    /// bitwise-identical results to an untraced one. Export the trace
+    /// with [`StepTrace::chrome_trace_json`] or summarize it with
+    /// [`Trainer::bubble_report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on bad inputs or runtime failure; the
+    /// failed step's partial trace stays retrievable via
+    /// `runtime().take_step_trace()`.
+    pub fn step_traced(&self, data: &[Vec<Tensor>]) -> Result<(StepResult, StepTrace), CoreError> {
+        let was = self.runtime.tracing_enabled();
+        self.runtime.set_tracing(true);
+        let result = self.step(data);
+        self.runtime.set_tracing(was);
+        let r = result?;
+        let trace = self
+            .runtime
+            .take_step_trace()
+            .ok_or_else(|| CoreError::BadInput("traced step recorded no trace".into()))?;
+        Ok((r, trace))
+    }
+
+    /// [`Trainer::step_with_recovery`] with tracing forced on: the
+    /// returned [`StepTrace`] is the *successful* attempt's timeline,
+    /// with the abort/death events of every failed attempt and a
+    /// `"retry"` marker per recovery round prepended to its event list —
+    /// the full post-mortem of what the step survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`CoreError`] once `policy.max_retries` is
+    /// exhausted, and immediately for non-recoverable errors.
+    pub fn step_traced_with_recovery(
+        &self,
+        data: &[Vec<Tensor>],
+        policy: RetryPolicy,
+    ) -> Result<(StepResult, StepTrace), CoreError> {
+        let was = self.runtime.tracing_enabled();
+        self.runtime.set_tracing(true);
+        let mut attempt = 0u32;
+        let mut prior_events: Vec<StepEvent> = Vec::new();
+        let result = loop {
+            match self.step(data) {
+                Ok(r) => {
+                    let captured = self.capture_state();
+                    let mut trace = self.runtime.take_step_trace().unwrap_or_default();
+                    match captured {
+                        Ok(state) => *self.snapshot.lock().unwrap() = Some(state),
+                        Err(e) => break Err(e),
+                    }
+                    if !prior_events.is_empty() {
+                        prior_events.append(&mut trace.events);
+                        trace.events = std::mem::take(&mut prior_events);
+                    }
+                    break Ok((r, trace));
+                }
+                Err(CoreError::Runtime(e))
+                    if e.is_recoverable() && attempt < policy.max_retries =>
+                {
+                    // Keep the failed attempt's abort/death events; its
+                    // spans are droppable (the successful attempt rewrites
+                    // the same instruction timeline).
+                    if let Some(t) = self.runtime.take_step_trace() {
+                        prior_events.extend(t.events);
+                    }
+                    prior_events.push(StepEvent {
+                        ts_ns: self.runtime.now_ns(),
+                        actor: None,
+                        kind: "retry".to_string(),
+                        detail: format!("attempt {} after: {e}", attempt + 1),
+                    });
+                    if let Err(e) = self.recover_and_restore(attempt, policy) {
+                        break Err(e);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.runtime.set_tracing(was);
+        result
+    }
+
+    /// Measured vs simulator-predicted bubble accounting for a trace
+    /// produced by this trainer (see [`crate::bubble_report`]): per
+    /// pipeline rank, compute vs send vs recv-wait time from the spans,
+    /// diffed against [`raxpp_sched::simulate`] on the compiled schedule
+    /// under a cost model derived from the same trace.
+    pub fn bubble_report(&self, trace: &StepTrace) -> crate::BubbleReport {
+        crate::observe::bubble_report(trace, &self.schedule)
+    }
+
+    /// The cross-step metrics registry: step timings, allocator
+    /// counters, failure/retry counts, measured bubble fraction (see
+    /// `docs/observability.md` for the catalog).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The pipeline schedule this trainer was compiled for.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
     }
 
     /// Reads the current (updated) parameter values back from the actors.

@@ -18,6 +18,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use crate::error::{IrError, Result};
 use crate::graph::Jaxpr;
@@ -200,6 +201,14 @@ fn last_use_table(jaxpr: &Jaxpr) -> Vec<usize> {
     last_use
 }
 
+/// A per-equation observer for [`eval_with_stats_hooked`]: called after
+/// each equation with `(equation_index, primitive_name, start, end)`.
+///
+/// Used by the runtime's step tracer to record op-level sub-spans.
+/// Timestamps are taken only when a hook is installed, so hookless
+/// evaluation pays nothing.
+pub type EvalHook<'a> = &'a mut dyn FnMut(usize, &'static str, Instant, Instant);
+
 /// Evaluates a graph on concrete inputs, returning outputs and
 /// buffer-allocator statistics.
 ///
@@ -214,6 +223,24 @@ fn last_use_table(jaxpr: &Jaxpr) -> Vec<usize> {
 /// input count, a shape error when an input tensor's shape differs from
 /// the declared one, or any primitive evaluation error.
 pub fn eval_with_stats(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<(Vec<Tensor>, EvalStats)> {
+    eval_with_stats_hooked(jaxpr, inputs, None)
+}
+
+/// [`eval_with_stats`] with an optional per-equation observer hook.
+///
+/// The hook only *observes* (indices, primitive names, timestamps); it
+/// cannot change which kernels run or in what order, so tracing cannot
+/// perturb the bit-compatibility contract. Reference mode ignores the
+/// hook (the baseline interpreter has no per-equation instrumentation).
+///
+/// # Errors
+///
+/// See [`eval_with_stats`].
+pub fn eval_with_stats_hooked(
+    jaxpr: &Jaxpr,
+    inputs: &[Tensor],
+    mut hook: Option<EvalHook<'_>>,
+) -> Result<(Vec<Tensor>, EvalStats)> {
     if reference_mode() {
         return eval_reference(jaxpr, inputs).map(|o| (o, EvalStats::default()));
     }
@@ -259,7 +286,11 @@ pub fn eval_with_stats(jaxpr: &Jaxpr, inputs: &[Tensor]) -> Result<(Vec<Tensor>,
                 var: v.0,
             })?);
         }
+        let t0 = hook.as_ref().map(|_| Instant::now());
         let out = eval_prim_owned(&eqn.prim, operands, &mut stats)?;
+        if let (Some(h), Some(t0)) = (hook.as_mut(), t0) {
+            h(i, eqn.prim.name(), t0, Instant::now());
+        }
         let oi = eqn.output.index();
         if last_use[oi] == 0 {
             // Dead output: drop immediately instead of holding it until

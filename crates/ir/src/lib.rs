@@ -46,7 +46,10 @@ pub use autodiff::{grad, linearize, value_and_grad, Linearized};
 pub use dtype::DType;
 pub use error::{IrError, Result};
 pub use graph::{Eqn, GraphBuilder, Jaxpr, VarId};
-pub use interp::{eval, eval_prim, eval_reference, eval_with_stats, set_reference_mode, EvalStats};
+pub use interp::{
+    eval, eval_prim, eval_reference, eval_with_stats, eval_with_stats_hooked, set_reference_mode,
+    EvalHook, EvalStats,
+};
 pub use kernels::{num_threads, set_num_threads};
 pub use optimize::{optimize, OptimizeStats};
 pub use prim::{Prim, YieldId};

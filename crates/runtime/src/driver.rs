@@ -46,16 +46,18 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use raxpp_ir::{eval_with_stats, EvalStats, Tensor};
+use raxpp_ir::{eval_with_stats, eval_with_stats_hooked, EvalStats, Tensor};
 use raxpp_taskgraph::{BufferId, Fetch, InputSource, Instr, MpmdProgram};
 
 use crate::error::RuntimeError;
 use crate::store::{ObjectStore, SendToken};
+use crate::trace::{ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY};
 
 /// A step sequence number: the `Execute` command's sequence number tags
 /// every data message the step produces.
@@ -113,6 +115,8 @@ enum Command {
     },
     Execute {
         seq: u64,
+        /// Record per-instruction spans into a ring buffer this step.
+        traced: bool,
     },
     Fetch {
         seq: u64,
@@ -123,6 +127,9 @@ enum Command {
         buf: BufferId,
     },
     PeakBytes {
+        seq: u64,
+    },
+    LiveBytes {
         seq: u64,
     },
     /// Replace the inbox sender for `peer` (after a respawn). No reply.
@@ -143,12 +150,21 @@ enum ExecFailure {
     Aborted { by: usize, reason: String },
 }
 
+/// What an actor reports back from one `Execute`: the result, plus the
+/// recorded spans when the step was traced (also on the failure path —
+/// partial traces of aborted steps are exactly what post-mortems need).
+struct ExecOutcome {
+    result: Result<ActorProfile, ExecFailure>,
+    trace: Option<ActorTrace>,
+}
+
 enum ReplyKind {
     Placed,
-    Executed(Box<Result<ActorProfile, ExecFailure>>),
+    Executed(Box<ExecOutcome>),
     Fetched(Result<Vec<Tensor>, String>),
     Read(Result<Tensor, String>),
     PeakBytes(usize),
+    LiveBytes(usize),
 }
 
 struct Reply {
@@ -239,6 +255,9 @@ pub struct StepOutputs {
     pub fetched: Vec<(Fetch, Tensor)>,
     /// Step statistics.
     pub stats: StepStats,
+    /// The step's trace when tracing was enabled (`RAXPP_TRACE=1` or
+    /// [`Runtime::set_tracing`]); `None` otherwise.
+    pub trace: Option<StepTrace>,
 }
 
 /// What [`Runtime::recover`] did.
@@ -262,6 +281,9 @@ struct Inner {
     /// driver-held copies re-placed onto respawned actors. Per-step data
     /// placements are not recorded.
     resident: HashMap<(usize, BufferId), Tensor>,
+    /// Trace of the most recent traced step (success or failure),
+    /// retrievable with [`Runtime::take_step_trace`].
+    last_trace: Option<StepTrace>,
 }
 
 /// A single-controller MPMD runtime executing a compiled
@@ -275,6 +297,12 @@ pub struct Runtime {
     program: Arc<MpmdProgram>,
     inner: Mutex<Inner>,
     step_timeout: Duration,
+    /// Whether [`Runtime::step`] records per-instruction span traces.
+    tracing: AtomicBool,
+    /// The shared zero point of every span timestamp: all actors (and
+    /// respawned replacements) measure against this instant, so spans
+    /// from different threads align on one timeline.
+    origin: Instant,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -288,12 +316,13 @@ fn spawn_actor(
     program: Arc<MpmdProgram>,
     inbox_rx: Receiver<Msg>,
     tx_row: Vec<Sender<Msg>>,
+    origin: Instant,
 ) -> ActorLink {
     let (cmd_tx, cmd_rx) = channel::<Command>();
     let (reply_tx, reply_rx) = channel::<Reply>();
     let handle = std::thread::Builder::new()
         .name(format!("raxpp-actor-{a}"))
-        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx))
+        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx, origin))
         .expect("spawn actor thread");
     ActorLink {
         cmd: cmd_tx,
@@ -311,11 +340,18 @@ fn step_timeout_from_env() -> Duration {
         .unwrap_or(DEFAULT_STEP_TIMEOUT)
 }
 
+fn tracing_from_env() -> bool {
+    std::env::var("RAXPP_TRACE")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
 impl Runtime {
     /// Spawns actor threads and wires their inbox channels.
     pub fn new(program: MpmdProgram) -> Runtime {
         let n = program.n_actors();
         let program = Arc::new(program);
+        let origin = Instant::now();
         let mut inbox_tx = Vec::with_capacity(n);
         let mut inbox_rx = Vec::with_capacity(n);
         for _ in 0..n {
@@ -326,7 +362,7 @@ impl Runtime {
         let actors = inbox_rx
             .into_iter()
             .enumerate()
-            .map(|(a, rx)| spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone()))
+            .map(|(a, rx)| spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone(), origin))
             .collect();
         Runtime {
             program,
@@ -335,9 +371,43 @@ impl Runtime {
                 inbox_tx,
                 seq: 0,
                 resident: HashMap::new(),
+                last_trace: None,
             }),
             step_timeout: step_timeout_from_env(),
+            tracing: AtomicBool::new(tracing_from_env()),
+            origin,
         }
+    }
+
+    /// Enables or disables per-instruction step tracing (initially set
+    /// from `RAXPP_TRACE`). Takes effect on the next [`Runtime::step`].
+    ///
+    /// Tracing only records timestamps and byte counts — it cannot
+    /// change what any kernel computes, so traced execution stays
+    /// bitwise identical to untraced execution.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.tracing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the next step will be traced.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Takes the trace of the most recent traced step, successful or
+    /// failed. Failed steps leave their (partial) trace here even though
+    /// [`Runtime::step`] returns an error — the abort events and the
+    /// spans executed before the failure are the post-mortem record.
+    pub fn take_step_trace(&self) -> Option<StepTrace> {
+        self.inner.lock().unwrap().last_trace.take()
+    }
+
+    /// Nanoseconds elapsed since the runtime's launch — the zero point
+    /// of every span and event timestamp, so callers (e.g. the trainer's
+    /// retry loop) can stamp their own [`StepEvent`]s on the same
+    /// timeline.
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
     }
 
     /// The program being executed.
@@ -428,6 +498,7 @@ impl Runtime {
 
         // One fused dispatch per actor (§4.4): the Execute seq is the
         // step epoch tagging every data message of this step.
+        let traced = self.tracing.load(Ordering::Relaxed);
         let start = Instant::now();
         inner.seq += 1;
         let epoch = inner.seq;
@@ -438,7 +509,7 @@ impl Runtime {
             if inner.actors[a].dead
                 || inner.actors[a]
                     .cmd
-                    .send(Command::Execute { seq: epoch })
+                    .send(Command::Execute { seq: epoch, traced })
                     .is_err()
             {
                 inner.actors[a].dead = true;
@@ -450,6 +521,7 @@ impl Runtime {
         }
         let mut outcome: Vec<Option<Result<ActorProfile, ExecFailure>>> =
             (0..n).map(|_| None).collect();
+        let mut traces: Vec<Option<ActorTrace>> = (0..n).map(|_| None).collect();
         let mut abort_sent = false;
         if fatal.iter().flatten().next().is_some() {
             broadcast_driver_abort(&inner, epoch, "actor died before dispatch");
@@ -467,7 +539,9 @@ impl Runtime {
                     match inner.actors[a].reply.try_recv() {
                         Ok(r) if r.seq == epoch => {
                             if let ReplyKind::Executed(res) = r.kind {
-                                outcome[a] = Some(*res);
+                                let o = *res;
+                                traces[a] = o.trace;
+                                outcome[a] = Some(o.result);
                             }
                             progressed = true;
                             break;
@@ -522,12 +596,62 @@ impl Runtime {
                 let _ = inner.actors[a].reply.recv_timeout(REPLY_POLL).map(|r| {
                     if r.seq == epoch {
                         if let ReplyKind::Executed(res) = r.kind {
-                            outcome[a] = Some(*res);
+                            let o = *res;
+                            traces[a] = o.trace;
+                            outcome[a] = Some(o.result);
                         }
                     }
                 });
             }
         }
+        // Assemble the step trace (also for failed steps — the partial
+        // spans plus the abort events are the post-mortem record) before
+        // the error return below.
+        let step_trace = if traced {
+            let mut tr = StepTrace {
+                step: epoch,
+                actors: traces.iter_mut().filter_map(Option::take).collect(),
+                events: Vec::new(),
+            };
+            let now_ns = self.origin.elapsed().as_nanos() as u64;
+            for (a, f) in fatal.iter().enumerate() {
+                let (kind, detail) = match f {
+                    Some(RuntimeError::Timeout { .. }) => ("timeout", format!("actor {a}")),
+                    Some(e) => ("actor_died", e.to_string()),
+                    None => continue,
+                };
+                tr.events.push(StepEvent {
+                    ts_ns: now_ns,
+                    actor: Some(a),
+                    kind: kind.to_string(),
+                    detail,
+                });
+            }
+            for (a, r) in outcome.iter().enumerate() {
+                let (kind, detail) = match r {
+                    Some(Err(ExecFailure::Error(m))) => ("abort", m.clone()),
+                    Some(Err(ExecFailure::Aborted { by, reason })) => {
+                        let who = if *by == DRIVER {
+                            "driver".to_string()
+                        } else {
+                            format!("actor {by}")
+                        };
+                        ("cascade", format!("aborted by {who}: {reason}"))
+                    }
+                    _ => continue,
+                };
+                tr.events.push(StepEvent {
+                    ts_ns: now_ns,
+                    actor: Some(a),
+                    kind: kind.to_string(),
+                    detail,
+                });
+            }
+            Some(tr)
+        } else {
+            None
+        };
+        inner.last_trace = step_trace.clone();
         if let Some(err) = step_error(&fatal, &outcome) {
             return Err(err);
         }
@@ -609,6 +733,7 @@ impl Runtime {
                 rpcs,
                 profiles,
             },
+            trace: step_trace,
         })
     }
 
@@ -699,6 +824,40 @@ impl Runtime {
         Ok(out)
     }
 
+    /// Bytes currently resident in each actor's object store, after
+    /// reclaiming any parked deletions whose sends have completed. At
+    /// quiescence (between steps) this is the deterministic resident
+    /// set — parameters, optimizer state, and fetched outputs — which
+    /// makes it the leak detector [`Runtime::peak_store_bytes`] (a
+    /// timing-sensitive high-water mark) cannot be.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
+    pub fn live_store_bytes(&self) -> Result<Vec<usize>, RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.actors.len();
+        let mut out = Vec::with_capacity(n);
+        for a in 0..n {
+            inner.seq += 1;
+            let seq = inner.seq;
+            let link = &inner.actors[a];
+            link.cmd
+                .send(Command::LiveBytes { seq })
+                .map_err(|_| RuntimeError::ActorDied { actor: a })?;
+            match recv_reply(link, a, seq, self.step_timeout)? {
+                ReplyKind::LiveBytes(b) => out.push(b),
+                _ => {
+                    return Err(RuntimeError::Exec {
+                        actor: a,
+                        message: "protocol error: unexpected reply kind".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Failure injection: terminate one actor's thread immediately.
     /// Equivalent to `inject_fault(actor, Fault::DieNow)`; the next
     /// `step` fails with [`RuntimeError::ActorDied`] instead of hanging.
@@ -777,7 +936,8 @@ impl Runtime {
                     let _ = h.join();
                 }
                 let tx_row = inner.inbox_tx.clone();
-                inner.actors[a] = spawn_actor(a, Arc::clone(&self.program), rx, tx_row);
+                inner.actors[a] =
+                    spawn_actor(a, Arc::clone(&self.program), rx, tx_row, self.origin);
                 if !report.respawned.contains(&a) {
                     report.respawned.push(a);
                 }
@@ -1090,6 +1250,8 @@ struct ActorState {
     epoch: Epoch,
     /// Armed one-shot faults, consumed front-to-back as they trigger.
     faults: VecDeque<Fault>,
+    /// The runtime-wide zero point for span timestamps.
+    origin: Instant,
 }
 
 impl ActorState {
@@ -1118,6 +1280,7 @@ enum Exit {
     Died,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn actor_main(
     me: usize,
     program: Arc<MpmdProgram>,
@@ -1125,6 +1288,7 @@ fn actor_main(
     reply: Sender<Reply>,
     tx_row: Vec<Sender<Msg>>,
     inbox: Receiver<Msg>,
+    origin: Instant,
 ) {
     let n = tx_row.len();
     let mut st = ActorState {
@@ -1135,6 +1299,7 @@ fn actor_main(
         tx_row,
         epoch: 0,
         faults: VecDeque::new(),
+        origin,
     };
     // The death guard: any exit that is not an orderly shutdown — an
     // injected death or a panic in actor code — broadcasts an abort for
@@ -1153,6 +1318,15 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
     while let Ok(c) = cmd.recv() {
         match c {
             Command::Place { seq, bufs } => {
+                // Command boundary: every legitimately outstanding send
+                // of previous steps has been consumed (the driver
+                // collects all replies before the next command), so any
+                // incomplete token belongs to an aborted epoch whose
+                // receiver will never complete it. Reclaim now, before
+                // this placement re-inserts buffer ids that may still sit
+                // parked in the deferred-deletion list — otherwise their
+                // bytes are double-counted in live/peak accounting.
+                st.store.abandon_outstanding_sends();
                 for (b, t) in bufs {
                     st.store.insert(b, t);
                 }
@@ -1166,10 +1340,18 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     return Exit::Clean;
                 }
             }
-            Command::Execute { seq } => {
+            Command::Execute { seq, traced } => {
+                // Same boundary reclaim as Place: an actor whose stream
+                // tail had no Recvs can survive a peer's abort without
+                // ever observing it, replying Ok while holding ghost
+                // parked buffers from the aborted epoch. Those ids are
+                // re-inserted by this very step, double-counting their
+                // bytes until reclaimed here.
+                st.store.abandon_outstanding_sends();
                 st.epoch = seq;
                 st.mailbox.purge_stale(seq);
-                let r = match execute_stream(st) {
+                let mut ring = traced.then(|| SpanRing::new(DEFAULT_SPAN_CAPACITY));
+                let result = match execute_stream(st, &mut ring) {
                     Ok(profile) => Ok(profile),
                     Err(StreamFailure::Die) => return Exit::Died,
                     Err(StreamFailure::Error(message)) => {
@@ -1182,10 +1364,11 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                         Err(ExecFailure::Aborted { by, reason })
                     }
                 };
+                let trace = ring.take().map(|r| r.into_trace(st.me));
                 if reply
                     .send(Reply {
                         seq,
-                        kind: ReplyKind::Executed(Box::new(r)),
+                        kind: ReplyKind::Executed(Box::new(ExecOutcome { result, trace })),
                     })
                     .is_err()
                 {
@@ -1233,6 +1416,21 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     .send(Reply {
                         seq,
                         kind: ReplyKind::PeakBytes(st.store.peak_bytes()),
+                    })
+                    .is_err()
+                {
+                    return Exit::Clean;
+                }
+            }
+            Command::LiveBytes { seq } => {
+                // A deletion point (§4.3): reclaim parked deletions whose
+                // sends have since completed, so the answer reflects what
+                // is genuinely resident rather than reclaim lag.
+                st.store.drain_pending();
+                if reply
+                    .send(Reply {
+                        seq,
+                        kind: ReplyKind::LiveBytes(st.store.live_bytes()),
                     })
                     .is_err()
                 {
@@ -1298,13 +1496,26 @@ fn check_fault(st: &mut ActorState, idx: usize, instr: &Instr) -> Result<(), Str
     }
 }
 
-fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
+fn execute_stream(
+    st: &mut ActorState,
+    ring: &mut Option<SpanRing>,
+) -> Result<ActorProfile, StreamFailure> {
     let me = st.me;
     let epoch = st.epoch;
+    let origin = st.origin;
+    let traced = ring.is_some();
     let program = Arc::clone(&st.program);
     let mut profile = ActorProfile::default();
     for (idx, instr) in program.actors[me].iter().enumerate() {
         check_fault(st, idx, instr)?;
+        // Span bookkeeping lives behind `traced`: the untraced path pays
+        // one branch per field, no formatting, no extra timestamps (the
+        // `t0`/`elapsed` pair below predates tracing — it feeds
+        // `ActorProfile`).
+        let mut span_name = String::new();
+        let mut span_bytes = 0u64;
+        let mut span_alloc: Option<EvalStats> = None;
+        let mut op_spans: Vec<SpanEvent> = Vec::new();
         let t0 = Instant::now();
         match instr {
             Instr::Run {
@@ -1323,9 +1534,29 @@ fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
                         })
                     })
                     .collect::<Result<_, StreamFailure>>()?;
-                let (outs, stats) = eval_with_stats(&program.jaxprs[jaxpr.0 as usize], &args)
-                    .map_err(|e| StreamFailure::Error(format!("{label}: {e}")))?;
+                let graph = &program.jaxprs[jaxpr.0 as usize];
+                let (outs, stats) = if traced {
+                    let mut hook = |_i: usize, name: &'static str, s: Instant, e: Instant| {
+                        op_spans.push(SpanEvent {
+                            instr: idx as u32,
+                            kind: "op",
+                            name: name.to_string(),
+                            start_ns: s.saturating_duration_since(origin).as_nanos() as u64,
+                            dur_ns: e.saturating_duration_since(s).as_nanos() as u64,
+                            bytes: 0,
+                            alloc: None,
+                        });
+                    };
+                    eval_with_stats_hooked(graph, &args, Some(&mut hook))
+                } else {
+                    eval_with_stats(graph, &args)
+                }
+                .map_err(|e| StreamFailure::Error(format!("{label}: {e}")))?;
                 profile.alloc.merge(&stats);
+                if traced {
+                    span_name = format!("{label}");
+                    span_alloc = Some(stats);
+                }
                 for (b, t) in outputs.iter().zip(outs) {
                     st.store.insert(*b, t);
                 }
@@ -1335,6 +1566,10 @@ fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
                     st.store.get(*buf).cloned().ok_or_else(|| {
                         StreamFailure::Error(format!("send of missing buffer {buf}"))
                     })?;
+                if traced {
+                    span_name = format!("send {buf} -> actor {to}");
+                    span_bytes = 4 * t.numel() as u64;
+                }
                 let token = SendToken::new();
                 st.store.record_send(*buf, token.clone());
                 st.tx_row[*to]
@@ -1374,6 +1609,10 @@ fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
                     )));
                 }
                 token.complete();
+                if traced {
+                    span_name = format!("recv {buf} <- actor {from}");
+                    span_bytes = 4 * t.numel() as u64;
+                }
                 st.store.insert(*buf, t);
             }
             Instr::Free { buf } => {
@@ -1381,6 +1620,9 @@ fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
                     return Err(StreamFailure::Error(format!(
                         "free of missing buffer {buf}"
                     )));
+                }
+                if traced {
+                    span_name = format!("free {buf}");
                 }
             }
         }
@@ -1390,7 +1632,22 @@ fn execute_stream(st: &mut ActorState) -> Result<ActorProfile, StreamFailure> {
             Instr::Recv { .. } => "recv",
             Instr::Free { .. } => "free",
         };
-        profile.record(kind, t0.elapsed());
+        let dur = t0.elapsed();
+        profile.record(kind, dur);
+        if let Some(r) = ring.as_mut() {
+            for s in op_spans {
+                r.push(s);
+            }
+            r.push(SpanEvent {
+                instr: idx as u32,
+                kind,
+                name: span_name,
+                start_ns: t0.saturating_duration_since(origin).as_nanos() as u64,
+                dur_ns: dur.as_nanos() as u64,
+                bytes: span_bytes,
+                alloc: span_alloc,
+            });
+        }
     }
     Ok(profile)
 }

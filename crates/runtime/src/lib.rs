@@ -19,13 +19,24 @@
 //! death surface as a bounded-time [`RuntimeError`] that leaves the
 //! runtime reusable (see `driver` module docs and
 //! `docs/execution-backend.md` §6).
+//!
+//! Execution is observable: with tracing enabled (`RAXPP_TRACE=1` or
+//! [`Runtime::set_tracing`]) every actor records per-instruction
+//! [`SpanEvent`]s that the driver assembles into a [`StepTrace`],
+//! exportable as Chrome `trace_event` JSON; the [`Metrics`] registry
+//! aggregates counters/gauges/histograms across steps (see
+//! `docs/observability.md`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod driver;
 mod error;
+mod metrics;
 mod store;
+mod trace;
 
 pub use driver::{ActorProfile, Fault, RecoveryReport, Runtime, StepOutputs, StepStats};
 pub use error::RuntimeError;
+pub use metrics::{HistogramSummary, MetricValue, Metrics};
 pub use store::{ObjectStore, SendToken};
+pub use trace::{ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY};

@@ -1,0 +1,229 @@
+//! A small, dependency-free metrics registry: named counters, gauges,
+//! and histogram summaries behind an `Arc<Mutex<..>>` so the registry
+//! can be cloned into trainers, benches, and tests.
+//!
+//! Keys are plain strings sorted lexicographically on
+//! [`Metrics::snapshot`], so renders are deterministic and easy to diff
+//! in tests. The catalog of metrics RaxPP records is documented in
+//! `docs/observability.md`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Summary statistics of an observed distribution (histogram values are
+/// summarized, not bucketed, to stay allocation-light).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Most recent observation.
+    pub last: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric value: a monotonic counter, a last-write gauge, or a
+/// histogram summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last written value.
+    Gauge(f64),
+    /// Distribution summary of observed values.
+    Histogram(HistogramSummary),
+}
+
+/// A cloneable, thread-safe registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use raxpp_runtime::{Metrics, MetricValue};
+///
+/// let m = Metrics::new();
+/// m.inc("steps_total", 1);
+/// m.set_gauge("alloc_reuse_rate", 0.85);
+/// m.observe("step_time_s", 0.012);
+/// assert_eq!(m.counter("steps_total"), 1);
+/// assert_eq!(m.gauge("alloc_reuse_rate"), Some(0.85));
+/// let snap = m.snapshot();
+/// assert!(matches!(snap["step_time_s"], MetricValue::Histogram(h) if h.count == 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics(Arc<Mutex<BTreeMap<String, MetricValue>>>);
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero if absent.
+    /// Writing a counter over an existing gauge/histogram replaces it.
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut map = self.0.lock().unwrap();
+        match map.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += by,
+            _ => {
+                map.insert(name.to_string(), MetricValue::Counter(by));
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.0
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Records `value` into histogram `name`, creating it if absent.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut map = self.0.lock().unwrap();
+        match map.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.observe(value),
+            _ => {
+                map.insert(
+                    name.to_string(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 1,
+                        sum: value,
+                        min: value,
+                        max: value,
+                        last: value,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.0.lock().unwrap().get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.0.lock().unwrap().get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Summary of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.0.lock().unwrap().get(name) {
+            Some(MetricValue::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// A sorted copy of every metric (BTreeMap iteration order is
+    /// lexicographic, so renders are deterministic).
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Renders the registry as one `name value` line per metric,
+    /// sorted by name — handy for logs and tests.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.snapshot() {
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {g:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} count={} mean={:.6} min={:.6} max={:.6} last={:.6}",
+                        h.count,
+                        h.mean(),
+                        h.min,
+                        h.max,
+                        h.last
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.inc("a", 2);
+        m.inc("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let m = Metrics::new();
+        m.observe("h", 2.0);
+        m.observe("h", 4.0);
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.last, 4.0);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn render_is_sorted() {
+        let m = Metrics::new();
+        m.set_gauge("zeta", 1.0);
+        m.inc("alpha", 1);
+        let r = m.render();
+        let alpha = r.find("alpha").unwrap();
+        let zeta = r.find("zeta").unwrap();
+        assert!(alpha < zeta);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.inc("shared", 7);
+        assert_eq!(m.counter("shared"), 7);
+    }
+}

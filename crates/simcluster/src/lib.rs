@@ -22,5 +22,5 @@ mod tuner;
 pub use config::{ParallelConfig, ScheduleKind};
 pub use sim::{simulate_pipeline, Breakdown, SimError, SimEvent, SimOptions, StepReport};
 pub use specs::{ClusterSpec, EfficiencyModel, GpuSpec};
-pub use trace::{chrome_trace_json, write_chrome_trace};
+pub use trace::{chrome_trace_json, predicted_chrome_trace_json, write_chrome_trace};
 pub use tuner::{tune, TunedConfig, TunerOptions};

@@ -8,15 +8,18 @@
 
 use std::io::Write;
 
-use raxpp_sched::Dir;
+use raxpp_sched::{Dir, SimResult};
 
 use crate::sim::{SimEvent, StepReport};
 
 /// Serializes a recorded timeline to chrome-trace JSON.
 ///
-/// Times are exported in microseconds (the format's unit). Events carry
-/// the task name (`fwd`/`bwd`/`bwdw`), microbatch and stage as
-/// arguments, and a category by direction so the UI can color them.
+/// Times are exported in microseconds (the format's unit). Events use
+/// the runtime's span schema — the same `fwd(mb=…, s=…)` names and
+/// `name`/`cat`/`ph`/`ts`/`dur`/`pid`/`tid`/`args` field order that
+/// `raxpp-runtime`'s `StepTrace::chrome_trace_json` emits — so a
+/// predicted timeline diffs cleanly against a measured one. The category
+/// is the task direction so the UI can color by it.
 pub fn chrome_trace_json(events: &[SimEvent]) -> String {
     let mut out = String::from("[\n");
     for (i, e) in events.iter().enumerate() {
@@ -29,7 +32,7 @@ pub fn chrome_trace_json(events: &[SimEvent]) -> String {
         let dur = (e.end - e.start) * 1e6;
         out.push_str(&format!(
             concat!(
-                "  {{\"name\": \"{} mb{} s{}\", \"cat\": \"{}\", \"ph\": \"X\", ",
+                "  {{\"name\": \"{}(mb={}, s={})\", \"cat\": \"{}\", \"ph\": \"X\", ",
                 "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, ",
                 "\"args\": {{\"mubatch\": {}, \"stage\": {}}}}}"
             ),
@@ -47,6 +50,30 @@ pub fn chrome_trace_json(events: &[SimEvent]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Exports a `raxpp-sched` uniform-cost [`SimResult`] (the predicted
+/// timeline a `bubble_report` diffs against) in the same chrome-trace
+/// schema as the measured runtime traces: load the predicted and the
+/// measured JSON side by side in Perfetto to see where the real pipeline
+/// deviates from the model.
+///
+/// Simulated time is unitless; it is exported as microseconds directly.
+pub fn predicted_chrome_trace_json(result: &SimResult) -> String {
+    let events: Vec<SimEvent> = result
+        .timeline
+        .iter()
+        .enumerate()
+        .flat_map(|(actor, tl)| {
+            tl.iter().map(move |e| SimEvent {
+                actor,
+                task: e.task,
+                start: e.start / 1e6,
+                end: e.end / 1e6,
+            })
+        })
+        .collect();
+    chrome_trace_json(&events)
 }
 
 /// Writes a [`StepReport`]'s recorded timeline as a chrome-trace file.
@@ -94,11 +121,26 @@ mod tests {
         let json = chrome_trace_json(&events);
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));
-        assert!(json.contains("\"fwd mb0 s0\""));
+        assert!(json.contains("\"fwd(mb=0, s=0)\""));
         assert!(json.contains("\"tid\": 1"));
         assert!(json.contains("\"dur\": 1000000.000"));
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn predicted_export_matches_runtime_schema() {
+        use raxpp_sched::{gpipe, simulate, UniformCost};
+        let r = simulate(&gpipe(4, 4).unwrap(), UniformCost::default()).unwrap();
+        let json = predicted_chrome_trace_json(&r);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        // Runtime span naming: fwd(mb=0, s=0), one entry per task.
+        assert!(json.contains("\"fwd(mb=0, s=0)\""));
+        assert!(json.contains("\"bwd(mb=3, s=3)\""));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 4 * 4 * 2);
+        // Field order is pinned by the runtime's golden trace test.
+        assert!(json.contains("\"name\": \"fwd(mb=0, s=0)\", \"cat\": \"fwd\", \"ph\": \"X\""));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: release build, full test suite, format check.
+# Tier-1 verification gate: release build, full test suite, format
+# check, rustdoc (warnings are errors), and doc cross-reference check.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +13,11 @@ cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+echo "==> doc link check"
+scripts/check_doc_links.sh
 
 echo "verify: OK"

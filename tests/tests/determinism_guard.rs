@@ -99,6 +99,10 @@ fn run_guard(schedule: &Schedule, seed: u64) {
         )
         .unwrap();
         trainer.init(&model.init).unwrap();
+        // Tracing only observes execution (timestamps and byte counts),
+        // so it must not perturb a single bit; run half the matrix with
+        // span recording on to pin that.
+        trainer.runtime().set_tracing(threads == 4);
         let mut reference = Reference::new(&model, optimizer, schedule);
 
         for step in 0..3 {
@@ -170,6 +174,9 @@ fn recovered_training_is_bit_identical_to_uninterrupted() {
     };
     let smooth = build();
     let bumpy = build();
+    // The interrupted run records spans too: traced recovery must stay
+    // bit-identical to an untraced uninterrupted run.
+    bumpy.runtime().set_tracing(true);
     let policy = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,

@@ -1,0 +1,142 @@
+//! End-to-end step-trace observability: a recovered step's trace
+//! carries the failure forensics (abort/death events plus a retry
+//! marker per failed attempt), tracing survives actor respawn, and the
+//! trainer-level metrics registry reflects what actually happened.
+
+use std::time::Duration;
+
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, Trainer};
+use raxpp_integration::with_watchdog;
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::Tensor;
+use raxpp_models::mlp_chain;
+use raxpp_runtime::{Fault, MetricValue};
+use raxpp_sched::gpipe;
+
+const N_STAGES: usize = 4;
+
+fn build_trainer(seed: u64) -> (Trainer, Vec<Vec<Tensor>>) {
+    let schedule = gpipe(N_STAGES, 4).unwrap();
+    let model = mlp_chain(6, 3, 4, N_STAGES, seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+        .collect()];
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::Sgd { lr: 0.05 },
+        CompileOptions::default(),
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    (trainer, data)
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+    }
+}
+
+#[test]
+fn recovered_step_trace_carries_retry_and_failure_events() {
+    with_watchdog("recovered_step_trace", || {
+        let (trainer, data) = build_trainer(91);
+        let baseline = {
+            let (twin, twin_data) = build_trainer(91);
+            twin.step(&twin_data).unwrap().losses
+        };
+        // Kill stage 1 mid-stream on the next execute; the traced retry
+        // loop must absorb the death, respawn, and still hand back a
+        // trace that remembers the failed attempt.
+        trainer
+            .runtime()
+            .inject_fault(1, Fault::DieAtInstr(2))
+            .unwrap();
+        let (result, trace) = trainer
+            .step_traced_with_recovery(&data, fast_retry())
+            .unwrap();
+        assert_eq!(result.losses, baseline, "recovery must not change math");
+
+        assert!(
+            trace.has_event("retry"),
+            "no retry marker in {:?}",
+            trace.events
+        );
+        assert!(
+            trace.has_event("actor_died") || trace.has_event("timeout"),
+            "no death record in {:?}",
+            trace.events
+        );
+        let retry = trace.events.iter().find(|e| e.kind == "retry").unwrap();
+        assert!(
+            retry.detail.starts_with("attempt "),
+            "retry detail: {}",
+            retry.detail
+        );
+        // Events are ordered on the shared timeline: the failure records
+        // precede the retry marker, which precedes nothing older.
+        let ts: Vec<u64> = trace.events.iter().map(|e| e.ts_ns).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "step events out of timeline order");
+        // The successful attempt's spans are all there: 4 stages, each
+        // with 4 forward and 4 backward tasks.
+        assert_eq!(trace.actors.len(), N_STAGES);
+        for at in &trace.actors {
+            assert_eq!(at.spans.iter().filter(|s| s.kind == "fwd").count(), 4);
+            assert_eq!(at.spans.iter().filter(|s| s.kind == "bwd").count(), 4);
+        }
+
+        // The metrics registry saw the whole story.
+        let m = trainer.metrics();
+        assert_eq!(m.counter("retries_total"), 1);
+        assert_eq!(m.counter("recoveries_total"), 1);
+        assert_eq!(m.counter("respawned_actors_total"), 1);
+        assert_eq!(m.counter("steps_total"), 1);
+        match m.gauge("bubble_fraction_measured") {
+            Some(b) => assert!((0.0..=1.0).contains(&b), "bubble fraction {b}"),
+            None => panic!("traced step must set bubble_fraction_measured"),
+        }
+        assert!(matches!(
+            m.snapshot().get("step_time_s"),
+            Some(MetricValue::Histogram(h)) if h.count == 1
+        ));
+    });
+}
+
+#[test]
+fn trace_timeline_is_consistent_after_respawn() {
+    with_watchdog("trace_timeline_after_respawn", || {
+        let (trainer, data) = build_trainer(92);
+        let (_, before) = trainer.step_traced(&data).unwrap();
+        trainer.runtime().inject_failure(2);
+        let (_, after) = trainer
+            .step_traced_with_recovery(&data, fast_retry())
+            .unwrap();
+        // The respawned actor's spans share the runtime's original
+        // monotonic origin: everything in the recovered step starts
+        // after everything in the step that preceded it.
+        let max_before = before
+            .actors
+            .iter()
+            .flat_map(|a| a.spans.iter())
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap();
+        let min_after = after
+            .actors
+            .iter()
+            .flat_map(|a| a.spans.iter())
+            .map(|s| s.start_ns)
+            .min()
+            .unwrap();
+        assert!(
+            min_after > max_before,
+            "respawned actor's clock regressed: {min_after} <= {max_before}"
+        );
+    });
+}
