@@ -17,6 +17,12 @@
 //! the retried step's losses are **bitwise identical** to an
 //! uninterrupted twin run — the determinism contract of recovery.
 //!
+//! Two degraded-mode figures ride along: **rebalance latency**
+//! (`Trainer::rebalance` folding a dead actor's stages onto the
+//! survivors, bitwise parity asserted afterwards) and **checkpoint
+//! save/load throughput** (the v2 checksummed format through
+//! `save_checkpoint`/`restore_checkpoint`, fsynced on save).
+//!
 //! Writes `BENCH_failure.json` at the workspace root.
 //!
 //! Knob: `RAXPP_BENCH_FAILURE_TRIALS` (trials per stage, default 3).
@@ -81,6 +87,7 @@ fn main() {
     let policy = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
+        rebalance_after: None,
     };
     println!(
         "failure: {STAGES}-stage MLP {LAYERS}x[{WIDTH},{WIDTH}], batch [{BATCH},{WIDTH}], \
@@ -161,6 +168,63 @@ fn main() {
     rule(76);
     println!("bitwise post-recovery loss parity: OK ({STAGES} stages x {trials} trials)");
 
+    // Elastic degraded mode: latency of folding a dead actor's stages
+    // onto the survivors, with bitwise parity asserted on the shrunken
+    // fleet.
+    let mut rebalance_times = Vec::new();
+    for trial in 0..trials {
+        let seed = 2000 + trial as u64;
+        let (twin, twin_data) = build(seed);
+        let baseline = twin.step(&twin_data).unwrap().losses;
+        let (trainer, data) = build(seed);
+        trainer
+            .runtime()
+            .inject_fault(1, Fault::DieAtInstr(2))
+            .unwrap();
+        match trainer.step(&data) {
+            Err(CoreError::Runtime(RuntimeError::ActorDied { .. })) => {}
+            other => panic!("rebalance trial {trial}: expected ActorDied, got {other:?}"),
+        }
+        let t0 = Instant::now();
+        trainer.rebalance(&[1]).unwrap();
+        rebalance_times.push(t0.elapsed());
+        let out = trainer.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(
+            out.losses, baseline,
+            "rebalance trial {trial}: degraded-mode losses not bitwise identical"
+        );
+    }
+    let rebalance = median(&rebalance_times);
+    println!("rebalance (fold 1 of {STAGES} actors): {rebalance:>9.2?}");
+
+    // Checkpoint throughput: fsynced v2 save and checksum-verified load
+    // of the full training state.
+    let ckpt_path = workspace_root().join("target/bench-failure-ckpt.bin");
+    let (trainer, data) = build(3000);
+    trainer.step(&data).unwrap();
+    let mut save_times = Vec::new();
+    let mut load_times = Vec::new();
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let mut f = std::fs::File::create(&ckpt_path).unwrap();
+        trainer.save_checkpoint(&mut f).unwrap();
+        f.sync_all().unwrap();
+        save_times.push(t0.elapsed());
+        let t0 = Instant::now();
+        let bytes = std::fs::read(&ckpt_path).unwrap();
+        trainer.restore_checkpoint(bytes.as_slice()).unwrap();
+        load_times.push(t0.elapsed());
+    }
+    let ckpt_mb = std::fs::metadata(&ckpt_path).unwrap().len() as f64 / (1024.0 * 1024.0);
+    let _ = std::fs::remove_file(&ckpt_path);
+    let ckpt_save_mb_s = ckpt_mb / secs(median(&save_times));
+    let ckpt_load_mb_s = ckpt_mb / secs(median(&load_times));
+    println!(
+        "checkpoint ({ckpt_mb:.2} MiB): save {ckpt_save_mb_s:>8.1} MiB/s  \
+         load {ckpt_load_mb_s:>8.1} MiB/s"
+    );
+    rule(76);
+
     let json = Json::obj(vec![
         (
             "workload",
@@ -187,6 +251,10 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("rebalance_us", Json::Num(secs(rebalance) * 1e6)),
+        ("ckpt_size_mb", Json::Num(ckpt_mb)),
+        ("ckpt_save_mb_s", Json::Num(ckpt_save_mb_s)),
+        ("ckpt_load_mb_s", Json::Num(ckpt_load_mb_s)),
         ("bitwise_recovery_parity", Json::Bool(true)),
     ]);
     let path = workspace_root().join("BENCH_failure.json");

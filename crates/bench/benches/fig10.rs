@@ -48,7 +48,7 @@ fn main() {
     );
     dump_json(
         "fig10",
-        &vec![
+        &[
             Compared::new("spmd_pp", f.spmd_pp.step_time, None),
             Compared::new("spmd_async_p2p", f.spmd_async_p2p.step_time, None),
             Compared::new("one_f1b", f.one_f1b.step_time, None),

@@ -100,7 +100,7 @@ fn run(trainer: &Trainer, data: &[Vec<Vec<Tensor>>]) -> Measured {
         }
     }
     let mut kinds: Vec<_> = kind_map.into_iter().map(|(k, (d, c))| (k, d, c)).collect();
-    kinds.sort_by(|a, b| b.1.cmp(&a.1));
+    kinds.sort_by_key(|x| std::cmp::Reverse(x.1));
     let peak_bytes = trainer
         .runtime()
         .peak_store_bytes()

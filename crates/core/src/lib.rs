@@ -56,8 +56,10 @@ mod observe;
 mod optimizer;
 mod trainer;
 
+pub use checkpoint::CheckpointManager;
 pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{
-    compile_train_step, CompileOptions, CoreError, RemoteMesh, RetryPolicy, StepResult, Trainer,
+    compile_train_step, CheckpointPolicy, CompileOptions, CoreError, RemoteMesh, RetryPolicy,
+    StepResult, Trainer,
 };

@@ -6,15 +6,17 @@
 //! function whose every invocation dispatches one fused instruction
 //! stream per actor.
 
-#![allow(clippy::needless_range_loop)]
-
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use raxpp_ir::{IrError, Jaxpr, Shape, Tensor};
-use raxpp_runtime::{Metrics, Runtime, RuntimeError, StepEvent, StepStats, StepTrace};
+use raxpp_runtime::{
+    Metrics, RebalanceReport, Runtime, RuntimeError, StepEvent, StepStats, StepTrace,
+};
 use raxpp_sched::Schedule;
 use raxpp_taskgraph::{
     check_send_recv_order, insert_frees, pipeline_model, unroll_loop, ActorId, BufferId,
@@ -95,6 +97,11 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles on each subsequent one.
     pub backoff: Duration,
+    /// Elastic degraded mode: after this many deaths of the *same*
+    /// actor within one step's retry loop, stop respawning it and fold
+    /// its stages onto the surviving actors ([`Trainer::rebalance`]).
+    /// `None` disables rebalancing (every death is retried by respawn).
+    pub rebalance_after: Option<u32>,
 }
 
 impl Default for RetryPolicy {
@@ -102,7 +109,50 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             backoff: Duration::from_millis(10),
+            rebalance_after: None,
         }
+    }
+}
+
+/// Periodic on-disk checkpointing for
+/// [`Trainer::step_with_recovery`]: every `every` successful steps the
+/// full training state is saved as an atomic `ckpt-<step>` generation
+/// under `dir` (see [`crate::checkpoint::CheckpointManager`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory checkpoint generations are written under.
+    pub dir: PathBuf,
+    /// Save every this many successful steps (minimum 1).
+    pub every: u64,
+    /// Newest generations to retain on disk (minimum 1).
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy saving under `dir` every `every` steps, keeping the
+    /// newest `keep` generations.
+    pub fn new(dir: impl Into<PathBuf>, every: u64, keep: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: every.max(1),
+            keep: keep.max(1),
+        }
+    }
+
+    /// Builds a policy from the environment: `RAXPP_CKPT_DIR` (required
+    /// — `None` when unset) and `RAXPP_CKPT_EVERY` (default 1). Three
+    /// generations are kept.
+    pub fn from_env() -> Option<CheckpointPolicy> {
+        let dir = std::env::var_os("RAXPP_CKPT_DIR")?;
+        let every = std::env::var("RAXPP_CKPT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        Some(CheckpointPolicy::new(PathBuf::from(dir), every, 3))
+    }
+
+    fn manager(&self) -> crate::checkpoint::CheckpointManager {
+        crate::checkpoint::CheckpointManager::new(&self.dir, self.keep)
     }
 }
 
@@ -115,8 +165,17 @@ pub struct Trainer {
     n_mubatches: usize,
     n_data_inputs: usize,
     param_shapes: Vec<Shape>,
-    state_init: Vec<(ActorId, BufferId, Shape)>,
-    param_read: Vec<(ActorId, BufferId)>,
+    /// Optimizer-moment placements `(actor, buffer, shape)` — behind a
+    /// `Mutex` because [`Trainer::rebalance`] remaps the actor ids when
+    /// stages fold onto survivors.
+    state_init: Mutex<Vec<(ActorId, BufferId, Shape)>>,
+    /// Where each parameter's updated value is read back from —
+    /// remapped on rebalance like `state_init`.
+    param_read: Mutex<Vec<(ActorId, BufferId)>>,
+    /// Composed compile-time-actor → current-host mapping (identity
+    /// until the first rebalance); drives the `stages_per_actor_max`
+    /// gauge.
+    assign_total: Mutex<Vec<usize>>,
     fetch_grads: bool,
     /// Last-known-good training state (params, then optimizer moments),
     /// captured after `init` and after every successful
@@ -129,6 +188,12 @@ pub struct Trainer {
     /// Cross-step counters/gauges/histograms (see `docs/observability.md`
     /// for the catalog).
     metrics: Metrics,
+    /// Successful `step_with_recovery` steps so far — the step number
+    /// stamped into periodic checkpoints.
+    steps_done: AtomicU64,
+    /// Periodic on-disk checkpointing, seeded from the environment
+    /// (`RAXPP_CKPT_DIR`/`RAXPP_CKPT_EVERY`) at compile time.
+    ckpt: Mutex<Option<CheckpointPolicy>>,
 }
 
 /// One step's results.
@@ -166,7 +231,7 @@ fn next_buffer_id(program: &MpmdProgram) -> u32 {
                     outputs.iter().copied().for_each(&mut bump);
                 }
                 Instr::Send { buf, .. } | Instr::Free { buf } => bump(*buf),
-                Instr::Recv { buf, src, .. } => {
+                Instr::Recv { buf, src, .. } | Instr::Copy { dst: buf, src } => {
                     bump(*buf);
                     bump(*src);
                 }
@@ -220,9 +285,8 @@ pub fn compile_train_step(
     // propagate updated shared weights to their replicas.
     let mut state_init = Vec::new();
     let mut param_read = Vec::with_capacity(n_params);
-    for p in 0..n_params {
+    for (p, shape) in param_shapes.iter().enumerate().take(n_params) {
         let (grad_buf, owner) = compiled.grads[p];
-        let shape = &param_shapes[p];
         let update = optimizer.update_jaxpr(shape)?;
         let jid = program.add_jaxpr(update);
         let pbuf = compiled.param_buffers[&(p, owner)];
@@ -285,6 +349,7 @@ pub fn compile_train_step(
         .map_err(|e| CoreError::BadInput(format!("internal error: {e}")))?;
 
     let n_mubatches = schedule.n_mubatches();
+    let n_actors = schedule.n_actors();
     let runtime = Runtime::new(compiled.program);
     Ok(Trainer {
         runtime,
@@ -293,12 +358,15 @@ pub fn compile_train_step(
         n_mubatches,
         n_data_inputs,
         param_shapes,
-        state_init,
-        param_read,
+        state_init: Mutex::new(state_init),
+        param_read: Mutex::new(param_read),
+        assign_total: Mutex::new((0..n_actors).collect()),
         fetch_grads: opts.fetch_grads,
         snapshot: Mutex::new(None),
         schedule: schedule.clone(),
         metrics: Metrics::new(),
+        steps_done: AtomicU64::new(0),
+        ckpt: Mutex::new(CheckpointPolicy::from_env()),
     })
 }
 
@@ -320,12 +388,29 @@ impl Trainer {
         self.runtime.place_params(params)?;
         let zeros: Vec<(usize, BufferId, Tensor)> = self
             .state_init
+            .lock()
+            .unwrap()
             .iter()
             .map(|(a, b, s)| (*a, *b, Tensor::zeros(s.clone())))
             .collect();
         self.runtime.place_buffers(&zeros)?;
         *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
+        self.update_fleet_gauges();
         Ok(())
+    }
+
+    /// Refreshes the `actors_alive` / `stages_per_actor_max` gauges
+    /// from the runtime and the composed fold assignment.
+    fn update_fleet_gauges(&self) {
+        self.metrics
+            .set_gauge("actors_alive", self.runtime.alive_actors() as f64);
+        let assign = self.assign_total.lock().unwrap();
+        let mut per_host: HashMap<usize, usize> = HashMap::new();
+        for &a in &self.schedule.stage_actor() {
+            *per_host.entry(assign[a]).or_insert(0) += 1;
+        }
+        let max = per_host.values().copied().max().unwrap_or(0);
+        self.metrics.set_gauge("stages_per_actor_max", max as f64);
     }
 
     /// Reads the full training state (parameters, then optimizer
@@ -333,7 +418,7 @@ impl Trainer {
     /// tensor, not data copies.
     fn capture_state(&self) -> Result<Vec<Tensor>, CoreError> {
         let mut tensors = self.params()?;
-        for &(a, b, _) in &self.state_init {
+        for &(a, b, _) in self.state_init.lock().unwrap().iter() {
             tensors.push(self.runtime.read_buffer(a, b)?);
         }
         Ok(tensors)
@@ -346,6 +431,8 @@ impl Trainer {
         self.runtime.place_params(params)?;
         let items: Vec<(usize, BufferId, Tensor)> = self
             .state_init
+            .lock()
+            .unwrap()
             .iter()
             .zip(states)
             .map(|(&(a, b, _), t)| (a, b, t.clone()))
@@ -455,21 +542,144 @@ impl Trainer {
         policy: RetryPolicy,
     ) -> Result<StepResult, CoreError> {
         let mut attempt = 0u32;
+        let mut deaths: HashMap<usize, u32> = HashMap::new();
         loop {
             match self.step(data) {
                 Ok(r) => {
-                    *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
+                    let state = self.capture_state()?;
+                    *self.snapshot.lock().unwrap() = Some(state.clone());
+                    self.after_successful_step(&state)?;
                     return Ok(r);
                 }
                 Err(CoreError::Runtime(e))
                     if e.is_recoverable() && attempt < policy.max_retries =>
                 {
-                    self.recover_and_restore(attempt, policy)?;
+                    if self.maybe_rebalance(&e, policy, &mut deaths)?.is_none() {
+                        self.recover_and_restore(attempt, policy)?;
+                    }
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// The rebalance rung of the recovery ladder: when `policy` enables
+    /// elastic mode and `e` is the `rebalance_after`-th death of the
+    /// same actor within this step's retry loop (and at least one other
+    /// actor survives), folds that actor away instead of respawning it.
+    /// Returns the report when a rebalance happened.
+    fn maybe_rebalance(
+        &self,
+        e: &RuntimeError,
+        policy: RetryPolicy,
+        deaths: &mut HashMap<usize, u32>,
+    ) -> Result<Option<RebalanceReport>, CoreError> {
+        let (RuntimeError::ActorDied { actor }, Some(after)) = (e, policy.rebalance_after) else {
+            return Ok(None);
+        };
+        let count = deaths.entry(*actor).or_insert(0);
+        *count += 1;
+        if *count < after.max(1) || self.runtime.alive_actors() <= 1 {
+            return Ok(None);
+        }
+        self.rebalance(&[*actor]).map(Some)
+    }
+
+    /// Bookkeeping after a successful recovered step: bump the step
+    /// counter and write a periodic checkpoint when one is due.
+    fn after_successful_step(&self, state: &[Tensor]) -> Result<(), CoreError> {
+        let step = self.steps_done.fetch_add(1, Ordering::SeqCst) + 1;
+        let ckpt = self.ckpt.lock().unwrap();
+        if let Some(p) = ckpt.as_ref() {
+            if step.is_multiple_of(p.every) {
+                p.manager()
+                    .save(step, state)
+                    .map_err(|e| CoreError::BadInput(format!("checkpoint save failed: {e}")))?;
+                self.metrics.inc("checkpoints_total", 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanently folds the given actors' stages onto the survivors
+    /// and resumes from the last-known-good snapshot: the runtime's
+    /// program is re-placed ([`raxpp_runtime::Runtime::rebalance`]),
+    /// dead survivors are respawned, the trainer's placement maps are
+    /// remapped, and the snapshot is restored fleet-wide — so the next
+    /// step computes **bitwise-identical** results on fewer actors.
+    ///
+    /// Usually invoked automatically by the recovery ladder of
+    /// [`Trainer::step_with_recovery`] (see
+    /// [`RetryPolicy::rebalance_after`]); callable directly for planned
+    /// shrinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Runtime`] when no survivor remains or the
+    /// program cannot be re-placed (the fleet is left as it was).
+    pub fn rebalance(&self, dead: &[usize]) -> Result<RebalanceReport, CoreError> {
+        let report = self.runtime.rebalance(dead)?;
+        // Respawn any survivor that died in the same incident before
+        // re-placing state on the fleet.
+        self.runtime.recover()?;
+        {
+            let mut state_init = self.state_init.lock().unwrap();
+            for e in state_init.iter_mut() {
+                e.0 = report.assign[e.0];
+            }
+            let mut param_read = self.param_read.lock().unwrap();
+            for e in param_read.iter_mut() {
+                e.0 = report.assign[e.0];
+            }
+            let mut assign_total = self.assign_total.lock().unwrap();
+            for host in assign_total.iter_mut() {
+                *host = report.assign[*host];
+            }
+        }
+        let snapshot = self.snapshot.lock().unwrap();
+        if let Some(state) = snapshot.as_ref() {
+            self.restore_state(state)?;
+        }
+        drop(snapshot);
+        self.metrics.inc("rebalances_total", 1);
+        self.update_fleet_gauges();
+        Ok(report)
+    }
+
+    /// Resumes training state from the newest valid checkpoint
+    /// generation under `dir` (corrupt generations are skipped via
+    /// their checksums). Returns the resumed step number, or `None`
+    /// when the directory holds no valid generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] for I/O failures or a checkpoint
+    /// whose tensors do not match this trainer.
+    pub fn resume_from_dir(&self, dir: impl AsRef<Path>) -> Result<Option<u64>, CoreError> {
+        let mgr = crate::checkpoint::CheckpointManager::new(dir.as_ref(), usize::MAX);
+        let Some((step, tensors)) = mgr
+            .latest_valid()
+            .map_err(|e| CoreError::BadInput(format!("checkpoint scan failed: {e}")))?
+        else {
+            return Ok(None);
+        };
+        self.adopt_state(tensors)?;
+        self.steps_done.store(step, Ordering::SeqCst);
+        Ok(Some(step))
+    }
+
+    /// Successful `step_with_recovery` steps so far (the step number
+    /// stamped into periodic checkpoints).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done.load(Ordering::SeqCst)
+    }
+
+    /// Installs (or clears) the periodic checkpoint policy. The policy
+    /// is otherwise seeded from `RAXPP_CKPT_DIR`/`RAXPP_CKPT_EVERY` at
+    /// compile time.
+    pub fn set_checkpoint_policy(&self, policy: Option<CheckpointPolicy>) {
+        *self.ckpt.lock().unwrap() = policy;
     }
 
     /// One recovery round of the retry loop: backoff, respawn dead
@@ -537,6 +747,7 @@ impl Trainer {
         let was = self.runtime.tracing_enabled();
         self.runtime.set_tracing(true);
         let mut attempt = 0u32;
+        let mut deaths: HashMap<usize, u32> = HashMap::new();
         let mut prior_events: Vec<StepEvent> = Vec::new();
         let result = loop {
             match self.step(data) {
@@ -544,7 +755,12 @@ impl Trainer {
                     let captured = self.capture_state();
                     let mut trace = self.runtime.take_step_trace().unwrap_or_default();
                     match captured {
-                        Ok(state) => *self.snapshot.lock().unwrap() = Some(state),
+                        Ok(state) => {
+                            *self.snapshot.lock().unwrap() = Some(state.clone());
+                            if let Err(e) = self.after_successful_step(&state) {
+                                break Err(e);
+                            }
+                        }
                         Err(e) => break Err(e),
                     }
                     if !prior_events.is_empty() {
@@ -568,8 +784,22 @@ impl Trainer {
                         kind: "retry".to_string(),
                         detail: format!("attempt {} after: {e}", attempt + 1),
                     });
-                    if let Err(e) = self.recover_and_restore(attempt, policy) {
-                        break Err(e);
+                    match self.maybe_rebalance(&e, policy, &mut deaths) {
+                        Ok(Some(report)) => prior_events.push(StepEvent {
+                            ts_ns: self.runtime.now_ns(),
+                            actor: None,
+                            kind: "rebalanced".to_string(),
+                            detail: format!(
+                                "retired {:?}, migrated {} buffers",
+                                report.retired, report.migrated_buffers
+                            ),
+                        }),
+                        Ok(None) => {
+                            if let Err(e) = self.recover_and_restore(attempt, policy) {
+                                break Err(e);
+                            }
+                        }
+                        Err(e) => break Err(e),
                     }
                     attempt += 1;
                 }
@@ -608,6 +838,8 @@ impl Trainer {
     /// Returns [`CoreError::Runtime`] on runtime failure.
     pub fn params(&self) -> Result<Vec<Tensor>, CoreError> {
         self.param_read
+            .lock()
+            .unwrap()
             .iter()
             .map(|&(a, b)| self.runtime.read_buffer(a, b).map_err(CoreError::from))
             .collect()
@@ -651,15 +883,23 @@ impl Trainer {
     pub fn restore_checkpoint(&self, r: impl std::io::Read) -> Result<(), CoreError> {
         let tensors = crate::checkpoint::load_tensors(r)
             .map_err(|e| CoreError::BadInput(format!("checkpoint read failed: {e}")))?;
-        if tensors.len() != self.n_params + self.state_init.len() {
+        self.adopt_state(tensors)
+    }
+
+    /// Validates a freshly loaded training state against the trainer's
+    /// shapes, re-places it fleet-wide, and makes it the new recovery
+    /// restore point.
+    fn adopt_state(&self, tensors: Vec<Tensor>) -> Result<(), CoreError> {
+        let n_states = self.state_init.lock().unwrap().len();
+        if tensors.len() != self.n_params + n_states {
             return Err(CoreError::BadInput(format!(
                 "checkpoint has {} tensors, trainer expects {}",
                 tensors.len(),
-                self.n_params + self.state_init.len()
+                self.n_params + n_states
             )));
         }
         let (_, states) = tensors.split_at(self.n_params);
-        for (&(_, _, ref shape), t) in self.state_init.iter().zip(states) {
+        for ((_, _, shape), t) in self.state_init.lock().unwrap().iter().zip(states) {
             if t.shape() != shape {
                 return Err(CoreError::BadInput(format!(
                     "optimizer state shape mismatch: {} vs {}",

@@ -490,8 +490,8 @@ mod tests {
                 &[a2],
             )
             .unwrap();
-        let j = b.finish(vec![s]).unwrap();
-        j
+
+        b.finish(vec![s]).unwrap()
     }
 
     fn mlp_inputs() -> Vec<Tensor> {
@@ -550,7 +550,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let t = Tensor::randn([8], 1.0, &mut rng);
         let want: Vec<f32> = t.data().iter().map(|&v| v * v).collect();
-        let out = eval(&j, &[t.clone()]).unwrap();
+        let out = eval(&j, std::slice::from_ref(&t)).unwrap();
         assert_eq!(out[0].data(), &want[..]);
         // x itself is untouched.
         let _ = rng.next_u64();
@@ -594,7 +594,7 @@ mod tests {
             .unwrap();
         let j = b.finish(vec![y]).unwrap();
         let t = Tensor::ones([2, 6]);
-        let (out, stats) = eval_with_stats(&j, &[t.clone()]).unwrap();
+        let (out, stats) = eval_with_stats(&j, std::slice::from_ref(&t)).unwrap();
         assert!(std::ptr::eq(t.data().as_ptr(), out[0].data().as_ptr()));
         assert_eq!(stats.allocated, 0);
         assert_eq!(stats.reused, 2);

@@ -76,22 +76,22 @@ mod avx512 {
         ldo: usize,
     ) {
         const COLS: usize = NR / 16;
-        const { assert!(NR % 16 == 0, "NR must be whole zmm vectors") };
+        const { assert!(NR.is_multiple_of(16), "NR must be whole zmm vectors") };
         let mut acc = [[_mm512_setzero_ps(); COLS]; MR];
         for p in 0..k {
             let mut bv = [_mm512_setzero_ps(); COLS];
             for (c, slot) in bv.iter_mut().enumerate() {
                 *slot = _mm512_loadu_ps(b.add(p * ldb + 16 * c));
             }
-            for r in 0..MR {
+            for (r, row) in acc.iter_mut().enumerate() {
                 let av = _mm512_set1_ps(*a.add(r * lda + p));
-                for c in 0..COLS {
-                    acc[r][c] = _mm512_add_ps(acc[r][c], _mm512_mul_ps(av, bv[c]));
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = _mm512_add_ps(*slot, _mm512_mul_ps(av, bv[c]));
                 }
             }
         }
-        for r in 0..MR {
-            for (c, &v) in acc[r].iter().enumerate() {
+        for (r, row) in acc.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
                 _mm512_storeu_ps(out.add(r * ldo + 16 * c), v);
             }
         }
@@ -239,9 +239,9 @@ fn matmul_rows(a: &[f32], bp: &[f32], out: &mut [f32], row0: usize, k: usize, n:
                         }
                     }
                 }
-                for r in 0..MR {
+                for (r, row) in acc.iter().enumerate() {
                     let o = (r0 + r) * n + j0;
-                    out[o..o + NR].copy_from_slice(&acc[r]);
+                    out[o..o + NR].copy_from_slice(row);
                 }
             } else {
                 let mut acc = [[0.0f32; NR]; MR];
@@ -254,9 +254,9 @@ fn matmul_rows(a: &[f32], bp: &[f32], out: &mut [f32], row0: usize, k: usize, n:
                         }
                     }
                 }
-                for r in 0..mr {
+                for (r, row) in acc.iter().take(mr).enumerate() {
                     let o = (r0 + r) * n + j0;
-                    out[o..o + nr].copy_from_slice(&acc[r][..nr]);
+                    out[o..o + nr].copy_from_slice(&row[..nr]);
                 }
             }
             j0 += nr;

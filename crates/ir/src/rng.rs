@@ -166,7 +166,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10_000 {
             let v = rng.gen_range(f32::EPSILON..1.0);
-            assert!(v >= f32::EPSILON && v < 1.0, "{v}");
+            assert!((f32::EPSILON..1.0).contains(&v), "{v}");
             let w = rng.gen_range(-2.0f32..2.0);
             assert!((-2.0..2.0).contains(&w), "{w}");
         }

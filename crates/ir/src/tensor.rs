@@ -290,11 +290,7 @@ impl Tensor {
         }
         let out_shape = self.shape.transposed()?;
         let (m, n) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
-        let batch = if m * n == 0 {
-            0
-        } else {
-            self.numel() / (m * n)
-        };
+        let batch = self.numel().checked_div(m * n).unwrap_or(0);
         let out = kernels::transpose(&self.data, batch, m, n);
         Ok(Tensor::from_parts(out_shape, out))
     }
@@ -315,11 +311,7 @@ impl Tensor {
         }
         let out_shape = self.shape.transposed()?;
         let (m, n) = (self.shape.dim(r - 2), self.shape.dim(r - 1));
-        let batch = if m * n == 0 {
-            0
-        } else {
-            self.numel() / (m * n)
-        };
+        let batch = self.numel().checked_div(m * n).unwrap_or(0);
         let out = kernels::transpose_naive(&self.data, batch, m, n);
         Ok(Tensor::from_parts(out_shape, out))
     }

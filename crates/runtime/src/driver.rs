@@ -53,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use raxpp_ir::{eval_with_stats, eval_with_stats_hooked, EvalStats, Tensor};
-use raxpp_taskgraph::{BufferId, Fetch, InputSource, Instr, MpmdProgram};
+use raxpp_taskgraph::{replace_program, BufferId, Fetch, InputSource, Instr, MpmdProgram};
 
 use crate::error::RuntimeError;
 use crate::store::{ObjectStore, SendToken};
@@ -137,6 +137,8 @@ enum Command {
         peer: usize,
         tx: Sender<Msg>,
     },
+    /// Swap the executed program (after a rebalance). No reply.
+    Reprogram(Arc<MpmdProgram>),
     /// Arm a one-shot fault. No reply.
     InjectFault(Fault),
     Shutdown,
@@ -269,7 +271,25 @@ pub struct RecoveryReport {
     pub replaced_buffers: usize,
 }
 
+/// What [`Runtime::rebalance`] did: which actors were permanently
+/// retired, where every old actor's work now lives, and how many
+/// driver-held resident buffers migrated to host survivors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Actors permanently retired by this call, ascending.
+    pub retired: Vec<usize>,
+    /// `assign[a]` is the actor now hosting old actor `a`'s stages
+    /// (survivors map to themselves).
+    pub assign: Vec<usize>,
+    /// Driver-held resident buffers migrated from retired actors onto
+    /// their hosts.
+    pub migrated_buffers: usize,
+}
+
 struct Inner {
+    /// The program currently executed; swapped atomically (under this
+    /// lock, plus a `Reprogram` broadcast) by [`Runtime::rebalance`].
+    program: Arc<MpmdProgram>,
     actors: Vec<ActorLink>,
     /// Driver-held clone of every actor's inbox sender, used for abort
     /// broadcasts and for wiring respawned actors.
@@ -284,6 +304,9 @@ struct Inner {
     /// Trace of the most recent traced step (success or failure),
     /// retrievable with [`Runtime::take_step_trace`].
     last_trace: Option<StepTrace>,
+    /// Actors permanently removed by [`Runtime::rebalance`]: never
+    /// dispatched to, never respawned by [`Runtime::recover`].
+    retired: Vec<bool>,
 }
 
 /// A single-controller MPMD runtime executing a compiled
@@ -294,7 +317,6 @@ struct Inner {
 /// See `raxpp-core`'s `distributed` API, which compiles traced training
 /// steps into programs and drives this runtime.
 pub struct Runtime {
-    program: Arc<MpmdProgram>,
     inner: Mutex<Inner>,
     step_timeout: Duration,
     /// Whether [`Runtime::step`] records per-instruction span traces.
@@ -307,7 +329,8 @@ pub struct Runtime {
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Runtime {{ n_actors: {} }}", self.program.n_actors())
+        let n = self.inner.lock().map(|i| i.actors.len()).unwrap_or(0);
+        write!(f, "Runtime {{ n_actors: {n} }}")
     }
 }
 
@@ -365,13 +388,14 @@ impl Runtime {
             .map(|(a, rx)| spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone(), origin))
             .collect();
         Runtime {
-            program,
             inner: Mutex::new(Inner {
+                program,
                 actors,
                 inbox_tx,
                 seq: 0,
                 resident: HashMap::new(),
                 last_trace: None,
+                retired: vec![false; n],
             }),
             step_timeout: step_timeout_from_env(),
             tracing: AtomicBool::new(tracing_from_env()),
@@ -410,9 +434,27 @@ impl Runtime {
         self.origin.elapsed().as_nanos() as u64
     }
 
-    /// The program being executed.
-    pub fn program(&self) -> &MpmdProgram {
-        &self.program
+    /// The program currently being executed. [`Runtime::rebalance`]
+    /// swaps it, so callers get a snapshot handle rather than a
+    /// reference.
+    pub fn program(&self) -> Arc<MpmdProgram> {
+        Arc::clone(&self.inner.lock().unwrap().program)
+    }
+
+    /// Number of actors still in service (neither retired by
+    /// [`Runtime::rebalance`] — dead-but-recoverable actors count as
+    /// alive, since [`Runtime::recover`] will respawn them).
+    pub fn alive_actors(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.retired.iter().filter(|&&r| !r).count()
+    }
+
+    /// Actors permanently retired by [`Runtime::rebalance`], ascending.
+    pub fn retired_actors(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        (0..inner.retired.len())
+            .filter(|&a| inner.retired[a])
+            .collect()
     }
 
     /// Overrides the step timeout (default 60 s, or
@@ -432,9 +474,11 @@ impl Runtime {
     /// Returns [`RuntimeError::BadInput`] on shape mismatch and
     /// [`RuntimeError::ActorDied`] if an actor is gone.
     pub fn place_params(&self, params: &[Tensor]) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let program = Arc::clone(&inner.program);
         let mut per_actor: Vec<Vec<(BufferId, Tensor)>> =
-            (0..self.program.n_actors()).map(|_| Vec::new()).collect();
-        for p in &self.program.placements {
+            (0..program.n_actors()).map(|_| Vec::new()).collect();
+        for p in &program.placements {
             if let InputSource::Param(i) = p.source {
                 let t = params
                     .get(i)
@@ -449,7 +493,6 @@ impl Runtime {
                 per_actor[p.actor].push((p.buf, t.clone()));
             }
         }
-        let mut inner = self.inner.lock().unwrap();
         self.place(&mut inner, per_actor, true)
     }
 
@@ -471,9 +514,11 @@ impl Runtime {
     /// Returns [`RuntimeError`] on bad inputs, actor failure, task
     /// execution errors, or timeout.
     pub fn step(&self, data: &[Vec<Tensor>]) -> Result<StepOutputs, RuntimeError> {
-        let n = self.program.n_actors();
+        let mut inner = self.inner.lock().unwrap();
+        let program = Arc::clone(&inner.program);
+        let n = program.n_actors();
         let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
-        for p in &self.program.placements {
+        for p in &program.placements {
             if let InputSource::Data { input, mubatch } = p.source {
                 let t = data
                     .get(input)
@@ -493,7 +538,6 @@ impl Runtime {
                 per_actor[p.actor].push((p.buf, t.clone()));
             }
         }
-        let mut inner = self.inner.lock().unwrap();
         self.place(&mut inner, per_actor, false)?;
 
         // One fused dispatch per actor (§4.4): the Execute seq is the
@@ -506,6 +550,9 @@ impl Runtime {
         let mut fatal: Vec<Option<RuntimeError>> = vec![None; n];
         let mut rpcs = 0;
         for a in 0..n {
+            if inner.retired[a] {
+                continue; // folded away: no stream, no reply expected
+            }
             if inner.actors[a].dead
                 || inner.actors[a]
                     .cmd
@@ -656,9 +703,10 @@ impl Runtime {
             return Err(err);
         }
         let mut profiles = Vec::with_capacity(n);
-        for r in outcome {
+        for (a, r) in outcome.into_iter().enumerate() {
             match r {
                 Some(Ok(p)) => profiles.push(p),
+                None if inner.retired[a] => profiles.push(ActorProfile::default()),
                 _ => unreachable!("step_error covers non-Ok outcomes"),
             }
         }
@@ -666,7 +714,7 @@ impl Runtime {
 
         // Fetch results.
         let mut wanted: Vec<Vec<BufferId>> = (0..n).map(|_| Vec::new()).collect();
-        for f in &self.program.fetches {
+        for f in &program.fetches {
             wanted[f.actor].push(f.buf);
         }
         inner.seq += 1;
@@ -720,8 +768,7 @@ impl Runtime {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let fetched = self
-            .program
+        let fetched = program
             .fetches
             .iter()
             .map(|f| (*f, fetched_per_actor[f.actor][&f.buf].clone()))
@@ -746,7 +793,8 @@ impl Runtime {
     ///
     /// Returns [`RuntimeError::ActorDied`] if an actor is gone.
     pub fn place_buffers(&self, items: &[(usize, BufferId, Tensor)]) -> Result<(), RuntimeError> {
-        let n = self.program.n_actors();
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.actors.len();
         let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
         for (actor, buf, t) in items {
             if *actor >= n {
@@ -754,7 +802,6 @@ impl Runtime {
             }
             per_actor[*actor].push((*buf, t.clone()));
         }
-        let mut inner = self.inner.lock().unwrap();
         self.place(&mut inner, per_actor, true)
     }
 
@@ -766,7 +813,7 @@ impl Runtime {
     /// missing.
     pub fn read_buffer(&self, actor: usize, buf: BufferId) -> Result<Tensor, RuntimeError> {
         let mut inner = self.inner.lock().unwrap();
-        if actor >= inner.actors.len() {
+        if actor >= inner.actors.len() || inner.retired[actor] {
             return Err(RuntimeError::ActorDied { actor });
         }
         inner.seq += 1;
@@ -805,6 +852,10 @@ impl Runtime {
         let n = inner.actors.len();
         let mut out = Vec::with_capacity(n);
         for a in 0..n {
+            if inner.retired[a] {
+                out.push(0); // folded away: store discarded with the thread
+                continue;
+            }
             inner.seq += 1;
             let seq = inner.seq;
             let link = &inner.actors[a];
@@ -839,6 +890,10 @@ impl Runtime {
         let n = inner.actors.len();
         let mut out = Vec::with_capacity(n);
         for a in 0..n {
+            if inner.retired[a] {
+                out.push(0); // folded away: store discarded with the thread
+                continue;
+            }
             inner.seq += 1;
             let seq = inner.seq;
             let link = &inner.actors[a];
@@ -913,11 +968,12 @@ impl Runtime {
         for _ in 0..=n {
             let dead: Vec<usize> = (0..n)
                 .filter(|&a| {
-                    inner.actors[a].dead
-                        || inner.actors[a]
-                            .handle
-                            .as_ref()
-                            .map_or(true, |h| h.is_finished())
+                    !inner.retired[a]
+                        && (inner.actors[a].dead
+                            || inner.actors[a]
+                                .handle
+                                .as_ref()
+                                .is_none_or(|h| h.is_finished()))
                 })
                 .collect();
             if dead.is_empty() {
@@ -936,14 +992,14 @@ impl Runtime {
                     let _ = h.join();
                 }
                 let tx_row = inner.inbox_tx.clone();
-                inner.actors[a] =
-                    spawn_actor(a, Arc::clone(&self.program), rx, tx_row, self.origin);
+                let program = Arc::clone(&inner.program);
+                inner.actors[a] = spawn_actor(a, program, rx, tx_row, self.origin);
                 if !report.respawned.contains(&a) {
                     report.respawned.push(a);
                 }
             }
             for b in 0..n {
-                if dead.contains(&b) {
+                if dead.contains(&b) || inner.retired[b] {
                     continue;
                 }
                 for &a in &dead {
@@ -969,6 +1025,126 @@ impl Runtime {
         }
         self.place(&mut inner, per_actor, false)?;
         Ok(report)
+    }
+
+    /// Permanently folds the given actors' pipeline stages onto the
+    /// nearest surviving actors (elastic degraded mode).
+    ///
+    /// The running [`MpmdProgram`] is re-placed via
+    /// [`raxpp_taskgraph::replace_program`]: every `Run` instruction is
+    /// kept byte-identical (so training remains bitwise-deterministic),
+    /// co-located sends/recvs collapse to local moves, and cross-actor
+    /// transfers are rewired to the new owners. The folded actors are
+    /// shut down and marked *retired* — they are never respawned, and
+    /// [`Runtime::recover`] skips them from then on. Driver-held
+    /// resident copies (params/state) that lived on a retired actor are
+    /// migrated to its replacement.
+    ///
+    /// Call [`Runtime::recover`] afterwards to respawn any survivor
+    /// that died in the same incident; the caller (e.g. `raxpp-core`'s
+    /// trainer) is responsible for restoring optimizer-updated values
+    /// from its own snapshot on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadInput`] for out-of-range or
+    /// already-retired actor ids, and [`RuntimeError::Rebalance`] when
+    /// no survivor remains or the program cannot be re-placed (the
+    /// fleet is left untouched in that case).
+    pub fn rebalance(&self, dead: &[usize]) -> Result<RebalanceReport, RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.actors.len();
+        for &d in dead {
+            if d >= n {
+                return Err(RuntimeError::BadInput(format!("unknown actor {d}")));
+            }
+            if inner.retired[d] {
+                return Err(RuntimeError::BadInput(format!("actor {d} already retired")));
+            }
+        }
+        let mut retired: Vec<usize> = dead.to_vec();
+        retired.sort_unstable();
+        retired.dedup();
+        let mut assign: Vec<usize> = (0..n).collect();
+        if retired.is_empty() {
+            return Ok(RebalanceReport {
+                retired,
+                assign,
+                migrated_buffers: 0,
+            });
+        }
+        let alive: Vec<usize> = (0..n)
+            .filter(|a| !inner.retired[*a] && !retired.contains(a))
+            .collect();
+        if alive.is_empty() {
+            return Err(RuntimeError::Rebalance("no surviving actors".into()));
+        }
+        for &d in &retired {
+            // Nearest survivor by pipeline distance; ties go to the
+            // lower index so the mapping is deterministic.
+            let host = alive
+                .iter()
+                .copied()
+                .min_by_key(|&s| (s.abs_diff(d), s))
+                .expect("alive is non-empty");
+            assign[d] = host;
+        }
+        let new_program = replace_program(&inner.program, &assign)
+            .map_err(|e| RuntimeError::Rebalance(e.to_string()))?;
+        // Point of no return: retire the folded actors.
+        for &d in &retired {
+            let _ = inner.actors[d].cmd.send(Command::Shutdown);
+            if let Some(h) = inner.actors[d].handle.take() {
+                let _ = h.join();
+            }
+            inner.actors[d].dead = true;
+            inner.retired[d] = true;
+        }
+        inner.program = Arc::new(new_program);
+        let program = Arc::clone(&inner.program);
+        for a in 0..n {
+            if inner.retired[a] {
+                continue;
+            }
+            if inner.actors[a]
+                .cmd
+                .send(Command::Reprogram(Arc::clone(&program)))
+                .is_err()
+            {
+                // A dead survivor: recover() respawns it with the new
+                // program straight from `inner.program`.
+                inner.actors[a].dead = true;
+            }
+        }
+        // Migrate driver-held resident copies off the retired actors.
+        let moved: Vec<((usize, BufferId), Tensor)> = inner
+            .resident
+            .iter()
+            .filter(|((a, _), _)| retired.contains(a))
+            .map(|(k, t)| (*k, t.clone()))
+            .collect();
+        let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut migrated = 0usize;
+        for ((a, buf), t) in moved {
+            inner.resident.remove(&(a, buf));
+            let host = assign[a];
+            inner.resident.insert((host, buf), t.clone());
+            per_actor[host].push((buf, t));
+            migrated += 1;
+        }
+        if let Err(e) = self.place(&mut inner, per_actor, false) {
+            // A dead survivor is tolerable here: the migrated copies are
+            // already recorded in `resident`, so recover() re-places
+            // them when it respawns the host.
+            if !matches!(e, RuntimeError::ActorDied { .. }) {
+                return Err(e);
+            }
+        }
+        Ok(RebalanceReport {
+            retired,
+            assign,
+            migrated_buffers: migrated,
+        })
     }
 
     fn place(
@@ -1440,6 +1616,9 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
             Command::Reconnect { peer, tx } => {
                 st.tx_row[peer] = tx;
             }
+            Command::Reprogram(p) => {
+                st.program = p;
+            }
             Command::InjectFault(Fault::DieNow) => return Exit::Died,
             Command::InjectFault(f) => st.faults.push_back(f),
             Command::Shutdown => return Exit::Clean,
@@ -1615,6 +1794,17 @@ fn execute_stream(
                 }
                 st.store.insert(*buf, t);
             }
+            Instr::Copy { dst, src } => {
+                let t =
+                    st.store.get(*src).cloned().ok_or_else(|| {
+                        StreamFailure::Error(format!("copy of missing buffer {src}"))
+                    })?;
+                if traced {
+                    span_name = format!("copy {src} -> {dst}");
+                    span_bytes = 4 * t.numel() as u64;
+                }
+                st.store.insert(*dst, t);
+            }
             Instr::Free { buf } => {
                 if !st.store.free(*buf) {
                     return Err(StreamFailure::Error(format!(
@@ -1630,6 +1820,7 @@ fn execute_stream(
             Instr::Run { label, .. } => label_kind(label),
             Instr::Send { .. } => "send",
             Instr::Recv { .. } => "recv",
+            Instr::Copy { .. } => "copy",
             Instr::Free { .. } => "free",
         };
         let dur = t0.elapsed();

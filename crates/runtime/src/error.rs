@@ -25,14 +25,17 @@ pub enum RuntimeError {
         /// The actor that did not reply.
         actor: usize,
     },
+    /// Elastic rebalancing failed: either no survivor remains or the
+    /// program could not be re-placed onto the surviving actors.
+    Rebalance(String),
 }
 
 impl RuntimeError {
     /// Whether `Runtime::recover()` plus a retry can plausibly clear
     /// this error: actor deaths, task failures, and timeouts are
-    /// recoverable, caller input errors are not.
+    /// recoverable; caller input errors and failed rebalances are not.
     pub fn is_recoverable(&self) -> bool {
-        !matches!(self, RuntimeError::BadInput(_))
+        !matches!(self, RuntimeError::BadInput(_) | RuntimeError::Rebalance(_))
     }
 }
 
@@ -47,6 +50,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Timeout { actor } => {
                 write!(f, "actor {actor} did not reply before the step timeout")
             }
+            RuntimeError::Rebalance(m) => write!(f, "rebalance failed: {m}"),
         }
     }
 }

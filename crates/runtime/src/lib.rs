@@ -35,8 +35,13 @@ mod metrics;
 mod store;
 mod trace;
 
-pub use driver::{ActorProfile, Fault, RecoveryReport, Runtime, StepOutputs, StepStats};
+pub use driver::{
+    ActorProfile, Fault, RebalanceReport, RecoveryReport, Runtime, StepOutputs, StepStats,
+};
 pub use error::RuntimeError;
 pub use metrics::{HistogramSummary, MetricValue, Metrics};
 pub use store::{ObjectStore, SendToken};
-pub use trace::{ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY};
+pub use trace::{
+    ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY,
+    TRACE_SCHEMA_VERSION,
+};

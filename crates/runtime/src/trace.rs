@@ -27,6 +27,21 @@ use raxpp_ir::EvalStats;
 /// Default capacity of one actor's span ring (events per step).
 pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 
+/// Version of the trace schema: span kinds, step-event kinds, and the
+/// Chrome `trace_event` field order pinned by the golden test.
+///
+/// History:
+/// - **1** — initial schema (PR 3): span kinds `"fwd"`, `"bwd"`,
+///   `"bwdw"`, `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`,
+///   `"send"`, `"recv"`, `"free"`, `"op"`; step-event kinds `"abort"`,
+///   `"cascade"`, `"actor_died"`, `"timeout"`, `"retry"`.
+/// - **2** — adds the `"copy"` span kind (local move produced by
+///   program re-placement when a send/recv pair collapses onto one
+///   actor) and the `"rebalanced"` step-event kind (emitted by
+///   `Trainer` when elastic degraded-mode rebalancing folds lost
+///   actors' stages onto survivors).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.
 ///
@@ -40,8 +55,8 @@ pub struct SpanEvent {
     pub instr: u32,
     /// Instruction kind: one of `"fwd"`, `"bwd"`, `"bwdw"`,
     /// `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`,
-    /// `"send"`, `"recv"`, `"free"`, or `"op"` for interpreter
-    /// sub-spans.
+    /// `"send"`, `"recv"`, `"copy"`, `"free"`, or `"op"` for
+    /// interpreter sub-spans.
     pub kind: &'static str,
     /// Human-readable name: the task label rendering (`fwd(mb=0, s=1)`),
     /// a transport description (`send b12 -> actor 1`), or the primitive
@@ -162,7 +177,7 @@ pub struct StepEvent {
     /// events such as retries).
     pub actor: Option<usize>,
     /// Event kind: `"abort"`, `"cascade"`, `"actor_died"`, `"timeout"`,
-    /// or `"retry"`.
+    /// `"retry"`, or `"rebalanced"`.
     pub kind: String,
     /// Human-readable detail (error message, retry attempt, …).
     pub detail: String,

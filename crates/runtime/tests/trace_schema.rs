@@ -5,7 +5,9 @@
 //! epochs.
 
 use raxpp_ir::{EvalStats, Jaxpr, Tensor, TraceCtx};
-use raxpp_runtime::{ActorTrace, Fault, Runtime, SpanEvent, StepEvent, StepTrace};
+use raxpp_runtime::{
+    ActorTrace, Fault, Runtime, SpanEvent, StepEvent, StepTrace, TRACE_SCHEMA_VERSION,
+};
 use raxpp_sched::{gpipe, one_f1b, Schedule};
 use raxpp_taskgraph::{
     check_send_recv_order, insert_frees, pipeline_model, unroll_loop, Instr, MpmdProgram,
@@ -95,12 +97,20 @@ fn golden_chrome_trace_schema() {
             ],
             dropped: 0,
         }],
-        events: vec![StepEvent {
-            ts_ns: 5_000,
-            actor: None,
-            kind: "retry".into(),
-            detail: "attempt 2".into(),
-        }],
+        events: vec![
+            StepEvent {
+                ts_ns: 5_000,
+                actor: None,
+                kind: "retry".into(),
+                detail: "attempt 2".into(),
+            },
+            StepEvent {
+                ts_ns: 6_000,
+                actor: None,
+                kind: "rebalanced".into(),
+                detail: "retired [2], migrated 3 buffers".into(),
+            },
+        ],
     };
     let expected = concat!(
         "[\n",
@@ -113,10 +123,16 @@ fn golden_chrome_trace_schema() {
         "\"dur\": 0.500, \"pid\": 0, \"tid\": 1, ",
         "\"args\": {\"instr\": 1, \"step\": 3, \"bytes\": 64}},\n",
         "  {\"name\": \"retry: attempt 2\", \"cat\": \"retry\", \"ph\": \"i\", \"ts\": 5.000, ",
+        "\"pid\": 0, \"tid\": 0, \"s\": \"g\", \"args\": {\"step\": 3}},\n",
+        "  {\"name\": \"rebalanced: retired [2], migrated 3 buffers\", ",
+        "\"cat\": \"rebalanced\", \"ph\": \"i\", \"ts\": 6.000, ",
         "\"pid\": 0, \"tid\": 0, \"s\": \"g\", \"args\": {\"step\": 3}}\n",
         "]",
     );
     assert_eq!(trace.chrome_trace_json(), expected);
+    // Both additions of schema v2 — the "copy" span kind and the
+    // "rebalanced" step event — are covered by this golden file.
+    assert_eq!(TRACE_SCHEMA_VERSION, 2);
 }
 
 #[test]

@@ -28,7 +28,9 @@ mod task;
 mod viz;
 
 pub use analysis::{ideal_bubble_ratio, simulate, SimResult, TimelineEntry, UniformCost};
-pub use builders::{gpipe, interleaved_1f1b, one_f1b, zero_bubble_h1};
+pub use builders::{
+    fold_assign, gpipe, gpipe_folded, interleaved_1f1b, one_f1b, one_f1b_folded, zero_bubble_h1,
+};
 pub use schedule::{Schedule, ScheduleError};
 pub use task::{Dir, Task};
 pub use viz::{render_timeline, schedule_dot};

@@ -228,6 +228,87 @@ impl Schedule {
         Ok(())
     }
 
+    /// Folds this schedule onto fewer actors: `assign[a]` names the new
+    /// actor that takes over old actor `a`'s tasks (the
+    /// `actors < stages`-aware mode — one new actor may host several
+    /// stages, GPipe-style).
+    ///
+    /// The merged order is derived by replaying the original schedule in
+    /// dependency order and appending each executed task to its new
+    /// actor's list, so each stage's task subsequence keeps its relative
+    /// order — for chain models this preserves every gradient
+    /// accumulation order, and training on the folded schedule stays
+    /// bitwise-identical to the original topology.
+    ///
+    /// `assign` values must cover `0..k` for the new actor count `k`
+    /// (surjective onto a compact range).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if `assign` is malformed or the folded
+    /// schedule violates a schedule invariant.
+    pub fn fold(&self, assign: &[usize]) -> Result<Schedule, ScheduleError> {
+        if assign.len() != self.actors.len() {
+            return Err(ScheduleError::Invalid(format!(
+                "fold assignment has {} entries for {} actors",
+                assign.len(),
+                self.actors.len()
+            )));
+        }
+        let k = assign.iter().copied().max().map_or(0, |m| m + 1);
+        for target in 0..k {
+            if !assign.contains(&target) {
+                return Err(ScheduleError::Invalid(format!(
+                    "fold assignment skips new actor {target} (must cover 0..{k})"
+                )));
+            }
+        }
+        // Replay the original schedule in dependency order (the same walk
+        // as `check_progress`), appending to the merged lists.
+        let mut folded: Vec<Vec<Task>> = vec![Vec::new(); k];
+        let mut done: HashSet<Task> = HashSet::new();
+        let mut cursor = vec![0usize; self.actors.len()];
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for (a, tasks) in self.actors.iter().enumerate() {
+                while cursor[a] < tasks.len() {
+                    let t = tasks[cursor[a]];
+                    if t.deps(self.n_stages).iter().all(|d| done.contains(d)) {
+                        done.insert(t);
+                        folded[assign[a]].push(t);
+                        cursor[a] += 1;
+                        progressed = true;
+                    } else {
+                        break;
+                    }
+                }
+                if cursor[a] < tasks.len() {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !progressed {
+                let blocked = self
+                    .actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(a, tasks)| cursor[*a] < tasks.len())
+                    .map(|(a, tasks)| tasks[cursor[a]])
+                    .collect();
+                return Err(ScheduleError::Deadlock { blocked });
+            }
+        }
+        Schedule::new(
+            format!("{}/folded(actors={k})", self.name),
+            self.n_stages,
+            self.n_mubatches,
+            folded,
+        )
+    }
+
     /// Simulates in-order execution (each actor blocks on its next task's
     /// dependencies) and fails if execution cannot complete.
     fn check_progress(&self) -> Result<(), ScheduleError> {

@@ -14,6 +14,7 @@
 mod automark;
 mod model;
 mod program;
+mod replace;
 mod stage;
 mod stats;
 mod unroll;
@@ -25,6 +26,7 @@ pub use program::{
     ActorId, BufferId, Fetch, FetchRole, InputPlacement, InputSource, Instr, JaxprId, MpmdProgram,
     TaskLabel,
 };
+pub use replace::{replace_program, ReplaceError};
 pub use stage::{partition_stages, StageFwd, StageInput, StageOutput, StagedForward};
 pub use stats::{program_stats, ProgramStats};
 pub use unroll::{

@@ -132,6 +132,17 @@ pub enum Instr {
         /// Expected shape (checked by the runtime).
         shape: Shape,
     },
+    /// Copy `src`'s tensor into `dst` within this actor's own store — a
+    /// local move. Produced by program re-placement
+    /// ([`crate::replace_program`]) when a send/recv pair lands on one
+    /// actor after stage folding and the receive targets a different
+    /// buffer id than the wire value.
+    Copy {
+        /// Destination buffer.
+        dst: BufferId,
+        /// Source buffer (must be live).
+        src: BufferId,
+    },
     /// Delete a buffer from the object store. If the buffer has an
     /// outstanding asynchronous send, the runtime defers the deletion via
     /// its pending-deletions queue (paper §4.3).
@@ -168,6 +179,7 @@ impl fmt::Display for Instr {
             }
             Instr::Send { buf, to } => write!(f, "send {buf} -> actor {to}"),
             Instr::Recv { buf, from, .. } => write!(f, "recv {buf} <- actor {from}"),
+            Instr::Copy { dst, src } => write!(f, "copy {src} -> {dst}"),
             Instr::Free { buf } => write!(f, "free {buf}"),
         }
     }

@@ -19,6 +19,8 @@ pub struct ProgramStats {
     pub bytes: HashMap<(usize, usize), u64>,
     /// Total `Free` instructions (buffer deletions, §4.3).
     pub frees: usize,
+    /// Total `Copy` instructions (local moves from stage folding).
+    pub copies: usize,
     /// Driver dispatches per step (1 per non-empty actor, §4.4).
     pub rpcs: usize,
 }
@@ -70,6 +72,7 @@ pub fn program_stats(program: &MpmdProgram) -> ProgramStats {
                     *stats.messages.entry((*from, a)).or_insert(0) += 1;
                     *stats.bytes.entry((*from, a)).or_insert(0) += 4 * shape.numel() as u64;
                 }
+                Instr::Copy { .. } => stats.copies += 1,
                 Instr::Free { .. } => stats.frees += 1,
                 Instr::Send { .. } => {}
             }

@@ -724,6 +724,10 @@ pub fn insert_frees(program: &mut MpmdProgram) {
                 Instr::Recv { buf, .. } => {
                     defined.entry(*buf).or_insert(i);
                 }
+                Instr::Copy { dst, src } => {
+                    last_use.insert(*src, i);
+                    defined.entry(*dst).or_insert(i);
+                }
                 Instr::Free { .. } => {}
             }
         }

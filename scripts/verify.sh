@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: release build, full test suite, format
-# check, rustdoc (warnings are errors), and doc cross-reference check.
-# Run from anywhere inside the repo.
+# check, clippy (warnings are errors), rustdoc (warnings are errors),
+# and doc cross-reference check. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +13,9 @@ cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

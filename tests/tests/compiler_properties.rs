@@ -28,8 +28,8 @@ fn random_model(rng: &mut StdRng) -> RandomModel {
     RandomModel {
         layers,
         n_stages: rng.gen_range(2usize..layers + 1),
-        share_first_last: rng.next_u64() % 2 == 0,
-        skip_from_first: rng.next_u64() % 2 == 0,
+        share_first_last: rng.next_u64().is_multiple_of(2),
+        skip_from_first: rng.next_u64().is_multiple_of(2),
     }
 }
 

@@ -180,6 +180,7 @@ fn recovered_training_is_bit_identical_to_uninterrupted() {
     let policy = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
+        rebalance_after: None,
     };
 
     for step in 0..4 {

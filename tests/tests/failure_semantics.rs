@@ -42,6 +42,7 @@ fn fast_retry() -> RetryPolicy {
     RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
+        rebalance_after: None,
     }
 }
 
@@ -177,6 +178,7 @@ fn retry_exhaustion_reports_last_error() {
         let policy = RetryPolicy {
             max_retries: 1,
             backoff: Duration::ZERO,
+            rebalance_after: None,
         };
         trainer
             .runtime()

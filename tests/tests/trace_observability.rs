@@ -38,6 +38,7 @@ fn fast_retry() -> RetryPolicy {
     RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
+        rebalance_after: None,
     }
 }
 
