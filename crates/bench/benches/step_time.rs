@@ -29,7 +29,7 @@
 use std::time::{Duration, Instant};
 
 use raxpp_bench::{median, percentile, rule, workspace_root, write_json, Json};
-use raxpp_core::{compile_train_step, CompileOptions, Optimizer, Trainer};
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, TpConfig, Trainer};
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::{set_num_threads, set_reference_mode, EvalStats, Tensor};
 use raxpp_models::{mlp_chain, BuiltModel};
@@ -51,13 +51,20 @@ fn env_steps(var: &str, default: usize) -> usize {
 }
 
 fn build_trainer(model: &BuiltModel) -> Trainer {
+    build_trainer_tp(model, 1)
+}
+
+fn build_trainer_tp(model: &BuiltModel, tp: usize) -> Trainer {
     let schedule = gpipe(STAGES, N_MB).unwrap();
     let trainer = compile_train_step(
         &model.jaxpr,
         model.n_params,
         &schedule,
         Optimizer::Sgd { lr: 1e-3 },
-        CompileOptions::default(),
+        CompileOptions {
+            tp: Some(TpConfig::model_parallel(tp)),
+            ..CompileOptions::default()
+        },
     )
     .unwrap();
     trainer.init(&model.init).unwrap();
@@ -251,6 +258,33 @@ fn main() {
         trace.span_count()
     );
 
+    // Tensor-parallel variant: the same model and data, tp=2 (8 shard
+    // actors, real ring collectives). Bitwise loss parity with the tp=1
+    // trainer is the PP×TP determinism contract's acceptance gate; the
+    // wall-time ratio is recorded as `tp_speedup` (on CPU actor threads
+    // the collectives usually cost more than the halved matmuls save —
+    // the number is a contract on overhead, not a promised win).
+    let tp_trainer = build_trainer_tp(&model, 2);
+    let tp_warm = run(&tp_trainer, &data[..1]);
+    let tp = run(&tp_trainer, &data[1..]);
+    assert_eq!(
+        tp_warm.losses[0], warm.losses[0],
+        "tp=2 warmup losses diverge bitwise from tp=1"
+    );
+    for (i, (got, want)) in tp.losses.iter().zip(fast.losses.iter()).enumerate() {
+        assert_eq!(got, want, "step {i}: tp=2 losses diverge bitwise from tp=1");
+    }
+    let tp_collectives = tp_trainer.metrics().counter("tp_collectives_total");
+    assert!(tp_collectives > 0, "tp=2 run executed no collectives");
+    let tp_speedup = secs(median(&fast.walls)) / secs(median(&tp.walls));
+    println!(
+        "tp=2 (8 shard actors):       median {:>8.2?}  p95 {:>8.2?}  \
+         (bitwise parity OK, {} collectives, tp_speedup {tp_speedup:.2}x)",
+        median(&tp.walls),
+        percentile(&tp.walls, 95.0),
+        tp_collectives,
+    );
+
     let json = Json::obj(vec![
         (
             "workload",
@@ -284,6 +318,17 @@ fn main() {
             ]),
         ),
         ("speedup_median", Json::Num(speedup)),
+        (
+            "tensor_parallel",
+            Json::obj(vec![
+                ("degree", Json::Num(2.0)),
+                ("median_step_s", Json::Num(secs(median(&tp.walls)))),
+                ("p95_step_s", Json::Num(secs(percentile(&tp.walls, 95.0)))),
+                ("collectives_per_run", Json::Num(tp_collectives as f64)),
+                ("bitwise_parity", Json::Bool(true)),
+            ]),
+        ),
+        ("tp_speedup", Json::Num(tp_speedup)),
         (
             "tracing",
             Json::obj(vec![

@@ -50,6 +50,12 @@
 
 #![deny(missing_docs)]
 
+// Compile-and-run the code blocks of the parallelism guide as doctests,
+// so `docs/parallelism.md` can never drift from the API it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/parallelism.md")]
+mod doc_parallelism {}
+
 pub mod checkpoint;
 pub mod experiments;
 mod observe;
@@ -61,5 +67,5 @@ pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{
     compile_train_step, CheckpointPolicy, CompileOptions, CoreError, RemoteMesh, RetryPolicy,
-    StepResult, Trainer,
+    StepResult, TpConfig, Trainer,
 };

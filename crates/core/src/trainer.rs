@@ -14,13 +14,14 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use raxpp_ir::{IrError, Jaxpr, Shape, Tensor};
+use raxpp_mesh::{AxisRules, Mesh};
 use raxpp_runtime::{
     Metrics, RebalanceReport, Runtime, RuntimeError, StepEvent, StepStats, StepTrace,
 };
-use raxpp_sched::Schedule;
+use raxpp_sched::{Schedule, TpMap};
 use raxpp_taskgraph::{
-    check_send_recv_order, insert_frees, pipeline_model, unroll_loop, ActorId, BufferId,
-    CompileError, FetchRole, InputPlacement, InputSource, Instr, MpmdProgram, TaskLabel,
+    check_send_recv_order, insert_frees, pipeline_model, shard_program, unroll_loop, ActorId,
+    BufferId, CompileError, FetchRole, InputPlacement, InputSource, Instr, MpmdProgram, TaskLabel,
     UnrollOptions,
 };
 
@@ -70,14 +71,69 @@ impl From<IrError> for CoreError {
     }
 }
 
+/// Intra-stage tensor parallelism for [`compile_train_step`]: the mesh
+/// and axis every pipeline stage is sharded over.
+///
+/// With `degree() > 1` the compiled program is rewritten by
+/// [`raxpp_taskgraph::shard_program`]: every pipeline actor `a` expands
+/// into the rank block `a*t .. a*t+t-1`, matmul-bearing stage jaxprs are
+/// partitioned over the last weight dimension, and real ring collectives
+/// (`AllGather` / `AllReduce`) reassemble full values at stage
+/// boundaries. The decomposition is **bitwise-deterministic**: a `tp = t`
+/// run computes losses, gradients, parameters, and checkpoints that are
+/// bit-for-bit identical to the `tp = 1` run (see
+/// `docs/parallelism.md`).
+#[derive(Debug, Clone)]
+pub struct TpConfig {
+    /// The device mesh each pipeline actor's stage is sharded over.
+    pub mesh: Mesh,
+    /// Logical-axis → mesh-axis assignment (Megatron-style row/column
+    /// placement for planning with [`raxpp_mesh::plan_matmul`]).
+    pub rules: AxisRules,
+    /// Name of the mesh axis weights are sharded over.
+    pub axis: String,
+}
+
+impl TpConfig {
+    /// The canonical single-axis configuration: a 1-D `"model"` mesh of
+    /// the given degree, with the `"hidden"` logical axis mapped onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn model_parallel(degree: usize) -> TpConfig {
+        assert!(degree > 0, "tensor-parallel degree must be positive");
+        TpConfig {
+            mesh: Mesh::new(&[("model", degree)]).expect("1-D mesh is always valid"),
+            rules: AxisRules::new(&[("hidden", "model")]),
+            axis: "model".to_string(),
+        }
+    }
+
+    /// The mesh axis tensors are sharded over.
+    pub fn mesh_axis(&self) -> &str {
+        &self.axis
+    }
+
+    /// The tensor-parallel degree (size of the sharding axis; 1 when the
+    /// axis is unknown to the mesh, which [`compile_train_step`] rejects).
+    pub fn degree(&self) -> usize {
+        self.mesh.axis_size(&self.axis).unwrap_or(0)
+    }
+}
+
 /// Options for [`compile_train_step`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// Apply the loop-commuting rewrite for shared weights (§3.4).
     pub loop_commuting: bool,
     /// Also fetch the accumulated gradients every step (useful for
     /// validation; production steps fetch only losses).
     pub fetch_grads: bool,
+    /// Intra-stage tensor parallelism: shard every pipeline stage over
+    /// this mesh axis (PP×TP composition). `None` (the default) and
+    /// degree-1 meshes compile the pure-pipeline program unchanged.
+    pub tp: Option<TpConfig>,
 }
 
 impl Default for CompileOptions {
@@ -85,6 +141,7 @@ impl Default for CompileOptions {
         CompileOptions {
             loop_commuting: true,
             fetch_grads: false,
+            tp: None,
         }
     }
 }
@@ -182,6 +239,12 @@ pub struct Trainer {
     /// `step_with_recovery` — the restore point for bitwise-identical
     /// retries.
     snapshot: Mutex<Option<Vec<Tensor>>>,
+    /// Host-actor ↔ shard-actor arithmetic for the compiled
+    /// tensor-parallel degree (degree 1 = identity). `state_init` and
+    /// `param_read` stay in host-actor space; this map expands them to
+    /// rank actors at placement time and picks rank 0 at read time (all
+    /// ranks hold bitwise-identical replicas).
+    tp: TpMap,
     /// The pipeline schedule this step was compiled for — kept so
     /// [`Trainer::bubble_report`] can simulate the same schedule.
     schedule: Schedule,
@@ -234,6 +297,13 @@ fn next_buffer_id(program: &MpmdProgram) -> u32 {
                 Instr::Recv { buf, src, .. } | Instr::Copy { dst: buf, src } => {
                     bump(*buf);
                     bump(*src);
+                }
+                Instr::Collective {
+                    dst, src, wires, ..
+                } => {
+                    bump(*dst);
+                    bump(*src);
+                    wires.iter().copied().for_each(&mut bump);
                 }
             }
         }
@@ -336,6 +406,27 @@ pub fn compile_train_step(
             .fetches
             .retain(|f| !matches!(f.role, FetchRole::Grad(_)));
     }
+    // Tensor-parallel sharding: rewrite the finished host-actor program
+    // (gradient loop + optimizer + re-broadcasts) into `tp_degree`
+    // shard streams per pipeline actor. Running the pass after the
+    // optimizer append means parameter updates are replicated across
+    // ranks too, preserving the replicated-buffer invariant end to end.
+    let tp = match &opts.tp {
+        Some(cfg) => {
+            let degree = cfg.mesh.axis_size(&cfg.axis).ok_or_else(|| {
+                CoreError::BadInput(format!(
+                    "tensor-parallel axis {:?} is not an axis of the mesh",
+                    cfg.axis
+                ))
+            })?;
+            if degree > 1 {
+                *program = shard_program(program, &cfg.mesh, &cfg.axis)
+                    .map_err(|e| CoreError::BadInput(format!("tensor-parallel lowering: {e}")))?;
+            }
+            TpMap::new(degree)
+        }
+        None => TpMap::new(1),
+    };
     insert_frees(program);
     check_send_recv_order(program).map_err(|(a, b)| {
         CoreError::BadInput(format!(
@@ -363,6 +454,7 @@ pub fn compile_train_step(
         assign_total: Mutex::new((0..n_actors).collect()),
         fetch_grads: opts.fetch_grads,
         snapshot: Mutex::new(None),
+        tp,
         schedule: schedule.clone(),
         metrics: Metrics::new(),
         steps_done: AtomicU64::new(0),
@@ -386,12 +478,16 @@ impl Trainer {
             )));
         }
         self.runtime.place_params(params)?;
+        let tp = self.tp;
         let zeros: Vec<(usize, BufferId, Tensor)> = self
             .state_init
             .lock()
             .unwrap()
             .iter()
-            .map(|(a, b, s)| (*a, *b, Tensor::zeros(s.clone())))
+            .flat_map(|(a, b, s)| {
+                let z = Tensor::zeros(s.clone());
+                (0..tp.degree()).map(move |r| (tp.shard_actor(*a, r), *b, z.clone()))
+            })
             .collect();
         self.runtime.place_buffers(&zeros)?;
         *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
@@ -419,7 +515,7 @@ impl Trainer {
     fn capture_state(&self) -> Result<Vec<Tensor>, CoreError> {
         let mut tensors = self.params()?;
         for &(a, b, _) in self.state_init.lock().unwrap().iter() {
-            tensors.push(self.runtime.read_buffer(a, b)?);
+            tensors.push(self.runtime.read_buffer(self.tp.shard_actor(a, 0), b)?);
         }
         Ok(tensors)
     }
@@ -429,13 +525,16 @@ impl Trainer {
     fn restore_state(&self, tensors: &[Tensor]) -> Result<(), CoreError> {
         let (params, states) = tensors.split_at(self.n_params);
         self.runtime.place_params(params)?;
+        let tp = self.tp;
         let items: Vec<(usize, BufferId, Tensor)> = self
             .state_init
             .lock()
             .unwrap()
             .iter()
             .zip(states)
-            .map(|(&(a, b, _), t)| (a, b, t.clone()))
+            .flat_map(|(&(a, b, _), t)| {
+                (0..tp.degree()).map(move |r| (tp.shard_actor(a, r), b, t.clone()))
+            })
             .collect();
         self.runtime.place_buffers(&items)?;
         Ok(())
@@ -474,7 +573,21 @@ impl Trainer {
             self.metrics
                 .set_gauge("alloc_reuse_rate", alloc.reused as f64 / touched as f64);
         }
-        if let Some(trace) = &out.trace {
+        if self.tp.degree() > 1 {
+            let collectives: u64 = out
+                .stats
+                .profiles
+                .iter()
+                .filter_map(|p| p.get("collective"))
+                .map(|(_, count)| count as u64)
+                .sum();
+            self.metrics.inc("tp_collectives_total", collectives);
+            let reduced: u64 = out.stats.profiles.iter().map(|p| p.bytes_reduced()).sum();
+            self.metrics.inc("tp_bytes_reduced", reduced);
+        } else if let Some(trace) = &out.trace {
+            // Bubble accounting maps trace actors 1:1 onto pipeline
+            // ranks; under tensor parallelism each rank owns `t` actor
+            // timelines, so the report is only computed for pure PP.
             let report = crate::observe::bubble_report(trace, &self.schedule);
             self.metrics
                 .set_gauge("bubble_fraction_measured", report.measured_bubble);
@@ -575,6 +688,11 @@ impl Trainer {
         policy: RetryPolicy,
         deaths: &mut HashMap<usize, u32>,
     ) -> Result<Option<RebalanceReport>, CoreError> {
+        if self.tp.degree() > 1 {
+            // Folding a shard actor away would break its collective
+            // group; TP fleets recover by respawn only.
+            return Ok(None);
+        }
         let (RuntimeError::ActorDied { actor }, Some(after)) = (e, policy.rebalance_after) else {
             return Ok(None);
         };
@@ -617,8 +735,19 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns [`CoreError::Runtime`] when no survivor remains or the
-    /// program cannot be re-placed (the fleet is left as it was).
+    /// program cannot be re-placed (the fleet is left as it was), and
+    /// [`CoreError::BadInput`] under tensor parallelism (folding a shard
+    /// actor away would break its collective group — TP fleets recover
+    /// by respawn only).
     pub fn rebalance(&self, dead: &[usize]) -> Result<RebalanceReport, CoreError> {
+        if self.tp.degree() > 1 {
+            return Err(CoreError::BadInput(
+                "rebalance is not supported under tensor parallelism: \
+                 folding a shard actor away would break its collective group \
+                 (recover by respawn instead)"
+                    .into(),
+            ));
+        }
         let report = self.runtime.rebalance(dead)?;
         // Respawn any survivor that died in the same incident before
         // re-placing state on the fleet.
@@ -841,13 +970,23 @@ impl Trainer {
             .lock()
             .unwrap()
             .iter()
-            .map(|&(a, b)| self.runtime.read_buffer(a, b).map_err(CoreError::from))
+            .map(|&(a, b)| {
+                self.runtime
+                    .read_buffer(self.tp.shard_actor(a, 0), b)
+                    .map_err(CoreError::from)
+            })
             .collect()
     }
 
     /// Number of microbatches per step.
     pub fn n_mubatches(&self) -> usize {
         self.n_mubatches
+    }
+
+    /// The compiled tensor-parallel degree (1 for pure pipeline
+    /// parallelism).
+    pub fn tp_degree(&self) -> usize {
+        self.tp.degree()
     }
 
     /// Shapes of the model parameters.

@@ -348,6 +348,27 @@ fn emit_vjp(
             accumulate(b, ct, inputs[0], da)?;
         }
         Prim::Fill { .. } => {}
+        Prim::SliceLast { start, .. } => {
+            // Scatter the block's cotangent back into a zero-filled
+            // full-width tensor.
+            let in_shape = jaxpr.shape(inputs[0]);
+            let full = in_shape.dim(in_shape.rank() - 1);
+            let da = b.emit(
+                Prim::PadLast {
+                    start,
+                    full,
+                    value: 0.0,
+                },
+                &[g],
+            )?;
+            accumulate(b, ct, inputs[0], da)?;
+        }
+        Prim::PadLast { start, .. } => {
+            let in_shape = jaxpr.shape(inputs[0]);
+            let len = in_shape.dim(in_shape.rank() - 1);
+            let da = b.emit(Prim::SliceLast { start, len }, &[g])?;
+            accumulate(b, ct, inputs[0], da)?;
+        }
         Prim::PipelineYield { id, .. } => {
             // The backward of a stage boundary is a stage boundary of the
             // reverse pass (paper §3: autodiff produces the backward

@@ -104,6 +104,11 @@ pub fn eval_prim(prim: &Prim, inputs: &[&Tensor]) -> Result<Tensor> {
         Prim::Broadcast { shape } => inputs[0].broadcast_to(shape.clone()),
         Prim::Reshape { shape } => inputs[0].reshape(shape.clone()),
         Prim::Fill { value, shape } => Ok(Tensor::full(shape.clone(), *value)),
+        Prim::SliceLast { start, len } => {
+            let r = inputs[0].shape().rank().max(1);
+            inputs[0].slice_dim(r - 1, *start, *len)
+        }
+        Prim::PadLast { start, full, value } => inputs[0].pad_last(*start, *full, *value),
         // Yields are pure identity markers at run time.
         Prim::PipelineYield { .. } => Ok(inputs[0].clone()),
     }

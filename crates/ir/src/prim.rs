@@ -102,6 +102,26 @@ pub enum Prim {
         /// Output shape.
         shape: Shape,
     },
+    /// Slice a contiguous block along the last axis (tensor-parallel
+    /// shard extraction).
+    SliceLast {
+        /// First element of the block along the last axis.
+        start: usize,
+        /// Block length along the last axis.
+        len: usize,
+    },
+    /// Embed a tensor as a block along the last axis of a larger output
+    /// filled with `value` (tensor-parallel shard re-assembly; padding
+    /// with `-0.0` keeps a subsequent exact all-reduce bitwise-neutral,
+    /// since `x + (-0.0) == x` bitwise for every `x`).
+    PadLast {
+        /// Offset of the block along the last axis of the output.
+        start: usize,
+        /// Size of the output's last axis.
+        full: usize,
+        /// Fill value outside the block.
+        value: f32,
+    },
     /// Identity marker closing the current pipeline stage (paper §3.2).
     ///
     /// `id` records trace order; `backward` distinguishes markers emitted
@@ -152,6 +172,8 @@ impl Prim {
             Prim::Broadcast { .. } => "broadcast",
             Prim::Reshape { .. } => "reshape",
             Prim::Fill { .. } => "fill",
+            Prim::SliceLast { .. } => "slice_last",
+            Prim::PadLast { .. } => "pad_last",
             Prim::PipelineYield { .. } => "pipeline_yield",
         }
     }
@@ -221,6 +243,44 @@ impl Prim {
                 Ok(shape.clone())
             }
             Prim::Fill { shape, .. } => Ok(shape.clone()),
+            Prim::SliceLast { start, len } => {
+                let r = inputs[0].rank();
+                if r == 0 {
+                    return Err(IrError::RankMismatch {
+                        context: "slice_last".into(),
+                        expected: 1,
+                        found: 0,
+                    });
+                }
+                let last = inputs[0].dim(r - 1);
+                if start + len > last {
+                    return Err(IrError::Invalid(format!(
+                        "slice_last[{start}, {len}] out of bounds for last dim {last}"
+                    )));
+                }
+                let mut dims = inputs[0].dims().to_vec();
+                dims[r - 1] = *len;
+                Ok(Shape::new(dims))
+            }
+            Prim::PadLast { start, full, .. } => {
+                let r = inputs[0].rank();
+                if r == 0 {
+                    return Err(IrError::RankMismatch {
+                        context: "pad_last".into(),
+                        expected: 1,
+                        found: 0,
+                    });
+                }
+                let last = inputs[0].dim(r - 1);
+                if start + last > *full {
+                    return Err(IrError::Invalid(format!(
+                        "pad_last[{start}, {full}] cannot hold a block of {last}"
+                    )));
+                }
+                let mut dims = inputs[0].dims().to_vec();
+                dims[r - 1] = *full;
+                Ok(Shape::new(dims))
+            }
         }
     }
 
@@ -270,6 +330,10 @@ impl fmt::Display for Prim {
             Prim::Broadcast { shape } => write!(f, "broadcast[{shape}]"),
             Prim::Reshape { shape } => write!(f, "reshape[{shape}]"),
             Prim::Fill { value, shape } => write!(f, "fill[{value}, {shape}]"),
+            Prim::SliceLast { start, len } => write!(f, "slice_last[{start}, {len}]"),
+            Prim::PadLast { start, full, value } => {
+                write!(f, "pad_last[{start}, {full}, {value}]")
+            }
             Prim::PipelineYield { id, backward } => {
                 write!(
                     f,

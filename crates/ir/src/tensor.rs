@@ -472,6 +472,138 @@ impl Tensor {
         }
     }
 
+    /// Concatenates same-rank tensors along `dim`.
+    ///
+    /// All dimensions other than `dim` must match across operands. The
+    /// result is a pure byte reordering of the operands' blocks — no
+    /// arithmetic is performed — so gathering tensor-parallel shards and
+    /// concatenating them is bitwise-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] for an empty operand list or
+    /// mismatched ranks/dimensions, [`IrError::AxisOutOfRange`] when
+    /// `dim` exceeds the rank.
+    pub fn concat(parts: &[&Tensor], dim: usize) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| IrError::Invalid("concat requires at least one operand".into()))?;
+        let rank = first.shape.rank();
+        if dim >= rank {
+            return Err(IrError::AxisOutOfRange {
+                context: "concat".into(),
+                axis: dim,
+                rank,
+            });
+        }
+        let mut cat_dim = 0;
+        for p in parts {
+            if p.shape.rank() != rank {
+                return Err(IrError::Invalid(format!(
+                    "concat rank mismatch: {} vs {}",
+                    first.shape, p.shape
+                )));
+            }
+            for d in 0..rank {
+                if d != dim && p.shape.dim(d) != first.shape.dim(d) {
+                    return Err(IrError::Invalid(format!(
+                        "concat dim {d} mismatch: {} vs {}",
+                        first.shape, p.shape
+                    )));
+                }
+            }
+            cat_dim += p.shape.dim(dim);
+        }
+        let mut dims = first.shape.dims().to_vec();
+        dims[dim] = cat_dim;
+        let out_shape = Shape::new(dims);
+        let outer: usize = first.shape.dims()[..dim].iter().product();
+        let mut out = Vec::with_capacity(out_shape.numel());
+        for o in 0..outer {
+            for p in parts {
+                let block = p.numel() / outer.max(1);
+                out.extend_from_slice(&p.data[o * block..(o + 1) * block]);
+            }
+        }
+        Ok(Tensor::from_parts(out_shape, out))
+    }
+
+    /// The contiguous block `[start, start + len)` along dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::AxisOutOfRange`] when `dim` exceeds the rank,
+    /// [`IrError::Invalid`] when the block exceeds the dimension.
+    pub fn slice_dim(&self, dim: usize, start: usize, len: usize) -> Result<Tensor> {
+        let rank = self.shape.rank();
+        if dim >= rank {
+            return Err(IrError::AxisOutOfRange {
+                context: "slice".into(),
+                axis: dim,
+                rank,
+            });
+        }
+        let mid = self.shape.dim(dim);
+        if start + len > mid {
+            return Err(IrError::Invalid(format!(
+                "slice [{start}, {}) out of bounds for dim {dim} of {}",
+                start + len,
+                self.shape
+            )));
+        }
+        let inner: usize = self.shape.dims()[dim + 1..].iter().product();
+        let outer: usize = self.shape.dims()[..dim].iter().product();
+        let mut dims = self.shape.dims().to_vec();
+        dims[dim] = len;
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let row = (o * mid + start) * inner;
+            out.extend_from_slice(&self.data[row..row + len * inner]);
+        }
+        Ok(Tensor::from_parts(Shape::new(dims), out))
+    }
+
+    /// Embeds this tensor as the block starting at `start` along the last
+    /// axis of an output whose last axis has size `full`, filling the
+    /// remainder with `value`.
+    ///
+    /// Padding with `-0.0` makes a subsequent exact elementwise sum of
+    /// disjointly-padded shards bitwise-identical to concatenation
+    /// (`x + (-0.0) == x` bitwise for every `x`, including `x == -0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::RankMismatch`] for scalars and
+    /// [`IrError::Invalid`] when the block does not fit.
+    pub fn pad_last(&self, start: usize, full: usize, value: f32) -> Result<Tensor> {
+        let rank = self.shape.rank();
+        if rank == 0 {
+            return Err(IrError::RankMismatch {
+                context: "pad_last".into(),
+                expected: 1,
+                found: 0,
+            });
+        }
+        let last = self.shape.dim(rank - 1);
+        if start + last > full {
+            return Err(IrError::Invalid(format!(
+                "pad_last block [{start}, {}) does not fit in {full}",
+                start + last
+            )));
+        }
+        let rows = self.numel() / last.max(1);
+        let mut dims = self.shape.dims().to_vec();
+        dims[rank - 1] = full;
+        let mut out = vec![value; rows * full];
+        if last > 0 {
+            for r in 0..rows {
+                out[r * full + start..r * full + start + last]
+                    .copy_from_slice(&self.data[r * last..(r + 1) * last]);
+            }
+        }
+        Ok(Tensor::from_parts(Shape::new(dims), out))
+    }
+
     /// Maximum absolute difference with `other`, or `None` if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
         if self.shape != other.shape {

@@ -1,13 +1,30 @@
-//! `raxpp-mesh` — device meshes, named-axis sharding, and collective cost
-//! models: the GSPMD-shaped substrate under RaxPP (paper §2.1).
+//! `raxpp-mesh` — device meshes, named-axis sharding, and collective
+//! planning/cost models: the GSPMD-shaped substrate under RaxPP (paper
+//! §2.1).
 //!
-//! The crate models the SPMD half of the paper's system: arrays carry
-//! [`LogicalAxes`] names, a partitioning specification ([`AxisRules`])
-//! maps them to mesh axes, and the resulting [`PartitionSpec`]s determine
-//! per-device shapes plus the collectives an SPMD partitioner must insert
-//! ([`plan_matmul`]). Collective and point-to-point timing
-//! ([`collective_time`], [`LinkSpec`]) feed the `raxpp-simcluster`
-//! performance model.
+//! The crate is the *planning* half of RaxPP's tensor parallelism, and
+//! it feeds two consumers:
+//!
+//! * **The executable path.** A [`Mesh`] plus a sharding axis drives
+//!   `raxpp-taskgraph`'s `shard_program`, which lowers every pipeline
+//!   stage into per-rank shard streams whose collectives are **really
+//!   executed** as ring exchanges by the MPMD runtime — bitwise
+//!   identical to the unsharded run (the PP×TP composition;
+//!   `docs/parallelism.md`). [`AxisRules`] name the logical → mesh axis
+//!   assignment a [`raxpp_core::TpConfig`]-style caller uses.
+//! * **The performance path.** [`plan_matmul`] decides, per matmul,
+//!   the output sharding and the collectives an SPMD partitioner must
+//!   insert; [`collective_time`] / [`plan_comm_time`] price them over a
+//!   [`LinkSpec`], feeding the `raxpp-simcluster` cluster model (plus
+//!   [`propagate_sharding`] for whole-graph planning and
+//!   [`MoeLayerConfig`] for expert parallelism).
+//!
+//! The building blocks: arrays carry [`LogicalAxes`] names,
+//! [`AxisRules`] map them to mesh axes, and the resulting
+//! [`PartitionSpec`]s determine per-device local shapes
+//! ([`PartitionSpec::local_shape`]) and shard counts.
+//!
+//! [`raxpp_core::TpConfig`]: ../raxpp_core/struct.TpConfig.html
 //!
 //! # Example: Megatron row-parallel linear needs one all-reduce
 //!
@@ -21,8 +38,12 @@
 //! assert_eq!(plan.collectives[0].kind, Collective::AllReduce);
 //! # Ok::<(), raxpp_mesh::MeshError>(())
 //! ```
+//!
+//! The column-parallel/row-parallel pair — and how the executable
+//! lowering realizes the same decomposition with real collectives — is
+//! worked through in `docs/parallelism.md`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod collective;
 mod expert;

@@ -199,6 +199,7 @@ impl std::fmt::Debug for ActorLink {
 pub struct ActorProfile {
     entries: HashMap<&'static str, (Duration, u32)>,
     alloc: EvalStats,
+    bytes_reduced: u64,
 }
 
 impl ActorProfile {
@@ -222,6 +223,15 @@ impl ActorProfile {
     /// over this step's `Run` instructions.
     pub fn alloc_stats(&self) -> &EvalStats {
         &self.alloc
+    }
+
+    /// Bytes combined by tensor-parallel reduce collectives (all-reduce
+    /// and reduce-scatter) on this actor this step: `(t-1) × 4 × numel`
+    /// per collective, the wire volume of its ring exchange. All-gathers
+    /// move blocks but reduce nothing, so they do not count here (their
+    /// invocations still appear under the `"collective"` profile kind).
+    pub fn bytes_reduced(&self) -> u64 {
+        self.bytes_reduced
     }
 }
 
@@ -1815,6 +1825,113 @@ fn execute_stream(
                     span_name = format!("free {buf}");
                 }
             }
+            Instr::Collective {
+                kind,
+                dst,
+                src,
+                group,
+                wires,
+                dim,
+            } => {
+                // Ring exchange over the ordinary message fabric: t-1
+                // rounds in which rank i forwards the contribution that
+                // originated at rank (i - round) mod t to rank i+1 and
+                // receives origin (i - round - 1) mod t from rank i-1.
+                // Messages travel under the originator's wire id, so the
+                // §4.2 per-pair FIFO matching-order discipline holds
+                // across back-to-back collectives, and every message is
+                // epoch-tagged like any other send, so aborts and stale
+                // drains work unchanged.
+                let t = group.len();
+                let rank = group.iter().position(|&g| g == me).ok_or_else(|| {
+                    StreamFailure::Error(format!("actor {me} not in collective group {group:?}"))
+                })?;
+                let own = st.store.get(*src).cloned().ok_or_else(|| {
+                    StreamFailure::Error(format!("collective of missing buffer {src}"))
+                })?;
+                let contrib_shape = own.shape().clone();
+                let mut parts: Vec<Option<Tensor>> = vec![None; t];
+                parts[rank] = Some(own);
+                let next = group[(rank + 1) % t];
+                let prev = group[(rank + t - 1) % t];
+                let mut ring_bytes = 0u64;
+                for round in 0..t - 1 {
+                    let send_origin = (rank + t - round) % t;
+                    let outgoing = parts[send_origin]
+                        .clone()
+                        .expect("ring invariant: contribution present");
+                    st.tx_row[next]
+                        .send(Msg {
+                            from: me,
+                            epoch,
+                            payload: Payload::Data(wires[send_origin], outgoing, SendToken::new()),
+                        })
+                        .map_err(|_| StreamFailure::Aborted {
+                            by: next,
+                            reason: format!("actor {next} hung up"),
+                        })?;
+                    let recv_origin = (rank + t - round - 1) % t;
+                    let (id, incoming, token) = st
+                        .mailbox
+                        .recv_from(prev, epoch)
+                        .map_err(|(by, reason)| StreamFailure::Aborted { by, reason })?;
+                    if id != wires[recv_origin] {
+                        return Err(StreamFailure::Error(format!(
+                            "collective ring out of order: expected {}, got {id}",
+                            wires[recv_origin]
+                        )));
+                    }
+                    if incoming.shape() != &contrib_shape {
+                        return Err(StreamFailure::Error(format!(
+                            "collective contribution shape mismatch: {} vs {contrib_shape}",
+                            incoming.shape()
+                        )));
+                    }
+                    token.complete();
+                    ring_bytes += 4 * incoming.numel() as u64;
+                    parts[recv_origin] = Some(incoming);
+                }
+                // Local combine, identical on every rank: rank-ascending
+                // concatenation or left-fold sum — no rank-dependent
+                // association, so results are bitwise-identical across
+                // ranks and to the unsharded program.
+                let parts: Vec<Tensor> = parts.into_iter().map(Option::unwrap).collect();
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                use raxpp_taskgraph::CollectiveKind;
+                let combined = match kind {
+                    CollectiveKind::AllGather => Tensor::concat(&refs, *dim),
+                    CollectiveKind::AllReduce | CollectiveKind::ReduceScatter => {
+                        let mut acc = parts[0].clone();
+                        let mut err = None;
+                        for p in &parts[1..] {
+                            match acc.zip(p, |a, b| a + b) {
+                                Ok(s) => acc = s,
+                                Err(e) => {
+                                    err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        match err {
+                            Some(e) => Err(e),
+                            None if matches!(kind, CollectiveKind::ReduceScatter) => {
+                                let blk = acc.shape().dim(*dim) / t;
+                                acc.slice_dim(*dim, rank * blk, blk)
+                            }
+                            None => Ok(acc),
+                        }
+                    }
+                }
+                .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?;
+                if !matches!(kind, CollectiveKind::AllGather) {
+                    profile.bytes_reduced += (t as u64 - 1) * 4 * contrib_shape.numel() as u64;
+                }
+                if traced {
+                    span_name = format!("{kind} {dst} (rank {rank}/{t})");
+                    span_bytes = ring_bytes;
+                }
+                st.store.insert(*dst, combined);
+            }
         }
         let kind = match instr {
             Instr::Run { label, .. } => label_kind(label),
@@ -1822,6 +1939,7 @@ fn execute_stream(
             Instr::Recv { .. } => "recv",
             Instr::Copy { .. } => "copy",
             Instr::Free { .. } => "free",
+            Instr::Collective { .. } => "collective",
         };
         let dur = t0.elapsed();
         profile.record(kind, dur);

@@ -40,7 +40,11 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 ///   actor) and the `"rebalanced"` step-event kind (emitted by
 ///   `Trainer` when elastic degraded-mode rebalancing folds lost
 ///   actors' stages onto survivors).
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// - **3** — adds the `"collective"` span kind (one tensor-parallel
+///   ring collective — all-gather, all-reduce, or reduce-scatter —
+///   executed by one rank; `bytes` carries the rank's ring-received
+///   wire volume).
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.
@@ -55,8 +59,8 @@ pub struct SpanEvent {
     pub instr: u32,
     /// Instruction kind: one of `"fwd"`, `"bwd"`, `"bwdw"`,
     /// `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`,
-    /// `"send"`, `"recv"`, `"copy"`, `"free"`, or `"op"` for
-    /// interpreter sub-spans.
+    /// `"send"`, `"recv"`, `"copy"`, `"collective"`, `"free"`, or
+    /// `"op"` for interpreter sub-spans.
     pub kind: &'static str,
     /// Human-readable name: the task label rendering (`fwd(mb=0, s=1)`),
     /// a transport description (`send b12 -> actor 1`), or the primitive
@@ -66,8 +70,9 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
-    /// Payload bytes for `send`/`recv` spans (4 bytes per f32 element);
-    /// 0 otherwise.
+    /// Payload bytes for `send`/`recv` spans and ring-received wire
+    /// bytes for `collective` spans (4 bytes per f32 element); 0
+    /// otherwise.
     pub bytes: u64,
     /// Buffer-allocator counters for `Run` spans; `None` otherwise.
     pub alloc: Option<EvalStats>,

@@ -25,6 +25,7 @@ mod analysis;
 mod builders;
 mod schedule;
 mod task;
+mod tp;
 mod viz;
 
 pub use analysis::{ideal_bubble_ratio, simulate, SimResult, TimelineEntry, UniformCost};
@@ -33,4 +34,5 @@ pub use builders::{
 };
 pub use schedule::{Schedule, ScheduleError};
 pub use task::{Dir, Task};
+pub use tp::TpMap;
 pub use viz::{render_timeline, schedule_dot};

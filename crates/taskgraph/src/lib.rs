@@ -5,16 +5,19 @@
 //! Pipeline: trace a model with `pipeline_yield` markers (`raxpp-ir`) →
 //! [`partition_stages`] (§3.2-3.3) → [`pipeline_model`] (per-stage
 //! autodiff) → [`unroll_loop`] over a `raxpp-sched` schedule (§4.2) →
-//! [`insert_frees`] (§4.3). The result is one fused instruction stream
-//! per actor ([`MpmdProgram`], §4.4) ready for the `raxpp-runtime`
-//! driver.
+//! optional [`shard_program`] (intra-stage tensor parallelism, lowering
+//! each host actor into `tp` rank actors linked by
+//! [`Instr::Collective`]) → [`insert_frees`] (§4.3). The result is one
+//! fused instruction stream per actor ([`MpmdProgram`], §4.4) ready for
+//! the `raxpp-runtime` driver.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod automark;
 mod model;
 mod program;
 mod replace;
+mod shard;
 mod stage;
 mod stats;
 mod unroll;
@@ -23,10 +26,11 @@ mod verify;
 pub use automark::auto_mark_stages;
 pub use model::{pipeline_model, BwdOut, PipelinedModel};
 pub use program::{
-    ActorId, BufferId, Fetch, FetchRole, InputPlacement, InputSource, Instr, JaxprId, MpmdProgram,
-    TaskLabel,
+    ActorId, BufferId, CollectiveKind, Fetch, FetchRole, InputPlacement, InputSource, Instr,
+    JaxprId, MpmdProgram, TaskLabel,
 };
 pub use replace::{replace_program, ReplaceError};
+pub use shard::{shard_program, ShardError};
 pub use stage::{partition_stages, StageFwd, StageInput, StageOutput, StagedForward};
 pub use stats::{program_stats, ProgramStats};
 pub use unroll::{

@@ -90,6 +90,40 @@ impl fmt::Display for TaskLabel {
     }
 }
 
+/// Which collective a [`Instr::Collective`] performs across its
+/// tensor-parallel group.
+///
+/// Every kind is *exact* under the bitwise-determinism contract: the
+/// runtime first ring-gathers all ranks' contributions, then combines
+/// them locally in rank-ascending order with the same scalar kernels on
+/// every rank — concatenation for [`CollectiveKind::AllGather`], a
+/// left-fold elementwise sum for [`CollectiveKind::AllReduce`], the same
+/// fold followed by taking the caller's own block for
+/// [`CollectiveKind::ReduceScatter`]. No rank-dependent association, no
+/// FMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Concatenate all ranks' blocks along `dim`; every rank ends with
+    /// the full tensor.
+    AllGather,
+    /// Elementwise rank-ascending sum of all ranks' contributions; every
+    /// rank ends with the identical sum.
+    AllReduce,
+    /// Elementwise rank-ascending sum, after which each rank keeps only
+    /// its own equal block along `dim`.
+    ReduceScatter,
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveKind::AllGather => write!(f, "all_gather"),
+            CollectiveKind::AllReduce => write!(f, "all_reduce"),
+            CollectiveKind::ReduceScatter => write!(f, "reduce_scatter"),
+        }
+    }
+}
+
 /// One instruction of an actor's fused stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
@@ -150,6 +184,32 @@ pub enum Instr {
         /// Buffer to delete.
         buf: BufferId,
     },
+    /// Execute one collective across a tensor-parallel group: contribute
+    /// `src`, ring-exchange contributions with the other members of
+    /// `group` over the ordinary actor message fabric, combine them in
+    /// rank-ascending order, and store the result in `dst`.
+    ///
+    /// `group` lists the participating actors in rank-ascending order and
+    /// contains the executing actor. `wires[r]` is the buffer id rank
+    /// `r`'s contribution travels under on the wire (each rank's `src`
+    /// *is* `wires[its own rank]`), which keeps the §4.2 per-pair FIFO
+    /// matching-order discipline intact across back-to-back collectives.
+    Collective {
+        /// Which collective to perform.
+        kind: CollectiveKind,
+        /// Result buffer.
+        dst: BufferId,
+        /// This actor's contribution (equals `wires[own rank]`).
+        src: BufferId,
+        /// Participating actors, rank-ascending, including this one.
+        group: Vec<ActorId>,
+        /// Wire buffer ids per rank (`wires.len() == group.len()`).
+        wires: Vec<BufferId>,
+        /// Axis along which [`CollectiveKind::AllGather`] concatenates
+        /// and [`CollectiveKind::ReduceScatter`] splits (ignored by
+        /// [`CollectiveKind::AllReduce`]).
+        dim: usize,
+    },
 }
 
 impl fmt::Display for Instr {
@@ -181,6 +241,13 @@ impl fmt::Display for Instr {
             Instr::Recv { buf, from, .. } => write!(f, "recv {buf} <- actor {from}"),
             Instr::Copy { dst, src } => write!(f, "copy {src} -> {dst}"),
             Instr::Free { buf } => write!(f, "free {buf}"),
+            Instr::Collective {
+                kind,
+                dst,
+                src,
+                group,
+                ..
+            } => write!(f, "{kind} {src} -> {dst} (group {group:?})"),
         }
     }
 }

@@ -57,6 +57,11 @@ pub enum ReplaceError {
         /// The buffer.
         buf: BufferId,
     },
+    /// The program contains an instruction re-placement does not support
+    /// (tensor-parallel collectives: folding ranks of a group onto one
+    /// actor would break the ring exchange and the per-rank reduction
+    /// order).
+    Unsupported(String),
 }
 
 impl fmt::Display for ReplaceError {
@@ -74,6 +79,7 @@ impl fmt::Display for ReplaceError {
                 f,
                 "actor {actor}: {buf} overwritten while a co-located receive still owes its value"
             ),
+            ReplaceError::Unsupported(msg) => write!(f, "cannot re-place program: {msg}"),
         }
     }
 }
@@ -341,6 +347,13 @@ fn simulate(
                             out[h].push(instr.clone());
                             true
                         }
+                    }
+                    Instr::Collective { .. } => {
+                        return Err(ReplaceError::Unsupported(
+                            "program contains tensor-parallel collectives; \
+                             elastic rebalancing requires tp degree 1"
+                                .into(),
+                        ));
                     }
                     Instr::Free { .. } => unreachable!("frees are stripped before replay"),
                 };

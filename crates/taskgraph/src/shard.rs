@@ -1,0 +1,702 @@
+//! Tensor-parallel shard lowering: expanding each host actor of a fused
+//! MPMD program into `tp` rank actors whose streams are linked by
+//! [`Instr::Collective`] instructions (paper §2.1 composed with §4).
+//!
+//! The pass keeps a strong *replicated-buffer invariant*: every buffer
+//! visible at the program level (placements, sends, fetches, parameter
+//! and optimizer-state buffers) holds bitwise-identical values on all
+//! `tp` ranks of a host. Sharding exists only *inside* a `Run`'s jaxpr:
+//! a mini-partitioner marks intermediate variables as block-sharded
+//! along their last axis, per-rank jaxpr variants compute just their own
+//! block, and every sharded jaxpr *output* is reassembled right after
+//! the `Run` by a collective:
+//!
+//! - forward outputs are emitted as blocks and concatenated with
+//!   [`CollectiveKind::AllGather`] (concatenation is exact);
+//! - backward / weight-gradient outputs are padded to full size with
+//!   `-0.0` ([`raxpp_ir::Prim::PadLast`]) and summed with
+//!   [`CollectiveKind::AllReduce`] — because `x + (-0.0) == x` bitwise
+//!   for every `x`, the rank-ascending sum of disjoint-support padded
+//!   blocks is bitwise-identical to the unsharded tensor.
+//!
+//! Together with full-contraction block matmuls (each output element is
+//! computed by exactly one rank with the same scalar program as the
+//! unsharded run) this makes `tp > 1` executions bitwise-identical to
+//! `tp = 1`, which is the contract `docs/parallelism.md` documents and
+//! `tests/tensor_parallel.rs` enforces.
+
+use std::collections::HashMap;
+
+use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, VarId};
+use raxpp_mesh::{Mesh, MeshError};
+
+use crate::program::{
+    ActorId, BufferId, CollectiveKind, Fetch, InputPlacement, Instr, JaxprId, MpmdProgram,
+    TaskLabel,
+};
+
+/// Error raised by [`shard_program`].
+#[derive(Debug)]
+pub enum ShardError {
+    /// The tensor-parallel mesh axis is unknown.
+    BadAxis(String),
+    /// The input program already contains collectives (double sharding).
+    AlreadySharded,
+    /// Building a per-rank jaxpr variant failed (a partitioner bug).
+    Ir(IrError),
+    /// A mesh query failed.
+    Mesh(MeshError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::BadAxis(msg) => write!(f, "bad tensor-parallel axis: {msg}"),
+            ShardError::AlreadySharded => {
+                write!(
+                    f,
+                    "program already contains collectives; cannot shard twice"
+                )
+            }
+            ShardError::Ir(e) => write!(f, "shard codegen failed: {e}"),
+            ShardError::Mesh(e) => write!(f, "mesh error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<IrError> for ShardError {
+    fn from(e: IrError) -> Self {
+        ShardError::Ir(e)
+    }
+}
+
+impl From<MeshError> for ShardError {
+    fn from(e: MeshError) -> Self {
+        ShardError::Mesh(e)
+    }
+}
+
+/// Per-variable partitioning decided by the mini-partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Part {
+    /// Replicated: every rank holds the full tensor.
+    Full,
+    /// Block-sharded along the last axis into `tp` equal blocks; rank
+    /// `r` holds block `r`.
+    Sharded,
+}
+
+/// How sharded outputs of a jaxpr are reassembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Output the local block; reassemble by all-gather (forward tasks).
+    Gather,
+    /// Output the `-0.0`-padded full tensor; reassemble by all-reduce
+    /// (backward and gradient tasks).
+    Reduce,
+}
+
+/// Reassembly required for one jaxpr outvar: `None` for replicated
+/// outputs, otherwise the collective kind and concat/split axis.
+type OutSpec = Option<(CollectiveKind, usize)>;
+
+/// One jaxpr after sharding: either shared verbatim by all ranks (no
+/// shardable computation found) or one variant per rank.
+enum Lowered {
+    Shared(JaxprId),
+    PerRank {
+        variants: Vec<JaxprId>,
+        outs: Vec<OutSpec>,
+    },
+}
+
+fn is_elementwise_unary(p: &Prim) -> bool {
+    matches!(
+        p,
+        Prim::Neg
+            | Prim::Scale(_)
+            | Prim::AddScalar(_)
+            | Prim::Relu
+            | Prim::Gelu
+            | Prim::Tanh
+            | Prim::Exp
+            | Prim::Log
+            | Prim::Sqrt
+            | Prim::Rsqrt
+            | Prim::Step
+            | Prim::GeluGrad
+            | Prim::PipelineYield { .. }
+    )
+}
+
+fn is_elementwise_binary(p: &Prim) -> bool {
+    matches!(p, Prim::Add | Prim::Sub | Prim::Mul | Prim::Div)
+}
+
+/// Decides a last-axis block partitioning for every variable of `j`.
+///
+/// Sharding is introduced only by 2-D matmuls whose rhs last dimension
+/// divides by `t` (the output element then depends on a *full*
+/// contraction, so block results are bitwise-identical to the unsharded
+/// ones) and propagated through elementwise primitives. Any variable
+/// consumed by a primitive that cannot operate blockwise is *poisoned*
+/// back to `Full` and the analysis re-runs to a fixed point — there are
+/// never mid-graph gathers, so one fused `Run` stays one fused `Run`.
+fn analyze(j: &Jaxpr, t: usize) -> Vec<Part> {
+    let nv = j.num_vars();
+    let mut forced = vec![false; nv];
+    loop {
+        let mut part = vec![Part::Full; nv];
+        let mut poison: Vec<VarId> = Vec::new();
+        for eqn in j.eqns() {
+            let out_forced = forced[eqn.output.index()];
+            let poison_sharded_inputs = |poison: &mut Vec<VarId>| {
+                for &i in &eqn.inputs {
+                    if part[i.index()] == Part::Sharded {
+                        poison.push(i);
+                    }
+                }
+            };
+            let p = match &eqn.prim {
+                Prim::MatMul => {
+                    let a = eqn.inputs[0];
+                    let b = eqn.inputs[1];
+                    if part[a.index()] == Part::Sharded {
+                        // A sharded lhs would shard the contraction
+                        // dimension (partial sums — not exact).
+                        poison.push(a);
+                        if part[b.index()] == Part::Sharded && out_forced {
+                            poison.push(b);
+                        }
+                        Part::Full
+                    } else if part[b.index()] == Part::Sharded {
+                        if out_forced {
+                            poison.push(b);
+                            Part::Full
+                        } else {
+                            Part::Sharded
+                        }
+                    } else if !out_forced && j.shape(b).dim(1).is_multiple_of(t) {
+                        Part::Sharded
+                    } else {
+                        Part::Full
+                    }
+                }
+                p if is_elementwise_binary(p) => {
+                    let any = eqn.inputs.iter().any(|&i| part[i.index()] == Part::Sharded);
+                    if any && out_forced {
+                        poison_sharded_inputs(&mut poison);
+                        Part::Full
+                    } else if any {
+                        Part::Sharded
+                    } else {
+                        Part::Full
+                    }
+                }
+                p if is_elementwise_unary(p) => {
+                    let sharded = part[eqn.inputs[0].index()] == Part::Sharded;
+                    if sharded && out_forced {
+                        poison.push(eqn.inputs[0]);
+                        Part::Full
+                    } else if sharded {
+                        Part::Sharded
+                    } else {
+                        Part::Full
+                    }
+                }
+                // Reductions, reshapes, transposes, broadcasts, batched
+                // matmuls, … need the full tensor.
+                _ => {
+                    poison_sharded_inputs(&mut poison);
+                    Part::Full
+                }
+            };
+            part[eqn.output.index()] = p;
+        }
+        if poison.is_empty() {
+            return part;
+        }
+        for v in poison {
+            forced[v.index()] = true;
+        }
+    }
+}
+
+/// Generates rank `r`'s variant of `j` under `part`, returning the
+/// variant plus the reassembly spec of each outvar.
+fn shard_jaxpr(
+    j: &Jaxpr,
+    part: &[Part],
+    t: usize,
+    r: usize,
+    mode: Mode,
+) -> Result<(Jaxpr, Vec<OutSpec>), ShardError> {
+    let mut b = GraphBuilder::new();
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    // Cache of block slices of replicated variables, per source var.
+    let mut sliced: HashMap<VarId, VarId> = HashMap::new();
+    for &v in j.invars() {
+        map.insert(v, b.input(j.shape(v).clone()));
+    }
+    // Realizes `v` as rank `r`'s block, slicing replicated tensors.
+    let slice_block = |b: &mut GraphBuilder,
+                       map: &HashMap<VarId, VarId>,
+                       sliced: &mut HashMap<VarId, VarId>,
+                       v: VarId|
+     -> Result<VarId, ShardError> {
+        if part[v.index()] == Part::Sharded {
+            return Ok(map[&v]);
+        }
+        if let Some(&s) = sliced.get(&v) {
+            return Ok(s);
+        }
+        let shape = j.shape(v);
+        let last = shape.dim(shape.rank() - 1);
+        let blk = last / t;
+        let s = b.emit(
+            Prim::SliceLast {
+                start: r * blk,
+                len: blk,
+            },
+            &[map[&v]],
+        )?;
+        sliced.insert(v, s);
+        Ok(s)
+    };
+    for eqn in j.eqns() {
+        let out = match part[eqn.output.index()] {
+            Part::Full => {
+                let inputs: Vec<VarId> = eqn.inputs.iter().map(|v| map[v]).collect();
+                b.emit(eqn.prim.clone(), &inputs)?
+            }
+            Part::Sharded => match &eqn.prim {
+                Prim::MatMul => {
+                    let lhs = map[&eqn.inputs[0]];
+                    let rhs = slice_block(&mut b, &map, &mut sliced, eqn.inputs[1])?;
+                    b.emit(Prim::MatMul, &[lhs, rhs])?
+                }
+                p => {
+                    let inputs: Vec<VarId> = eqn
+                        .inputs
+                        .iter()
+                        .map(|&v| slice_block(&mut b, &map, &mut sliced, v))
+                        .collect::<Result<_, _>>()?;
+                    b.emit(p.clone(), &inputs)?
+                }
+            },
+        };
+        map.insert(eqn.output, out);
+    }
+    let mut outs = Vec::with_capacity(j.outvars().len());
+    let mut specs = Vec::with_capacity(j.outvars().len());
+    for &ov in j.outvars() {
+        match part[ov.index()] {
+            Part::Full => {
+                outs.push(map[&ov]);
+                specs.push(None);
+            }
+            Part::Sharded => {
+                let shape = j.shape(ov);
+                let dim = shape.rank() - 1;
+                match mode {
+                    Mode::Gather => {
+                        outs.push(map[&ov]);
+                        specs.push(Some((CollectiveKind::AllGather, dim)));
+                    }
+                    Mode::Reduce => {
+                        let full = shape.dim(dim);
+                        let blk = full / t;
+                        let padded = b.emit(
+                            Prim::PadLast {
+                                start: r * blk,
+                                full,
+                                value: -0.0,
+                            },
+                            &[map[&ov]],
+                        )?;
+                        outs.push(padded);
+                        specs.push(Some((CollectiveKind::AllReduce, dim)));
+                    }
+                }
+            }
+        }
+    }
+    Ok((b.finish(outs)?, specs))
+}
+
+/// Lowers `program` onto a tensor-parallel mesh axis: every host actor
+/// `a` becomes `t = mesh.axis_size(axis)` rank actors `a*t .. a*t+t-1`,
+/// each running a per-rank shard of `a`'s stream linked by
+/// [`Instr::Collective`] ring collectives. `degree == 1` returns the
+/// program unchanged.
+///
+/// Sends and receives are remapped rank-to-rank (`to*t + r`), which is
+/// sound because of the replicated-buffer invariant documented at the
+/// module level. Placements are duplicated onto every rank; fetches are
+/// remapped to rank 0, whose buffers are bitwise-identical to every
+/// other rank's (and to the `tp = 1` run's).
+///
+/// # Errors
+///
+/// Returns [`ShardError::BadAxis`] if `axis` is not a mesh axis,
+/// [`ShardError::AlreadySharded`] if `program` already contains
+/// collectives, and [`ShardError::Ir`] if per-rank codegen fails.
+pub fn shard_program(
+    program: &MpmdProgram,
+    mesh: &Mesh,
+    axis: &str,
+) -> Result<MpmdProgram, ShardError> {
+    let t = mesh
+        .axis_size(axis)
+        .ok_or_else(|| ShardError::BadAxis(format!("mesh {mesh} has no axis {axis:?}")))?;
+    if t == 1 {
+        return Ok(program.clone());
+    }
+    if program
+        .actors
+        .iter()
+        .flatten()
+        .any(|i| matches!(i, Instr::Collective { .. }))
+    {
+        return Err(ShardError::AlreadySharded);
+    }
+
+    // Reassembly mode per jaxpr: gather only for jaxprs used exclusively
+    // by forward tasks (padding + all-reduce would also be correct, but
+    // gathering blocks moves `t`× less data into the pad).
+    let mut modes: Vec<Option<Mode>> = vec![None; program.jaxprs.len()];
+    for instr in program.actors.iter().flatten() {
+        if let Instr::Run { jaxpr, label, .. } = instr {
+            let m = if matches!(label, TaskLabel::Fwd { .. }) {
+                Mode::Gather
+            } else {
+                Mode::Reduce
+            };
+            let slot = &mut modes[jaxpr.0 as usize];
+            *slot = match *slot {
+                None => Some(m),
+                Some(Mode::Gather) if m == Mode::Gather => Some(Mode::Gather),
+                // Mixed forward/backward use: all-reduce reassembly is
+                // correct for both.
+                Some(_) => Some(Mode::Reduce),
+            };
+        }
+    }
+
+    let mut out = MpmdProgram::default();
+    let mut lowered: Vec<Lowered> = Vec::with_capacity(program.jaxprs.len());
+    for (jid, j) in program.jaxprs.iter().enumerate() {
+        let part = analyze(j, t);
+        let any_sharded = part.contains(&Part::Sharded);
+        let mode = modes[jid].unwrap_or(Mode::Reduce);
+        if !any_sharded || modes[jid].is_none() {
+            lowered.push(Lowered::Shared(out.add_jaxpr(j.clone())));
+            continue;
+        }
+        let mut variants = Vec::with_capacity(t);
+        let mut outs = Vec::new();
+        for r in 0..t {
+            let (variant, specs) = shard_jaxpr(j, &part, t, r, mode)?;
+            variants.push(out.add_jaxpr(variant));
+            outs = specs;
+        }
+        lowered.push(Lowered::PerRank { variants, outs });
+    }
+
+    // Fresh wire ids start above every id the program mentions.
+    let mut next_wire = fresh_buffer_floor(program);
+    let mut fresh = || {
+        let b = BufferId(next_wire);
+        next_wire += 1;
+        b
+    };
+
+    out.actors = vec![Vec::new(); program.n_actors() * t];
+    for (a, stream) in program.actors.iter().enumerate() {
+        for instr in stream {
+            match instr {
+                Instr::Run {
+                    jaxpr,
+                    inputs,
+                    outputs,
+                    label,
+                } => match &lowered[jaxpr.0 as usize] {
+                    Lowered::Shared(nj) => {
+                        for r in 0..t {
+                            out.actors[a * t + r].push(Instr::Run {
+                                jaxpr: *nj,
+                                inputs: inputs.clone(),
+                                outputs: outputs.clone(),
+                                label: *label,
+                            });
+                        }
+                    }
+                    Lowered::PerRank { variants, outs } => {
+                        let group: Vec<ActorId> = (0..t).map(|r| a * t + r).collect();
+                        // One wire set per sharded output, shared by all
+                        // ranks of this instruction instance.
+                        let wire_sets: Vec<Option<Vec<BufferId>>> = outs
+                            .iter()
+                            .map(|s| s.as_ref().map(|_| (0..t).map(|_| fresh()).collect()))
+                            .collect();
+                        for r in 0..t {
+                            let run_outs: Vec<BufferId> = outputs
+                                .iter()
+                                .zip(&wire_sets)
+                                .map(|(orig, w)| match w {
+                                    Some(ws) => ws[r],
+                                    None => *orig,
+                                })
+                                .collect();
+                            out.actors[a * t + r].push(Instr::Run {
+                                jaxpr: variants[r],
+                                inputs: inputs.clone(),
+                                outputs: run_outs,
+                                label: *label,
+                            });
+                            for (o, (spec, wires)) in outs.iter().zip(&wire_sets).enumerate() {
+                                if let (Some((kind, dim)), Some(wires)) = (spec, wires) {
+                                    out.actors[a * t + r].push(Instr::Collective {
+                                        kind: *kind,
+                                        dst: outputs[o],
+                                        src: wires[r],
+                                        group: group.clone(),
+                                        wires: wires.clone(),
+                                        dim: *dim,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                },
+                Instr::Send { buf, to } => {
+                    for r in 0..t {
+                        out.actors[a * t + r].push(Instr::Send {
+                            buf: *buf,
+                            to: to * t + r,
+                        });
+                    }
+                }
+                Instr::Recv {
+                    buf,
+                    src,
+                    from,
+                    shape,
+                } => {
+                    for r in 0..t {
+                        out.actors[a * t + r].push(Instr::Recv {
+                            buf: *buf,
+                            src: *src,
+                            from: from * t + r,
+                            shape: shape.clone(),
+                        });
+                    }
+                }
+                Instr::Copy { dst, src } => {
+                    for r in 0..t {
+                        out.actors[a * t + r].push(Instr::Copy {
+                            dst: *dst,
+                            src: *src,
+                        });
+                    }
+                }
+                Instr::Free { buf } => {
+                    for r in 0..t {
+                        out.actors[a * t + r].push(Instr::Free { buf: *buf });
+                    }
+                }
+                Instr::Collective { .. } => unreachable!("checked above"),
+            }
+        }
+    }
+
+    for p in &program.placements {
+        for r in 0..t {
+            out.placements.push(InputPlacement {
+                buf: p.buf,
+                actor: p.actor * t + r,
+                shape: p.shape.clone(),
+                source: p.source,
+            });
+        }
+    }
+    for f in &program.fetches {
+        out.fetches.push(Fetch {
+            buf: f.buf,
+            actor: f.actor * t,
+            role: f.role,
+        });
+    }
+    Ok(out)
+}
+
+/// The smallest buffer id strictly above every id `program` mentions —
+/// the floor for freshly-allocated collective wire ids.
+fn fresh_buffer_floor(program: &MpmdProgram) -> u32 {
+    let mut max = 0u32;
+    let mut see = |b: &BufferId| max = max.max(b.0 + 1);
+    for instr in program.actors.iter().flatten() {
+        match instr {
+            Instr::Run {
+                inputs, outputs, ..
+            } => {
+                inputs.iter().for_each(&mut see);
+                outputs.iter().for_each(&mut see);
+            }
+            Instr::Send { buf, .. } | Instr::Free { buf } => see(buf),
+            Instr::Recv { buf, src, .. } => {
+                see(buf);
+                see(src);
+            }
+            Instr::Copy { dst, src } => {
+                see(dst);
+                see(src);
+            }
+            Instr::Collective {
+                dst, src, wires, ..
+            } => {
+                see(dst);
+                see(src);
+                wires.iter().for_each(&mut see);
+            }
+        }
+    }
+    for p in &program.placements {
+        see(&p.buf);
+    }
+    for f in &program.fetches {
+        see(&f.buf);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pipeline_model;
+    use crate::unroll::{insert_frees, unroll_loop, UnrollOptions};
+    use crate::verify::verify_program;
+    use raxpp_ir::TraceCtx;
+    use raxpp_sched::gpipe;
+
+    fn two_stage_program() -> MpmdProgram {
+        let ctx = TraceCtx::new();
+        let w1 = ctx.input([8, 8]);
+        let w2 = ctx.input([8, 8]);
+        let x = ctx.input([4, 8]);
+        let h = ctx.pipeline_yield(&x.matmul(&w1).unwrap().tanh());
+        let y = h.matmul(&w2).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let model = pipeline_model(&jaxpr, 2).unwrap();
+        unroll_loop(
+            &model,
+            &gpipe(2, 2).unwrap(),
+            UnrollOptions {
+                loop_commuting: true,
+            },
+        )
+        .unwrap()
+        .program
+    }
+
+    fn tp_mesh(t: usize) -> Mesh {
+        Mesh::new(&[("model", t)]).unwrap()
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let p = two_stage_program();
+        let s = shard_program(&p, &tp_mesh(1), "model").unwrap();
+        assert_eq!(s.n_actors(), p.n_actors());
+        assert_eq!(s.num_instrs(), p.num_instrs());
+    }
+
+    #[test]
+    fn unknown_axis_rejected() {
+        let p = two_stage_program();
+        assert!(matches!(
+            shard_program(&p, &tp_mesh(2), "nope"),
+            Err(ShardError::BadAxis(_))
+        ));
+    }
+
+    #[test]
+    fn double_sharding_rejected() {
+        let p = two_stage_program();
+        let s = shard_program(&p, &tp_mesh(2), "model").unwrap();
+        assert!(matches!(
+            shard_program(&s, &tp_mesh(2), "model"),
+            Err(ShardError::AlreadySharded)
+        ));
+    }
+
+    #[test]
+    fn sharded_program_verifies_and_has_collectives() {
+        let p = two_stage_program();
+        for t in [2, 4] {
+            let mut s = shard_program(&p, &tp_mesh(t), "model").unwrap();
+            assert_eq!(s.n_actors(), p.n_actors() * t);
+            insert_frees(&mut s);
+            verify_program(&s).unwrap();
+            let n_coll = s
+                .actors
+                .iter()
+                .flatten()
+                .filter(|i| matches!(i, Instr::Collective { .. }))
+                .count();
+            // Every rank of every sharded run participates.
+            assert!(n_coll > 0, "expected collectives in\n{}", s.dump());
+            assert!(n_coll.is_multiple_of(t));
+        }
+    }
+
+    #[test]
+    fn fetches_on_rank_zero_placements_on_all() {
+        let p = two_stage_program();
+        let t = 2;
+        let s = shard_program(&p, &tp_mesh(t), "model").unwrap();
+        assert_eq!(s.placements.len(), p.placements.len() * t);
+        assert_eq!(s.fetches.len(), p.fetches.len());
+        for (f, orig) in s.fetches.iter().zip(&p.fetches) {
+            assert_eq!(f.actor, orig.actor * t);
+        }
+    }
+
+    #[test]
+    fn analysis_poisons_reductions() {
+        // y = sum(x @ w): the reduce forces the matmul output full, so
+        // nothing stays sharded.
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 8]);
+        let w = b.input([8, 8]);
+        let h = b.emit(Prim::MatMul, &[x, w]).unwrap();
+        let s = b
+            .emit(
+                Prim::ReduceSum {
+                    axes: vec![0, 1],
+                    keepdims: false,
+                },
+                &[h],
+            )
+            .unwrap();
+        let j = b.finish(vec![s]).unwrap();
+        let part = analyze(&j, 2);
+        assert!(part.iter().all(|p| *p == Part::Full));
+    }
+
+    #[test]
+    fn analysis_shards_matmul_chain() {
+        // y = tanh(x @ w) stays sharded to the output.
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 8]);
+        let w = b.input([8, 8]);
+        let h = b.emit(Prim::MatMul, &[x, w]).unwrap();
+        let y = b.emit(Prim::Tanh, &[h]).unwrap();
+        let j = b.finish(vec![y]).unwrap();
+        let part = analyze(&j, 2);
+        assert_eq!(part[j.outvars()[0].index()], Part::Sharded);
+    }
+}

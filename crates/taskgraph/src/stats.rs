@@ -21,6 +21,9 @@ pub struct ProgramStats {
     pub frees: usize,
     /// Total `Copy` instructions (local moves from stage folding).
     pub copies: usize,
+    /// Total `Collective` instructions (tensor-parallel all-gather /
+    /// all-reduce / reduce-scatter participations, counted per member).
+    pub collectives: usize,
     /// Driver dispatches per step (1 per non-empty actor, §4.4).
     pub rpcs: usize,
 }
@@ -74,6 +77,7 @@ pub fn program_stats(program: &MpmdProgram) -> ProgramStats {
                 }
                 Instr::Copy { .. } => stats.copies += 1,
                 Instr::Free { .. } => stats.frees += 1,
+                Instr::Collective { .. } => stats.collectives += 1,
                 Instr::Send { .. } => {}
             }
         }

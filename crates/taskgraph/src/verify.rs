@@ -116,6 +116,39 @@ pub fn verify_program(program: &MpmdProgram) -> Result<(), VerifyError> {
     for p in &program.placements {
         live[p.actor].insert(p.buf, p.shape.clone());
     }
+    // §4.2 for collectives: every pair of actors sharing any
+    // tensor-parallel group must observe the same sequence of collective
+    // instances (identified by kind/group/wires/dim — identical across
+    // the instance's ranks), else their ring exchanges would cross-match.
+    for a in 0..n {
+        for b in a + 1..n {
+            let seq = |me: usize, peer: usize| {
+                program.actors[me]
+                    .iter()
+                    .filter_map(|i| match i {
+                        Instr::Collective {
+                            kind,
+                            group,
+                            wires,
+                            dim,
+                            ..
+                        } if group.contains(&peer) => Some((kind, group, wires, dim)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            if seq(a, b) != seq(b, a) {
+                return Err(VerifyError::CommMismatch {
+                    actor: b,
+                    pos: 0,
+                    detail: format!(
+                        "actors {a} and {b} disagree on their shared collective sequence"
+                    ),
+                });
+            }
+        }
+    }
+
     // In-flight messages per directed pair.
     let mut wires: HashMap<(usize, usize), VecDeque<(BufferId, Shape)>> = HashMap::new();
     let mut cursor = vec![0usize; n];
@@ -235,6 +268,91 @@ pub fn verify_program(program: &MpmdProgram) -> Result<(), VerifyError> {
                                 buf: *buf,
                             });
                         }
+                    }
+                    Instr::Collective {
+                        kind,
+                        dst,
+                        src,
+                        group,
+                        wires: coll_wires,
+                        dim,
+                    } => {
+                        if group.is_empty() || coll_wires.len() != group.len() {
+                            return Err(VerifyError::SignatureMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!(
+                                    "collective group/wires size mismatch: {} vs {}",
+                                    group.len(),
+                                    coll_wires.len()
+                                ),
+                            });
+                        }
+                        if !group.windows(2).all(|w| w[0] < w[1]) {
+                            return Err(VerifyError::SignatureMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!("collective group {group:?} not rank-ascending"),
+                            });
+                        }
+                        let Some(rank) = group.iter().position(|&g| g == a) else {
+                            return Err(VerifyError::SignatureMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!("actor {a} not in its collective group {group:?}"),
+                            });
+                        };
+                        if coll_wires[rank] != *src {
+                            return Err(VerifyError::SignatureMismatch {
+                                actor: a,
+                                pos,
+                                detail: format!(
+                                    "collective src {src} is not this rank's wire {}",
+                                    coll_wires[rank]
+                                ),
+                            });
+                        }
+                        let Some(shape) = live[a].get(src) else {
+                            return Err(VerifyError::UseOfDeadBuffer {
+                                actor: a,
+                                pos,
+                                buf: *src,
+                            });
+                        };
+                        let t = group.len();
+                        use crate::program::CollectiveKind;
+                        let out_shape = match kind {
+                            CollectiveKind::AllReduce => shape.clone(),
+                            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+                                if *dim >= shape.rank() {
+                                    return Err(VerifyError::SignatureMismatch {
+                                        actor: a,
+                                        pos,
+                                        detail: format!(
+                                            "collective dim {dim} out of range for {shape}"
+                                        ),
+                                    });
+                                }
+                                let mut dims = shape.dims().to_vec();
+                                if matches!(kind, CollectiveKind::AllGather) {
+                                    dims[*dim] *= t;
+                                } else {
+                                    if dims[*dim] % t != 0 {
+                                        return Err(VerifyError::SignatureMismatch {
+                                            actor: a,
+                                            pos,
+                                            detail: format!(
+                                                "reduce_scatter dim {dim} of {shape} not \
+                                                 divisible by group size {t}"
+                                            ),
+                                        });
+                                    }
+                                    dims[*dim] /= t;
+                                }
+                                Shape::new(dims)
+                            }
+                        };
+                        live[a].insert(*dst, out_shape);
                     }
                 }
                 cursor[a] += 1;

@@ -6,10 +6,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use raxpp_ir::{eval, value_and_grad, Jaxpr, Tensor, TraceCtx};
+use raxpp_mesh::Mesh;
 use raxpp_sched::{gpipe, interleaved_1f1b, one_f1b, Schedule};
 use raxpp_taskgraph::{
-    check_send_recv_order, insert_frees, pipeline_model, unroll_loop, CompiledLoop, FetchRole,
-    InputSource, Instr, MpmdProgram, TaskLabel, UnrollOptions,
+    check_send_recv_order, insert_frees, pipeline_model, shard_program, unroll_loop,
+    CollectiveKind, CompiledLoop, FetchRole, InputSource, Instr, MpmdProgram, TaskLabel,
+    UnrollOptions,
 };
 
 /// Sequential reference executor for MPMD programs: runs each actor's
@@ -18,6 +20,9 @@ use raxpp_taskgraph::{
 struct SeqExec {
     stores: Vec<HashMap<u32, Tensor>>,
     queues: HashMap<(usize, usize), VecDeque<(u32, Tensor)>>,
+    /// Collective contributions by wire id (wire ids are globally
+    /// unique, so one pool serves every group).
+    contribs: HashMap<u32, Tensor>,
 }
 
 impl SeqExec {
@@ -25,6 +30,7 @@ impl SeqExec {
         let mut exec = SeqExec {
             stores: vec![HashMap::new(); program.n_actors()],
             queues: HashMap::new(),
+            contribs: HashMap::new(),
         };
         for p in &program.placements {
             let t = match p.source {
@@ -123,6 +129,48 @@ impl SeqExec {
                     self.stores[actor].remove(&buf.0).is_some(),
                     "free of missing buffer {buf}"
                 );
+                true
+            }
+            Instr::Collective {
+                kind,
+                dst,
+                src,
+                group,
+                wires,
+                dim,
+            } => {
+                // Phase 1: publish our own contribution (idempotent —
+                // the step may be retried while peers catch up).
+                if !self.contribs.contains_key(&src.0) {
+                    let t = self.stores[actor]
+                        .get(&src.0)
+                        .expect("collective of missing buffer")
+                        .clone();
+                    self.contribs.insert(src.0, t);
+                }
+                // Phase 2: wait for every rank, then combine in
+                // rank-ascending order exactly like the runtime.
+                if !wires.iter().all(|w| self.contribs.contains_key(&w.0)) {
+                    return false;
+                }
+                let parts: Vec<&Tensor> = wires.iter().map(|w| &self.contribs[&w.0]).collect();
+                let rank = group.iter().position(|&g| g == actor).unwrap();
+                let combined = match kind {
+                    CollectiveKind::AllGather => Tensor::concat(&parts, *dim).unwrap(),
+                    CollectiveKind::AllReduce | CollectiveKind::ReduceScatter => {
+                        let mut acc = parts[0].clone();
+                        for p in &parts[1..] {
+                            acc = acc.zip(p, |a, b| a + b).unwrap();
+                        }
+                        if matches!(kind, CollectiveKind::ReduceScatter) {
+                            let blk = acc.shape().dim(*dim) / group.len();
+                            acc.slice_dim(*dim, rank * blk, blk).unwrap()
+                        } else {
+                            acc
+                        }
+                    }
+                };
+                self.stores[actor].insert(dst.0, combined);
                 true
             }
         }
@@ -406,6 +454,70 @@ fn fused_program_is_one_dispatch_per_actor() {
     // §4.4: all tasks fuse into a single dispatch per actor.
     assert_eq!(compiled.program.num_rpcs(), 4);
     assert!(compiled.program.num_instrs() > 4 * 2 * 8);
+}
+
+#[test]
+fn tensor_parallel_shards_are_bitwise_identical() {
+    // Shard the 4-stage chain over a model axis and check the sequential
+    // executor produces byte-for-byte the same gradients and losses as
+    // the unsharded program — the tp contract of docs/parallelism.md.
+    let (jaxpr, n_params) = chain4(4);
+    let schedule = one_f1b(4, 4).unwrap();
+    let compiled = compile(&jaxpr, n_params, &schedule, UnrollOptions::default());
+    let (params, data) = rand_inputs(&jaxpr, n_params, 4, 11);
+    let (base_grads, base_outs) = {
+        let e = SeqExec::run(&compiled.program, &params, &data);
+        e.fetch(&compiled.program)
+    };
+    for t in [2, 4] {
+        // Re-unroll without frees, shard, then free: mirrors the real
+        // compile order (shard before liveness).
+        let model = pipeline_model(&jaxpr, n_params).unwrap();
+        let unfused = unroll_loop(&model, &schedule, UnrollOptions::default())
+            .unwrap()
+            .program;
+        let mesh = Mesh::new(&[("model", t)]).unwrap();
+        let mut sharded = shard_program(&unfused, &mesh, "model").unwrap();
+        insert_frees(&mut sharded);
+        let n_allgather = sharded
+            .actors
+            .iter()
+            .flatten()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Collective {
+                        kind: CollectiveKind::AllGather,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let n_allreduce = sharded
+            .actors
+            .iter()
+            .flatten()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Collective {
+                        kind: CollectiveKind::AllReduce,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(n_allgather > 0, "tp={t}: no all-gathers emitted");
+        assert!(n_allreduce > 0, "tp={t}: no all-reduces emitted");
+        let e = SeqExec::run(&sharded, &params, &data);
+        let (grads, outs) = e.fetch(&sharded);
+        for (p, (g, b)) in grads.iter().zip(&base_grads).enumerate() {
+            assert_eq!(g.data(), b.data(), "tp={t}: grad {p} not bitwise equal");
+        }
+        for (k, v) in &base_outs {
+            assert_eq!(outs[k].data(), v.data(), "tp={t}: output {k:?} differs");
+        }
+    }
 }
 
 #[test]

@@ -50,7 +50,42 @@ for f in "${docs[@]}"; do
         tr -d '`' | grep '^[A-Za-z0-9_]*/' || true)
 done
 
-# 3. Required cross-references: the docs overhaul promises these links.
+# 3. Anchor links `file.md#section` / `#section`: the anchor must match
+#    a real heading of the target file after GitHub slugging (lowercase,
+#    punctuation stripped, spaces become dashes).
+slugs() { # file -> one heading slug per line
+    prose "$1" | grep '^#\{1,6\} ' | sed 's/^#\{1,6\} //' |
+        tr '[:upper:]' '[:lower:]' | sed 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+for f in "${docs[@]}"; do
+    dir=$(dirname "$f")
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        case "$target" in
+        *'#'*) ;;
+        *) continue ;;
+        esac
+        path="${target%%#*}"
+        anchor="${target#*#}"
+        if [ -z "$path" ]; then
+            dest="$f"
+        elif [ -e "$dir/$path" ]; then
+            dest="$dir/$path"
+        elif [ -e "$path" ]; then
+            dest="$path"
+        else
+            continue # section 1 already flagged the missing file
+        fi
+        if ! slugs "$dest" | grep -qx "$anchor"; then
+            err "$f: dangling anchor '#$anchor' (no such section in $dest)"
+        fi
+    done < <(prose "$f" | grep -o '\[[^]]*\]([^)]*)' |
+        sed 's/.*(\([^)]*\))/\1/' || true)
+done
+
+# 4. Required cross-references: the docs overhaul promises these links.
 require() { # file pattern description
     grep -q "$2" "$1" || err "$1: missing expected reference to $3"
 }
@@ -60,6 +95,13 @@ require README.md 'docs/execution-backend\.md' 'docs/execution-backend.md'
 require docs/execution-backend.md 'docs/observability\.md' 'docs/observability.md'
 require docs/ARCHITECTURE.md 'docs/observability\.md' 'docs/observability.md'
 require docs/observability.md 'RAXPP_TRACE' 'the RAXPP_TRACE env var'
+require README.md 'docs/parallelism\.md' 'docs/parallelism.md'
+require docs/parallelism.md 'docs/ARCHITECTURE\.md' 'docs/ARCHITECTURE.md'
+require docs/parallelism.md 'docs/resilience\.md' 'docs/resilience.md'
+require docs/parallelism.md 'docs/observability\.md' 'docs/observability.md'
+require docs/ARCHITECTURE.md 'docs/parallelism\.md' 'docs/parallelism.md'
+require docs/resilience.md 'docs/parallelism\.md' 'docs/parallelism.md'
+require docs/observability.md 'docs/parallelism\.md' 'docs/parallelism.md'
 
 if [ "$fail" -ne 0 ]; then
     exit 1

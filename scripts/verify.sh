@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test --doc (markdown guides compile as doctests)"
+cargo test --doc --workspace -q
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -10,7 +10,7 @@ use std::fs;
 use std::time::Duration;
 
 use raxpp_core::{
-    compile_train_step, CheckpointPolicy, CompileOptions, Optimizer, RetryPolicy, Trainer,
+    compile_train_step, CheckpointPolicy, CompileOptions, Optimizer, RetryPolicy, TpConfig, Trainer,
 };
 use raxpp_integration::with_watchdog;
 use raxpp_ir::rng::{Rng, SeedableRng, StdRng};
@@ -119,4 +119,89 @@ fn chaotic_run_matches_fault_free_run_bitwise() {
 
         let _ = fs::remove_dir_all(&ckpt_dir);
     });
+}
+
+/// The tensor-parallel soak: a 2-way-sharded pipeline (8 shard actors)
+/// under PRNG-driven deaths and task errors. TP fleets recover by
+/// respawn only (`rebalance_after` is ignored under TP: folding a shard
+/// actor away would break its collective group), and the survivor must
+/// end bit-identical to an *unsharded* fault-free twin — chaining the
+/// TP-vs-PP and faulty-vs-smooth determinism contracts in one run.
+#[test]
+fn tp_chaotic_run_matches_unsharded_fault_free_run_bitwise() {
+    with_watchdog(
+        "tp_chaotic_run_matches_unsharded_fault_free_run_bitwise",
+        || {
+            let schedule = gpipe(4, 4).unwrap();
+            let model = mlp_chain(6, 3, 4, schedule.n_stages(), 74).unwrap();
+            let mut rng = StdRng::seed_from_u64(75);
+            let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+                .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+                .collect()];
+
+            let smooth = build(&model, &schedule);
+            let chaotic = {
+                let t = compile_train_step(
+                    &model.jaxpr,
+                    model.n_params,
+                    &schedule,
+                    Optimizer::Sgd { lr: 0.05 },
+                    CompileOptions {
+                        tp: Some(TpConfig::model_parallel(2)),
+                        ..CompileOptions::default()
+                    },
+                )
+                .unwrap();
+                t.init(&model.init).unwrap();
+                t
+            };
+            let n_shard_actors = chaotic.runtime().program().actors.len();
+            assert_eq!(n_shard_actors, 2 * schedule.n_actors());
+            let policy = RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::ZERO,
+                rebalance_after: None,
+            };
+
+            let mut faults = StdRng::seed_from_u64(76);
+            for step in 0..STEPS {
+                let target = faults.gen_range(0..n_shard_actors);
+                match faults.gen_range(0..4u32) {
+                    0 => {
+                        let at = faults.gen_range(0..3usize);
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::DieAtInstr(at))
+                            .unwrap();
+                    }
+                    1 => {
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::ErrorAtTask("bwd".into()))
+                            .unwrap();
+                    }
+                    _ => {}
+                }
+                let a = smooth.step_with_recovery(&data, policy).unwrap();
+                let b = chaotic.step_with_recovery(&data, policy).unwrap();
+                assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+            }
+
+            assert!(
+                chaotic.metrics().counter("recoveries_total") >= 1,
+                "fault schedule never triggered a recovery — seed went stale"
+            );
+            assert!(chaotic.metrics().counter("tp_collectives_total") > 0);
+            assert!(
+                chaotic.runtime().retired_actors().is_empty(),
+                "TP soak must never fold an actor away"
+            );
+
+            let pa = smooth.params().unwrap();
+            let pb = chaotic.params().unwrap();
+            for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+                assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+            }
+        },
+    );
 }

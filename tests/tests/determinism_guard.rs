@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, Trainer};
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, TpConfig, Trainer};
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::{eval, set_num_threads, value_and_grad, Tensor};
 use raxpp_models::{mlp_chain, BuiltModel};
@@ -80,7 +80,7 @@ impl Reference {
     }
 }
 
-fn run_guard(schedule: &Schedule, seed: u64) {
+fn run_guard(schedule: &Schedule, seed: u64, tp: usize) {
     let model = mlp_chain(6, 3, 4, schedule.n_stages(), seed).unwrap();
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
@@ -95,7 +95,10 @@ fn run_guard(schedule: &Schedule, seed: u64) {
             model.n_params,
             schedule,
             optimizer,
-            CompileOptions::default(),
+            CompileOptions {
+                tp: Some(TpConfig::model_parallel(tp)),
+                ..CompileOptions::default()
+            },
         )
         .unwrap();
         trainer.init(&model.init).unwrap();
@@ -133,17 +136,25 @@ fn run_guard(schedule: &Schedule, seed: u64) {
 
 #[test]
 fn gpipe_training_is_bit_identical_to_single_device() {
-    run_guard(&gpipe(2, 4).unwrap(), 51);
+    run_guard(&gpipe(2, 4).unwrap(), 51, 1);
 }
 
 #[test]
 fn one_f1b_training_is_bit_identical_to_single_device() {
-    run_guard(&one_f1b(2, 4).unwrap(), 52);
+    run_guard(&one_f1b(2, 4).unwrap(), 52, 1);
 }
 
 #[test]
 fn four_stage_one_f1b_is_bit_identical_to_single_device() {
-    run_guard(&one_f1b(4, 8).unwrap(), 53);
+    run_guard(&one_f1b(4, 8).unwrap(), 53, 1);
+}
+
+/// PP×TP composition is inside the determinism contract: sharding every
+/// stage over a 2-way model axis (real ring collectives between shard
+/// actors) must still be bit-identical to single-device training.
+#[test]
+fn tensor_parallel_one_f1b_is_bit_identical_to_single_device() {
+    run_guard(&one_f1b(2, 4).unwrap(), 55, 2);
 }
 
 /// Recovery is part of the determinism contract too: a run that loses an

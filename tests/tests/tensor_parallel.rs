@@ -1,0 +1,242 @@
+//! Executable tensor parallelism (PP×TP composition): a pipeline whose
+//! stages are sharded over a `"model"` mesh axis must train end-to-end
+//! **bit-identical** to the unsharded pipeline — same losses, same
+//! parameters, same checkpoints — while actually exchanging data through
+//! real ring collectives, and the whole composition must survive fault
+//! injection and recovery.
+
+use std::time::Duration;
+
+use raxpp_core::{
+    compile_train_step, CompileOptions, CoreError, Optimizer, RetryPolicy, TpConfig, Trainer,
+};
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::Tensor;
+use raxpp_models::{mlp_chain, BuiltModel};
+use raxpp_runtime::Fault;
+use raxpp_sched::{gpipe, one_f1b, Schedule, TpMap};
+use raxpp_taskgraph::{CollectiveKind, Instr};
+
+fn build(model: &BuiltModel, schedule: &Schedule, tp: usize) -> Trainer {
+    let t = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        schedule,
+        Optimizer::Sgd { lr: 0.05 },
+        CompileOptions {
+            tp: Some(TpConfig::model_parallel(tp)),
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(t.tp_degree(), tp);
+    t.init(&model.init).unwrap();
+    t
+}
+
+fn mb_data(schedule: &Schedule, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([batch, width], 1.0, &mut rng))
+        .collect()]
+}
+
+/// The headline contract: for every (schedule × tp degree) cell, losses
+/// and updated parameters are bit-for-bit equal to the tp=1 run of the
+/// same model, and the sharded program really contains per-rank
+/// collective instructions.
+#[test]
+fn tp_training_is_bitwise_identical_across_degrees() {
+    for (schedule, seed) in [(gpipe(4, 4).unwrap(), 81), (one_f1b(4, 4).unwrap(), 82)] {
+        let model = mlp_chain(8, 2, 4, schedule.n_stages(), seed).unwrap();
+        let data = mb_data(&schedule, 8, 2, seed + 1);
+
+        let baseline = build(&model, &schedule, 1);
+        let mut base_losses = Vec::new();
+        for _ in 0..3 {
+            base_losses.push(baseline.step(&data).unwrap().losses);
+        }
+        let base_params = baseline.params().unwrap();
+
+        for tp in [2usize, 4] {
+            let trainer = build(&model, &schedule, tp);
+            let program = trainer.runtime().program();
+            assert_eq!(
+                program.actors.len(),
+                TpMap::new(tp).n_shard_actors(schedule.n_actors()),
+                "{} tp={tp}: one stream per (actor, rank)",
+                schedule.name()
+            );
+            let n_allreduce = program
+                .actors
+                .iter()
+                .flatten()
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instr::Collective {
+                            kind: CollectiveKind::AllReduce,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            let n_allgather = program
+                .actors
+                .iter()
+                .flatten()
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instr::Collective {
+                            kind: CollectiveKind::AllGather,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert!(n_allreduce > 0, "tp={tp}: no all-reduce lowered");
+            assert!(n_allgather > 0, "tp={tp}: no all-gather lowered");
+
+            for (step, want) in base_losses.iter().enumerate() {
+                let got = trainer.step(&data).unwrap();
+                assert_eq!(
+                    &got.losses,
+                    want,
+                    "{} tp={tp} step {step}: losses not bit-identical",
+                    schedule.name()
+                );
+            }
+            assert!(
+                trainer.metrics().counter("tp_collectives_total") > 0,
+                "tp={tp}: no collectives executed"
+            );
+            assert!(trainer.metrics().counter("tp_bytes_reduced") > 0);
+            let params = trainer.params().unwrap();
+            for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{} tp={tp}: param {p} not bit-identical",
+                    schedule.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every microbatch's stage hand-off reassembles a full activation, so a
+/// traced TP step must record at least one `collective` span per
+/// microbatch per rank — with real all-reduces among them — and tracing
+/// must not perturb a single bit.
+#[test]
+fn tp_step_records_collective_spans() {
+    let schedule = one_f1b(2, 4).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 83).unwrap();
+    let data = mb_data(&schedule, 8, 2, 84);
+
+    let plain = build(&model, &schedule, 2);
+    let want = plain.step(&data).unwrap().losses;
+
+    let traced = build(&model, &schedule, 2);
+    let (result, trace) = traced.step_traced(&data).unwrap();
+    assert_eq!(result.losses, want, "tracing perturbed a TP step");
+
+    let spans: Vec<&str> = trace
+        .actors
+        .iter()
+        .flat_map(|a| &a.spans)
+        .filter(|s| s.kind == "collective")
+        .map(|s| s.name.as_str())
+        .collect();
+    assert!(
+        spans.len() >= schedule.n_mubatches(),
+        "want ≥{} collective spans, got {}",
+        schedule.n_mubatches(),
+        spans.len()
+    );
+    assert!(
+        spans.iter().any(|n| n.starts_with("all_reduce")),
+        "no all_reduce span in {spans:?}"
+    );
+}
+
+/// Failure recovery composes with TP: killing one shard actor
+/// mid-stream must be absorbed by respawn + snapshot restore, and the
+/// recovered run stays bit-identical to an uninterrupted tp=1 run.
+#[test]
+fn tp_step_survives_fault_and_recovery() {
+    let schedule = gpipe(2, 4).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 85).unwrap();
+    let data = mb_data(&schedule, 8, 2, 86);
+
+    let smooth = build(&model, &schedule, 1);
+    let bumpy = build(&model, &schedule, 2);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+    for step in 0..3 {
+        if step == 1 {
+            // Shard actor 1 = (pipeline actor 0, tp rank 1): its death
+            // must cascade-abort its collective peers, then respawn.
+            bumpy
+                .runtime()
+                .inject_fault(1, Fault::DieAtInstr(2))
+                .unwrap();
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+    }
+    assert!(bumpy.metrics().counter("recoveries_total") >= 1);
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+    }
+}
+
+/// Checkpoints are TP-invariant: a tp=2 trainer's checkpoint stream is
+/// byte-identical to the tp=1 trainer's, and restores cleanly across
+/// degrees (the replicated-buffer invariant makes rank 0 authoritative).
+#[test]
+fn tp_checkpoints_are_byte_identical_across_degrees() {
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 87).unwrap();
+    let data = mb_data(&schedule, 8, 2, 88);
+
+    let t1 = build(&model, &schedule, 1);
+    let t2 = build(&model, &schedule, 2);
+    t1.step(&data).unwrap();
+    t2.step(&data).unwrap();
+    let mut ck1 = Vec::new();
+    let mut ck2 = Vec::new();
+    t1.save_checkpoint(&mut ck1).unwrap();
+    t2.save_checkpoint(&mut ck2).unwrap();
+    assert_eq!(ck1, ck2, "tp=2 checkpoint differs from tp=1");
+
+    // Cross-restore: the tp=2 fleet adopts the tp=1 checkpoint and
+    // continues bit-identically.
+    t2.restore_checkpoint(&ck1[..]).unwrap();
+    let a = t1.step(&data).unwrap();
+    let b = t2.step(&data).unwrap();
+    assert_eq!(a.losses, b.losses);
+}
+
+/// Elastic rebalance is structurally incompatible with collective
+/// groups, so the trainer must refuse it under TP instead of producing
+/// a broken fold.
+#[test]
+fn tp_rejects_rebalance() {
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 89).unwrap();
+    let trainer = build(&model, &schedule, 2);
+    match trainer.rebalance(&[0]) {
+        Err(CoreError::BadInput(msg)) => {
+            assert!(msg.contains("tensor parallelism"), "msg: {msg}")
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+}
