@@ -14,17 +14,31 @@
 //! Both paths start from the same initial parameters and consume the
 //! same data, so per-step losses must match **bitwise** — asserted
 //! here, which makes the benchmark double as an integration check of
-//! the bit-compatibility contract.
+//! the bit-compatibility contract. Tensor-parallel variants (tp=2
+//! shard-lane and serial-ring modes, plus tp=4) replay the identical
+//! data stream under the same gate.
 //!
 //! Writes `BENCH_step.json` at the workspace root with median/p95 step
 //! wall time, per-step RPC count, peak resident store bytes, allocator
-//! stats, and the measured speedup — plus `BENCH_trace.json`, the
+//! stats, the measured speedups, and the tensor-parallel
+//! wire/wait/overlap accounting — plus `BENCH_trace.json`, the
 //! chrome-trace export of one traced step (see `docs/observability.md`),
 //! after asserting that tracing is zero-cost while disabled.
 //!
-//! Knobs: `RAXPP_BENCH_STEPS` (timed optimized steps, default 7) and
-//! `RAXPP_BENCH_REF_STEPS` (timed reference steps, default 2 — each
-//! reference step is tens of seconds).
+//! Knobs:
+//!
+//! * `RAXPP_BENCH_STEPS` — timed sample steps per variant (default 9;
+//!   3 in quick mode);
+//! * `RAXPP_BENCH_WARMUP` — untimed warmup steps per variant, excluded
+//!   from every median/p95 (default 2; 1 in quick mode);
+//! * `RAXPP_BENCH_REF_STEPS` — timed reference steps (default 2 — each
+//!   reference step is tens of seconds);
+//! * `RAXPP_BENCH_QUICK` — any value but `0`: skip the reference and
+//!   tracing sections and run only tp=1 vs tp=2 lane mode, for the
+//!   `scripts/verify.sh` regression gate (~seconds, not minutes);
+//! * `RAXPP_BENCH_OUT` — override the JSON output path (quick mode
+//!   should point this at a scratch file so the committed
+//!   `BENCH_step.json` keeps its full-run numbers).
 
 use std::time::{Duration, Instant};
 
@@ -137,18 +151,92 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// One tensor-parallel variant: a fresh trainer at `degree` with the
+/// given collective mode, warmed and timed over the shared data stream,
+/// with every step's losses asserted bitwise-equal to the tp=1 run.
+struct TpVariant {
+    timed: Measured,
+    collectives: u64,
+    wait_us: u64,
+    overlap_ratio: f64,
+    bytes_wire: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tp_variant(
+    model: &BuiltModel,
+    data: &[Vec<Vec<Tensor>>],
+    warmup: usize,
+    degree: usize,
+    lanes: bool,
+    warm_losses: &[Vec<f32>],
+    fast_losses: &[Vec<f32>],
+    tag: &str,
+) -> TpVariant {
+    let trainer = build_trainer_tp(model, degree);
+    trainer.set_tp_lanes(lanes);
+    let warm = run(&trainer, &data[..warmup]);
+    let timed = run(&trainer, &data[warmup..]);
+    for (i, (got, want)) in warm
+        .losses
+        .iter()
+        .chain(timed.losses.iter())
+        .zip(warm_losses.iter().chain(fast_losses.iter()))
+        .enumerate()
+    {
+        assert_eq!(
+            got, want,
+            "step {i}: {tag} losses diverge bitwise from tp=1"
+        );
+    }
+    let m = trainer.metrics();
+    let collectives = m.counter("tp_collectives_total");
+    assert!(collectives > 0, "{tag} run executed no collectives");
+    TpVariant {
+        timed,
+        collectives,
+        wait_us: m.counter("tp_collective_wait_us"),
+        overlap_ratio: m.gauge("tp_overlap_ratio").unwrap_or(0.0),
+        bytes_wire: m.counter("tp_bytes_wire"),
+    }
+}
+
+fn tp_json(degree: usize, lanes: bool, v: &TpVariant) -> Json {
+    Json::obj(vec![
+        ("degree", Json::Num(degree as f64)),
+        ("lanes", Json::Bool(lanes)),
+        ("median_step_s", Json::Num(secs(median(&v.timed.walls)))),
+        (
+            "p95_step_s",
+            Json::Num(secs(percentile(&v.timed.walls, 95.0))),
+        ),
+        ("collectives_per_run", Json::Num(v.collectives as f64)),
+        ("bytes_wire", Json::Num(v.bytes_wire as f64)),
+        ("collective_wait_us", Json::Num(v.wait_us as f64)),
+        ("overlap_ratio", Json::Num(v.overlap_ratio)),
+        ("bitwise_parity", Json::Bool(true)),
+    ])
+}
+
 fn main() {
-    let steps = env_steps("RAXPP_BENCH_STEPS", 7);
+    let quick = matches!(std::env::var("RAXPP_BENCH_QUICK").as_deref(), Ok(v) if v != "0");
+    let steps = env_steps("RAXPP_BENCH_STEPS", if quick { 3 } else { 9 });
     let ref_steps = env_steps("RAXPP_BENCH_REF_STEPS", 2);
+    let warmup = env_steps("RAXPP_BENCH_WARMUP", if quick { 1 } else { 2 });
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let model = mlp_chain(WIDTH, BATCH, LAYERS, STAGES, 42).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    // One shared data stream; both paths replay the same prefix so the
+    // One shared data stream; every path replays the same prefix so the
     // parameter trajectories — and therefore per-step losses — align.
-    let data = step_data(&mut rng, steps + 1);
+    let data = step_data(&mut rng, warmup + steps);
 
     println!(
         "step_time: {STAGES}-stage MLP, {LAYERS}x[{WIDTH},{WIDTH}] weights, \
-         batch [{BATCH},{WIDTH}], {N_MB} microbatches, gpipe"
+         batch [{BATCH},{WIDTH}], {N_MB} microbatches, gpipe \
+         ({warmup} warmup + {steps} timed steps, {available_cores} cores{})",
+        if quick { ", quick mode" } else { "" },
     );
     rule(72);
 
@@ -156,8 +244,8 @@ fn main() {
     set_reference_mode(false);
     set_num_threads(THREADS);
     let trainer = build_trainer(&model);
-    let warm = run(&trainer, &data[..1]); // warmup step (untimed below)
-    let fast = run(&trainer, &data[1..]);
+    let warm = run(&trainer, &data[..warmup]); // warmup steps (untimed below)
+    let fast = run(&trainer, &data[warmup..]);
     println!(
         "optimized ({THREADS} threads): median {:>8.2?}  p95 {:>8.2?}  ({steps} steps)",
         median(&fast.walls),
@@ -172,120 +260,194 @@ fn main() {
         fast.alloc.freed,
     );
     for &(k, d, c) in &fast.kinds {
-        println!("    {k:<12} {:>9.1?} total  ({c} instrs)", d);
+        println!("    {k:<15} {:>9.1?} total  ({c} instrs)", d);
     }
 
-    // Reference path: seed-equivalent deep-copy interpreter, naive
-    // kernels, single thread. Fresh trainer from the same init params.
-    set_reference_mode(true);
-    set_num_threads(1);
-    let ref_trainer = build_trainer(&model);
-    let reference = run(&ref_trainer, &data[..1 + ref_steps]);
-    set_reference_mode(false);
-    set_num_threads(THREADS);
-    // Skip the shared warmup step when timing the baseline.
-    let ref_walls = &reference.walls[1..];
-    println!(
-        "reference (1 thread):        median {:>8.2?}  p95 {:>8.2?}  ({ref_steps} steps)",
-        median(ref_walls),
-        percentile(ref_walls, 95.0),
-    );
-
-    // Bit-compatibility gate: identical params + data => identical
-    // losses, down to the last bit, on every overlapping step.
-    let fast_losses: Vec<&Vec<f32>> = std::iter::once(&warm.losses[0])
-        .chain(fast.losses.iter())
-        .collect();
-    for (i, want) in reference.losses.iter().enumerate() {
-        assert_eq!(
-            fast_losses[i], want,
-            "step {i}: optimized losses diverge bitwise from reference"
+    // Reference path (skipped in quick mode): seed-equivalent deep-copy
+    // interpreter, naive kernels, single thread. Fresh trainer from the
+    // same init params.
+    let mut reference_json = None;
+    let mut speedup = None;
+    if !quick {
+        set_reference_mode(true);
+        set_num_threads(1);
+        let ref_trainer = build_trainer(&model);
+        let reference = run(&ref_trainer, &data[..warmup + ref_steps]);
+        set_reference_mode(false);
+        set_num_threads(THREADS);
+        // Skip the shared warmup steps when timing the baseline.
+        let ref_walls = &reference.walls[warmup..];
+        println!(
+            "reference (1 thread):        median {:>8.2?}  p95 {:>8.2?}  ({ref_steps} steps)",
+            median(ref_walls),
+            percentile(ref_walls, 95.0),
         );
+
+        // Bit-compatibility gate: identical params + data => identical
+        // losses, down to the last bit, on every overlapping step.
+        let fast_losses: Vec<&Vec<f32>> = warm.losses.iter().chain(fast.losses.iter()).collect();
+        for (i, want) in reference.losses.iter().enumerate() {
+            assert_eq!(
+                fast_losses[i], want,
+                "step {i}: optimized losses diverge bitwise from reference"
+            );
+        }
+        println!(
+            "bitwise loss parity: OK over {} shared steps",
+            reference.losses.len()
+        );
+
+        let s = secs(median(ref_walls)) / secs(median(&fast.walls));
+        rule(72);
+        println!("speedup (median step wall): {s:.2}x  (acceptance: >= 3x)");
+        speedup = Some(s);
+        reference_json = Some(Json::obj(vec![
+            ("steps", Json::Num(ref_steps as f64)),
+            ("median_step_s", Json::Num(secs(median(ref_walls)))),
+            ("p95_step_s", Json::Num(secs(percentile(ref_walls, 95.0)))),
+            ("rpcs_per_step", Json::Num(reference.rpcs as f64)),
+            ("peak_store_bytes", Json::Num(reference.peak_bytes as f64)),
+        ]));
     }
-    println!(
-        "bitwise loss parity: OK over {} shared steps",
-        reference.losses.len()
-    );
 
-    let speedup = secs(median(ref_walls)) / secs(median(&fast.walls));
-    rule(72);
-    println!("speedup (median step wall): {speedup:.2}x  (acceptance: >= 3x)");
-
-    // Tracing overhead gate: interleave untraced and traced steps over
-    // the same data so machine drift hits both populations alike. The
-    // instrumentation must be zero-cost when disabled — a traced step
-    // does strictly more work (timestamps, span formatting, ring
-    // pushes), so an untraced step may cost at most traced + 1% noise.
-    // The last traced step's spans are exported next to BENCH_step.json
-    // for Perfetto.
-    let pairs = steps;
-    let mut off_walls = Vec::with_capacity(pairs);
-    let mut on_walls = Vec::with_capacity(pairs);
-    let mut last_trace = None;
-    for i in 0..pairs {
-        let d = &data[1 + (i % steps)];
+    // Tracing overhead gate (skipped in quick mode): interleave
+    // untraced and traced steps over the same data so machine drift
+    // hits both populations alike. The instrumentation must be
+    // zero-cost when disabled — a traced step does strictly more work
+    // (timestamps, span formatting, ring pushes), so an untraced step
+    // may cost at most traced + 1% noise. The last traced step's spans
+    // are exported next to BENCH_step.json for Perfetto.
+    let mut tracing_json = None;
+    if !quick {
+        let pairs = steps;
+        let mut off_walls = Vec::with_capacity(pairs);
+        let mut on_walls = Vec::with_capacity(pairs);
+        let mut last_trace = None;
+        for i in 0..pairs {
+            let d = &data[warmup + (i % steps)];
+            trainer.runtime().set_tracing(false);
+            let t0 = Instant::now();
+            trainer.step(d).unwrap();
+            off_walls.push(t0.elapsed());
+            trainer.runtime().set_tracing(true);
+            let t0 = Instant::now();
+            trainer.step(d).unwrap();
+            on_walls.push(t0.elapsed());
+            last_trace = trainer.runtime().take_step_trace();
+        }
         trainer.runtime().set_tracing(false);
-        let t0 = Instant::now();
-        trainer.step(d).unwrap();
-        off_walls.push(t0.elapsed());
-        trainer.runtime().set_tracing(true);
-        let t0 = Instant::now();
-        trainer.step(d).unwrap();
-        on_walls.push(t0.elapsed());
-        last_trace = trainer.runtime().take_step_trace();
+        let (m_off, m_on) = (median(&off_walls), median(&on_walls));
+        let traced_overhead = secs(m_on) / secs(m_off) - 1.0;
+        println!(
+            "tracing: untraced median {:>8.2?}  traced median {:>8.2?}  \
+             (traced overhead {:+.1}%, {pairs} interleaved pairs)",
+            m_off,
+            m_on,
+            traced_overhead * 100.0,
+        );
+        assert!(
+            secs(m_off) <= 1.01 * secs(m_on),
+            "tracing-disabled step ({m_off:?}) costs more than 1% over a traced \
+             step ({m_on:?}): the disabled path is not zero-cost"
+        );
+        let trace = last_trace.expect("traced step recorded no trace");
+        let trace_path = workspace_root().join("BENCH_trace.json");
+        std::fs::write(&trace_path, trace.chrome_trace_json()).unwrap();
+        println!(
+            "wrote {} ({} spans; load in Perfetto)",
+            trace_path.display(),
+            trace.span_count()
+        );
+        tracing_json = Some(Json::obj(vec![
+            ("untraced_median_step_s", Json::Num(secs(m_off))),
+            ("traced_median_step_s", Json::Num(secs(m_on))),
+            ("traced_overhead", Json::Num(traced_overhead)),
+            ("spans", Json::Num(trace.span_count() as f64)),
+        ]));
     }
-    trainer.runtime().set_tracing(false);
-    let (m_off, m_on) = (median(&off_walls), median(&on_walls));
-    let traced_overhead = secs(m_on) / secs(m_off) - 1.0;
-    println!(
-        "tracing: untraced median {:>8.2?}  traced median {:>8.2?}  \
-         (traced overhead {:+.1}%, {pairs} interleaved pairs)",
-        m_off,
-        m_on,
-        traced_overhead * 100.0,
-    );
-    assert!(
-        secs(m_off) <= 1.01 * secs(m_on),
-        "tracing-disabled step ({m_off:?}) costs more than 1% over a traced \
-         step ({m_on:?}): the disabled path is not zero-cost"
-    );
-    let trace = last_trace.expect("traced step recorded no trace");
-    let trace_path = workspace_root().join("BENCH_trace.json");
-    std::fs::write(&trace_path, trace.chrome_trace_json()).unwrap();
-    println!(
-        "wrote {} ({} spans; load in Perfetto)",
-        trace_path.display(),
-        trace.span_count()
-    );
 
-    // Tensor-parallel variant: the same model and data, tp=2 (8 shard
-    // actors, real ring collectives). Bitwise loss parity with the tp=1
-    // trainer is the PP×TP determinism contract's acceptance gate; the
-    // wall-time ratio is recorded as `tp_speedup` (on CPU actor threads
-    // the collectives usually cost more than the halved matmuls save —
-    // the number is a contract on overhead, not a promised win).
-    let tp_trainer = build_trainer_tp(&model, 2);
-    let tp_warm = run(&tp_trainer, &data[..1]);
-    let tp = run(&tp_trainer, &data[1..]);
-    assert_eq!(
-        tp_warm.losses[0], warm.losses[0],
-        "tp=2 warmup losses diverge bitwise from tp=1"
+    // Tensor-parallel variants: the same model and data under PP×TP.
+    // Bitwise loss parity with the tp=1 trainer is the determinism
+    // contract's acceptance gate; the wall-time ratios are recorded as
+    // `tp_speedup` (lane mode vs tp=1) and `tp_lanes_speedup` (lane
+    // mode vs the serial ring on the same tp=2 program). On a
+    // single-core box the lanes time-slice one CPU, so `tp_speedup`
+    // measures coordination overhead, not parallel compute — read it
+    // next to `available_cores`.
+    let tp2 = run_tp_variant(
+        &model,
+        &data,
+        warmup,
+        2,
+        true,
+        &warm.losses,
+        &fast.losses,
+        "tp=2 (lanes)",
     );
-    for (i, (got, want)) in tp.losses.iter().zip(fast.losses.iter()).enumerate() {
-        assert_eq!(got, want, "step {i}: tp=2 losses diverge bitwise from tp=1");
-    }
-    let tp_collectives = tp_trainer.metrics().counter("tp_collectives_total");
-    assert!(tp_collectives > 0, "tp=2 run executed no collectives");
-    let tp_speedup = secs(median(&fast.walls)) / secs(median(&tp.walls));
+    let tp_speedup = secs(median(&fast.walls)) / secs(median(&tp2.timed.walls));
     println!(
-        "tp=2 (8 shard actors):       median {:>8.2?}  p95 {:>8.2?}  \
+        "tp=2 lanes (8 shard actors): median {:>8.2?}  p95 {:>8.2?}  \
          (bitwise parity OK, {} collectives, tp_speedup {tp_speedup:.2}x)",
-        median(&tp.walls),
-        percentile(&tp.walls, 95.0),
-        tp_collectives,
+        median(&tp2.timed.walls),
+        percentile(&tp2.timed.walls, 95.0),
+        tp2.collectives,
+    );
+    println!(
+        "  wire {:.1} MiB  collective_wait {:.1} ms  overlap_ratio {:.2}",
+        tp2.bytes_wire as f64 / (1024.0 * 1024.0),
+        tp2.wait_us as f64 / 1000.0,
+        tp2.overlap_ratio,
     );
 
-    let json = Json::obj(vec![
+    let mut tp2_serial_json = None;
+    let mut tp4_json = None;
+    let mut lanes_speedup = None;
+    if !quick {
+        // Serial-ring fallback on the identical tp=2 program: the
+        // before/after of the shard-lane rendezvous.
+        let tp2s = run_tp_variant(
+            &model,
+            &data,
+            warmup,
+            2,
+            false,
+            &warm.losses,
+            &fast.losses,
+            "tp=2 (serial ring)",
+        );
+        let ls = secs(median(&tp2s.timed.walls)) / secs(median(&tp2.timed.walls));
+        println!(
+            "tp=2 serial ring:            median {:>8.2?}  p95 {:>8.2?}  \
+             (bitwise parity OK, lanes are {ls:.2}x vs serial)",
+            median(&tp2s.timed.walls),
+            percentile(&tp2s.timed.walls, 95.0),
+        );
+        lanes_speedup = Some(ls);
+        tp2_serial_json = Some(tp_json(2, false, &tp2s));
+
+        // tp=4: 16 shard actors, deeper sharding of the same model.
+        let tp4 = run_tp_variant(
+            &model,
+            &data,
+            warmup,
+            4,
+            true,
+            &warm.losses,
+            &fast.losses,
+            "tp=4 (lanes)",
+        );
+        println!(
+            "tp=4 lanes (16 shard actors): median {:>8.2?}  p95 {:>8.2?}  \
+             (bitwise parity OK, {} collectives, overlap_ratio {:.2})",
+            median(&tp4.timed.walls),
+            percentile(&tp4.timed.walls, 95.0),
+            tp4.collectives,
+            tp4.overlap_ratio,
+        );
+        tp4_json = Some(tp_json(4, true, &tp4));
+    }
+
+    let mut fields = vec![
         (
             "workload",
             Json::Str(format!(
@@ -293,7 +455,10 @@ fn main() {
                  {N_MB} microbatches, gpipe"
             )),
         ),
+        ("quick", Json::Bool(quick)),
         ("threads", Json::Num(THREADS as f64)),
+        ("available_cores", Json::Num(available_cores as f64)),
+        ("warmup_steps", Json::Num(warmup as f64)),
         ("steps", Json::Num(steps as f64)),
         ("median_step_s", Json::Num(secs(median(&fast.walls)))),
         ("p95_step_s", Json::Num(secs(percentile(&fast.walls, 95.0)))),
@@ -307,39 +472,32 @@ fn main() {
                 ("freed", Json::Num(fast.alloc.freed as f64)),
             ]),
         ),
-        (
-            "reference",
-            Json::obj(vec![
-                ("steps", Json::Num(ref_steps as f64)),
-                ("median_step_s", Json::Num(secs(median(ref_walls)))),
-                ("p95_step_s", Json::Num(secs(percentile(ref_walls, 95.0)))),
-                ("rpcs_per_step", Json::Num(reference.rpcs as f64)),
-                ("peak_store_bytes", Json::Num(reference.peak_bytes as f64)),
-            ]),
-        ),
-        ("speedup_median", Json::Num(speedup)),
-        (
-            "tensor_parallel",
-            Json::obj(vec![
-                ("degree", Json::Num(2.0)),
-                ("median_step_s", Json::Num(secs(median(&tp.walls)))),
-                ("p95_step_s", Json::Num(secs(percentile(&tp.walls, 95.0)))),
-                ("collectives_per_run", Json::Num(tp_collectives as f64)),
-                ("bitwise_parity", Json::Bool(true)),
-            ]),
-        ),
-        ("tp_speedup", Json::Num(tp_speedup)),
-        (
-            "tracing",
-            Json::obj(vec![
-                ("untraced_median_step_s", Json::Num(secs(m_off))),
-                ("traced_median_step_s", Json::Num(secs(m_on))),
-                ("traced_overhead", Json::Num(traced_overhead)),
-                ("spans", Json::Num(trace.span_count() as f64)),
-            ]),
-        ),
-    ]);
-    let path = workspace_root().join("BENCH_step.json");
+    ];
+    if let Some(r) = reference_json {
+        fields.push(("reference", r));
+    }
+    if let Some(s) = speedup {
+        fields.push(("speedup_median", Json::Num(s)));
+    }
+    fields.push(("tensor_parallel", tp_json(2, true, &tp2)));
+    if let Some(t) = tp2_serial_json {
+        fields.push(("tensor_parallel_serial", t));
+    }
+    if let Some(t) = tp4_json {
+        fields.push(("tensor_parallel_tp4", t));
+    }
+    fields.push(("tp_speedup", Json::Num(tp_speedup)));
+    if let Some(ls) = lanes_speedup {
+        fields.push(("tp_lanes_speedup", Json::Num(ls)));
+    }
+    if let Some(t) = tracing_json {
+        fields.push(("tracing", t));
+    }
+    let json = Json::obj(fields);
+    let path = match std::env::var("RAXPP_BENCH_OUT") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => workspace_root().join("BENCH_step.json"),
+    };
     write_json(&path, &json);
     println!("wrote {}", path.display());
 }

@@ -20,9 +20,9 @@ use raxpp_runtime::{
 };
 use raxpp_sched::{Schedule, TpMap};
 use raxpp_taskgraph::{
-    check_send_recv_order, insert_frees, pipeline_model, shard_program, unroll_loop, ActorId,
-    BufferId, CompileError, FetchRole, InputPlacement, InputSource, Instr, MpmdProgram, TaskLabel,
-    UnrollOptions,
+    bucket_collectives, check_send_recv_order, insert_frees, pipeline_model, shard_program,
+    unroll_loop, ActorId, BufferId, CompileError, FetchRole, InputPlacement, InputSource, Instr,
+    MpmdProgram, TaskLabel, UnrollOptions,
 };
 
 use crate::optimizer::Optimizer;
@@ -92,6 +92,13 @@ pub struct TpConfig {
     pub rules: AxisRules,
     /// Name of the mesh axis weights are sharded over.
     pub axis: String,
+    /// Shard-lane concurrency override. `None` (the default) defers to
+    /// the runtime's `RAXPP_TP_LANES` environment default (lanes on);
+    /// `Some(0)` or `Some(1)` forces the serial ring fallback;
+    /// `Some(n)` with `n >= 2` forces lane mode. Both modes are
+    /// bitwise-identical; this is a performance/debugging switch, also
+    /// flippable per step via [`Trainer::set_tp_lanes`].
+    pub lanes: Option<usize>,
 }
 
 impl TpConfig {
@@ -107,6 +114,7 @@ impl TpConfig {
             mesh: Mesh::new(&[("model", degree)]).expect("1-D mesh is always valid"),
             rules: AxisRules::new(&[("hidden", "model")]),
             axis: "model".to_string(),
+            lanes: None,
         }
     }
 
@@ -428,6 +436,13 @@ pub fn compile_train_step(
         None => TpMap::new(1),
     };
     insert_frees(program);
+    if tp.degree() > 1 {
+        // Coalesce back-to-back collectives into contiguous buckets
+        // (hoisting the frees insert_frees interleaved) so the lane
+        // runtime's panel streaming sees every collective a Run's
+        // outputs feed directly behind that Run.
+        bucket_collectives(program);
+    }
     check_send_recv_order(program).map_err(|(a, b)| {
         CoreError::BadInput(format!(
             "internal error: send/recv order broken between {a}/{b}"
@@ -442,6 +457,9 @@ pub fn compile_train_step(
     let n_mubatches = schedule.n_mubatches();
     let n_actors = schedule.n_actors();
     let runtime = Runtime::new(compiled.program);
+    if let Some(lanes) = opts.tp.as_ref().and_then(|c| c.lanes) {
+        runtime.set_tp_lanes(lanes > 1);
+    }
     Ok(Trainer {
         runtime,
         n_params,
@@ -584,6 +602,25 @@ impl Trainer {
             self.metrics.inc("tp_collectives_total", collectives);
             let reduced: u64 = out.stats.profiles.iter().map(|p| p.bytes_reduced()).sum();
             self.metrics.inc("tp_bytes_reduced", reduced);
+            let wire: u64 = out.stats.profiles.iter().map(|p| p.bytes_wire()).sum();
+            self.metrics.inc("tp_bytes_wire", wire);
+            let wait_us: u64 = out
+                .stats
+                .profiles
+                .iter()
+                .filter_map(|p| p.get("collective_wait"))
+                .map(|(dur, _)| dur.as_micros() as u64)
+                .sum();
+            self.metrics.inc("tp_collective_wait_us", wait_us);
+            // A contribution published early overlaps its transfer to
+            // all t-1 peers, so the overlapped share of the wire volume
+            // is bytes_overlap × (t-1) out of bytes_wire.
+            let overlap: u64 = out.stats.profiles.iter().map(|p| p.bytes_overlap()).sum();
+            if wire > 0 {
+                let t = self.tp.degree() as u64;
+                self.metrics
+                    .set_gauge("tp_overlap_ratio", (overlap * (t - 1)) as f64 / wire as f64);
+            }
         } else if let Some(trace) = &out.trace {
             // Bubble accounting maps trace actors 1:1 onto pipeline
             // ranks; under tensor parallelism each rank owns `t` actor
@@ -987,6 +1024,15 @@ impl Trainer {
     /// parallelism).
     pub fn tp_degree(&self) -> usize {
         self.tp.degree()
+    }
+
+    /// Switches tensor-parallel collectives between the shard-lane
+    /// rendezvous (`true`, the default) and the serial ring fallback
+    /// (`false`). Both modes are bitwise-identical; the switch latches
+    /// at the next step's dispatch, so a step never mixes modes. No-op
+    /// for tp = 1 programs.
+    pub fn set_tp_lanes(&self, on: bool) {
+        self.runtime.set_tp_lanes(on);
     }
 
     /// Shapes of the model parameters.

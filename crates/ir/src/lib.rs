@@ -47,8 +47,8 @@ pub use dtype::DType;
 pub use error::{IrError, Result};
 pub use graph::{Eqn, GraphBuilder, Jaxpr, VarId};
 pub use interp::{
-    eval, eval_prim, eval_reference, eval_with_stats, eval_with_stats_hooked, set_reference_mode,
-    EvalHook, EvalStats,
+    eval, eval_prim, eval_reference, eval_with_stats, eval_with_stats_hooked,
+    eval_with_stats_observed, set_reference_mode, EvalHook, EvalStats, PanelObserver,
 };
 pub use kernels::{num_threads, set_num_threads};
 pub use optimize::{optimize, OptimizeStats};

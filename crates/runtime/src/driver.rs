@@ -52,10 +52,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use raxpp_ir::{eval_with_stats, eval_with_stats_hooked, EvalStats, Tensor};
-use raxpp_taskgraph::{replace_program, BufferId, Fetch, InputSource, Instr, MpmdProgram};
+use raxpp_ir::{
+    eval_with_stats, eval_with_stats_hooked, eval_with_stats_observed, EvalStats, PanelObserver,
+    Shape, Tensor,
+};
+use raxpp_taskgraph::{
+    replace_program, BufferId, CollectiveKind, Fetch, InputSource, Instr, MpmdProgram,
+};
 
 use crate::error::RuntimeError;
+use crate::lane::{Contribution, GroupState, LaneCtx, LaneGroup, LaneHub, RunSlot};
 use crate::store::{ObjectStore, SendToken};
 use crate::trace::{ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY};
 
@@ -117,6 +123,11 @@ enum Command {
         seq: u64,
         /// Record per-instruction spans into a ring buffer this step.
         traced: bool,
+        /// Execute tensor-parallel collectives through the shared-memory
+        /// lane rendezvous rather than the serial message ring. Latched
+        /// by the driver from the hub's mode switch at dispatch, so all
+        /// lanes of a step agree on the mode.
+        lanes: bool,
     },
     Fetch {
         seq: u64,
@@ -200,6 +211,8 @@ pub struct ActorProfile {
     entries: HashMap<&'static str, (Duration, u32)>,
     alloc: EvalStats,
     bytes_reduced: u64,
+    bytes_wire: u64,
+    bytes_overlap: u64,
 }
 
 impl ActorProfile {
@@ -232,6 +245,24 @@ impl ActorProfile {
     /// invocations still appear under the `"collective"` profile kind).
     pub fn bytes_reduced(&self) -> u64 {
         self.bytes_reduced
+    }
+
+    /// Ring wire volume of *every* tensor-parallel collective on this
+    /// actor this step — `(t-1) × 4 × numel` per collective of any
+    /// kind, including all-gathers (which move blocks without reducing
+    /// and therefore do not appear in [`ActorProfile::bytes_reduced`]).
+    /// Counted identically in lane and serial-ring modes, so overlap
+    /// wins are measurable per kind.
+    pub fn bytes_wire(&self) -> u64 {
+        self.bytes_wire
+    }
+
+    /// Of [`ActorProfile::bytes_wire`], the bytes this actor published
+    /// to the lane rendezvous *early* — row panels streamed out of a
+    /// producing matmul while it was still multiplying, i.e. collective
+    /// payload made available behind compute. Zero in serial-ring mode.
+    pub fn bytes_overlap(&self) -> u64 {
+        self.bytes_overlap
     }
 }
 
@@ -329,6 +360,9 @@ struct Inner {
 pub struct Runtime {
     inner: Mutex<Inner>,
     step_timeout: Duration,
+    /// Lane coordination for tensor-parallel programs (`Some` iff the
+    /// program carries [`raxpp_taskgraph::TpMeta`] with degree > 1).
+    hub: Option<Arc<LaneHub>>,
     /// Whether [`Runtime::step`] records per-instruction span traces.
     tracing: AtomicBool,
     /// The shared zero point of every span timestamp: all actors (and
@@ -350,12 +384,13 @@ fn spawn_actor(
     inbox_rx: Receiver<Msg>,
     tx_row: Vec<Sender<Msg>>,
     origin: Instant,
+    lane: Option<LaneCtx>,
 ) -> ActorLink {
     let (cmd_tx, cmd_rx) = channel::<Command>();
     let (reply_tx, reply_rx) = channel::<Reply>();
     let handle = std::thread::Builder::new()
         .name(format!("raxpp-actor-{a}"))
-        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx, origin))
+        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx, origin, lane))
         .expect("spawn actor thread");
     ActorLink {
         cmd: cmd_tx,
@@ -383,6 +418,11 @@ impl Runtime {
     /// Spawns actor threads and wires their inbox channels.
     pub fn new(program: MpmdProgram) -> Runtime {
         let n = program.n_actors();
+        let hub = program
+            .tp
+            .as_ref()
+            .filter(|m| m.degree > 1)
+            .map(|m| Arc::new(LaneHub::new(n, m)));
         let program = Arc::new(program);
         let origin = Instant::now();
         let mut inbox_tx = Vec::with_capacity(n);
@@ -395,7 +435,10 @@ impl Runtime {
         let actors = inbox_rx
             .into_iter()
             .enumerate()
-            .map(|(a, rx)| spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone(), origin))
+            .map(|(a, rx)| {
+                let lane = hub.as_ref().map(|h| h.ctx_for(a));
+                spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone(), origin, lane)
+            })
             .collect();
         Runtime {
             inner: Mutex::new(Inner {
@@ -408,9 +451,31 @@ impl Runtime {
                 retired: vec![false; n],
             }),
             step_timeout: step_timeout_from_env(),
+            hub,
             tracing: AtomicBool::new(tracing_from_env()),
             origin,
         }
+    }
+
+    /// Switches tensor-parallel execution between shard-lane mode
+    /// (`true`: shared-memory rendezvous, replicated-run dedup,
+    /// compute/communication overlap) and the serial message-ring
+    /// fallback (`false`). Both modes are bitwise-identical; the
+    /// initial mode comes from `RAXPP_TP_LANES` (see
+    /// `docs/parallelism.md`). No-op for programs without tensor
+    /// parallelism. Takes effect on the next [`Runtime::step`].
+    pub fn set_tp_lanes(&self, on: bool) {
+        if let Some(h) = &self.hub {
+            h.serial.store(!on, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the next step will run tensor-parallel collectives in
+    /// shard-lane mode. `false` for programs without tensor parallelism.
+    pub fn tp_lanes_enabled(&self) -> bool {
+        self.hub
+            .as_ref()
+            .is_some_and(|h| !h.serial.load(Ordering::Relaxed))
     }
 
     /// Enables or disables per-instruction step tracing (initially set
@@ -553,6 +618,10 @@ impl Runtime {
         // One fused dispatch per actor (§4.4): the Execute seq is the
         // step epoch tagging every data message of this step.
         let traced = self.tracing.load(Ordering::Relaxed);
+        // Latch the lane mode once per step: every actor of this epoch
+        // must agree (a serial/lanes mix would deadlock one side in the
+        // ring and the other in the rendezvous).
+        let lanes = self.tp_lanes_enabled();
         let start = Instant::now();
         inner.seq += 1;
         let epoch = inner.seq;
@@ -566,7 +635,11 @@ impl Runtime {
             if inner.actors[a].dead
                 || inner.actors[a]
                     .cmd
-                    .send(Command::Execute { seq: epoch, traced })
+                    .send(Command::Execute {
+                        seq: epoch,
+                        traced,
+                        lanes,
+                    })
                     .is_err()
             {
                 inner.actors[a].dead = true;
@@ -1003,7 +1076,8 @@ impl Runtime {
                 }
                 let tx_row = inner.inbox_tx.clone();
                 let program = Arc::clone(&inner.program);
-                inner.actors[a] = spawn_actor(a, program, rx, tx_row, self.origin);
+                let lane = self.hub.as_ref().map(|h| h.ctx_for(a));
+                inner.actors[a] = spawn_actor(a, program, rx, tx_row, self.origin, lane);
                 if !report.respawned.contains(&a) {
                     report.respawned.push(a);
                 }
@@ -1380,6 +1454,21 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking abort probe for lane-rendezvous waits: drains
+    /// whatever sits in the inbox and reports an abort at `epoch` or
+    /// later without consuming it (the abort stays pending so a
+    /// subsequent `Recv`/`recv_from` observes it too). Data messages
+    /// are stashed in the per-peer queues as usual.
+    fn poll_abort(&mut self, epoch: Epoch) -> Option<(usize, String)> {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.intake(msg, epoch);
+        }
+        match &self.pending_abort {
+            Some((e, by, reason)) if *e >= epoch => Some((*by, reason.clone())),
+            _ => None,
+        }
+    }
+
     /// Receives the next current-epoch data message from `from`,
     /// stashing messages from other peers. Any abort for this epoch (or
     /// a later one — the shutdown poison uses `u64::MAX`) ends the wait.
@@ -1438,6 +1527,11 @@ struct ActorState {
     faults: VecDeque<Fault>,
     /// The runtime-wide zero point for span timestamps.
     origin: Instant,
+    /// This actor's lane-group handle when the program is
+    /// tensor-parallel (`None` otherwise).
+    lane: Option<LaneCtx>,
+    /// Lane mode latched from the current `Execute` command.
+    lanes_on: bool,
 }
 
 impl ActorState {
@@ -1475,6 +1569,7 @@ fn actor_main(
     tx_row: Vec<Sender<Msg>>,
     inbox: Receiver<Msg>,
     origin: Instant,
+    lane: Option<LaneCtx>,
 ) {
     let n = tx_row.len();
     let mut st = ActorState {
@@ -1486,16 +1581,33 @@ fn actor_main(
         epoch: 0,
         faults: VecDeque::new(),
         origin,
+        lane,
+        lanes_on: false,
     };
     // The death guard: any exit that is not an orderly shutdown — an
     // injected death or a panic in actor code — broadcasts an abort for
     // the epoch in flight, so no peer blocks forever on this actor. This
     // is the thread-scale stand-in for Ray's actor-death notifications.
     let exit = std::panic::catch_unwind(AssertUnwindSafe(|| actor_loop(&mut st, &cmd, &reply)));
+    let poison_group = |reason: &str| {
+        // Lane peers may be parked on the group condvar (not the
+        // mailbox), so the death poison must reach both.
+        if let Some(l) = &st.lane {
+            l.group.poison(st.epoch, me, reason);
+        }
+    };
     match exit {
         Ok(Exit::Clean) => {}
-        Ok(Exit::Died) => st.broadcast_abort(st.epoch, &format!("actor {me} died")),
-        Err(_) => st.broadcast_abort(st.epoch, &format!("actor {me} panicked")),
+        Ok(Exit::Died) => {
+            let reason = format!("actor {me} died");
+            poison_group(&reason);
+            st.broadcast_abort(st.epoch, &reason);
+        }
+        Err(_) => {
+            let reason = format!("actor {me} panicked");
+            poison_group(&reason);
+            st.broadcast_abort(st.epoch, &reason);
+        }
     }
     // Dropping `reply` here tells the driver this actor is gone.
 }
@@ -1526,7 +1638,7 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     return Exit::Clean;
                 }
             }
-            Command::Execute { seq, traced } => {
+            Command::Execute { seq, traced, lanes } => {
                 // Same boundary reclaim as Place: an actor whose stream
                 // tail had no Recvs can survive a peer's abort without
                 // ever observing it, replying Ok while holding ghost
@@ -1535,17 +1647,31 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                 // bytes until reclaimed here.
                 st.store.abandon_outstanding_sends();
                 st.epoch = seq;
+                st.lanes_on = lanes && st.lane.is_some();
                 st.mailbox.purge_stale(seq);
+                if let Some(l) = &st.lane {
+                    // Retire the previous epoch's rendezvous slots and
+                    // poison before any lane can touch this epoch's.
+                    l.group.begin_epoch(seq);
+                }
                 let mut ring = traced.then(|| SpanRing::new(DEFAULT_SPAN_CAPACITY));
                 let result = match execute_stream(st, &mut ring) {
                     Ok(profile) => Ok(profile),
                     Err(StreamFailure::Die) => return Exit::Died,
                     Err(StreamFailure::Error(message)) => {
+                        if let Some(l) = &st.lane {
+                            l.group.poison(seq, st.me, &message);
+                        }
                         st.broadcast_abort(seq, &message);
                         st.store.abandon_outstanding_sends();
                         Err(ExecFailure::Error(message))
                     }
                     Err(StreamFailure::Aborted { by, reason }) => {
+                        if let Some(l) = &st.lane {
+                            // Cascade: lane peers parked on the condvar
+                            // can't see the mailbox abort that woke us.
+                            l.group.poison(seq, by, &reason);
+                        }
                         st.store.abandon_outstanding_sends();
                         Err(ExecFailure::Aborted { by, reason })
                     }
@@ -1685,6 +1811,442 @@ fn check_fault(st: &mut ActorState, idx: usize, instr: &Instr) -> Result<(), Str
     }
 }
 
+/// How long a lane parks on the group condvar between abort probes.
+const LANE_POLL: Duration = Duration::from_millis(1);
+
+/// Parks the calling lane until `check` yields a value. Wakes on group
+/// notifications and honours the group poison; also polls the actor
+/// mailbox so aborts originating outside the lane group (driver
+/// timeout poison, a non-lane peer's failure) bound the wait — those
+/// are echoed into the group poison so condvar-parked peers fail fast
+/// too.
+fn lane_wait<T>(
+    mailbox: &mut Mailbox,
+    group: &LaneGroup,
+    epoch: Epoch,
+    mut check: impl FnMut(&mut GroupState) -> Option<T>,
+) -> Result<T, StreamFailure> {
+    let mut guard = group.state.lock().unwrap();
+    loop {
+        if let Some((e, by, reason)) = &guard.poison {
+            if *e >= epoch {
+                return Err(StreamFailure::Aborted {
+                    by: *by,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        if let Some(v) = check(&mut guard) {
+            return Ok(v);
+        }
+        let (g, _) = group.cv.wait_timeout(guard, LANE_POLL).unwrap();
+        guard = g;
+        if let Some((by, reason)) = mailbox.poll_abort(epoch) {
+            drop(guard);
+            group.poison(epoch, by, &reason);
+            return Err(StreamFailure::Aborted { by, reason });
+        }
+    }
+}
+
+/// Maps each `Run` output position to the stream index of the
+/// collective in the directly following collective bucket that consumes
+/// it as `src` (`None` for positions feeding no collective). The scan
+/// skips `Free` instructions — a buffer consumed by a collective is
+/// freed *after* it, so an intervening free can never invalidate a
+/// bucket member — and stops at the first compute/transport
+/// instruction, which could redefine buffers. Returns `None` when no
+/// output feeds a collective — the common case, skipping observer
+/// setup entirely.
+fn collective_targets(
+    stream: &[Instr],
+    idx: usize,
+    outputs: &[BufferId],
+) -> Option<Vec<Option<u32>>> {
+    let mut targets: Vec<Option<u32>> = vec![None; outputs.len()];
+    let mut any = false;
+    for (j, next) in stream.iter().enumerate().skip(idx + 1) {
+        let src = match next {
+            Instr::Collective { src, .. } => src,
+            Instr::Free { .. } => continue,
+            _ => break,
+        };
+        if let Some(pos) = outputs.iter().position(|b| b == src) {
+            if targets[pos].is_none() {
+                targets[pos] = Some(j as u32);
+                any = true;
+            }
+        }
+    }
+    any.then_some(targets)
+}
+
+/// Streams completed matmul row panels into the lane rendezvous as
+/// staged collective contributions — the communication half of
+/// compute/communication overlap. Peers waiting on the collective can
+/// assemble as soon as the last panel lands, while this lane is still
+/// computing its remaining outputs.
+struct LaneObserver<'a> {
+    lane: &'a LaneCtx,
+    epoch: Epoch,
+    /// Run output position → following collective's stream index.
+    targets: Vec<Option<u32>>,
+    /// Bytes published panel-wise (feeds `ActorProfile::bytes_overlap`).
+    bytes: u64,
+}
+
+impl PanelObserver for LaneObserver<'_> {
+    fn wants(&mut self, out_idx: usize) -> bool {
+        matches!(self.targets.get(out_idx), Some(Some(_)))
+    }
+
+    fn begin(&mut self, out_idx: usize, shape: &Shape) {
+        let Some(Some(coll)) = self.targets.get(out_idx) else {
+            return;
+        };
+        let key = (self.epoch, *coll);
+        let degree = self.lane.group.degree;
+        let mut s = self.lane.group.state.lock().unwrap();
+        let slot = s.coll_slot(key, degree);
+        if slot.parts[self.lane.rank].is_none() {
+            slot.parts[self.lane.rank] = Some(Contribution::Staging {
+                shape: shape.clone(),
+                buf: vec![0.0; shape.numel()],
+                filled: 0,
+            });
+        }
+    }
+
+    fn publish(&mut self, out_idx: usize, row0: usize, row_len: usize, data: &[f32]) {
+        let Some(Some(coll)) = self.targets.get(out_idx) else {
+            return;
+        };
+        let key = (self.epoch, *coll);
+        let degree = self.lane.group.degree;
+        let mut s = self.lane.group.state.lock().unwrap();
+        let slot = s.coll_slot(key, degree);
+        let part = &mut slot.parts[self.lane.rank];
+        let complete = match part {
+            Some(Contribution::Staging { buf, filled, .. }) => {
+                let off = row0 * row_len;
+                buf[off..off + data.len()].copy_from_slice(data);
+                *filled += data.len();
+                *filled == buf.len()
+            }
+            // A `Ready` part (or none) means this output isn't staging
+            // (e.g. a later duplicate publish after completion): ignore.
+            _ => false,
+        };
+        self.bytes += 4 * data.len() as u64;
+        if complete {
+            if let Some(Contribution::Staging { shape, buf, .. }) = part.take() {
+                let t = Tensor::from_vec(shape, buf).expect("staged panels cover the shape");
+                *part = Some(Contribution::Ready(t));
+            }
+            drop(s);
+            self.lane.group.cv.notify_all();
+        }
+    }
+}
+
+/// Block assembly for disjoint `-0.0`-padded all-reduce contributions:
+/// bitwise-equal to the legacy rank-ascending fold because
+/// `x + (-0.0) == x` *bit for bit* for every finite or infinite `f32`
+/// (including both zeros, under round-to-nearest), so summing the
+/// padded tensors equals copying each rank's own block into place.
+fn assemble_disjoint_blocks(parts: &[Tensor], dim: usize) -> Tensor {
+    let t = parts.len();
+    let shape = parts[0].shape().clone();
+    let full = shape.dim(dim);
+    let blk = full / t;
+    let rows = shape.numel() / full.max(1);
+    let mut out = vec![0.0f32; shape.numel()];
+    for (r, p) in parts.iter().enumerate() {
+        let data = p.data();
+        debug_assert!(
+            data.iter().enumerate().all(|(i, v)| {
+                let col = i % full;
+                (r * blk..(r + 1) * blk).contains(&col) || v.to_bits() == (-0.0f32).to_bits()
+            }),
+            "disjoint_reduce contribution padding is not -0.0"
+        );
+        for row in 0..rows {
+            let off = row * full + r * blk;
+            out[off..off + blk].copy_from_slice(&data[off..off + blk]);
+        }
+    }
+    Tensor::from_vec(shape, out).expect("assembled buffer matches contribution shape")
+}
+
+/// Combines a lane group's contributions exactly as the legacy ring
+/// combine does — rank-ascending concat for all-gather, rank-ascending
+/// left-fold sum for the reduces — with a block-assembly fast path for
+/// disjoint all-reduces (see [`assemble_disjoint_blocks`]). The
+/// reduce-scatter's per-rank slice happens at the taker, not here.
+fn combine_collective(
+    kind: &CollectiveKind,
+    dim: usize,
+    parts: &[Tensor],
+    disjoint: bool,
+) -> Result<Tensor, String> {
+    let t = parts.len();
+    let shape = parts[0].shape();
+    if let Some(p) = parts.iter().find(|p| p.shape() != shape) {
+        return Err(format!(
+            "collective contribution shape mismatch: {} vs {shape}",
+            p.shape()
+        ));
+    }
+    match kind {
+        CollectiveKind::AllGather => {
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Tensor::concat(&refs, dim).map_err(|e| e.to_string())
+        }
+        CollectiveKind::AllReduce
+            if disjoint
+                && shape.rank() >= 1
+                && dim == shape.rank() - 1
+                && shape.dim(dim).is_multiple_of(t) =>
+        {
+            Ok(assemble_disjoint_blocks(parts, dim))
+        }
+        CollectiveKind::AllReduce | CollectiveKind::ReduceScatter => {
+            let mut acc = parts[0].clone();
+            for p in &parts[1..] {
+                acc = acc.zip(p, |a, b| a + b).map_err(|e| e.to_string())?;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// One collective through the in-actor lane rendezvous: publish this
+/// lane's contribution (unless panel streaming already staged it), wait
+/// for the group, and share a single assembly. Returns the combined
+/// tensor (per-rank block for reduce-scatter), the contribution element
+/// count, and the wait interval for profiling.
+fn lane_collective(
+    st: &mut ActorState,
+    l: &LaneCtx,
+    idx: usize,
+    kind: &CollectiveKind,
+    dst: BufferId,
+    src: BufferId,
+    dim: usize,
+) -> Result<(Tensor, usize, Instant, Duration), StreamFailure> {
+    let epoch = st.epoch;
+    let t = l.group.degree;
+    let rank = l.rank;
+    let key = (epoch, idx as u32);
+    // The store lookup stays on the lane path too: a missing buffer is
+    // the same programming error in either mode, and its numel feeds
+    // the wire accounting.
+    let own = st
+        .store
+        .get(src)
+        .cloned()
+        .ok_or_else(|| StreamFailure::Error(format!("collective of missing buffer {src}")))?;
+    let numel = own.numel();
+    {
+        let mut s = l.group.state.lock().unwrap();
+        let slot = s.coll_slot(key, t);
+        if slot.meta.is_none() {
+            slot.meta = Some((*kind, dim));
+        }
+        if slot.parts[rank].is_none() {
+            slot.parts[rank] = Some(Contribution::Ready(own));
+        }
+        drop(s);
+        l.group.cv.notify_all();
+    }
+    // Either a peer already assembled (take the shared result), or all
+    // contributions are ready and assembly falls to this lane.
+    enum Next {
+        Done(Result<Tensor, String>),
+        Assemble(Vec<Tensor>),
+    }
+    let wait_start = Instant::now();
+    let next = lane_wait(&mut st.mailbox, &l.group, epoch, |s| {
+        let slot = s.coll_slot(key, t);
+        if let Some(r) = &slot.assembled {
+            slot.takers += 1;
+            let r = r.clone();
+            if slot.takers == t {
+                s.colls.remove(&key);
+            }
+            return Some(Next::Done(r));
+        }
+        if !slot.assembling
+            && slot
+                .parts
+                .iter()
+                .all(|p| matches!(p, Some(Contribution::Ready(_))))
+        {
+            slot.assembling = true;
+            let parts = slot
+                .parts
+                .iter()
+                .map(|p| match p {
+                    Some(Contribution::Ready(t)) => t.clone(),
+                    _ => unreachable!("all parts checked Ready above"),
+                })
+                .collect();
+            return Some(Next::Assemble(parts));
+        }
+        None
+    })?;
+    let wait = wait_start.elapsed();
+    let full = match next {
+        Next::Done(r) => r,
+        Next::Assemble(parts) => {
+            // Combine outside the lock (the heavy part), then share.
+            let r = combine_collective(kind, dim, &parts, l.disjoint_reduce);
+            let mut s = l.group.state.lock().unwrap();
+            let slot = s.coll_slot(key, t);
+            slot.assembled = Some(r.clone());
+            slot.assembling = false;
+            slot.takers += 1;
+            if slot.takers == t {
+                s.colls.remove(&key);
+            }
+            drop(s);
+            l.group.cv.notify_all();
+            r
+        }
+    }
+    .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?;
+    // Reduce-scatter: every lane slices its own block of the shared
+    // accumulator — exactly the legacy per-rank slice.
+    let combined = if matches!(kind, CollectiveKind::ReduceScatter) {
+        let blk = full.shape().dim(dim) / t;
+        full.slice_dim(dim, rank * blk, blk)
+            .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?
+    } else {
+        full
+    };
+    Ok((combined, numel, wait_start, wait))
+}
+
+/// The serial-fallback collective: a ring exchange over the ordinary
+/// message fabric — t-1 rounds in which rank i forwards the
+/// contribution that originated at rank (i - round) mod t to rank i+1
+/// and receives origin (i - round - 1) mod t from rank i-1. Messages
+/// travel under the originator's wire id, so the §4.2 per-pair FIFO
+/// matching-order discipline holds across back-to-back collectives, and
+/// every message is epoch-tagged like any other send, so aborts and
+/// stale drains work unchanged. This is the bitwise reference the lane
+/// rendezvous must match.
+#[allow(clippy::too_many_arguments)]
+fn legacy_ring_collective(
+    st: &mut ActorState,
+    me: usize,
+    epoch: Epoch,
+    kind: &CollectiveKind,
+    dst: BufferId,
+    src: BufferId,
+    group: &[usize],
+    wires: &[BufferId],
+    dim: usize,
+    profile: &mut ActorProfile,
+    traced: bool,
+    span_name: &mut String,
+    span_bytes: &mut u64,
+) -> Result<(), StreamFailure> {
+    let t = group.len();
+    let rank = group.iter().position(|&g| g == me).ok_or_else(|| {
+        StreamFailure::Error(format!("actor {me} not in collective group {group:?}"))
+    })?;
+    let own = st
+        .store
+        .get(src)
+        .cloned()
+        .ok_or_else(|| StreamFailure::Error(format!("collective of missing buffer {src}")))?;
+    let contrib_shape = own.shape().clone();
+    let mut parts: Vec<Option<Tensor>> = vec![None; t];
+    parts[rank] = Some(own);
+    let next = group[(rank + 1) % t];
+    let prev = group[(rank + t - 1) % t];
+    let mut ring_bytes = 0u64;
+    for round in 0..t - 1 {
+        let send_origin = (rank + t - round) % t;
+        let outgoing = parts[send_origin]
+            .clone()
+            .expect("ring invariant: contribution present");
+        st.tx_row[next]
+            .send(Msg {
+                from: me,
+                epoch,
+                payload: Payload::Data(wires[send_origin], outgoing, SendToken::new()),
+            })
+            .map_err(|_| StreamFailure::Aborted {
+                by: next,
+                reason: format!("actor {next} hung up"),
+            })?;
+        let recv_origin = (rank + t - round - 1) % t;
+        let (id, incoming, token) = st
+            .mailbox
+            .recv_from(prev, epoch)
+            .map_err(|(by, reason)| StreamFailure::Aborted { by, reason })?;
+        if id != wires[recv_origin] {
+            return Err(StreamFailure::Error(format!(
+                "collective ring out of order: expected {}, got {id}",
+                wires[recv_origin]
+            )));
+        }
+        if incoming.shape() != &contrib_shape {
+            return Err(StreamFailure::Error(format!(
+                "collective contribution shape mismatch: {} vs {contrib_shape}",
+                incoming.shape()
+            )));
+        }
+        token.complete();
+        ring_bytes += 4 * incoming.numel() as u64;
+        parts[recv_origin] = Some(incoming);
+    }
+    // Local combine, identical on every rank: rank-ascending
+    // concatenation or left-fold sum — no rank-dependent association, so
+    // results are bitwise-identical across ranks and to the unsharded
+    // program.
+    let parts: Vec<Tensor> = parts.into_iter().map(Option::unwrap).collect();
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    let combined = match kind {
+        CollectiveKind::AllGather => Tensor::concat(&refs, dim),
+        CollectiveKind::AllReduce | CollectiveKind::ReduceScatter => {
+            let mut acc = parts[0].clone();
+            let mut err = None;
+            for p in &parts[1..] {
+                match acc.zip(p, |a, b| a + b) {
+                    Ok(s) => acc = s,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match err {
+                Some(e) => Err(e),
+                None if matches!(kind, CollectiveKind::ReduceScatter) => {
+                    let blk = acc.shape().dim(dim) / t;
+                    acc.slice_dim(dim, rank * blk, blk)
+                }
+                None => Ok(acc),
+            }
+        }
+    }
+    .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?;
+    let wire = (t as u64 - 1) * 4 * contrib_shape.numel() as u64;
+    profile.bytes_wire += wire;
+    if !matches!(kind, CollectiveKind::AllGather) {
+        profile.bytes_reduced += wire;
+    }
+    if traced {
+        *span_name = format!("{kind} {dst} (rank {rank}/{t})");
+        *span_bytes = ring_bytes;
+    }
+    st.store.insert(dst, combined);
+    Ok(())
+}
+
 fn execute_stream(
     st: &mut ActorState,
     ring: &mut Option<SpanRing>,
@@ -1695,6 +2257,9 @@ fn execute_stream(
     let traced = ring.is_some();
     let program = Arc::clone(&st.program);
     let mut profile = ActorProfile::default();
+    // The lane context for this step (cheap Arc clones), present only
+    // when the step was dispatched in lane mode.
+    let lane = if st.lanes_on { st.lane.clone() } else { None };
     for (idx, instr) in program.actors[me].iter().enumerate() {
         check_fault(st, idx, instr)?;
         // Span bookkeeping lives behind `traced`: the untraced path pays
@@ -1713,38 +2278,131 @@ fn execute_stream(
                 outputs,
                 label,
             } => {
-                // O(1) handle copies; the store keeps its references, so
-                // the interpreter can never mutate resident buffers.
-                let args: Vec<Tensor> = inputs
-                    .iter()
-                    .map(|b| {
-                        st.store.get(*b).cloned().ok_or_else(|| {
-                            StreamFailure::Error(format!("{label}: missing input {b}"))
-                        })
-                    })
-                    .collect::<Result<_, StreamFailure>>()?;
-                let graph = &program.jaxprs[jaxpr.0 as usize];
-                let (outs, stats) = if traced {
-                    let mut hook = |_i: usize, name: &'static str, s: Instant, e: Instant| {
-                        op_spans.push(SpanEvent {
-                            instr: idx as u32,
-                            kind: "op",
-                            name: name.to_string(),
-                            start_ns: s.saturating_duration_since(origin).as_nanos() as u64,
-                            dur_ns: e.saturating_duration_since(s).as_nanos() as u64,
-                            bytes: 0,
-                            alloc: None,
-                        });
+                // Replicated-run dedup: a jaxpr replicated verbatim
+                // across the lane group computes bit-identical outputs
+                // on every rank from bit-identical replicated inputs,
+                // so one lane executes it and the others adopt the
+                // result (O(1) Arc handle clones; in-place stealing in
+                // later runs is safe because every consumer holds store
+                // clones, keeping shared buffers non-uniquely owned).
+                let dedup = lane
+                    .as_ref()
+                    .filter(|l| l.replicated.get(jaxpr.0 as usize).copied().unwrap_or(false));
+                let key = (epoch, idx as u32);
+                let mut adopted: Option<Vec<Tensor>> = None;
+                if let Some(l) = dedup {
+                    let claimed = {
+                        let mut s = l.group.state.lock().unwrap();
+                        match s.runs.entry(key) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(RunSlot::Claimed);
+                                true
+                            }
+                            std::collections::hash_map::Entry::Occupied(_) => false,
+                        }
                     };
-                    eval_with_stats_hooked(graph, &args, Some(&mut hook))
-                } else {
-                    eval_with_stats(graph, &args)
+                    if !claimed {
+                        let degree = l.group.degree;
+                        let outs = lane_wait(&mut st.mailbox, &l.group, epoch, |s| {
+                            match s.runs.get_mut(&key) {
+                                Some(RunSlot::Done { outs, takers }) => {
+                                    *takers += 1;
+                                    let o = outs.clone();
+                                    if *takers == degree {
+                                        s.runs.remove(&key);
+                                    }
+                                    Some(o)
+                                }
+                                _ => None,
+                            }
+                        })?;
+                        adopted = Some(outs);
+                    }
                 }
-                .map_err(|e| StreamFailure::Error(format!("{label}: {e}")))?;
-                profile.alloc.merge(&stats);
+                let outs = match adopted {
+                    Some(outs) => outs,
+                    None => {
+                        // O(1) handle copies; the store keeps its
+                        // references, so the interpreter can never
+                        // mutate resident buffers.
+                        let args: Vec<Tensor> = inputs
+                            .iter()
+                            .map(|b| {
+                                st.store.get(*b).cloned().ok_or_else(|| {
+                                    StreamFailure::Error(format!("{label}: missing input {b}"))
+                                })
+                            })
+                            .collect::<Result<_, StreamFailure>>()?;
+                        let graph = &program.jaxprs[jaxpr.0 as usize];
+                        // Compute/communication overlap: outputs that
+                        // feed the collective bucket directly after this
+                        // Run stream their row panels into the
+                        // rendezvous while the matmul is still running.
+                        let mut observer = match &lane {
+                            Some(l) if dedup.is_none() => {
+                                collective_targets(&program.actors[me], idx, outputs).map(
+                                    |targets| LaneObserver {
+                                        lane: l,
+                                        epoch,
+                                        targets,
+                                        bytes: 0,
+                                    },
+                                )
+                            }
+                            _ => None,
+                        };
+                        let mut hook_fn;
+                        let hook: Option<raxpp_ir::EvalHook<'_>> = if traced {
+                            hook_fn = |_i: usize, name: &'static str, s: Instant, e: Instant| {
+                                op_spans.push(SpanEvent {
+                                    instr: idx as u32,
+                                    kind: "op",
+                                    name: name.to_string(),
+                                    start_ns: s.saturating_duration_since(origin).as_nanos() as u64,
+                                    dur_ns: e.saturating_duration_since(s).as_nanos() as u64,
+                                    bytes: 0,
+                                    alloc: None,
+                                });
+                            };
+                            Some(&mut hook_fn)
+                        } else {
+                            None
+                        };
+                        let (outs, stats) = match observer.as_mut() {
+                            Some(obs) => eval_with_stats_observed(
+                                graph,
+                                &args,
+                                hook,
+                                Some(obs as &mut dyn PanelObserver),
+                            ),
+                            None if traced => eval_with_stats_hooked(graph, &args, hook),
+                            None => eval_with_stats(graph, &args),
+                        }
+                        .map_err(|e| StreamFailure::Error(format!("{label}: {e}")))?;
+                        if let Some(obs) = &observer {
+                            profile.bytes_overlap += obs.bytes;
+                        }
+                        profile.alloc.merge(&stats);
+                        if traced {
+                            span_alloc = Some(stats);
+                        }
+                        if let Some(l) = dedup {
+                            let mut s = l.group.state.lock().unwrap();
+                            s.runs.insert(
+                                key,
+                                RunSlot::Done {
+                                    outs: outs.clone(),
+                                    takers: 1,
+                                },
+                            );
+                            drop(s);
+                            l.group.cv.notify_all();
+                        }
+                        outs
+                    }
+                };
                 if traced {
                     span_name = format!("{label}");
-                    span_alloc = Some(stats);
                 }
                 for (b, t) in outputs.iter().zip(outs) {
                     st.store.insert(*b, t);
@@ -1833,104 +2491,56 @@ fn execute_stream(
                 wires,
                 dim,
             } => {
-                // Ring exchange over the ordinary message fabric: t-1
-                // rounds in which rank i forwards the contribution that
-                // originated at rank (i - round) mod t to rank i+1 and
-                // receives origin (i - round - 1) mod t from rank i-1.
-                // Messages travel under the originator's wire id, so the
-                // §4.2 per-pair FIFO matching-order discipline holds
-                // across back-to-back collectives, and every message is
-                // epoch-tagged like any other send, so aborts and stale
-                // drains work unchanged.
-                let t = group.len();
-                let rank = group.iter().position(|&g| g == me).ok_or_else(|| {
-                    StreamFailure::Error(format!("actor {me} not in collective group {group:?}"))
-                })?;
-                let own = st.store.get(*src).cloned().ok_or_else(|| {
-                    StreamFailure::Error(format!("collective of missing buffer {src}"))
-                })?;
-                let contrib_shape = own.shape().clone();
-                let mut parts: Vec<Option<Tensor>> = vec![None; t];
-                parts[rank] = Some(own);
-                let next = group[(rank + 1) % t];
-                let prev = group[(rank + t - 1) % t];
-                let mut ring_bytes = 0u64;
-                for round in 0..t - 1 {
-                    let send_origin = (rank + t - round) % t;
-                    let outgoing = parts[send_origin]
-                        .clone()
-                        .expect("ring invariant: contribution present");
-                    st.tx_row[next]
-                        .send(Msg {
-                            from: me,
-                            epoch,
-                            payload: Payload::Data(wires[send_origin], outgoing, SendToken::new()),
-                        })
-                        .map_err(|_| StreamFailure::Aborted {
-                            by: next,
-                            reason: format!("actor {next} hung up"),
-                        })?;
-                    let recv_origin = (rank + t - round - 1) % t;
-                    let (id, incoming, token) = st
-                        .mailbox
-                        .recv_from(prev, epoch)
-                        .map_err(|(by, reason)| StreamFailure::Aborted { by, reason })?;
-                    if id != wires[recv_origin] {
-                        return Err(StreamFailure::Error(format!(
-                            "collective ring out of order: expected {}, got {id}",
-                            wires[recv_origin]
-                        )));
+                if let Some(l) = &lane {
+                    // Lane rendezvous: contributions meet in shared
+                    // memory (possibly pre-staged panel-by-panel by the
+                    // producing matmul), one lane assembles, all lanes
+                    // share the result — zero ring messages. `group`
+                    // and `wires` drive only the serial fallback; lane
+                    // membership is positional (`host*t + rank`) by
+                    // construction.
+                    let t = l.group.degree;
+                    let rank = l.rank;
+                    let (combined, contrib_numel, wait_start, wait_dur) =
+                        lane_collective(st, l, idx, kind, *dst, *src, *dim)?;
+                    let wire = (t as u64 - 1) * 4 * contrib_numel as u64;
+                    profile.bytes_wire += wire;
+                    if !matches!(kind, CollectiveKind::AllGather) {
+                        profile.bytes_reduced += wire;
                     }
-                    if incoming.shape() != &contrib_shape {
-                        return Err(StreamFailure::Error(format!(
-                            "collective contribution shape mismatch: {} vs {contrib_shape}",
-                            incoming.shape()
-                        )));
+                    profile.record("collective_wait", wait_dur);
+                    if traced {
+                        span_name = format!("{kind} {dst} (rank {rank}/{t})");
+                        span_bytes = wire;
+                        op_spans.push(SpanEvent {
+                            instr: idx as u32,
+                            kind: "collective_wait",
+                            name: format!("collective_wait (rank {rank}/{t})"),
+                            start_ns: wait_start.saturating_duration_since(origin).as_nanos()
+                                as u64,
+                            dur_ns: wait_dur.as_nanos() as u64,
+                            bytes: 0,
+                            alloc: None,
+                        });
                     }
-                    token.complete();
-                    ring_bytes += 4 * incoming.numel() as u64;
-                    parts[recv_origin] = Some(incoming);
+                    st.store.insert(*dst, combined);
+                } else {
+                    legacy_ring_collective(
+                        st,
+                        me,
+                        epoch,
+                        kind,
+                        *dst,
+                        *src,
+                        group,
+                        wires,
+                        *dim,
+                        &mut profile,
+                        traced,
+                        &mut span_name,
+                        &mut span_bytes,
+                    )?;
                 }
-                // Local combine, identical on every rank: rank-ascending
-                // concatenation or left-fold sum — no rank-dependent
-                // association, so results are bitwise-identical across
-                // ranks and to the unsharded program.
-                let parts: Vec<Tensor> = parts.into_iter().map(Option::unwrap).collect();
-                let refs: Vec<&Tensor> = parts.iter().collect();
-                use raxpp_taskgraph::CollectiveKind;
-                let combined = match kind {
-                    CollectiveKind::AllGather => Tensor::concat(&refs, *dim),
-                    CollectiveKind::AllReduce | CollectiveKind::ReduceScatter => {
-                        let mut acc = parts[0].clone();
-                        let mut err = None;
-                        for p in &parts[1..] {
-                            match acc.zip(p, |a, b| a + b) {
-                                Ok(s) => acc = s,
-                                Err(e) => {
-                                    err = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                        match err {
-                            Some(e) => Err(e),
-                            None if matches!(kind, CollectiveKind::ReduceScatter) => {
-                                let blk = acc.shape().dim(*dim) / t;
-                                acc.slice_dim(*dim, rank * blk, blk)
-                            }
-                            None => Ok(acc),
-                        }
-                    }
-                }
-                .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?;
-                if !matches!(kind, CollectiveKind::AllGather) {
-                    profile.bytes_reduced += (t as u64 - 1) * 4 * contrib_shape.numel() as u64;
-                }
-                if traced {
-                    span_name = format!("{kind} {dst} (rank {rank}/{t})");
-                    span_bytes = ring_bytes;
-                }
-                st.store.insert(*dst, combined);
             }
         }
         let kind = match instr {

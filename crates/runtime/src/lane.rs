@@ -1,0 +1,216 @@
+//! In-actor rendezvous for tensor-parallel shard lanes.
+//!
+//! When a compiled program carries [`TpMeta`] (it was expanded by
+//! `shard_program`), the `t` rank streams of each pipeline host already
+//! run on their own actor threads. In the default *lane* mode those
+//! threads coordinate through the shared-memory structures in this
+//! module instead of the per-collective `(t-1)`-round message ring:
+//!
+//! * every [`crate::Instr::Collective`] resolves through a [`CollSlot`]
+//!   — each lane publishes its contribution (possibly panel-by-panel,
+//!   streamed out of the producing matmul while it is still
+//!   multiplying), the first lane to see all contributions assembles
+//!   the combined tensor once, and all lanes share the result — versus
+//!   `t` serialized ring walks each re-deriving the same combine;
+//! * replicated jaxprs ([`TpMeta::replicated`]) execute once per group
+//!   through a [`RunSlot`] and the other lanes adopt the outputs (O(1)
+//!   `Arc` handle clones) instead of recomputing them `t` times.
+//!
+//! Both transformations preserve the bitwise contract: the assembly is
+//! either the exact legacy rank-ascending fold/concat, or (for
+//! disjoint `-0.0`-padded all-reduces, [`TpMeta::disjoint_reduce`]) a
+//! block copy that equals that fold bit for bit; replicated runs are
+//! bit-identical on every rank by the replicated-buffer invariant, so
+//! executing one of them is indistinguishable from executing all.
+//!
+//! Failure discipline: any lane that fails (task error, cascade abort,
+//! injected death) *poisons* its group for the epoch, waking every
+//! parked peer; waits also poll the actor mailbox so aborts arriving
+//! from outside the group (driver timeout, non-lane peers) bound the
+//! wait too. See `driver.rs` for the wait loop itself.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Condvar, Mutex};
+
+use raxpp_ir::{Shape, Tensor};
+use raxpp_taskgraph::{CollectiveKind, TpMeta};
+
+/// A step sequence number (the driver's `Execute` seq).
+type Epoch = u64;
+
+/// Default lane mode from `RAXPP_TP_LANES`: `"0"` or `"1"` selects the
+/// serial fallback (one lane's worth of concurrency, i.e. the legacy
+/// ring path); anything else — including unset — enables lanes.
+pub(crate) fn lanes_default_from_env() -> bool {
+    !matches!(
+        std::env::var("RAXPP_TP_LANES").as_deref(),
+        Ok("0") | Ok("1")
+    )
+}
+
+/// Runtime-wide lane coordination: one [`LaneGroup`] per pipeline host,
+/// shared by that host's `t` rank actors. Built once from the
+/// program's [`TpMeta`]; immutable except for the `serial` switch.
+pub(crate) struct LaneHub {
+    /// When set, actors run collectives over the legacy message ring
+    /// (the serial fallback). Latched into each `Execute` dispatch so a
+    /// step never mixes modes across lanes.
+    pub(crate) serial: AtomicBool,
+    degree: usize,
+    groups: Vec<Arc<LaneGroup>>,
+    replicated: Arc<Vec<bool>>,
+    disjoint_reduce: bool,
+}
+
+impl LaneHub {
+    pub(crate) fn new(n_actors: usize, meta: &TpMeta) -> LaneHub {
+        let degree = meta.degree;
+        LaneHub {
+            serial: AtomicBool::new(!lanes_default_from_env()),
+            degree,
+            groups: (0..n_actors.div_ceil(degree))
+                .map(|_| Arc::new(LaneGroup::new(degree)))
+                .collect(),
+            replicated: Arc::new(meta.replicated.clone()),
+            disjoint_reduce: meta.disjoint_reduce,
+        }
+    }
+
+    /// The lane context actor `a` executes under: its host's group and
+    /// its rank within it.
+    pub(crate) fn ctx_for(&self, a: usize) -> LaneCtx {
+        LaneCtx {
+            group: Arc::clone(&self.groups[a / self.degree]),
+            rank: a % self.degree,
+            replicated: Arc::clone(&self.replicated),
+            disjoint_reduce: self.disjoint_reduce,
+        }
+    }
+}
+
+/// One actor's handle into its lane group (cheap to clone: two `Arc`s).
+#[derive(Clone)]
+pub(crate) struct LaneCtx {
+    pub(crate) group: Arc<LaneGroup>,
+    /// This actor's rank within the group (`me % degree`).
+    pub(crate) rank: usize,
+    /// Per-jaxpr replication flags ([`TpMeta::replicated`]).
+    pub(crate) replicated: Arc<Vec<bool>>,
+    /// Whether all-reduces may use block assembly
+    /// ([`TpMeta::disjoint_reduce`]).
+    pub(crate) disjoint_reduce: bool,
+}
+
+/// The rendezvous shared by the `t` rank actors of one pipeline host.
+pub(crate) struct LaneGroup {
+    pub(crate) state: Mutex<GroupState>,
+    pub(crate) cv: Condvar,
+    pub(crate) degree: usize,
+}
+
+/// Mutable rendezvous state, keyed by `(epoch, instruction index)` —
+/// lane streams are index-aligned by construction (`shard_program`
+/// emits identical instruction kinds at identical positions), so the
+/// instruction index identifies one collective or run across all lanes.
+#[derive(Default)]
+pub(crate) struct GroupState {
+    /// A failed lane's epoch poison: wakes and aborts every group wait
+    /// for that epoch (or earlier).
+    pub(crate) poison: Option<(Epoch, usize, String)>,
+    /// In-flight collective rendezvous slots.
+    pub(crate) colls: HashMap<(Epoch, u32), CollSlot>,
+    /// In-flight replicated-run dedup slots.
+    pub(crate) runs: HashMap<(Epoch, u32), RunSlot>,
+}
+
+/// One collective's rendezvous: per-rank contributions, the combined
+/// result, and bookkeeping for single-assembly and slot retirement.
+pub(crate) struct CollSlot {
+    /// `(kind, dim)`, recorded by the first lane to *process* the
+    /// collective instruction. Panel stagers may create the slot
+    /// earlier without it; assembly only happens from a processing
+    /// lane, so the metadata is always present by then.
+    pub(crate) meta: Option<(CollectiveKind, usize)>,
+    pub(crate) parts: Vec<Option<Contribution>>,
+    /// The combined tensor (pre-scatter for reduce-scatter), or the
+    /// combine error every lane must surface.
+    pub(crate) assembled: Option<Result<Tensor, String>>,
+    /// A lane is combining outside the lock; peers keep waiting.
+    pub(crate) assembling: bool,
+    /// Lanes that have taken `assembled`; at `degree` the slot retires.
+    pub(crate) takers: usize,
+}
+
+/// One rank's contribution to a [`CollSlot`].
+pub(crate) enum Contribution {
+    /// Row panels streamed out of the producing matmul land here as
+    /// they complete; converts to `Ready` at the last panel.
+    Staging {
+        shape: Shape,
+        buf: Vec<f32>,
+        filled: usize,
+    },
+    /// The full contribution tensor.
+    Ready(Tensor),
+}
+
+/// One replicated jaxpr execution shared across a group's lanes.
+pub(crate) enum RunSlot {
+    /// A lane claimed execution; peers wait.
+    Claimed,
+    /// Outputs ready for adoption. Peers clone the handles (the store
+    /// keeps its own references on every lane, so in-place stealing
+    /// inside a later interpreter run can never touch a shared buffer).
+    Done { outs: Vec<Tensor>, takers: usize },
+}
+
+impl LaneGroup {
+    fn new(degree: usize) -> LaneGroup {
+        LaneGroup {
+            state: Mutex::new(GroupState::default()),
+            cv: Condvar::new(),
+            degree,
+        }
+    }
+
+    /// Starts a new epoch on this lane: retires slots and poison from
+    /// earlier epochs. Epochs are never reused (the driver's seq is
+    /// monotone), so entries at `epoch` or later are left untouched.
+    pub(crate) fn begin_epoch(&self, epoch: Epoch) {
+        let mut s = self.state.lock().unwrap();
+        s.colls.retain(|k, _| k.0 >= epoch);
+        s.runs.retain(|k, _| k.0 >= epoch);
+        if matches!(s.poison, Some((e, _, _)) if e < epoch) {
+            s.poison = None;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Marks `epoch` failed on behalf of actor `by`, waking every
+    /// parked lane. First poison wins (mirrors the mailbox's
+    /// first-abort-wins rule); later epochs' poisons overwrite earlier
+    /// ones so a stale poison can never mask a live failure.
+    pub(crate) fn poison(&self, epoch: Epoch, by: usize, reason: &str) {
+        let mut s = self.state.lock().unwrap();
+        if !matches!(s.poison, Some((e, _, _)) if e >= epoch) {
+            s.poison = Some((epoch, by, reason.to_string()));
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+impl GroupState {
+    /// The slot for collective `key`, created empty on first touch.
+    pub(crate) fn coll_slot(&mut self, key: (Epoch, u32), degree: usize) -> &mut CollSlot {
+        self.colls.entry(key).or_insert_with(|| CollSlot {
+            meta: None,
+            parts: (0..degree).map(|_| None).collect(),
+            assembled: None,
+            assembling: false,
+            takers: 0,
+        })
+    }
+}

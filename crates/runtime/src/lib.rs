@@ -31,6 +31,7 @@
 
 mod driver;
 mod error;
+mod lane;
 mod metrics;
 mod store;
 mod trace;

@@ -44,7 +44,14 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 ///   ring collective — all-gather, all-reduce, or reduce-scatter —
 ///   executed by one rank; `bytes` carries the rank's ring-received
 ///   wire volume).
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+/// - **4** — adds the `"collective_wait"` span kind (the interval a
+///   shard lane spent parked at the collective rendezvous waiting for
+///   its peers' contributions — the exposed, non-overlapped share of
+///   communication; emitted only in lane mode, nested inside its
+///   `"collective"` span). In lane mode the `"collective"` span's
+///   `bytes` carries the modelled wire volume `(t-1) * 4 * numel`
+///   (equal to what the serial ring physically receives).
+pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.
@@ -59,8 +66,9 @@ pub struct SpanEvent {
     pub instr: u32,
     /// Instruction kind: one of `"fwd"`, `"bwd"`, `"bwdw"`,
     /// `"accum_grad"`, `"ct_sum"`, `"grad_reduce"`, `"update"`,
-    /// `"send"`, `"recv"`, `"copy"`, `"collective"`, `"free"`, or
-    /// `"op"` for interpreter sub-spans.
+    /// `"send"`, `"recv"`, `"copy"`, `"collective"`, `"free"`, `"op"`
+    /// for interpreter sub-spans, or `"collective_wait"` for the parked
+    /// interval inside a lane-mode collective.
     pub kind: &'static str,
     /// Human-readable name: the task label rendering (`fwd(mb=0, s=1)`),
     /// a transport description (`send b12 -> actor 1`), or the primitive

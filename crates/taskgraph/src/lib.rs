@@ -27,10 +27,10 @@ pub use automark::auto_mark_stages;
 pub use model::{pipeline_model, BwdOut, PipelinedModel};
 pub use program::{
     ActorId, BufferId, CollectiveKind, Fetch, FetchRole, InputPlacement, InputSource, Instr,
-    JaxprId, MpmdProgram, TaskLabel,
+    JaxprId, MpmdProgram, TaskLabel, TpMeta,
 };
 pub use replace::{replace_program, ReplaceError};
-pub use shard::{shard_program, ShardError};
+pub use shard::{bucket_collectives, shard_program, ShardError};
 pub use stage::{partition_stages, StageFwd, StageInput, StageOutput, StagedForward};
 pub use stats::{program_stats, ProgramStats};
 pub use unroll::{

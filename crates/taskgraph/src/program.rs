@@ -314,6 +314,41 @@ pub struct Fetch {
     pub role: FetchRole,
 }
 
+/// Tensor-parallel structure of a sharded program, recorded by
+/// `shard_program` so the runtime can run the rank streams of one host
+/// actor as concurrent *shard lanes* with an in-actor rendezvous
+/// instead of the serialized message-ring walk.
+///
+/// The lowering keeps the `t` rank streams of every host actor
+/// *aligned*: instruction `i` of rank `r`'s stream and instruction `i`
+/// of rank `r'`'s stream come from the same host instruction and have
+/// the same kind (only buffer ids and jaxpr variants differ). `insert_frees`
+/// preserves the alignment because its pin set (placements + fetches) is
+/// a buffer-id set shared by all ranks. The runtime relies on this to
+/// key its lane rendezvous by instruction index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpMeta {
+    /// Tensor-parallel degree `t`: host actor `a`'s streams are
+    /// `a*t .. a*t+t-1`.
+    pub degree: usize,
+    /// Per [`JaxprId`]: `true` when the jaxpr is replicated verbatim on
+    /// every rank of its host — same jaxpr, same input buffer ids, and
+    /// (by the replicated-buffer invariant) bitwise-identical input
+    /// values, so each instance needs to execute on only one lane.
+    pub replicated: Vec<bool>,
+    /// Whether every [`CollectiveKind::AllReduce`] in the program sums
+    /// contributions with *disjoint support*: each rank's tensor is its
+    /// own block padded to full width with `-0.0`. Since `x + (-0.0)`
+    /// is bitwise `x` for every `f32` (including both zeros, under
+    /// round-to-nearest), the rank-ascending fold then equals block
+    /// concatenation bit for bit, and the runtime may assemble blocks
+    /// instead of folding full tensors. Always `true` for
+    /// `shard_program` output (the mini-partitioner only shards matmuls
+    /// on the rhs last dim, so partial results are disjoint columns,
+    /// never partial sums).
+    pub disjoint_reduce: bool,
+}
+
 /// A complete fused MPMD program: the output of the RaxPP compiler and
 /// the input of the `raxpp-runtime` driver.
 #[derive(Debug, Clone, Default)]
@@ -326,6 +361,11 @@ pub struct MpmdProgram {
     pub placements: Vec<InputPlacement>,
     /// Buffers the driver fetches afterwards.
     pub fetches: Vec<Fetch>,
+    /// Tensor-parallel structure when the program was produced by
+    /// `shard_program` with degree > 1; `None` for pure-pipeline
+    /// programs and hand-built ones (the runtime then always uses the
+    /// ring collective path).
+    pub tp: Option<TpMeta>,
 }
 
 impl MpmdProgram {

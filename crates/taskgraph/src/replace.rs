@@ -149,6 +149,8 @@ pub fn replace_program(
         actors: streams,
         placements: Vec::new(),
         fetches: Vec::new(),
+        // Unreachable with tp metadata: collectives are rejected above.
+        tp: None,
     };
     // Remap placements; folding can land the same data buffer (shared id
     // across consumer actors) on one store twice — keep one copy.

@@ -32,7 +32,7 @@ use raxpp_mesh::{Mesh, MeshError};
 
 use crate::program::{
     ActorId, BufferId, CollectiveKind, Fetch, InputPlacement, Instr, JaxprId, MpmdProgram,
-    TaskLabel,
+    TaskLabel, TpMeta,
 };
 
 /// Error raised by [`shard_program`].
@@ -529,7 +529,106 @@ pub fn shard_program(
             role: f.role,
         });
     }
+    // Record the tensor-parallel structure for the runtime's shard-lane
+    // execution: which jaxprs are replicated verbatim across ranks (one
+    // lane may execute them on behalf of its host), and that every
+    // all-reduce this pass emits sums disjoint -0.0-padded blocks (the
+    // lane rendezvous may assemble blocks instead of folding).
+    let mut replicated = vec![false; out.jaxprs.len()];
+    for l in &lowered {
+        if let Lowered::Shared(nj) = l {
+            replicated[nj.0 as usize] = true;
+        }
+    }
+    out.tp = Some(TpMeta {
+        degree: t,
+        replicated,
+        disjoint_reduce: true,
+    });
+    debug_assert!(lane_streams_aligned(&out, t));
     Ok(out)
+}
+
+/// Checks the lane-alignment invariant [`TpMeta`] documents: all `t`
+/// rank streams of a host actor have the same length and the same
+/// instruction kind at every index.
+fn lane_streams_aligned(program: &MpmdProgram, t: usize) -> bool {
+    let kind = |i: &Instr| match i {
+        Instr::Run { .. } => 0u8,
+        Instr::Send { .. } => 1,
+        Instr::Recv { .. } => 2,
+        Instr::Copy { .. } => 3,
+        Instr::Free { .. } => 4,
+        Instr::Collective { .. } => 5,
+    };
+    program.actors.chunks(t).all(|ranks| {
+        ranks.windows(2).all(|w| {
+            w[0].len() == w[1].len() && w[0].iter().zip(&w[1]).all(|(x, y)| kind(x) == kind(y))
+        })
+    })
+}
+
+/// Coalesces back-to-back collectives into contiguous *buckets* by
+/// sliding the `Free` instructions `insert_frees` interleaves between a
+/// `Run` and its reassembly collectives (and between the collectives of
+/// consecutive sharded `Run`s) past the collective block they interrupt.
+///
+/// After the pass, every maximal run of `Collective` instructions in a
+/// stream is a bucket the runtime executes with a *single* lane
+/// rendezvous (one barrier and one combine round for the whole bucket)
+/// instead of one serialized ring walk per tensor — the per-message
+/// overhead amortizes over the bucket. Delaying a `Free` past a
+/// collective is always sound for liveness (the buffer simply stays
+/// resident a few instructions longer); the pass still refuses to move
+/// a `Free` across a collective that mentions the freed id (a freed
+/// wire id could in principle be redefined as a collective `dst`).
+///
+/// Call after [`crate::unroll::insert_frees`]. Streams stay lane-aligned
+/// (the decision depends only on instruction kinds and ids, which are
+/// symmetric across ranks), and no-op for programs without collectives.
+pub fn bucket_collectives(program: &mut MpmdProgram) {
+    for stream in &mut program.actors {
+        let mut i = 0;
+        while i < stream.len() {
+            if !matches!(stream[i], Instr::Collective { .. }) {
+                i += 1;
+                continue;
+            }
+            // Extend the bucket over [i, j), hoisting safe Frees out.
+            let mut deferred: Vec<Instr> = Vec::new();
+            let mut j = i;
+            while j < stream.len() {
+                match &stream[j] {
+                    Instr::Collective { .. } => j += 1,
+                    Instr::Free { buf } => {
+                        // Safe to defer unless a later collective in the
+                        // bucket mentions this id.
+                        let mentioned = stream[j + 1..]
+                            .iter()
+                            .take_while(|n| {
+                                matches!(n, Instr::Collective { .. } | Instr::Free { .. })
+                            })
+                            .any(|n| match n {
+                                Instr::Collective {
+                                    dst, src, wires, ..
+                                } => dst == buf || src == buf || wires.contains(buf),
+                                _ => false,
+                            });
+                        if mentioned {
+                            break;
+                        }
+                        deferred.push(stream.remove(j));
+                    }
+                    _ => break,
+                }
+            }
+            // Reinsert the deferred frees right after the bucket.
+            for (k, f) in deferred.into_iter().enumerate() {
+                stream.insert(j + k, f);
+            }
+            i = j;
+        }
+    }
 }
 
 /// The smallest buffer id strictly above every id `program` mentions —

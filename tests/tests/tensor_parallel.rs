@@ -225,6 +225,138 @@ fn tp_checkpoints_are_byte_identical_across_degrees() {
     assert_eq!(a.losses, b.losses);
 }
 
+/// The lane/serial mode sweep: shard-lane rendezvous (the default) and
+/// the serial ring fallback must be bit-for-bit interchangeable — per
+/// step, on the same trainer, across schedules, tp degrees, and
+/// traced/untraced execution — and every cell must match the tp=1
+/// baseline. Traced lane steps must additionally surface the
+/// `collective_wait` spans the observability layer documents.
+#[test]
+fn tp_lane_and_serial_modes_are_bitwise_identical() {
+    for (schedule, seed) in [(gpipe(2, 4).unwrap(), 91), (one_f1b(2, 4).unwrap(), 92)] {
+        let model = mlp_chain(8, 2, 4, schedule.n_stages(), seed).unwrap();
+        let data = mb_data(&schedule, 8, 2, seed + 1);
+
+        let baseline = build(&model, &schedule, 1);
+        let mut base_losses = Vec::new();
+        for _ in 0..4 {
+            base_losses.push(baseline.step(&data).unwrap().losses);
+        }
+        let base_params = baseline.params().unwrap();
+
+        for tp in [2usize, 4] {
+            let trainer = build(&model, &schedule, tp);
+            // Alternate modes on the SAME trainer: serial, lanes,
+            // serial traced, lanes traced — every step must continue
+            // the exact tp=1 trajectory regardless of mode.
+            for (step, want) in base_losses.iter().enumerate() {
+                let lanes = step % 2 == 1;
+                trainer.set_tp_lanes(lanes);
+                let traced = step >= 2;
+                let losses = if traced {
+                    let (result, trace) = trainer.step_traced(&data).unwrap();
+                    let waits = trace
+                        .actors
+                        .iter()
+                        .flat_map(|a| &a.spans)
+                        .filter(|s| s.kind == "collective_wait")
+                        .count();
+                    if lanes {
+                        assert!(
+                            waits > 0,
+                            "{} tp={tp}: traced lane step has no collective_wait spans",
+                            schedule.name()
+                        );
+                    } else {
+                        assert_eq!(
+                            waits,
+                            0,
+                            "{} tp={tp}: serial mode must not emit collective_wait",
+                            schedule.name()
+                        );
+                    }
+                    result.losses
+                } else {
+                    trainer.step(&data).unwrap().losses
+                };
+                assert_eq!(
+                    &losses,
+                    want,
+                    "{} tp={tp} step {step} (lanes={lanes}): losses not bit-identical",
+                    schedule.name()
+                );
+            }
+            let params = trainer.params().unwrap();
+            for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{} tp={tp}: param {p} not bit-identical after mode sweep",
+                    schedule.name()
+                );
+            }
+            // Wire accounting covers every collective in both modes;
+            // overlap bytes only ever appear in lane mode.
+            assert!(
+                trainer.metrics().counter("tp_bytes_wire") > 0,
+                "tp={tp}: no wire bytes recorded"
+            );
+        }
+    }
+}
+
+/// A lane dying *inside* the rendezvous (at a collective instruction)
+/// must poison its group — waking condvar-parked peers instead of
+/// leaving them blocked — cascade into a bounded abort, and recover to
+/// a bit-identical trajectory.
+#[test]
+fn tp_lane_fault_inside_lane_recovers_bounded() {
+    let schedule = gpipe(2, 4).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 93).unwrap();
+    let data = mb_data(&schedule, 8, 2, 94);
+
+    let smooth = build(&model, &schedule, 1);
+    let bumpy = build(&model, &schedule, 2);
+    bumpy.set_tp_lanes(true);
+    // Aim the fault at shard actor 1's first collective so the death
+    // lands while rank 0 is parked in the lane rendezvous.
+    let coll_at = bumpy.runtime().program().actors[1]
+        .iter()
+        .position(|i| matches!(i, Instr::Collective { .. }))
+        .expect("shard stream has a collective");
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+    let t0 = std::time::Instant::now();
+    for step in 0..3 {
+        if step == 1 {
+            bumpy
+                .runtime()
+                .inject_fault(1, Fault::DieAtInstr(coll_at))
+                .unwrap();
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+    }
+    assert!(
+        bumpy.metrics().counter("recoveries_total") >= 1,
+        "fault was never recovered"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "lane fault recovery was not bounded: {:?}",
+        t0.elapsed()
+    );
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+    }
+}
+
 /// Elastic rebalance is structurally incompatible with collective
 /// groups, so the trainer must refuse it under TP instead of producing
 /// a broken fold.
