@@ -15,8 +15,9 @@
 //! same data, so per-step losses must match **bitwise** — asserted
 //! here, which makes the benchmark double as an integration check of
 //! the bit-compatibility contract. Tensor-parallel variants (tp=2
-//! shard-lane and serial-ring modes, plus tp=4) replay the identical
-//! data stream under the same gate.
+//! shard-lane and serial-ring modes, plus tp=4) and a data-parallel
+//! variant (dp=2 replicated pipelines with gradient all-reduce) replay
+//! the identical data stream under the same gate.
 //!
 //! Writes `BENCH_step.json` at the workspace root with median/p95 step
 //! wall time, per-step RPC count, peak resident store bytes, allocator
@@ -34,8 +35,9 @@
 //! * `RAXPP_BENCH_REF_STEPS` — timed reference steps (default 2 — each
 //!   reference step is tens of seconds);
 //! * `RAXPP_BENCH_QUICK` — any value but `0`: skip the reference and
-//!   tracing sections and run only tp=1 vs tp=2 lane mode, for the
-//!   `scripts/verify.sh` regression gate (~seconds, not minutes);
+//!   tracing sections and run only tp=1, the tp=2 lane mode, and the
+//!   dp=2 replica pair, for the `scripts/verify.sh` regression gate
+//!   (~seconds, not minutes);
 //! * `RAXPP_BENCH_OUT` — override the JSON output path (quick mode
 //!   should point this at a scratch file so the committed
 //!   `BENCH_step.json` keeps its full-run numbers).
@@ -43,7 +45,7 @@
 use std::time::{Duration, Instant};
 
 use raxpp_bench::{median, percentile, rule, workspace_root, write_json, Json};
-use raxpp_core::{compile_train_step, CompileOptions, Optimizer, TpConfig, Trainer};
+use raxpp_core::{compile_train_step, CompileOptions, DpConfig, Optimizer, TpConfig, Trainer};
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::{set_num_threads, set_reference_mode, EvalStats, Tensor};
 use raxpp_models::{mlp_chain, BuiltModel};
@@ -77,6 +79,23 @@ fn build_trainer_tp(model: &BuiltModel, tp: usize) -> Trainer {
         Optimizer::Sgd { lr: 1e-3 },
         CompileOptions {
             tp: Some(TpConfig::model_parallel(tp)),
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    trainer.init(&model.init).unwrap();
+    trainer
+}
+
+fn build_trainer_dp(model: &BuiltModel, dp: usize) -> Trainer {
+    let schedule = gpipe(STAGES, N_MB).unwrap();
+    let trainer = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::Sgd { lr: 1e-3 },
+        CompileOptions {
+            dp: Some(DpConfig::replicas(dp)),
             ..CompileOptions::default()
         },
     )
@@ -214,6 +233,68 @@ fn tp_json(degree: usize, lanes: bool, v: &TpVariant) -> Json {
         ("bytes_wire", Json::Num(v.bytes_wire as f64)),
         ("collective_wait_us", Json::Num(v.wait_us as f64)),
         ("overlap_ratio", Json::Num(v.overlap_ratio)),
+        ("bitwise_parity", Json::Bool(true)),
+    ])
+}
+
+/// One data-parallel variant: a fresh trainer with `replicas` pipeline
+/// replicas over the shared data stream, with every step's losses
+/// asserted bitwise-equal to the dp=1 run (the replicated batch plane
+/// makes DP a pure redundancy/availability axis — same math, same
+/// bits).
+struct DpVariant {
+    timed: Measured,
+    collectives: u64,
+    wait_us: u64,
+    bytes_wire: u64,
+}
+
+fn run_dp_variant(
+    model: &BuiltModel,
+    data: &[Vec<Vec<Tensor>>],
+    warmup: usize,
+    replicas: usize,
+    warm_losses: &[Vec<f32>],
+    fast_losses: &[Vec<f32>],
+    tag: &str,
+) -> DpVariant {
+    let trainer = build_trainer_dp(model, replicas);
+    let warm = run(&trainer, &data[..warmup]);
+    let timed = run(&trainer, &data[warmup..]);
+    for (i, (got, want)) in warm
+        .losses
+        .iter()
+        .chain(timed.losses.iter())
+        .zip(warm_losses.iter().chain(fast_losses.iter()))
+        .enumerate()
+    {
+        assert_eq!(
+            got, want,
+            "step {i}: {tag} losses diverge bitwise from dp=1"
+        );
+    }
+    let m = trainer.metrics();
+    let collectives = m.counter("dp_collectives_total");
+    assert!(collectives > 0, "{tag} run executed no DP collectives");
+    DpVariant {
+        timed,
+        collectives,
+        wait_us: m.counter("dp_collective_wait_us"),
+        bytes_wire: m.counter("dp_bytes_wire"),
+    }
+}
+
+fn dp_json(replicas: usize, v: &DpVariant) -> Json {
+    Json::obj(vec![
+        ("replicas", Json::Num(replicas as f64)),
+        ("median_step_s", Json::Num(secs(median(&v.timed.walls)))),
+        (
+            "p95_step_s",
+            Json::Num(secs(percentile(&v.timed.walls, 95.0))),
+        ),
+        ("dp_collectives_per_run", Json::Num(v.collectives as f64)),
+        ("dp_bytes_wire", Json::Num(v.bytes_wire as f64)),
+        ("dp_collective_wait_us", Json::Num(v.wait_us as f64)),
         ("bitwise_parity", Json::Bool(true)),
     ])
 }
@@ -399,6 +480,27 @@ fn main() {
         tp2.overlap_ratio,
     );
 
+    // Data-parallel variant: dp=2 replicates the whole pipeline and
+    // all-reduces gradients (disjoint-slice exchange, -0.0-padded), so
+    // losses must match dp=1 bitwise. Runs in quick mode too — the
+    // `scripts/verify.sh` regression gate checks its `bitwise_parity`.
+    // On a single-core box the replicas time-slice one CPU, so
+    // `dp_speedup` measures replication overhead, not throughput.
+    let dp2 = run_dp_variant(&model, &data, warmup, 2, &warm.losses, &fast.losses, "dp=2");
+    let dp_speedup = secs(median(&fast.walls)) / secs(median(&dp2.timed.walls));
+    println!(
+        "dp=2 (8 replica actors):     median {:>8.2?}  p95 {:>8.2?}  \
+         (bitwise parity OK, {} DP collectives, dp_speedup {dp_speedup:.2}x)",
+        median(&dp2.timed.walls),
+        percentile(&dp2.timed.walls, 95.0),
+        dp2.collectives,
+    );
+    println!(
+        "  dp wire {:.1} MiB  dp_collective_wait {:.1} ms",
+        dp2.bytes_wire as f64 / (1024.0 * 1024.0),
+        dp2.wait_us as f64 / 1000.0,
+    );
+
     let mut tp2_serial_json = None;
     let mut tp4_json = None;
     let mut lanes_speedup = None;
@@ -490,6 +592,8 @@ fn main() {
     if let Some(ls) = lanes_speedup {
         fields.push(("tp_lanes_speedup", Json::Num(ls)));
     }
+    fields.push(("data_parallel", dp_json(2, &dp2)));
+    fields.push(("dp_speedup", Json::Num(dp_speedup)));
     if let Some(t) = tracing_json {
         fields.push(("tracing", t));
     }

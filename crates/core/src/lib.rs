@@ -66,6 +66,6 @@ pub use checkpoint::CheckpointManager;
 pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{
-    compile_train_step, CheckpointPolicy, CompileOptions, CoreError, RemoteMesh, RetryPolicy,
-    StepResult, TpConfig, Trainer,
+    compile_train_step, CheckpointPolicy, CompileOptions, CoreError, DpConfig, RemoteMesh,
+    RetryPolicy, StepResult, TpConfig, Trainer,
 };

@@ -3,7 +3,7 @@
 //! that owns each parameter's gradient (placement propagation out of the
 //! loop, §3.3).
 
-use raxpp_ir::{GraphBuilder, Jaxpr, Prim, Result, Shape, Tensor};
+use raxpp_ir::{GraphBuilder, Jaxpr, Prim, Result, Shape, Tensor, VarId};
 
 /// A first-order optimizer, lowered per parameter into an update graph
 /// `(param, grad, state…) → (param', state'…)`.
@@ -64,31 +64,31 @@ impl Optimizer {
             .collect()
     }
 
-    /// Builds the update graph for one parameter of `shape`.
-    ///
-    /// Inputs: `param, grad, state…`; outputs: `param', state'…`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates graph-construction errors (none occur for valid
-    /// shapes).
-    pub fn update_jaxpr(&self, shape: &Shape) -> Result<Jaxpr> {
-        let mut b = GraphBuilder::new();
-        let p = b.input(shape.clone());
-        let g = b.input(shape.clone());
+    /// Emits the optimizer arithmetic on already-built `param`, `grad`,
+    /// and state nodes, returning `(param', state'…)` node ids. All
+    /// three optimizers are purely elementwise, which is what makes the
+    /// ZeRO-1 sharded variant bitwise-exact: computing on a last-dim
+    /// slice equals slicing the full-tensor result.
+    fn emit_math(
+        &self,
+        b: &mut GraphBuilder,
+        p: VarId,
+        g: VarId,
+        states: &[VarId],
+    ) -> Result<Vec<VarId>> {
         match *self {
             Optimizer::Sgd { lr } => {
                 let step = b.emit(Prim::Scale(lr), &[g])?;
                 let p2 = b.emit(Prim::Sub, &[p, step])?;
-                b.finish(vec![p2])
+                Ok(vec![p2])
             }
             Optimizer::Momentum { lr, momentum } => {
-                let v = b.input(shape.clone());
+                let v = states[0];
                 let mv = b.emit(Prim::Scale(momentum), &[v])?;
                 let v2 = b.emit(Prim::Add, &[mv, g])?;
                 let step = b.emit(Prim::Scale(lr), &[v2])?;
                 let p2 = b.emit(Prim::Sub, &[p, step])?;
-                b.finish(vec![p2, v2])
+                Ok(vec![p2, v2])
             }
             Optimizer::Adam {
                 lr,
@@ -96,8 +96,7 @@ impl Optimizer {
                 beta2,
                 eps,
             } => {
-                let m = b.input(shape.clone());
-                let v = b.input(shape.clone());
+                let (m, v) = (states[0], states[1]);
                 let m_decay = b.emit(Prim::Scale(beta1), &[m])?;
                 let g_scaled = b.emit(Prim::Scale(1.0 - beta1), &[g])?;
                 let m2 = b.emit(Prim::Add, &[m_decay, g_scaled])?;
@@ -110,9 +109,68 @@ impl Optimizer {
                 let dir = b.emit(Prim::Div, &[m2, denom])?;
                 let step = b.emit(Prim::Scale(lr), &[dir])?;
                 let p2 = b.emit(Prim::Sub, &[p, step])?;
-                b.finish(vec![p2, m2, v2])
+                Ok(vec![p2, m2, v2])
             }
         }
+    }
+
+    /// Builds the update graph for one parameter of `shape`.
+    ///
+    /// Inputs: `param, grad, state…`; outputs: `param', state'…`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors (none occur for valid
+    /// shapes).
+    pub fn update_jaxpr(&self, shape: &Shape) -> Result<Jaxpr> {
+        let mut b = GraphBuilder::new();
+        let p = b.input(shape.clone());
+        let g = b.input(shape.clone());
+        let states: Vec<VarId> = (0..self.n_state_slots())
+            .map(|_| b.input(shape.clone()))
+            .collect();
+        let outs = self.emit_math(&mut b, p, g, &states)?;
+        b.finish(outs)
+    }
+
+    /// Builds the ZeRO-1 sharded update graph for one parameter of
+    /// `shape`, owning the last-dim block `[start, start+len)`.
+    ///
+    /// Inputs: `param, grad` at full shape plus `state…` at the slice
+    /// shape; outputs: the replica's parameter *contribution* — its
+    /// updated slice padded back to full width with `-0.0`, ready for a
+    /// rank-ascending data-parallel all-reduce to fold into the full
+    /// parameter — plus the updated state slices. Because the optimizer
+    /// math is elementwise, the assembled parameter is bitwise-identical
+    /// to the unsharded [`Optimizer::update_jaxpr`] result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors (none occur for valid
+    /// shapes and in-range slices).
+    pub fn sharded_update_jaxpr(&self, shape: &Shape, start: usize, len: usize) -> Result<Jaxpr> {
+        let full = shape.dim(shape.rank() - 1);
+        let mut dims = shape.dims().to_vec();
+        *dims.last_mut().expect("sharded update needs rank >= 1") = len;
+        let slice_shape = Shape::new(dims);
+        let mut b = GraphBuilder::new();
+        let p = b.input(shape.clone());
+        let g = b.input(shape.clone());
+        let states: Vec<VarId> = (0..self.n_state_slots())
+            .map(|_| b.input(slice_shape.clone()))
+            .collect();
+        let ps = b.emit(Prim::SliceLast { start, len }, &[p])?;
+        let gs = b.emit(Prim::SliceLast { start, len }, &[g])?;
+        let mut outs = self.emit_math(&mut b, ps, gs, &states)?;
+        outs[0] = b.emit(
+            Prim::PadLast {
+                start,
+                full,
+                value: -0.0,
+            },
+            &[outs[0]],
+        )?;
+        b.finish(outs)
     }
 }
 
@@ -167,6 +225,58 @@ mod tests {
         assert!(out[0].data()[0] < p.data()[0]);
         assert!(out[0].data()[1] > p.data()[1]);
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn sharded_update_assembles_bitwise() {
+        // Folding the -0.0-padded replica contributions rank-ascending
+        // must reproduce the unsharded update bit for bit — the ZeRO-1
+        // half of the DP bitwise contract.
+        for opt in [
+            Optimizer::Sgd { lr: 0.1 },
+            Optimizer::Momentum {
+                lr: 0.1,
+                momentum: 0.9,
+            },
+            Optimizer::adam(0.01),
+        ] {
+            let shape = Shape::new([2, 7]); // uneven split: 7 = 4 + 3
+            let p = Tensor::from_vec(
+                [2, 7],
+                (0..14).map(|i| (i as f32 - 6.3) * 0.37).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let g = Tensor::from_vec(
+                [2, 7],
+                (0..14).map(|i| (i as f32 * 1.13).sin()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let states = opt.init_state(&shape);
+            let full_j = opt.update_jaxpr(&shape).unwrap();
+            let mut full_in = vec![p.clone(), g.clone()];
+            full_in.extend(states.iter().cloned());
+            let full_out = eval(&full_j, &full_in).unwrap();
+
+            let replicas = 2;
+            let mut assembled: Option<Tensor> = None;
+            for rep in 0..replicas {
+                let (start, len) = if rep == 0 { (0, 4) } else { (4, 3) };
+                let j = opt.sharded_update_jaxpr(&shape, start, len).unwrap();
+                let slice_states = opt.init_state(&Shape::new([2, len]));
+                let mut inputs = vec![p.clone(), g.clone()];
+                inputs.extend(slice_states);
+                let out = eval(&j, &inputs).unwrap();
+                assembled = Some(match assembled {
+                    None => out[0].clone(),
+                    Some(a) => a.zip(&out[0], |x, y| x + y).unwrap(),
+                });
+            }
+            assert_eq!(
+                assembled.unwrap().data(),
+                full_out[0].data(),
+                "{opt:?} sharded update diverged from unsharded"
+            );
+        }
     }
 
     #[test]

@@ -18,11 +18,11 @@ use raxpp_mesh::{AxisRules, Mesh};
 use raxpp_runtime::{
     Metrics, RebalanceReport, Runtime, RuntimeError, StepEvent, StepStats, StepTrace,
 };
-use raxpp_sched::{Schedule, TpMap};
+use raxpp_sched::{DpMap, Schedule, TpMap};
 use raxpp_taskgraph::{
-    bucket_collectives, check_send_recv_order, insert_frees, pipeline_model, shard_program,
-    unroll_loop, ActorId, BufferId, CompileError, FetchRole, InputPlacement, InputSource, Instr,
-    MpmdProgram, TaskLabel, UnrollOptions,
+    bucket_collectives, check_send_recv_order, dp_split, dp_treated, insert_frees, pipeline_model,
+    replicate_program, shard_program, unroll_loop, ActorId, BufferId, CompileError, FetchRole,
+    InputPlacement, InputSource, Instr, MpmdProgram, TaskLabel, UnrollOptions,
 };
 
 use crate::optimizer::Optimizer;
@@ -130,6 +130,47 @@ impl TpConfig {
     }
 }
 
+/// Data parallelism for [`compile_train_step`]: replicate the compiled
+/// pipeline (after any tensor-parallel sharding) into `replicas` copies
+/// linked by gradient all-reduces over the DP axis.
+///
+/// Every replica processes the same full batch, so replica gradients
+/// are bitwise-identical before communication and the DP exchange is a
+/// load-bearing identity: each replica contributes a disjoint `-0.0`-
+/// padded last-dim shard and the rank-ascending all-reduce reassembles
+/// the exact gradient. A `dp = R` run therefore computes losses,
+/// parameters, and checkpoints **bit-for-bit identical** to the
+/// `dp = 1` run — through faults, recovery, and rebalances (see
+/// `docs/parallelism.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpConfig {
+    /// Number of pipeline replicas (1 compiles the program unchanged).
+    pub replicas: usize,
+    /// ZeRO-1: shard optimizer state over the DP axis — each replica
+    /// owns one last-dim slice of every moment tensor, computes its
+    /// slice of the parameter update, and a second all-reduce folds the
+    /// slices into the full parameter. Requires `tp` degree 1.
+    pub zero1: bool,
+}
+
+impl DpConfig {
+    /// Plain replicated data parallelism of the given degree.
+    pub fn replicas(replicas: usize) -> DpConfig {
+        DpConfig {
+            replicas,
+            zero1: false,
+        }
+    }
+
+    /// Data parallelism with ZeRO-1 optimizer-state sharding.
+    pub fn zero1(replicas: usize) -> DpConfig {
+        DpConfig {
+            replicas,
+            zero1: true,
+        }
+    }
+}
+
 /// Options for [`compile_train_step`].
 #[derive(Debug, Clone)]
 pub struct CompileOptions {
@@ -142,6 +183,10 @@ pub struct CompileOptions {
     /// this mesh axis (PP×TP composition). `None` (the default) and
     /// degree-1 meshes compile the pure-pipeline program unchanged.
     pub tp: Option<TpConfig>,
+    /// Data parallelism: replicate the (possibly TP-sharded) pipeline
+    /// over a DP axis (PP×TP×DP composition). `None` (the default) and
+    /// `replicas <= 1` compile the program unchanged.
+    pub dp: Option<DpConfig>,
 }
 
 impl Default for CompileOptions {
@@ -150,6 +195,7 @@ impl Default for CompileOptions {
             loop_commuting: true,
             fetch_grads: false,
             tp: None,
+            dp: None,
         }
     }
 }
@@ -253,6 +299,13 @@ pub struct Trainer {
     /// rank actors at placement time and picks rank 0 at read time (all
     /// ranks hold bitwise-identical replicas).
     tp: TpMap,
+    /// Replica-actor arithmetic for the compiled data-parallel degree
+    /// (1 replica = identity). Composes outside `tp`: raw actor =
+    /// `dp.replica_actor(rep, tp.shard_actor(host, rank))`.
+    dp: DpMap,
+    /// Whether optimizer state is ZeRO-1-sharded over the DP axis —
+    /// state placement/capture must then slice/assemble per replica.
+    zero1: bool,
     /// The pipeline schedule this step was compiled for — kept so
     /// [`Trainer::bubble_report`] can simulate the same schedule.
     schedule: Schedule,
@@ -281,6 +334,37 @@ pub struct StepResult {
     pub grads: Option<Vec<Tensor>>,
     /// Runtime statistics.
     pub stats: StepStats,
+}
+
+/// The last-dim block `[start, start+len)` of `t` — host-side mirror of
+/// `Prim::SliceLast`, used to scatter full optimizer moments into
+/// ZeRO-1 replica slices on restore.
+fn slice_last(t: &Tensor, start: usize, len: usize) -> Tensor {
+    let full = t.shape().dim(t.shape().rank() - 1);
+    let rows = t.data().len() / full.max(1);
+    let mut out = Vec::with_capacity(rows * len);
+    for r in 0..rows {
+        out.extend_from_slice(&t.data()[r * full + start..r * full + start + len]);
+    }
+    let mut dims = t.shape().dims().to_vec();
+    *dims.last_mut().expect("sliced tensor has rank >= 1") = len;
+    Tensor::from_vec(Shape::new(dims), out).expect("slice_last shape is consistent")
+}
+
+/// Reassembles replica-ascending last-dim slices into the full tensor —
+/// the capture-side inverse of [`slice_last`], used to read ZeRO-1
+/// state back into full-shape (dp-degree-portable) checkpoints.
+fn assemble_last(slices: &[Tensor], full_shape: &Shape) -> Tensor {
+    let full = full_shape.dim(full_shape.rank() - 1);
+    let rows = full_shape.numel() / full.max(1);
+    let mut out = Vec::with_capacity(full_shape.numel());
+    for r in 0..rows {
+        for s in slices {
+            let len = s.shape().dim(s.shape().rank() - 1);
+            out.extend_from_slice(&s.data()[r * len..(r + 1) * len]);
+        }
+    }
+    Tensor::from_vec(full_shape.clone(), out).expect("assembled slices tile the full shape")
 }
 
 fn next_buffer_id(program: &MpmdProgram) -> u32 {
@@ -435,8 +519,34 @@ pub fn compile_train_step(
         }
         None => TpMap::new(1),
     };
+    // Data-parallel replication: clone the (possibly TP-sharded)
+    // pipeline into `replicas` copies linked by DP-axis gradient
+    // all-reduces, optionally sharding optimizer state (ZeRO-1).
+    let dp = match &opts.dp {
+        Some(cfg) if cfg.replicas > 1 => {
+            if cfg.zero1 && tp.degree() > 1 {
+                return Err(CoreError::BadInput(
+                    "ZeRO-1 optimizer-state sharding requires tensor-parallel degree 1 \
+                     (state slices would break the replicated-buffer invariant across ranks)"
+                        .into(),
+                ));
+            }
+            let base = program.n_actors();
+            let mut build = |param: usize, start: usize, len: usize| {
+                optimizer
+                    .sharded_update_jaxpr(&param_shapes[param], start, len)
+                    .map_err(|e| e.to_string())
+            };
+            let zero1: Option<&mut dyn FnMut(usize, usize, usize) -> Result<_, String>> =
+                if cfg.zero1 { Some(&mut build) } else { None };
+            *program = replicate_program(program, cfg.replicas, zero1)
+                .map_err(|e| CoreError::BadInput(format!("data-parallel lowering: {e}")))?;
+            DpMap::new(cfg.replicas, base)
+        }
+        _ => DpMap::new(1, program.n_actors()),
+    };
     insert_frees(program);
-    if tp.degree() > 1 {
+    if tp.degree() > 1 || dp.replicas() > 1 {
         // Coalesce back-to-back collectives into contiguous buckets
         // (hoisting the frees insert_frees interleaved) so the lane
         // runtime's panel streaming sees every collective a Run's
@@ -473,6 +583,8 @@ pub fn compile_train_step(
         fetch_grads: opts.fetch_grads,
         snapshot: Mutex::new(None),
         tp,
+        dp,
+        zero1: opts.dp.as_ref().is_some_and(|c| c.zero1 && c.replicas > 1),
         schedule: schedule.clone(),
         metrics: Metrics::new(),
         steps_done: AtomicU64::new(0),
@@ -496,17 +608,15 @@ impl Trainer {
             )));
         }
         self.runtime.place_params(params)?;
-        let tp = self.tp;
-        let zeros: Vec<(usize, BufferId, Tensor)> = self
-            .state_init
-            .lock()
-            .unwrap()
-            .iter()
-            .flat_map(|(a, b, s)| {
-                let z = Tensor::zeros(s.clone());
-                (0..tp.degree()).map(move |r| (tp.shard_actor(*a, r), *b, z.clone()))
-            })
-            .collect();
+        let mut zeros: Vec<(usize, BufferId, Tensor)> = Vec::new();
+        for &(a, b, ref s) in self.state_init.lock().unwrap().iter() {
+            for rep in 0..self.dp.replicas() {
+                let z = Tensor::zeros(self.state_shape_for(s, rep));
+                for r in 0..self.tp.degree() {
+                    zeros.push((self.raw_actor(rep, a, r), b, z.clone()));
+                }
+            }
+        }
         self.runtime.place_buffers(&zeros)?;
         *self.snapshot.lock().unwrap() = Some(self.capture_state()?);
         self.update_fleet_gauges();
@@ -527,33 +637,67 @@ impl Trainer {
         self.metrics.set_gauge("stages_per_actor_max", max as f64);
     }
 
+    /// The raw runtime actor of `(replica, host, tp rank)` — the DP
+    /// block offset composed outside the TP rank expansion.
+    fn raw_actor(&self, rep: usize, host: ActorId, rank: usize) -> usize {
+        self.dp.replica_actor(rep, self.tp.shard_actor(host, rank))
+    }
+
+    /// The shape replica `rep` holds for an optimizer-state slot whose
+    /// full shape is `s`: the ZeRO-1 last-dim slice for DP-treated
+    /// parameters, the full shape otherwise.
+    fn state_shape_for(&self, s: &Shape, rep: usize) -> Shape {
+        if self.zero1 && dp_treated(s, self.dp.replicas()) {
+            let (_, len) = dp_split(s.dim(s.rank() - 1), self.dp.replicas(), rep);
+            let mut dims = s.dims().to_vec();
+            *dims.last_mut().expect("DP-treated state has rank >= 1") = len;
+            Shape::new(dims)
+        } else {
+            s.clone()
+        }
+    }
+
     /// Reads the full training state (parameters, then optimizer
     /// moments) back from the actors — O(1) `Arc` handle moves per
-    /// tensor, not data copies.
+    /// tensor, not data copies. ZeRO-1 state slices are read from every
+    /// replica and reassembled, so captured state (and hence
+    /// checkpoints) is always full-shape and portable across DP
+    /// degrees.
     fn capture_state(&self) -> Result<Vec<Tensor>, CoreError> {
         let mut tensors = self.params()?;
-        for &(a, b, _) in self.state_init.lock().unwrap().iter() {
-            tensors.push(self.runtime.read_buffer(self.tp.shard_actor(a, 0), b)?);
+        for &(a, b, ref s) in self.state_init.lock().unwrap().iter() {
+            if self.zero1 && dp_treated(s, self.dp.replicas()) {
+                let slices: Vec<Tensor> = (0..self.dp.replicas())
+                    .map(|rep| self.runtime.read_buffer(self.raw_actor(rep, a, 0), b))
+                    .collect::<Result<_, _>>()?;
+                tensors.push(assemble_last(&slices, s));
+            } else {
+                tensors.push(self.runtime.read_buffer(self.raw_actor(0, a, 0), b)?);
+            }
         }
         Ok(tensors)
     }
 
     /// Re-places a previously captured state on every actor (parameters
-    /// to all of their replicas, moments to their owners).
+    /// to all of their replicas, moments to their owners in every DP
+    /// replica — sliced per replica under ZeRO-1).
     fn restore_state(&self, tensors: &[Tensor]) -> Result<(), CoreError> {
         let (params, states) = tensors.split_at(self.n_params);
         self.runtime.place_params(params)?;
-        let tp = self.tp;
-        let items: Vec<(usize, BufferId, Tensor)> = self
-            .state_init
-            .lock()
-            .unwrap()
-            .iter()
-            .zip(states)
-            .flat_map(|(&(a, b, _), t)| {
-                (0..tp.degree()).map(move |r| (tp.shard_actor(a, r), b, t.clone()))
-            })
-            .collect();
+        let mut items: Vec<(usize, BufferId, Tensor)> = Vec::new();
+        for (&(a, b, ref s), t) in self.state_init.lock().unwrap().iter().zip(states) {
+            for rep in 0..self.dp.replicas() {
+                let tt = if self.zero1 && dp_treated(s, self.dp.replicas()) {
+                    let (start, len) = dp_split(s.dim(s.rank() - 1), self.dp.replicas(), rep);
+                    slice_last(t, start, len)
+                } else {
+                    t.clone()
+                };
+                for r in 0..self.tp.degree() {
+                    items.push((self.raw_actor(rep, a, r), b, tt.clone()));
+                }
+            }
+        }
         self.runtime.place_buffers(&items)?;
         Ok(())
     }
@@ -621,13 +765,37 @@ impl Trainer {
                 self.metrics
                     .set_gauge("tp_overlap_ratio", (overlap * (t - 1)) as f64 / wire as f64);
             }
-        } else if let Some(trace) = &out.trace {
-            // Bubble accounting maps trace actors 1:1 onto pipeline
-            // ranks; under tensor parallelism each rank owns `t` actor
-            // timelines, so the report is only computed for pure PP.
-            let report = crate::observe::bubble_report(trace, &self.schedule);
-            self.metrics
-                .set_gauge("bubble_fraction_measured", report.measured_bubble);
+        }
+        if self.dp.replicas() > 1 {
+            let collectives: u64 = out
+                .stats
+                .profiles
+                .iter()
+                .filter_map(|p| p.get("dp_collective"))
+                .map(|(_, count)| count as u64)
+                .sum();
+            self.metrics.inc("dp_collectives_total", collectives);
+            let wire: u64 = out.stats.profiles.iter().map(|p| p.dp_bytes_wire()).sum();
+            self.metrics.inc("dp_bytes_wire", wire);
+            let wait_us: u64 = out
+                .stats
+                .profiles
+                .iter()
+                .filter_map(|p| p.get("dp_collective_wait"))
+                .map(|(dur, _)| dur.as_micros() as u64)
+                .sum();
+            self.metrics.inc("dp_collective_wait_us", wait_us);
+        }
+        if self.tp.degree() == 1 && self.dp.replicas() == 1 {
+            if let Some(trace) = &out.trace {
+                // Bubble accounting maps trace actors 1:1 onto pipeline
+                // ranks; under tensor or data parallelism each rank owns
+                // multiple actor timelines, so the report is only
+                // computed for pure PP.
+                let report = crate::observe::bubble_report(trace, &self.schedule);
+                self.metrics
+                    .set_gauge("bubble_fraction_measured", report.measured_bubble);
+            }
         }
         let mut outputs: Vec<Vec<Option<Tensor>>> =
             vec![vec![None; self.n_mubatches]; self.n_outputs];
@@ -725,17 +893,16 @@ impl Trainer {
         policy: RetryPolicy,
         deaths: &mut HashMap<usize, u32>,
     ) -> Result<Option<RebalanceReport>, CoreError> {
-        if self.tp.degree() > 1 {
-            // Folding a shard actor away would break its collective
-            // group; TP fleets recover by respawn only.
-            return Ok(None);
-        }
         let (RuntimeError::ActorDied { actor }, Some(after)) = (e, policy.rebalance_after) else {
             return Ok(None);
         };
         let count = deaths.entry(*actor).or_insert(0);
         *count += 1;
-        if *count < after.max(1) || self.runtime.alive_actors() <= 1 {
+        // A fold retires the dead actor's whole host group in every
+        // replica (t × R raw actors); without at least one more group's
+        // worth of survivors there is nothing to fold onto.
+        let group = self.tp.degree() * self.dp.replicas();
+        if *count < after.max(1) || self.runtime.alive_actors() <= group {
             return Ok(None);
         }
         self.rebalance(&[*actor]).map(Some)
@@ -772,35 +939,35 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns [`CoreError::Runtime`] when no survivor remains or the
-    /// program cannot be re-placed (the fleet is left as it was), and
-    /// [`CoreError::BadInput`] under tensor parallelism (folding a shard
-    /// actor away would break its collective group — TP fleets recover
-    /// by respawn only).
+    /// program cannot be re-placed (the fleet is left as it was).
+    ///
+    /// Under tensor and/or data parallelism a dead actor's **whole host
+    /// group** folds away uniformly — all `t` ranks of its host, in
+    /// every DP replica — so collective groups remap rank-preservingly
+    /// onto the survivors' groups and the shrunken fleet still computes
+    /// bitwise-identical results.
     pub fn rebalance(&self, dead: &[usize]) -> Result<RebalanceReport, CoreError> {
-        if self.tp.degree() > 1 {
-            return Err(CoreError::BadInput(
-                "rebalance is not supported under tensor parallelism: \
-                 folding a shard actor away would break its collective group \
-                 (recover by respawn instead)"
-                    .into(),
-            ));
-        }
         let report = self.runtime.rebalance(dead)?;
         // Respawn any survivor that died in the same incident before
         // re-placing state on the fleet.
         self.runtime.recover()?;
         {
+            // `report.assign` is in raw actor space; the trainer's maps
+            // are in host space. Host-level uniform folds guarantee
+            // `assign[host*t] = new_host*t` (replica 0, rank 0), which
+            // recovers the host mapping for any tp/dp degree.
+            let t = self.tp.degree();
             let mut state_init = self.state_init.lock().unwrap();
             for e in state_init.iter_mut() {
-                e.0 = report.assign[e.0];
+                e.0 = report.assign[e.0 * t] / t;
             }
             let mut param_read = self.param_read.lock().unwrap();
             for e in param_read.iter_mut() {
-                e.0 = report.assign[e.0];
+                e.0 = report.assign[e.0 * t] / t;
             }
             let mut assign_total = self.assign_total.lock().unwrap();
             for host in assign_total.iter_mut() {
-                *host = report.assign[*host];
+                *host = report.assign[*host * t] / t;
             }
         }
         let snapshot = self.snapshot.lock().unwrap();
@@ -1009,7 +1176,7 @@ impl Trainer {
             .iter()
             .map(|&(a, b)| {
                 self.runtime
-                    .read_buffer(self.tp.shard_actor(a, 0), b)
+                    .read_buffer(self.raw_actor(0, a, 0), b)
                     .map_err(CoreError::from)
             })
             .collect()
@@ -1024,6 +1191,17 @@ impl Trainer {
     /// parallelism).
     pub fn tp_degree(&self) -> usize {
         self.tp.degree()
+    }
+
+    /// The compiled data-parallel degree (1 for an unreplicated
+    /// pipeline).
+    pub fn dp_degree(&self) -> usize {
+        self.dp.replicas()
+    }
+
+    /// Whether optimizer state is ZeRO-1-sharded over the DP axis.
+    pub fn zero1(&self) -> bool {
+        self.zero1
     }
 
     /// Switches tensor-parallel collectives between the shard-lane

@@ -57,7 +57,8 @@ use raxpp_ir::{
     Shape, Tensor,
 };
 use raxpp_taskgraph::{
-    replace_program, BufferId, CollectiveKind, Fetch, InputSource, Instr, MpmdProgram,
+    replace_program, BufferId, CollectiveAxis, CollectiveKind, Fetch, InputSource, Instr,
+    MpmdProgram,
 };
 
 use crate::error::RuntimeError;
@@ -213,6 +214,7 @@ pub struct ActorProfile {
     bytes_reduced: u64,
     bytes_wire: u64,
     bytes_overlap: u64,
+    dp_bytes_wire: u64,
 }
 
 impl ActorProfile {
@@ -263,6 +265,16 @@ impl ActorProfile {
     /// payload made available behind compute. Zero in serial-ring mode.
     pub fn bytes_overlap(&self) -> u64 {
         self.bytes_overlap
+    }
+
+    /// Ring wire volume of every *data-parallel* collective on this
+    /// actor this step — `(R-1) × 4 × numel` per DP gradient or
+    /// parameter exchange. Kept separate from
+    /// [`ActorProfile::bytes_wire`] (the tensor-parallel volume) so the
+    /// two mesh axes are observable independently; invocations appear
+    /// under the `"dp_collective"` profile kind.
+    pub fn dp_bytes_wire(&self) -> u64 {
+        self.dp_bytes_wire
     }
 }
 
@@ -360,8 +372,9 @@ struct Inner {
 pub struct Runtime {
     inner: Mutex<Inner>,
     step_timeout: Duration,
-    /// Lane coordination for tensor-parallel programs (`Some` iff the
-    /// program carries [`raxpp_taskgraph::TpMeta`] with degree > 1).
+    /// Collective-group coordination (`Some` iff the program carries
+    /// [`raxpp_taskgraph::TpMeta`] with degree > 1 or
+    /// [`raxpp_taskgraph::DpMeta`] with more than one replica).
     hub: Option<Arc<LaneHub>>,
     /// Whether [`Runtime::step`] records per-instruction span traces.
     tracing: AtomicBool,
@@ -418,11 +431,10 @@ impl Runtime {
     /// Spawns actor threads and wires their inbox channels.
     pub fn new(program: MpmdProgram) -> Runtime {
         let n = program.n_actors();
-        let hub = program
-            .tp
-            .as_ref()
-            .filter(|m| m.degree > 1)
-            .map(|m| Arc::new(LaneHub::new(n, m)));
+        let tp_sharded = program.tp.as_ref().is_some_and(|m| m.degree > 1);
+        let dp_replicated = program.dp.as_ref().is_some_and(|m| m.replicas > 1);
+        let hub = (tp_sharded || dp_replicated)
+            .then(|| Arc::new(LaneHub::new(program.tp.as_ref().filter(|m| m.degree > 1))));
         let program = Arc::new(program);
         let origin = Instant::now();
         let mut inbox_tx = Vec::with_capacity(n);
@@ -476,6 +488,16 @@ impl Runtime {
         self.hub
             .as_ref()
             .is_some_and(|h| !h.serial.load(Ordering::Relaxed))
+    }
+
+    /// Number of live rendezvous slots (staged collective contributions
+    /// plus deduplicated-run results) across every collective group.
+    /// Between steps this should be exactly the slots of the last
+    /// completed epoch — recovery and rebalance GC anything older, so a
+    /// monotone growth here across fault/recover cycles is a leak.
+    /// Always 0 for programs without collective groups.
+    pub fn lane_live_slots(&self) -> usize {
+        self.hub.as_ref().map_or(0, |h| h.live_slots())
     }
 
     /// Enables or disables per-instruction step tracing (initially set
@@ -1099,6 +1121,13 @@ impl Runtime {
             }
         }
         report.respawned.sort_unstable();
+        // Drop collective-group slots poisoned by the incident: groups
+        // whose membership includes retired actors are never used again
+        // (remapped programs reference survivor groups only), and live
+        // groups may hold contributions staged during the aborted epoch.
+        if let Some(h) = &self.hub {
+            h.gc(&inner.retired, inner.seq + 1);
+        }
         // Re-place the driver-held resident copies on the replacements.
         let mut per_actor: Vec<Vec<(BufferId, Tensor)>> = (0..n).map(|_| Vec::new()).collect();
         for (&(a, buf), t) in &inner.resident {
@@ -1157,22 +1186,49 @@ impl Runtime {
                 migrated_buffers: 0,
             });
         }
-        let alive: Vec<usize> = (0..n)
-            .filter(|a| !inner.retired[*a] && !retired.contains(a))
-            .collect();
-        if alive.is_empty() {
+        // Folds happen at *host* granularity: a host is one pipeline
+        // position together with all of its TP ranks and DP replicas.
+        // Losing any raw actor retires the whole host everywhere —
+        // identically in every replica, rank-preservingly within each
+        // TP lane group — so collective memberships stay aligned across
+        // ranks and replicas after the fold ({h·t+r} → {s·t+r} in every
+        // replica block).
+        let (t, base, replicas) = {
+            let p = &inner.program;
+            let t = p.tp.as_ref().map_or(1, |m| m.degree.max(1));
+            let base = p.dp.map_or(n, |m| m.base_actors);
+            let replicas = p.dp.map_or(1, |m| m.replicas.max(1));
+            (t, base, replicas)
+        };
+        let hosts = base / t;
+        let mut dead_hosts: Vec<usize> = retired.iter().map(|&d| (d % base) / t).collect();
+        dead_hosts.sort_unstable();
+        dead_hosts.dedup();
+        let host_alive = |h: usize| {
+            !dead_hosts.contains(&h)
+                && (0..replicas).all(|rep| (0..t).all(|r| !inner.retired[rep * base + h * t + r]))
+        };
+        let alive_hosts: Vec<usize> = (0..hosts).filter(|&h| host_alive(h)).collect();
+        if alive_hosts.is_empty() {
             return Err(RuntimeError::Rebalance("no surviving actors".into()));
         }
-        for &d in &retired {
-            // Nearest survivor by pipeline distance; ties go to the
-            // lower index so the mapping is deterministic.
-            let host = alive
+        retired.clear();
+        for &h in &dead_hosts {
+            // Nearest surviving host by pipeline distance; ties go to
+            // the lower index so the mapping is deterministic.
+            let s = alive_hosts
                 .iter()
                 .copied()
-                .min_by_key(|&s| (s.abs_diff(d), s))
-                .expect("alive is non-empty");
-            assign[d] = host;
+                .min_by_key(|&s| (s.abs_diff(h), s))
+                .expect("alive_hosts is non-empty");
+            for rep in 0..replicas {
+                for r in 0..t {
+                    assign[rep * base + h * t + r] = rep * base + s * t + r;
+                    retired.push(rep * base + h * t + r);
+                }
+            }
         }
+        retired.sort_unstable();
         let new_program = replace_program(&inner.program, &assign)
             .map_err(|e| RuntimeError::Rebalance(e.to_string()))?;
         // Point of no return: retire the folded actors.
@@ -1183,6 +1239,13 @@ impl Runtime {
             }
             inner.actors[d].dead = true;
             inner.retired[d] = true;
+        }
+        // GC collective-group slots now referencing retired members —
+        // the remapped program never rendezvouses on those memberships
+        // again, so without this their staged tensors leak for the
+        // lifetime of the run.
+        if let Some(h) = &self.hub {
+            h.gc(&inner.retired, inner.seq + 1);
         }
         inner.program = Arc::new(new_program);
         let program = Arc::clone(&inner.program);
@@ -1590,10 +1653,10 @@ fn actor_main(
     // is the thread-scale stand-in for Ray's actor-death notifications.
     let exit = std::panic::catch_unwind(AssertUnwindSafe(|| actor_loop(&mut st, &cmd, &reply)));
     let poison_group = |reason: &str| {
-        // Lane peers may be parked on the group condvar (not the
+        // Group peers may be parked on a group condvar (not the
         // mailbox), so the death poison must reach both.
         if let Some(l) = &st.lane {
-            l.group.poison(st.epoch, me, reason);
+            l.hub.poison_actor(me, st.epoch, me, reason);
         }
     };
     match exit {
@@ -1651,8 +1714,9 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                 st.mailbox.purge_stale(seq);
                 if let Some(l) = &st.lane {
                     // Retire the previous epoch's rendezvous slots and
-                    // poison before any lane can touch this epoch's.
-                    l.group.begin_epoch(seq);
+                    // poison in every group this actor belongs to,
+                    // before any member can touch this epoch's.
+                    l.hub.begin_epoch_actor(st.me, seq);
                 }
                 let mut ring = traced.then(|| SpanRing::new(DEFAULT_SPAN_CAPACITY));
                 let result = match execute_stream(st, &mut ring) {
@@ -1660,7 +1724,7 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     Err(StreamFailure::Die) => return Exit::Died,
                     Err(StreamFailure::Error(message)) => {
                         if let Some(l) = &st.lane {
-                            l.group.poison(seq, st.me, &message);
+                            l.hub.poison_actor(st.me, seq, st.me, &message);
                         }
                         st.broadcast_abort(seq, &message);
                         st.store.abandon_outstanding_sends();
@@ -1668,9 +1732,9 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     }
                     Err(StreamFailure::Aborted { by, reason }) => {
                         if let Some(l) = &st.lane {
-                            // Cascade: lane peers parked on the condvar
+                            // Cascade: group peers parked on a condvar
                             // can't see the mailbox abort that woke us.
-                            l.group.poison(seq, by, &reason);
+                            l.hub.poison_actor(st.me, seq, by, &reason);
                         }
                         st.store.abandon_outstanding_sends();
                         Err(ExecFailure::Aborted { by, reason })
@@ -1773,6 +1837,7 @@ fn label_kind(label: &raxpp_taskgraph::TaskLabel) -> &'static str {
         TaskLabel::CotangentSum { .. } => "ct_sum",
         TaskLabel::GradReduce { .. } => "grad_reduce",
         TaskLabel::Update { .. } => "update",
+        TaskLabel::GradShard { .. } => "grad_shard",
     }
 }
 
@@ -1881,35 +1946,70 @@ fn collective_targets(
     any.then_some(targets)
 }
 
-/// Streams completed matmul row panels into the lane rendezvous as
-/// staged collective contributions — the communication half of
-/// compute/communication overlap. Peers waiting on the collective can
-/// assemble as soon as the last panel lands, while this lane is still
-/// computing its remaining outputs.
-struct LaneObserver<'a> {
-    lane: &'a LaneCtx,
-    epoch: Epoch,
-    /// Run output position → following collective's stream index.
+/// One resolved panel-streaming target: the following collective's
+/// stream index plus this actor's group handle and rank within it.
+struct ObsTarget {
+    coll: u32,
+    group: Arc<LaneGroup>,
+    rank: usize,
+}
+
+/// Resolves [`collective_targets`] stream indices to their membership
+/// groups (TP lane groups and DP replica groups alike), so the panel
+/// stager publishes into the rendezvous the consuming collective will
+/// actually use.
+fn resolve_targets(
+    l: &LaneCtx,
+    me: usize,
+    stream: &[Instr],
     targets: Vec<Option<u32>>,
+) -> Vec<Option<ObsTarget>> {
+    targets
+        .into_iter()
+        .map(|t| {
+            t.and_then(|coll| match &stream[coll as usize] {
+                Instr::Collective { group, .. } => {
+                    let rank = group.iter().position(|&m| m == me)?;
+                    Some(ObsTarget {
+                        coll,
+                        group: l.hub.group(group),
+                        rank,
+                    })
+                }
+                _ => None,
+            })
+        })
+        .collect()
+}
+
+/// Streams completed matmul row panels into the collective rendezvous
+/// as staged contributions — the communication half of
+/// compute/communication overlap. Peers waiting on the collective can
+/// assemble as soon as the last panel lands, while this member is still
+/// computing its remaining outputs.
+struct LaneObserver {
+    epoch: Epoch,
+    /// Run output position → resolved following-collective target.
+    targets: Vec<Option<ObsTarget>>,
     /// Bytes published panel-wise (feeds `ActorProfile::bytes_overlap`).
     bytes: u64,
 }
 
-impl PanelObserver for LaneObserver<'_> {
+impl PanelObserver for LaneObserver {
     fn wants(&mut self, out_idx: usize) -> bool {
         matches!(self.targets.get(out_idx), Some(Some(_)))
     }
 
     fn begin(&mut self, out_idx: usize, shape: &Shape) {
-        let Some(Some(coll)) = self.targets.get(out_idx) else {
+        let Some(Some(t)) = self.targets.get(out_idx) else {
             return;
         };
-        let key = (self.epoch, *coll);
-        let degree = self.lane.group.degree;
-        let mut s = self.lane.group.state.lock().unwrap();
+        let key = (self.epoch, t.coll);
+        let degree = t.group.degree;
+        let mut s = t.group.state.lock().unwrap();
         let slot = s.coll_slot(key, degree);
-        if slot.parts[self.lane.rank].is_none() {
-            slot.parts[self.lane.rank] = Some(Contribution::Staging {
+        if slot.parts[t.rank].is_none() {
+            slot.parts[t.rank] = Some(Contribution::Staging {
                 shape: shape.clone(),
                 buf: vec![0.0; shape.numel()],
                 filled: 0,
@@ -1918,14 +2018,14 @@ impl PanelObserver for LaneObserver<'_> {
     }
 
     fn publish(&mut self, out_idx: usize, row0: usize, row_len: usize, data: &[f32]) {
-        let Some(Some(coll)) = self.targets.get(out_idx) else {
+        let Some(Some(t)) = self.targets.get(out_idx) else {
             return;
         };
-        let key = (self.epoch, *coll);
-        let degree = self.lane.group.degree;
-        let mut s = self.lane.group.state.lock().unwrap();
+        let key = (self.epoch, t.coll);
+        let degree = t.group.degree;
+        let mut s = t.group.state.lock().unwrap();
         let slot = s.coll_slot(key, degree);
-        let part = &mut slot.parts[self.lane.rank];
+        let part = &mut slot.parts[t.rank];
         let complete = match part {
             Some(Contribution::Staging { buf, filled, .. }) => {
                 let off = row0 * row_len;
@@ -1940,11 +2040,11 @@ impl PanelObserver for LaneObserver<'_> {
         self.bytes += 4 * data.len() as u64;
         if complete {
             if let Some(Contribution::Staging { shape, buf, .. }) = part.take() {
-                let t = Tensor::from_vec(shape, buf).expect("staged panels cover the shape");
-                *part = Some(Contribution::Ready(t));
+                let tensor = Tensor::from_vec(shape, buf).expect("staged panels cover the shape");
+                *part = Some(Contribution::Ready(tensor));
             }
             drop(s);
-            self.lane.group.cv.notify_all();
+            t.group.cv.notify_all();
         }
     }
 }
@@ -2020,14 +2120,17 @@ fn combine_collective(
     }
 }
 
-/// One collective through the in-actor lane rendezvous: publish this
-/// lane's contribution (unless panel streaming already staged it), wait
-/// for the group, and share a single assembly. Returns the combined
-/// tensor (per-rank block for reduce-scatter), the contribution element
-/// count, and the wait interval for profiling.
+/// One collective through the in-actor group rendezvous: publish this
+/// member's contribution (unless panel streaming already staged it),
+/// wait for the group, and share a single assembly. Returns the
+/// combined tensor (per-rank block for reduce-scatter), the
+/// contribution element count, and the wait interval for profiling.
+#[allow(clippy::too_many_arguments)]
 fn lane_collective(
     st: &mut ActorState,
-    l: &LaneCtx,
+    group: &Arc<LaneGroup>,
+    rank: usize,
+    disjoint: bool,
     idx: usize,
     kind: &CollectiveKind,
     dst: BufferId,
@@ -2035,8 +2138,7 @@ fn lane_collective(
     dim: usize,
 ) -> Result<(Tensor, usize, Instant, Duration), StreamFailure> {
     let epoch = st.epoch;
-    let t = l.group.degree;
-    let rank = l.rank;
+    let t = group.degree;
     let key = (epoch, idx as u32);
     // The store lookup stays on the lane path too: a missing buffer is
     // the same programming error in either mode, and its numel feeds
@@ -2048,7 +2150,7 @@ fn lane_collective(
         .ok_or_else(|| StreamFailure::Error(format!("collective of missing buffer {src}")))?;
     let numel = own.numel();
     {
-        let mut s = l.group.state.lock().unwrap();
+        let mut s = group.state.lock().unwrap();
         let slot = s.coll_slot(key, t);
         if slot.meta.is_none() {
             slot.meta = Some((*kind, dim));
@@ -2057,7 +2159,7 @@ fn lane_collective(
             slot.parts[rank] = Some(Contribution::Ready(own));
         }
         drop(s);
-        l.group.cv.notify_all();
+        group.cv.notify_all();
     }
     // Either a peer already assembled (take the shared result), or all
     // contributions are ready and assembly falls to this lane.
@@ -2066,7 +2168,7 @@ fn lane_collective(
         Assemble(Vec<Tensor>),
     }
     let wait_start = Instant::now();
-    let next = lane_wait(&mut st.mailbox, &l.group, epoch, |s| {
+    let next = lane_wait(&mut st.mailbox, group, epoch, |s| {
         let slot = s.coll_slot(key, t);
         if let Some(r) = &slot.assembled {
             slot.takers += 1;
@@ -2100,8 +2202,8 @@ fn lane_collective(
         Next::Done(r) => r,
         Next::Assemble(parts) => {
             // Combine outside the lock (the heavy part), then share.
-            let r = combine_collective(kind, dim, &parts, l.disjoint_reduce);
-            let mut s = l.group.state.lock().unwrap();
+            let r = combine_collective(kind, dim, &parts, disjoint);
+            let mut s = group.state.lock().unwrap();
             let slot = s.coll_slot(key, t);
             slot.assembled = Some(r.clone());
             slot.assembling = false;
@@ -2110,7 +2212,7 @@ fn lane_collective(
                 s.colls.remove(&key);
             }
             drop(s);
-            l.group.cv.notify_all();
+            group.cv.notify_all();
             r
         }
     }
@@ -2147,6 +2249,7 @@ fn legacy_ring_collective(
     group: &[usize],
     wires: &[BufferId],
     dim: usize,
+    axis: CollectiveAxis,
     profile: &mut ActorProfile,
     traced: bool,
     span_name: &mut String,
@@ -2235,9 +2338,14 @@ fn legacy_ring_collective(
     }
     .map_err(|e| StreamFailure::Error(format!("{kind} {dst}: {e}")))?;
     let wire = (t as u64 - 1) * 4 * contrib_shape.numel() as u64;
-    profile.bytes_wire += wire;
-    if !matches!(kind, CollectiveKind::AllGather) {
-        profile.bytes_reduced += wire;
+    match axis {
+        CollectiveAxis::Tp => {
+            profile.bytes_wire += wire;
+            if !matches!(kind, CollectiveKind::AllGather) {
+                profile.bytes_reduced += wire;
+            }
+        }
+        CollectiveAxis::Dp => profile.dp_bytes_wire += wire,
     }
     if traced {
         *span_name = format!("{kind} {dst} (rank {rank}/{t})");
@@ -2285,14 +2393,18 @@ fn execute_stream(
                 // result (O(1) Arc handle clones; in-place stealing in
                 // later runs is safe because every consumer holds store
                 // clones, keeping shared buffers non-uniquely owned).
-                let dedup = lane
-                    .as_ref()
-                    .filter(|l| l.replicated.get(jaxpr.0 as usize).copied().unwrap_or(false));
+                let dedup = lane.as_ref().and_then(|l| {
+                    if l.replicated.get(jaxpr.0 as usize).copied().unwrap_or(false) {
+                        l.lane.as_ref().map(|(g, _)| g)
+                    } else {
+                        None
+                    }
+                });
                 let key = (epoch, idx as u32);
                 let mut adopted: Option<Vec<Tensor>> = None;
-                if let Some(l) = dedup {
+                if let Some(g) = dedup {
                     let claimed = {
-                        let mut s = l.group.state.lock().unwrap();
+                        let mut s = g.state.lock().unwrap();
                         match s.runs.entry(key) {
                             std::collections::hash_map::Entry::Vacant(e) => {
                                 e.insert(RunSlot::Claimed);
@@ -2302,9 +2414,9 @@ fn execute_stream(
                         }
                     };
                     if !claimed {
-                        let degree = l.group.degree;
-                        let outs = lane_wait(&mut st.mailbox, &l.group, epoch, |s| {
-                            match s.runs.get_mut(&key) {
+                        let degree = g.degree;
+                        let outs =
+                            lane_wait(&mut st.mailbox, g, epoch, |s| match s.runs.get_mut(&key) {
                                 Some(RunSlot::Done { outs, takers }) => {
                                     *takers += 1;
                                     let o = outs.clone();
@@ -2314,8 +2426,7 @@ fn execute_stream(
                                     Some(o)
                                 }
                                 _ => None,
-                            }
-                        })?;
+                            })?;
                         adopted = Some(outs);
                     }
                 }
@@ -2341,11 +2452,14 @@ fn execute_stream(
                         let mut observer = match &lane {
                             Some(l) if dedup.is_none() => {
                                 collective_targets(&program.actors[me], idx, outputs).map(
-                                    |targets| LaneObserver {
-                                        lane: l,
-                                        epoch,
-                                        targets,
-                                        bytes: 0,
+                                    |targets| {
+                                        let targets =
+                                            resolve_targets(l, me, &program.actors[me], targets);
+                                        LaneObserver {
+                                            epoch,
+                                            targets,
+                                            bytes: 0,
+                                        }
                                     },
                                 )
                             }
@@ -2386,8 +2500,8 @@ fn execute_stream(
                         if traced {
                             span_alloc = Some(stats);
                         }
-                        if let Some(l) = dedup {
-                            let mut s = l.group.state.lock().unwrap();
+                        if let Some(g) = dedup {
+                            let mut s = g.state.lock().unwrap();
                             s.runs.insert(
                                 key,
                                 RunSlot::Done {
@@ -2396,7 +2510,7 @@ fn execute_stream(
                                 },
                             );
                             drop(s);
-                            l.group.cv.notify_all();
+                            g.cv.notify_all();
                         }
                         outs
                     }
@@ -2490,32 +2604,54 @@ fn execute_stream(
                 group,
                 wires,
                 dim,
+                axis,
             } => {
+                // Per-axis routing: DP all-reduces always sum disjoint
+                // -0.0-padded shards (replicate_program's contract); TP
+                // consults the program's TpMeta flag. Wait/wire metrics
+                // split by axis so each mesh dimension is observable.
+                let (disjoint, wait_kind) = match axis {
+                    CollectiveAxis::Dp => (true, "dp_collective_wait"),
+                    CollectiveAxis::Tp => (
+                        lane.as_ref().map(|l| l.disjoint_reduce).unwrap_or(false),
+                        "collective_wait",
+                    ),
+                };
                 if let Some(l) = &lane {
-                    // Lane rendezvous: contributions meet in shared
+                    // Group rendezvous: contributions meet in shared
                     // memory (possibly pre-staged panel-by-panel by the
-                    // producing matmul), one lane assembles, all lanes
-                    // share the result — zero ring messages. `group`
-                    // and `wires` drive only the serial fallback; lane
-                    // membership is positional (`host*t + rank`) by
-                    // construction.
-                    let t = l.group.degree;
-                    let rank = l.rank;
+                    // producing matmul), one member assembles, all
+                    // members share the result — zero ring messages.
+                    // The group is looked up by the instruction's exact
+                    // membership, so TP lane groups, DP replica groups,
+                    // and rebalance-folded groups all take this path.
+                    let g = l.hub.group(group);
+                    let rank = group.iter().position(|&m| m == me).ok_or_else(|| {
+                        StreamFailure::Error(format!(
+                            "actor {me} not in collective group {group:?}"
+                        ))
+                    })?;
+                    let t = g.degree;
                     let (combined, contrib_numel, wait_start, wait_dur) =
-                        lane_collective(st, l, idx, kind, *dst, *src, *dim)?;
+                        lane_collective(st, &g, rank, disjoint, idx, kind, *dst, *src, *dim)?;
                     let wire = (t as u64 - 1) * 4 * contrib_numel as u64;
-                    profile.bytes_wire += wire;
-                    if !matches!(kind, CollectiveKind::AllGather) {
-                        profile.bytes_reduced += wire;
+                    match axis {
+                        CollectiveAxis::Tp => {
+                            profile.bytes_wire += wire;
+                            if !matches!(kind, CollectiveKind::AllGather) {
+                                profile.bytes_reduced += wire;
+                            }
+                        }
+                        CollectiveAxis::Dp => profile.dp_bytes_wire += wire,
                     }
-                    profile.record("collective_wait", wait_dur);
+                    profile.record(wait_kind, wait_dur);
                     if traced {
                         span_name = format!("{kind} {dst} (rank {rank}/{t})");
                         span_bytes = wire;
                         op_spans.push(SpanEvent {
                             instr: idx as u32,
-                            kind: "collective_wait",
-                            name: format!("collective_wait (rank {rank}/{t})"),
+                            kind: wait_kind,
+                            name: format!("{wait_kind} (rank {rank}/{t})"),
                             start_ns: wait_start.saturating_duration_since(origin).as_nanos()
                                 as u64,
                             dur_ns: wait_dur.as_nanos() as u64,
@@ -2535,6 +2671,7 @@ fn execute_stream(
                         group,
                         wires,
                         *dim,
+                        *axis,
                         &mut profile,
                         traced,
                         &mut span_name,
@@ -2549,7 +2686,10 @@ fn execute_stream(
             Instr::Recv { .. } => "recv",
             Instr::Copy { .. } => "copy",
             Instr::Free { .. } => "free",
-            Instr::Collective { .. } => "collective",
+            Instr::Collective { axis, .. } => match axis {
+                CollectiveAxis::Tp => "collective",
+                CollectiveAxis::Dp => "dp_collective",
+            },
         };
         let dur = t0.elapsed();
         profile.record(kind, dur);

@@ -1,33 +1,53 @@
-//! In-actor rendezvous for tensor-parallel shard lanes.
+//! In-actor rendezvous for collective groups (tensor-parallel shard
+//! lanes and data-parallel replica groups alike).
 //!
-//! When a compiled program carries [`TpMeta`] (it was expanded by
-//! `shard_program`), the `t` rank streams of each pipeline host already
-//! run on their own actor threads. In the default *lane* mode those
-//! threads coordinate through the shared-memory structures in this
-//! module instead of the per-collective `(t-1)`-round message ring:
+//! When a compiled program carries collectives ([`TpMeta`] from
+//! `shard_program`, [`DpMeta`] from `replicate_program`, or both), the
+//! participating actors already run on their own threads. In the
+//! default *lane* mode those threads coordinate through the
+//! shared-memory structures in this module instead of the
+//! per-collective `(t-1)`-round message ring:
 //!
 //! * every [`crate::Instr::Collective`] resolves through a [`CollSlot`]
-//!   — each lane publishes its contribution (possibly panel-by-panel,
-//!   streamed out of the producing matmul while it is still
-//!   multiplying), the first lane to see all contributions assembles
-//!   the combined tensor once, and all lanes share the result — versus
-//!   `t` serialized ring walks each re-deriving the same combine;
-//! * replicated jaxprs ([`TpMeta::replicated`]) execute once per group
-//!   through a [`RunSlot`] and the other lanes adopt the outputs (O(1)
-//!   `Arc` handle clones) instead of recomputing them `t` times.
+//!   of its *membership group* — each member publishes its contribution
+//!   (possibly panel-by-panel, streamed out of the producing matmul
+//!   while it is still multiplying), the first member to see all
+//!   contributions assembles the combined tensor once, and all members
+//!   share the result — versus `t` serialized ring walks each
+//!   re-deriving the same combine;
+//! * replicated jaxprs ([`TpMeta::replicated`]) execute once per TP
+//!   lane group through a [`RunSlot`] and the other lanes adopt the
+//!   outputs (O(1) `Arc` handle clones) instead of recomputing them
+//!   `t` times.
 //!
-//! Both transformations preserve the bitwise contract: the assembly is
+//! Groups are keyed by their exact membership (the rank-ascending actor
+//! list of the collective instruction) and created on first touch, so
+//! one [`LaneHub`] serves TP lane groups (`{h·t .. h·t+t-1}`), DP
+//! replica groups (the same stream position in every replica), and the
+//! folded groups a rebalance produces, with no axis-specific paths.
+//!
+//! All transformations preserve the bitwise contract: the assembly is
 //! either the exact legacy rank-ascending fold/concat, or (for
-//! disjoint `-0.0`-padded all-reduces, [`TpMeta::disjoint_reduce`]) a
-//! block copy that equals that fold bit for bit; replicated runs are
-//! bit-identical on every rank by the replicated-buffer invariant, so
-//! executing one of them is indistinguishable from executing all.
+//! disjoint `-0.0`-padded all-reduces) a block copy that equals that
+//! fold bit for bit; replicated runs are bit-identical on every rank by
+//! the replicated-buffer invariant, so executing one of them is
+//! indistinguishable from executing all.
 //!
-//! Failure discipline: any lane that fails (task error, cascade abort,
-//! injected death) *poisons* its group for the epoch, waking every
-//! parked peer; waits also poll the actor mailbox so aborts arriving
-//! from outside the group (driver timeout, non-lane peers) bound the
-//! wait too. See `driver.rs` for the wait loop itself.
+//! Failure discipline: any actor that fails (task error, cascade abort,
+//! injected death) *poisons every group it belongs to* for the epoch,
+//! waking every parked peer; waits also poll the actor mailbox so
+//! aborts arriving from outside the group (driver timeout, non-member
+//! peers, a member that died before its group was ever created) bound
+//! the wait too. See `driver.rs` for the wait loop itself.
+//!
+//! Slot retirement: completed slots retire when every member has taken
+//! the result; slots of aborted epochs retire at the next
+//! `begin_epoch`, and [`LaneHub::gc`] — called from `Runtime::recover`
+//! and `Runtime::rebalance` — retires stale slots and poison
+//! immediately after a failure, and drops whole groups whose membership
+//! includes a permanently retired actor (otherwise a rebalance would
+//! strand their staged tensors forever — the same live-bytes ratchet
+//! class as the aborted-epoch `ObjectStore` ghost-deletion bug).
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
@@ -49,60 +69,144 @@ pub(crate) fn lanes_default_from_env() -> bool {
     )
 }
 
-/// Runtime-wide lane coordination: one [`LaneGroup`] per pipeline host,
-/// shared by that host's `t` rank actors. Built once from the
-/// program's [`TpMeta`]; immutable except for the `serial` switch.
+/// Runtime-wide collective coordination: one [`LaneGroup`] per distinct
+/// collective membership, created on first touch and shared by the
+/// member actors. Built once per program with collectives; immutable
+/// except for the `serial` switch and the group map.
 pub(crate) struct LaneHub {
     /// When set, actors run collectives over the legacy message ring
     /// (the serial fallback). Latched into each `Execute` dispatch so a
     /// step never mixes modes across lanes.
     pub(crate) serial: AtomicBool,
+    /// Tensor-parallel degree (1 when the program has no TP axis; TP
+    /// lane groups and run dedup then do not exist).
     degree: usize,
-    groups: Vec<Arc<LaneGroup>>,
     replicated: Arc<Vec<bool>>,
     disjoint_reduce: bool,
+    /// Membership-keyed rendezvous groups (rank-ascending actor lists).
+    groups: Mutex<HashMap<Vec<usize>, Arc<LaneGroup>>>,
 }
 
 impl LaneHub {
-    pub(crate) fn new(n_actors: usize, meta: &TpMeta) -> LaneHub {
-        let degree = meta.degree;
+    pub(crate) fn new(tp: Option<&TpMeta>) -> LaneHub {
         LaneHub {
             serial: AtomicBool::new(!lanes_default_from_env()),
-            degree,
-            groups: (0..n_actors.div_ceil(degree))
-                .map(|_| Arc::new(LaneGroup::new(degree)))
-                .collect(),
-            replicated: Arc::new(meta.replicated.clone()),
-            disjoint_reduce: meta.disjoint_reduce,
+            degree: tp.map_or(1, |m| m.degree),
+            replicated: Arc::new(tp.map(|m| m.replicated.clone()).unwrap_or_default()),
+            disjoint_reduce: tp.is_none_or(|m| m.disjoint_reduce),
+            groups: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The lane context actor `a` executes under: its host's group and
-    /// its rank within it.
-    pub(crate) fn ctx_for(&self, a: usize) -> LaneCtx {
+    /// The rendezvous group with exactly `members` (rank-ascending),
+    /// created on first touch.
+    pub(crate) fn group(&self, members: &[usize]) -> Arc<LaneGroup> {
+        let mut groups = self.groups.lock().unwrap();
+        if let Some(g) = groups.get(members) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(LaneGroup::new(members.len()));
+        groups.insert(members.to_vec(), Arc::clone(&g));
+        g
+    }
+
+    /// The lane context actor `a` executes under: a hub handle for
+    /// membership lookups, plus the actor's TP lane group and rank when
+    /// the program is tensor-parallel.
+    pub(crate) fn ctx_for(self: &Arc<Self>, a: usize) -> LaneCtx {
+        let lane = (self.degree > 1).then(|| {
+            let host = a / self.degree;
+            let members: Vec<usize> = (host * self.degree..(host + 1) * self.degree).collect();
+            (self.group(&members), a % self.degree)
+        });
         LaneCtx {
-            group: Arc::clone(&self.groups[a / self.degree]),
-            rank: a % self.degree,
+            hub: Arc::clone(self),
+            lane,
             replicated: Arc::clone(&self.replicated),
             disjoint_reduce: self.disjoint_reduce,
         }
     }
+
+    /// Retires slots and poison from epochs before `epoch` in every
+    /// group containing actor `a` — called by the actor itself on
+    /// `Execute` receipt, before it can touch this epoch's slots.
+    pub(crate) fn begin_epoch_actor(&self, a: usize, epoch: Epoch) {
+        let groups: Vec<Arc<LaneGroup>> = {
+            let g = self.groups.lock().unwrap();
+            g.iter()
+                .filter(|(k, _)| k.contains(&a))
+                .map(|(_, v)| Arc::clone(v))
+                .collect()
+        };
+        for g in groups {
+            g.begin_epoch(epoch);
+        }
+    }
+
+    /// Poisons `epoch` in every group containing actor `a` on behalf of
+    /// actor `by` — the death/error path. Groups the failed actor never
+    /// touched may not exist yet; their future waiters are bounded by
+    /// the mailbox abort polling instead.
+    pub(crate) fn poison_actor(&self, a: usize, epoch: Epoch, by: usize, reason: &str) {
+        let groups: Vec<Arc<LaneGroup>> = {
+            let g = self.groups.lock().unwrap();
+            g.iter()
+                .filter(|(k, _)| k.contains(&a))
+                .map(|(_, v)| Arc::clone(v))
+                .collect()
+        };
+        for g in groups {
+            g.poison(epoch, by, reason);
+        }
+    }
+
+    /// Recovery-time garbage collection: drops every group whose
+    /// membership includes a retired actor (their slots would otherwise
+    /// hold staged tensors forever — no survivor ever begins a new
+    /// epoch on a stale membership), then retires slots and poison from
+    /// epochs before `epoch` in the groups that remain.
+    pub(crate) fn gc(&self, retired: &[bool], epoch: Epoch) {
+        let survivors: Vec<Arc<LaneGroup>> = {
+            let mut groups = self.groups.lock().unwrap();
+            groups.retain(|k, _| !k.iter().any(|&m| retired.get(m).copied().unwrap_or(false)));
+            groups.values().map(Arc::clone).collect()
+        };
+        for g in survivors {
+            g.begin_epoch(epoch);
+        }
+    }
+
+    /// Total in-flight rendezvous slots across all groups (collective
+    /// and run-dedup) — the leak detector the chaos soak asserts on.
+    pub(crate) fn live_slots(&self) -> usize {
+        let groups = self.groups.lock().unwrap();
+        groups
+            .values()
+            .map(|g| {
+                let s = g.state.lock().unwrap();
+                s.colls.len() + s.runs.len()
+            })
+            .sum()
+    }
 }
 
-/// One actor's handle into its lane group (cheap to clone: two `Arc`s).
+/// One actor's handle into the collective hub (cheap to clone: Arcs).
 #[derive(Clone)]
 pub(crate) struct LaneCtx {
-    pub(crate) group: Arc<LaneGroup>,
-    /// This actor's rank within the group (`me % degree`).
-    pub(crate) rank: usize,
+    /// The runtime-wide hub, for membership-keyed group lookups.
+    pub(crate) hub: Arc<LaneHub>,
+    /// This actor's TP lane group and rank within it, when the program
+    /// is tensor-parallel (`None` under pure DP) — drives replicated-run
+    /// dedup and fast poison/epoch paths.
+    pub(crate) lane: Option<(Arc<LaneGroup>, usize)>,
     /// Per-jaxpr replication flags ([`TpMeta::replicated`]).
     pub(crate) replicated: Arc<Vec<bool>>,
-    /// Whether all-reduces may use block assembly
-    /// ([`TpMeta::disjoint_reduce`]).
+    /// Whether TP all-reduces may use block assembly
+    /// ([`TpMeta::disjoint_reduce`]); DP all-reduces always may.
     pub(crate) disjoint_reduce: bool,
 }
 
-/// The rendezvous shared by the `t` rank actors of one pipeline host.
+/// The rendezvous shared by the member actors of one collective group.
 pub(crate) struct LaneGroup {
     pub(crate) state: Mutex<GroupState>,
     pub(crate) cv: Condvar,
@@ -110,13 +214,15 @@ pub(crate) struct LaneGroup {
 }
 
 /// Mutable rendezvous state, keyed by `(epoch, instruction index)` —
-/// lane streams are index-aligned by construction (`shard_program`
-/// emits identical instruction kinds at identical positions), so the
-/// instruction index identifies one collective or run across all lanes.
+/// member streams are index-aligned by construction (`shard_program`
+/// and `replicate_program` emit identical instruction kinds at
+/// identical positions, and `replace_program` folds hosts uniformly
+/// across ranks and replicas), so the instruction index identifies one
+/// collective or run across all members.
 #[derive(Default)]
 pub(crate) struct GroupState {
-    /// A failed lane's epoch poison: wakes and aborts every group wait
-    /// for that epoch (or earlier).
+    /// A failed member's epoch poison: wakes and aborts every group
+    /// wait for that epoch (or earlier).
     pub(crate) poison: Option<(Epoch, usize, String)>,
     /// In-flight collective rendezvous slots.
     pub(crate) colls: HashMap<(Epoch, u32), CollSlot>,
@@ -127,18 +233,19 @@ pub(crate) struct GroupState {
 /// One collective's rendezvous: per-rank contributions, the combined
 /// result, and bookkeeping for single-assembly and slot retirement.
 pub(crate) struct CollSlot {
-    /// `(kind, dim)`, recorded by the first lane to *process* the
+    /// `(kind, dim)`, recorded by the first member to *process* the
     /// collective instruction. Panel stagers may create the slot
     /// earlier without it; assembly only happens from a processing
-    /// lane, so the metadata is always present by then.
+    /// member, so the metadata is always present by then.
     pub(crate) meta: Option<(CollectiveKind, usize)>,
     pub(crate) parts: Vec<Option<Contribution>>,
     /// The combined tensor (pre-scatter for reduce-scatter), or the
-    /// combine error every lane must surface.
+    /// combine error every member must surface.
     pub(crate) assembled: Option<Result<Tensor, String>>,
-    /// A lane is combining outside the lock; peers keep waiting.
+    /// A member is combining outside the lock; peers keep waiting.
     pub(crate) assembling: bool,
-    /// Lanes that have taken `assembled`; at `degree` the slot retires.
+    /// Members that have taken `assembled`; at `degree` the slot
+    /// retires.
     pub(crate) takers: usize,
 }
 
@@ -155,7 +262,7 @@ pub(crate) enum Contribution {
     Ready(Tensor),
 }
 
-/// One replicated jaxpr execution shared across a group's lanes.
+/// One replicated jaxpr execution shared across a lane group's members.
 pub(crate) enum RunSlot {
     /// A lane claimed execution; peers wait.
     Claimed,
@@ -174,7 +281,7 @@ impl LaneGroup {
         }
     }
 
-    /// Starts a new epoch on this lane: retires slots and poison from
+    /// Starts a new epoch on this group: retires slots and poison from
     /// earlier epochs. Epochs are never reused (the driver's seq is
     /// monotone), so entries at `epoch` or later are left untouched.
     pub(crate) fn begin_epoch(&self, epoch: Epoch) {
@@ -189,7 +296,7 @@ impl LaneGroup {
     }
 
     /// Marks `epoch` failed on behalf of actor `by`, waking every
-    /// parked lane. First poison wins (mirrors the mailbox's
+    /// parked member. First poison wins (mirrors the mailbox's
     /// first-abort-wins rule); later epochs' poisons overwrite earlier
     /// ones so a stale poison can never mask a live failure.
     pub(crate) fn poison(&self, epoch: Epoch, by: usize, reason: &str) {

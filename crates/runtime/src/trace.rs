@@ -51,7 +51,13 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 ///   `"collective"` span). In lane mode the `"collective"` span's
 ///   `bytes` carries the modelled wire volume `(t-1) * 4 * numel`
 ///   (equal to what the serial ring physically receives).
-pub const TRACE_SCHEMA_VERSION: u32 = 4;
+/// - **5** — adds the `"dp_collective"` and `"dp_collective_wait"`
+///   span kinds: the data-parallel gradient all-reduce between
+///   pipeline replicas and the interval a replica spent parked at its
+///   rendezvous. Same shape as `"collective"`/`"collective_wait"`,
+///   separate kinds so TP and DP traffic stay distinguishable in a
+///   3-D (dp × tp × pp) trace.
+pub const TRACE_SCHEMA_VERSION: u32 = 5;
 
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.

@@ -130,12 +130,14 @@ fn golden_chrome_trace_schema() {
         "]",
     );
     assert_eq!(trace.chrome_trace_json(), expected);
-    // Schema v4: the additions of v2 (the "copy" span kind and the
+    // Schema v5: the additions of v2 (the "copy" span kind and the
     // "rebalanced" step event) are covered by this golden file; the
-    // "collective" span kind added in v3 and the "collective_wait"
-    // span kind added in v4 use the same X-event fields as send/recv
-    // spans and are exercised end-to-end by tests/tensor_parallel.rs.
-    assert_eq!(TRACE_SCHEMA_VERSION, 4);
+    // "collective" span kind added in v3, the "collective_wait" span
+    // kind added in v4, and the "dp_collective"/"dp_collective_wait"
+    // span kinds added in v5 use the same X-event fields as send/recv
+    // spans and are exercised end-to-end by tests/tensor_parallel.rs
+    // and tests/data_parallel.rs.
+    assert_eq!(TRACE_SCHEMA_VERSION, 5);
 }
 
 #[test]

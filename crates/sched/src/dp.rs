@@ -1,0 +1,129 @@
+//! Data-parallel actor-space arithmetic.
+//!
+//! When a compiled program of `base` actors (pipeline actors, already
+//! expanded by any tensor-parallel sharding) is replicated over a
+//! data-parallel axis of degree `R` (see `raxpp-taskgraph`'s
+//! `replicate_program`), replica `rep`'s copy of base actor `a` is
+//! `rep*base + a`: replicas occupy contiguous blocks of the raw actor
+//! space. [`DpMap`] centralizes that arithmetic so the compiler, the
+//! runtime, and tests all agree on replica-actor identity, exactly as
+//! [`TpMap`](crate::TpMap) does for the tensor-parallel axis — the two
+//! compose, with the TP expansion applied first (so `base` is already
+//! `hosts * t`).
+
+/// Mapping between base (single-replica) actor indices and raw
+/// (replicated) actor indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpMap {
+    replicas: usize,
+    base_actors: usize,
+}
+
+impl DpMap {
+    /// Builds a map for `replicas` copies of a `base_actors`-actor
+    /// program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(replicas: usize, base_actors: usize) -> DpMap {
+        assert!(replicas > 0, "data-parallel degree must be positive");
+        assert!(base_actors > 0, "base actor count must be positive");
+        DpMap {
+            replicas,
+            base_actors,
+        }
+    }
+
+    /// The data-parallel degree `R`.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Actors per replica (the pre-replication program size).
+    pub fn base_actors(&self) -> usize {
+        self.base_actors
+    }
+
+    /// The raw actor of `(replica, base actor)`.
+    pub fn replica_actor(&self, replica: usize, base: usize) -> usize {
+        debug_assert!(replica < self.replicas);
+        debug_assert!(base < self.base_actors);
+        replica * self.base_actors + base
+    }
+
+    /// The replica a raw actor belongs to.
+    pub fn replica_of(&self, raw: usize) -> usize {
+        raw / self.base_actors
+    }
+
+    /// The base (single-replica) actor index of a raw actor.
+    pub fn base_of(&self, raw: usize) -> usize {
+        raw % self.base_actors
+    }
+
+    /// Total raw actors.
+    pub fn n_actors(&self) -> usize {
+        self.replicas * self.base_actors
+    }
+
+    /// The replica-ascending collective group of one base actor: the
+    /// `R` raw actors holding that pipeline position's copy in each
+    /// replica. These are the memberships `replicate_program` puts on
+    /// DP gradient collectives.
+    pub fn group_of(&self, base: usize) -> Vec<usize> {
+        (0..self.replicas)
+            .map(|rep| self.replica_actor(rep, base))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = DpMap::new(3, 4);
+        for rep in 0..3 {
+            for base in 0..4 {
+                let raw = m.replica_actor(rep, base);
+                assert_eq!(m.replica_of(raw), rep);
+                assert_eq!(m.base_of(raw), base);
+            }
+        }
+        assert_eq!(m.n_actors(), 12);
+    }
+
+    #[test]
+    fn groups_are_replica_ascending_and_strided() {
+        let m = DpMap::new(2, 4);
+        assert_eq!(m.group_of(0), vec![0, 4]);
+        assert_eq!(m.group_of(3), vec![3, 7]);
+        assert!(m.group_of(2).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_replica_is_identity() {
+        let m = DpMap::new(1, 4);
+        assert_eq!(m.replica_actor(0, 3), 3);
+        assert_eq!(m.replica_of(3), 0);
+        assert_eq!(m.base_of(3), 3);
+        assert_eq!(m.group_of(3), vec![3]);
+    }
+
+    #[test]
+    fn composes_with_tp() {
+        // 2 hosts × t=2 → base=4; R=2 → raw actor of (rep=1, host=1,
+        // rank=0) is 1*4 + 1*2 + 0 = 6.
+        let tp = crate::TpMap::new(2);
+        let dp = DpMap::new(2, tp.n_shard_actors(2));
+        assert_eq!(dp.replica_actor(1, tp.shard_actor(1, 0)), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replicas_panics() {
+        DpMap::new(0, 4);
+    }
+}

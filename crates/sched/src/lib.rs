@@ -23,6 +23,7 @@
 
 mod analysis;
 mod builders;
+mod dp;
 mod schedule;
 mod task;
 mod tp;
@@ -32,6 +33,7 @@ pub use analysis::{ideal_bubble_ratio, simulate, SimResult, TimelineEntry, Unifo
 pub use builders::{
     fold_assign, gpipe, gpipe_folded, interleaved_1f1b, one_f1b, one_f1b_folded, zero_bubble_h1,
 };
+pub use dp::DpMap;
 pub use schedule::{Schedule, ScheduleError};
 pub use task::{Dir, Task};
 pub use tp::TpMap;

@@ -7,7 +7,10 @@
 //! autodiff) → [`unroll_loop`] over a `raxpp-sched` schedule (§4.2) →
 //! optional [`shard_program`] (intra-stage tensor parallelism, lowering
 //! each host actor into `tp` rank actors linked by
-//! [`Instr::Collective`]) → [`insert_frees`] (§4.3). The result is one
+//! [`Instr::Collective`]) → optional [`replicate_program`] (data
+//! parallelism: replica pipelines linked by DP-axis gradient
+//! all-reduces, with optional ZeRO-1 state sharding) → [`insert_frees`]
+//! (§4.3). The result is one
 //! fused instruction stream per actor ([`MpmdProgram`], §4.4) ready for
 //! the `raxpp-runtime` driver.
 
@@ -17,6 +20,7 @@ mod automark;
 mod model;
 mod program;
 mod replace;
+mod replicate;
 mod shard;
 mod stage;
 mod stats;
@@ -26,10 +30,11 @@ mod verify;
 pub use automark::auto_mark_stages;
 pub use model::{pipeline_model, BwdOut, PipelinedModel};
 pub use program::{
-    ActorId, BufferId, CollectiveKind, Fetch, FetchRole, InputPlacement, InputSource, Instr,
-    JaxprId, MpmdProgram, TaskLabel, TpMeta,
+    ActorId, BufferId, CollectiveAxis, CollectiveKind, DpMeta, Fetch, FetchRole, InputPlacement,
+    InputSource, Instr, JaxprId, MpmdProgram, TaskLabel, TpMeta,
 };
 pub use replace::{replace_program, ReplaceError};
+pub use replicate::{dp_split, dp_treated, replicate_program, ReplicateError};
 pub use shard::{bucket_collectives, shard_program, ShardError};
 pub use stage::{partition_stages, StageFwd, StageInput, StageOutput, StagedForward};
 pub use stats::{program_stats, ProgramStats};

@@ -74,6 +74,13 @@ pub enum TaskLabel {
         /// The parameter updated.
         param: usize,
     },
+    /// Masking a full gradient down to one data-parallel replica's
+    /// disjoint `-0.0`-padded shard (produced by `replicate_program`
+    /// ahead of the DP gradient all-reduce).
+    GradShard {
+        /// The parameter whose gradient is masked.
+        param: usize,
+    },
 }
 
 impl fmt::Display for TaskLabel {
@@ -86,6 +93,7 @@ impl fmt::Display for TaskLabel {
             TaskLabel::CotangentSum { stage } => write!(f, "ct_sum(s={stage})"),
             TaskLabel::GradReduce { param } => write!(f, "grad_reduce(p={param})"),
             TaskLabel::Update { param } => write!(f, "update(p={param})"),
+            TaskLabel::GradShard { param } => write!(f, "grad_shard(p={param})"),
         }
     }
 }
@@ -120,6 +128,31 @@ impl fmt::Display for CollectiveKind {
             CollectiveKind::AllGather => write!(f, "all_gather"),
             CollectiveKind::AllReduce => write!(f, "all_reduce"),
             CollectiveKind::ReduceScatter => write!(f, "reduce_scatter"),
+        }
+    }
+}
+
+/// Which mesh axis a [`Instr::Collective`] communicates over.
+///
+/// The runtime uses the axis to route per-axis metrics
+/// (`bytes_wire`/`collective_wait` for TP vs `dp_bytes_wire`/
+/// `dp_collective_wait` for DP) and to pick the disjoint-assembly fast
+/// path: DP collectives emitted by `replicate_program` always sum
+/// disjoint `-0.0`-padded shards, while TP all-reduces consult
+/// [`TpMeta::disjoint_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveAxis {
+    /// Tensor-parallel lane group (the ranks of one pipeline host).
+    Tp,
+    /// Data-parallel replica group (the same position in every replica).
+    Dp,
+}
+
+impl fmt::Display for CollectiveAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveAxis::Tp => write!(f, "tp"),
+            CollectiveAxis::Dp => write!(f, "dp"),
         }
     }
 }
@@ -209,6 +242,9 @@ pub enum Instr {
         /// and [`CollectiveKind::ReduceScatter`] splits (ignored by
         /// [`CollectiveKind::AllReduce`]).
         dim: usize,
+        /// Which mesh axis the group spans (metrics routing and the
+        /// disjoint-assembly decision).
+        axis: CollectiveAxis,
     },
 }
 
@@ -349,6 +385,25 @@ pub struct TpMeta {
     pub disjoint_reduce: bool,
 }
 
+/// Data-parallel structure of a replicated program, recorded by
+/// `replicate_program` so the runtime and trainer can do replica
+/// arithmetic (`raxpp_sched::DpMap`) and route DP collectives.
+///
+/// Replica `rep`'s copy of base actor `a` is `rep * base_actors + a`,
+/// where `base_actors` is the actor count *after* TP sharding — the DP
+/// axis replicates whole (possibly TP-sharded) pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpMeta {
+    /// Number of data-parallel replicas.
+    pub replicas: usize,
+    /// Actors per replica (post-TP actor count of the input program).
+    pub base_actors: usize,
+    /// Whether optimizer state is ZeRO-1 sharded across the DP group
+    /// (each replica owns one last-dim slice of every state slot and
+    /// computes only its slice of the parameter update).
+    pub zero1: bool,
+}
+
 /// A complete fused MPMD program: the output of the RaxPP compiler and
 /// the input of the `raxpp-runtime` driver.
 #[derive(Debug, Clone, Default)]
@@ -366,6 +421,9 @@ pub struct MpmdProgram {
     /// programs and hand-built ones (the runtime then always uses the
     /// ring collective path).
     pub tp: Option<TpMeta>,
+    /// Data-parallel structure when the program was produced by
+    /// `replicate_program` with more than one replica; `None` otherwise.
+    pub dp: Option<DpMeta>,
 }
 
 impl MpmdProgram {

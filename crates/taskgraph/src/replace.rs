@@ -57,10 +57,13 @@ pub enum ReplaceError {
         /// The buffer.
         buf: BufferId,
     },
-    /// The program contains an instruction re-placement does not support
-    /// (tensor-parallel collectives: folding ranks of a group onto one
-    /// actor would break the ring exchange and the per-rank reduction
-    /// order).
+    /// The assignment would break a collective group. Collectives
+    /// re-place cleanly only under *group-uniform* folds: every member
+    /// of a group must map to a distinct actor and keep its rank
+    /// position (host-level folds applied identically across all
+    /// tensor-parallel ranks and data-parallel replicas have this
+    /// property; folding two ranks of one group onto one actor does
+    /// not).
     Unsupported(String),
 }
 
@@ -123,6 +126,33 @@ pub fn replace_program(
             )));
         }
     }
+    if let Some(dp) = &program.dp {
+        // Data-parallel programs rendezvous DP collectives by
+        // instruction index, which stays aligned across replicas only
+        // when the fold acts identically in every replica: each raw
+        // actor must stay inside its replica block, and the base-actor
+        // fold pattern must be the same in all blocks. Anything else
+        // would leave isomorphic-looking groups whose members sit at
+        // different stream offsets — a runtime deadlock, so reject it
+        // here.
+        let (base, reps) = (dp.base_actors, dp.replicas);
+        for (a, &h) in assign.iter().enumerate() {
+            if h / base != a / base {
+                return Err(ReplaceError::Unsupported(format!(
+                    "assignment moves actor {a} across data-parallel replicas (to {h}); \
+                     folds must stay within a replica"
+                )));
+            }
+            if assign[a % base] % base != h % base {
+                return Err(ReplaceError::Unsupported(format!(
+                    "assignment folds actor {a} differently from its replica-0 \
+                     counterpart {}; folds must be replica-uniform (same base-actor \
+                     pattern in all {reps} replicas)",
+                    a % base
+                )));
+            }
+        }
+    }
 
     // Pass 1: free replay. If merged channels come out order-consistent
     // (they always do for chain pipelines folded onto contiguous blocks),
@@ -149,8 +179,8 @@ pub fn replace_program(
         actors: streams,
         placements: Vec::new(),
         fetches: Vec::new(),
-        // Unreachable with tp metadata: collectives are rejected above.
-        tp: None,
+        tp: program.tp.clone(),
+        dp: program.dp,
     };
     // Remap placements; folding can land the same data buffer (shared id
     // across consumer actors) on one store twice — keep one copy.
@@ -350,12 +380,54 @@ fn simulate(
                             true
                         }
                     }
-                    Instr::Collective { .. } => {
-                        return Err(ReplaceError::Unsupported(
-                            "program contains tensor-parallel collectives; \
-                             elastic rebalancing requires tp degree 1"
-                                .into(),
-                        ));
+                    Instr::Collective {
+                        kind,
+                        dst,
+                        src,
+                        group,
+                        wires,
+                        dim,
+                        axis,
+                    } => {
+                        if !avail[h].contains(src) {
+                            false
+                        } else {
+                            // In replay terms a collective is a local
+                            // compute (contribute src, define dst): the
+                            // runtime's rendezvous synchronizes members,
+                            // and group-uniform folds keep the member
+                            // streams isomorphic, so no cross-member
+                            // ordering needs modeling here.
+                            let new_group: Vec<ActorId> =
+                                group.iter().map(|&m| assign[m]).collect();
+                            let distinct = new_group.windows(2).all(|w| w[0] < w[1]);
+                            let old_rank = group.iter().position(|&m| m == a);
+                            let new_rank = new_group.iter().position(|&m| m == h);
+                            if !distinct || old_rank != new_rank {
+                                return Err(ReplaceError::Unsupported(format!(
+                                    "assignment folds collective group {group:?} \
+                                     non-uniformly; members must stay distinct and \
+                                     keep their rank positions"
+                                )));
+                            }
+                            if owed[h].get(dst).copied().unwrap_or(0) > 0 {
+                                return Err(ReplaceError::LocalOverwrite {
+                                    actor: h,
+                                    buf: *dst,
+                                });
+                            }
+                            avail[h].insert(*dst);
+                            out[h].push(Instr::Collective {
+                                kind: *kind,
+                                dst: *dst,
+                                src: *src,
+                                group: new_group,
+                                wires: wires.clone(),
+                                dim: *dim,
+                                axis: *axis,
+                            });
+                            true
+                        }
                     }
                     Instr::Free { .. } => unreachable!("frees are stripped before replay"),
                 };

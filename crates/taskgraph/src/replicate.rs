@@ -1,0 +1,883 @@
+//! Data-parallel replication: cloning a compiled (possibly
+//! tensor-parallel) MPMD program into `R` replica pipelines whose
+//! gradient paths are linked by [`Instr::Collective`] all-reduces over
+//! the DP axis, with optional ZeRO-1 optimizer-state sharding.
+//!
+//! # The replicated batch plane
+//!
+//! Every replica runs the *same* fused program over the *same* full
+//! batch (data placements are duplicated to all replicas), so gradients
+//! are bitwise-identical across replicas before any communication.
+//! This makes the DP gradient exchange a *load-bearing identity*:
+//! replica `rep` masks its disjoint last-dim shard of each gradient
+//! (slice, then pad back to full width with `-0.0` — the
+//! [`TaskLabel::GradShard`] task), and the DP group's rank-ascending
+//! all-reduce fold reassembles the full gradient bit for bit (because
+//! `x + (-0.0) == x` for every `f32`, exactly the theorem
+//! `shard_program` rests on). A `dp = R` run therefore computes losses,
+//! parameters, and checkpoints bit-identical to `dp = 1`, while
+//! exercising the real collective schedule, wire accounting, and
+//! failure surface of data parallelism — the property
+//! `tests/data_parallel.rs` enforces through faults, recovery, and
+//! rebalances.
+//!
+//! # Actor and buffer spaces
+//!
+//! Replica `rep`'s copy of base actor `a` is `rep * base_actors + a`
+//! ([`raxpp_sched::DpMap`] arithmetic; `base_actors` counts the *input*
+//! program's actors, i.e. after any TP sharding). Buffer ids are shared
+//! across replicas — stores are per-actor, so identical ids never
+//! collide, and the id-keyed pin set of `insert_frees` then produces
+//! identical `Free` positions in every replica, keeping the replica
+//! streams index-aligned (the invariant the runtime's rendezvous slot
+//! keying relies on, see [`TpMeta`]). Only the DP collective wires and
+//! assembly buffers are freshly allocated, shared by all replicas as a
+//! set with `wires[rep]` owned by replica `rep`.
+//!
+//! # ZeRO-1
+//!
+//! With ZeRO-1 enabled, replica `rep` owns one last-dim slice of every
+//! optimizer-state slot: its update task consumes the full parameter
+//! and the assembled gradient but computes only its state slices and
+//! its `-0.0`-padded slice of the updated parameter; a second DP
+//! all-reduce folds the parameter contributions into the full updated
+//! parameter in place. State placements shrink to slice shapes.
+//! Parameters whose last dimension is smaller than `R` (and rank-0
+//! scalars) skip DP treatment entirely: their updates stay replicated,
+//! which is already bitwise-correct.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, Shape};
+
+use crate::program::{
+    ActorId, BufferId, CollectiveAxis, CollectiveKind, DpMeta, InputSource, Instr, JaxprId,
+    MpmdProgram, TaskLabel,
+};
+use crate::shard::fresh_buffer_floor;
+
+/// Error raised by [`replicate_program`].
+#[derive(Debug)]
+pub enum ReplicateError {
+    /// The input program already carries a DP axis (double replication).
+    AlreadyReplicated,
+    /// Inconsistent arguments (zero replicas, ZeRO-1 under tp > 1, …).
+    BadInput(String),
+    /// Building a mask jaxpr failed (a pass bug).
+    Ir(IrError),
+    /// The caller's ZeRO-1 update builder failed.
+    Zero1(String),
+}
+
+impl fmt::Display for ReplicateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicateError::AlreadyReplicated => {
+                write!(f, "program already carries a data-parallel axis")
+            }
+            ReplicateError::BadInput(msg) => write!(f, "bad replication request: {msg}"),
+            ReplicateError::Ir(e) => write!(f, "replica codegen failed: {e}"),
+            ReplicateError::Zero1(msg) => write!(f, "ZeRO-1 update codegen failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicateError {}
+
+impl From<IrError> for ReplicateError {
+    fn from(e: IrError) -> Self {
+        ReplicateError::Ir(e)
+    }
+}
+
+/// Whether a parameter of `shape` receives DP treatment (gradient
+/// sharding, collectives, and — under ZeRO-1 — state slicing) when
+/// replicated `replicas` ways. Scalars and parameters whose last
+/// dimension is narrower than the replica count stay fully replicated
+/// instead; callers holding per-replica state (the trainer's
+/// checkpoint/restore paths) must apply the same rule.
+pub fn dp_treated(shape: &Shape, replicas: usize) -> bool {
+    shape.rank() > 0 && shape.dim(shape.rank() - 1) >= replicas
+}
+
+/// Replica `rep`'s last-dim slice `(start, len)` of a dimension of
+/// `full` elements split across `replicas`: the first `full % replicas`
+/// replicas get one extra element, so slices tile the dimension exactly
+/// even when it does not divide evenly.
+pub fn dp_split(full: usize, replicas: usize, rep: usize) -> (usize, usize) {
+    let base = full / replicas;
+    let rem = full % replicas;
+    let len = base + usize::from(rep < rem);
+    let start = rep * base + rep.min(rem);
+    (start, len)
+}
+
+/// Per-parameter DP lowering decisions and fresh ids.
+struct DpParam {
+    /// Full size of the split (last) dimension.
+    full: usize,
+    /// Axis the gradient is split along (always last).
+    dim: usize,
+    /// Per-replica gradient-shard wires (shared set, `wires[rep]` is
+    /// replica `rep`'s contribution).
+    grad_wires: Vec<BufferId>,
+    /// The assembled-gradient buffer (same id in every replica's store).
+    assembled: BufferId,
+    /// Per-replica mask jaxprs ([`TaskLabel::GradShard`]).
+    mask: Vec<JaxprId>,
+    /// ZeRO-1: per-replica sharded update jaxprs and the parameter
+    /// contribution wires folded into the parameter buffer.
+    zero1: Option<(Vec<JaxprId>, Vec<BufferId>)>,
+}
+
+/// Builds the [`TaskLabel::GradShard`] mask: slice the replica's
+/// `(start, len)` last-dim block out of the full gradient, then pad it
+/// back to full width with `-0.0`.
+fn mask_jaxpr(shape: &Shape, start: usize, len: usize) -> Result<Jaxpr, IrError> {
+    let mut b = GraphBuilder::new();
+    let g = b.input(shape.clone());
+    let full = shape.dim(shape.rank() - 1);
+    let s = b.emit(Prim::SliceLast { start, len }, &[g])?;
+    let padded = b.emit(
+        Prim::PadLast {
+            start,
+            full,
+            value: -0.0,
+        },
+        &[s],
+    )?;
+    b.finish(vec![padded])
+}
+
+/// Replicates `program` into `replicas` data-parallel pipelines (see
+/// the module docs for the semantics). `replicas == 1` returns the
+/// program unchanged.
+///
+/// `zero1`, when provided, enables ZeRO-1 optimizer-state sharding: for
+/// each DP-treated parameter it is called as `(param, start, len)` and
+/// must return the sharded update jaxpr with inputs
+/// `(param, grad, state-slices…)` and outputs
+/// `(-0.0-padded param contribution, state-slices…)`, where slices are
+/// the `(start, len)` last-dim block. The builder lives with the caller
+/// because only it knows the optimizer; `raxpp-core` supplies
+/// `Optimizer::sharded_update_jaxpr`.
+///
+/// # Errors
+///
+/// Returns [`ReplicateError::AlreadyReplicated`] for programs that
+/// already carry a DP axis, and [`ReplicateError::BadInput`] for zero
+/// replicas or ZeRO-1 requested on a tensor-parallel program (state
+/// sharding composes with TP's replicated-buffer invariant only at
+/// `tp = 1`).
+pub fn replicate_program(
+    program: &MpmdProgram,
+    replicas: usize,
+    mut zero1: Option<&mut dyn FnMut(usize, usize, usize) -> Result<Jaxpr, String>>,
+) -> Result<MpmdProgram, ReplicateError> {
+    if replicas == 0 {
+        return Err(ReplicateError::BadInput(
+            "data-parallel degree must be positive".into(),
+        ));
+    }
+    if program.dp.is_some() {
+        return Err(ReplicateError::AlreadyReplicated);
+    }
+    if replicas == 1 {
+        return Ok(program.clone());
+    }
+    if zero1.is_some() && program.tp.as_ref().is_some_and(|m| m.degree > 1) {
+        return Err(ReplicateError::BadInput(
+            "ZeRO-1 state sharding requires tp degree 1".into(),
+        ));
+    }
+    let n = program.n_actors();
+    let shapes: HashMap<BufferId, &Shape> = program
+        .placements
+        .iter()
+        .map(|p| (p.buf, &p.shape))
+        .collect();
+
+    let mut out = MpmdProgram {
+        jaxprs: program.jaxprs.clone(),
+        ..MpmdProgram::default()
+    };
+    let mut next = fresh_buffer_floor(program);
+    let mut fresh = || {
+        let b = BufferId(next);
+        next += 1;
+        b
+    };
+
+    // Decide the DP lowering per parameter from its Update instruction
+    // (one owner per parameter; TP rank copies are identical).
+    let mut dp_params: HashMap<usize, DpParam> = HashMap::new();
+    let mut mask_cache: HashMap<(Vec<usize>, usize, usize), JaxprId> = HashMap::new();
+    for instr in program.actors.iter().flatten() {
+        let Instr::Run {
+            inputs,
+            label: TaskLabel::Update { param },
+            ..
+        } = instr
+        else {
+            continue;
+        };
+        if dp_params.contains_key(param) {
+            continue;
+        }
+        let shape = *shapes.get(&inputs[0]).ok_or_else(|| {
+            ReplicateError::BadInput(format!("parameter {param} has no placement"))
+        })?;
+        // Scalars and too-narrow last dims stay replicated: their
+        // updates are bitwise-correct without any DP exchange.
+        if !dp_treated(shape, replicas) {
+            continue;
+        }
+        let dim = shape.rank() - 1;
+        let full = shape.dim(dim);
+        let mut mask = Vec::with_capacity(replicas);
+        for rep in 0..replicas {
+            let (start, len) = dp_split(full, replicas, rep);
+            let key = (shape.dims().to_vec(), start, len);
+            let jid = match mask_cache.get(&key) {
+                Some(&j) => j,
+                None => {
+                    let j = out.add_jaxpr(mask_jaxpr(shape, start, len)?);
+                    mask_cache.insert(key, j);
+                    j
+                }
+            };
+            mask.push(jid);
+        }
+        let z = match zero1.as_mut() {
+            Some(build) => {
+                let mut upds = Vec::with_capacity(replicas);
+                for rep in 0..replicas {
+                    let (start, len) = dp_split(full, replicas, rep);
+                    let j = build(*param, start, len).map_err(ReplicateError::Zero1)?;
+                    upds.push(out.add_jaxpr(j));
+                }
+                Some((upds, (0..replicas).map(|_| fresh()).collect()))
+            }
+            None => None,
+        };
+        dp_params.insert(
+            *param,
+            DpParam {
+                full,
+                dim,
+                grad_wires: (0..replicas).map(|_| fresh()).collect(),
+                assembled: fresh(),
+                mask,
+                zero1: z,
+            },
+        );
+    }
+
+    out.actors = vec![Vec::new(); n * replicas];
+    for rep in 0..replicas {
+        for (a, stream) in program.actors.iter().enumerate() {
+            let s = &mut out.actors[rep * n + a];
+            for instr in stream {
+                match instr {
+                    Instr::Run {
+                        jaxpr,
+                        inputs,
+                        outputs,
+                        label,
+                    } => {
+                        let dpp = match label {
+                            TaskLabel::Update { param } => dp_params.get(param),
+                            _ => None,
+                        };
+                        let Some(dpp) = dpp else {
+                            s.push(instr.clone());
+                            continue;
+                        };
+                        let param = match label {
+                            TaskLabel::Update { param } => *param,
+                            _ => unreachable!(),
+                        };
+                        let group: Vec<ActorId> = (0..replicas).map(|r| r * n + a).collect();
+                        s.push(Instr::Run {
+                            jaxpr: dpp.mask[rep],
+                            inputs: vec![inputs[1]],
+                            outputs: vec![dpp.grad_wires[rep]],
+                            label: TaskLabel::GradShard { param },
+                        });
+                        s.push(Instr::Collective {
+                            kind: CollectiveKind::AllReduce,
+                            dst: dpp.assembled,
+                            src: dpp.grad_wires[rep],
+                            group: group.clone(),
+                            wires: dpp.grad_wires.clone(),
+                            dim: dpp.dim,
+                            axis: CollectiveAxis::Dp,
+                        });
+                        let mut new_inputs = inputs.clone();
+                        new_inputs[1] = dpp.assembled;
+                        match &dpp.zero1 {
+                            Some((upds, pw)) => {
+                                let mut new_outputs = outputs.clone();
+                                new_outputs[0] = pw[rep];
+                                s.push(Instr::Run {
+                                    jaxpr: upds[rep],
+                                    inputs: new_inputs,
+                                    outputs: new_outputs,
+                                    label: *label,
+                                });
+                                s.push(Instr::Collective {
+                                    kind: CollectiveKind::AllReduce,
+                                    dst: outputs[0],
+                                    src: pw[rep],
+                                    group,
+                                    wires: pw.clone(),
+                                    dim: dpp.dim,
+                                    axis: CollectiveAxis::Dp,
+                                });
+                            }
+                            None => s.push(Instr::Run {
+                                jaxpr: *jaxpr,
+                                inputs: new_inputs,
+                                outputs: outputs.clone(),
+                                label: *label,
+                            }),
+                        }
+                    }
+                    Instr::Send { buf, to } => s.push(Instr::Send {
+                        buf: *buf,
+                        to: rep * n + to,
+                    }),
+                    Instr::Recv {
+                        buf,
+                        src,
+                        from,
+                        shape,
+                    } => s.push(Instr::Recv {
+                        buf: *buf,
+                        src: *src,
+                        from: rep * n + from,
+                        shape: shape.clone(),
+                    }),
+                    Instr::Collective {
+                        kind,
+                        dst,
+                        src,
+                        group,
+                        wires,
+                        dim,
+                        axis,
+                    } => s.push(Instr::Collective {
+                        kind: *kind,
+                        dst: *dst,
+                        src: *src,
+                        group: group.iter().map(|m| rep * n + m).collect(),
+                        wires: wires.clone(),
+                        dim: *dim,
+                        axis: *axis,
+                    }),
+                    other => s.push(other.clone()),
+                }
+            }
+        }
+    }
+
+    // Placements go to every replica (the replicated batch plane:
+    // parameters, state, and data alike); under ZeRO-1 the state slots
+    // of DP-treated parameters shrink to the replica's slice shape.
+    let zero1_on = zero1.is_some();
+    for rep in 0..replicas {
+        for p in &program.placements {
+            let mut q = p.clone();
+            q.actor = rep * n + p.actor;
+            if zero1_on {
+                if let InputSource::State { param, .. } = p.source {
+                    if let Some(dpp) = dp_params.get(&param) {
+                        let (_, len) = dp_split(dpp.full, replicas, rep);
+                        let mut dims = p.shape.dims().to_vec();
+                        *dims.last_mut().expect("DP-treated state has rank >= 1") = len;
+                        q.shape = Shape::new(dims);
+                    }
+                }
+            }
+            out.placements.push(q);
+        }
+    }
+    // Fetches read replica 0, whose buffers are bitwise-identical to
+    // every other replica's (and to the dp = 1 run's).
+    out.fetches = program.fetches.clone();
+
+    // New jaxprs (masks, ZeRO-1 updates) are replicated verbatim across
+    // TP ranks: same ids, same buffers, bitwise-identical inputs.
+    out.tp = program.tp.clone();
+    if let Some(tp) = &mut out.tp {
+        tp.replicated.resize(out.jaxprs.len(), true);
+    }
+    out.dp = Some(DpMeta {
+        replicas,
+        base_actors: n,
+        zero1: zero1_on,
+    });
+    debug_assert!(replica_streams_aligned(&out, replicas, n));
+    Ok(out)
+}
+
+/// Checks the replica-alignment invariant the runtime's rendezvous slot
+/// keying relies on: every replica's copy of an actor stream has the
+/// same length and the same instruction kind at every index.
+fn replica_streams_aligned(program: &MpmdProgram, replicas: usize, n: usize) -> bool {
+    let kind = |i: &Instr| match i {
+        Instr::Run { .. } => 0u8,
+        Instr::Send { .. } => 1,
+        Instr::Recv { .. } => 2,
+        Instr::Copy { .. } => 3,
+        Instr::Free { .. } => 4,
+        Instr::Collective { .. } => 5,
+    };
+    (0..n).all(|a| {
+        (1..replicas).all(|rep| {
+            let s0 = &program.actors[a];
+            let sr = &program.actors[rep * n + a];
+            s0.len() == sr.len() && s0.iter().zip(sr).all(|(x, y)| kind(x) == kind(y))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pipeline_model;
+    use crate::program::{Fetch, InputPlacement};
+    use crate::unroll::{insert_frees, unroll_loop, UnrollOptions};
+    use crate::verify::verify_program;
+    use raxpp_ir::{eval, Tensor, TraceCtx};
+    use raxpp_sched::gpipe;
+
+    fn two_stage_program() -> MpmdProgram {
+        let ctx = TraceCtx::new();
+        let w1 = ctx.input([8, 8]);
+        let w2 = ctx.input([8, 8]);
+        let x = ctx.input([4, 8]);
+        let h = ctx.pipeline_yield(&x.matmul(&w1).unwrap().tanh());
+        let y = h.matmul(&w2).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let model = pipeline_model(&jaxpr, 2).unwrap();
+        unroll_loop(
+            &model,
+            &gpipe(2, 2).unwrap(),
+            UnrollOptions {
+                loop_commuting: true,
+            },
+        )
+        .unwrap()
+        .program
+    }
+
+    /// Appends a plain SGD update for parameter 0 so the pass has an
+    /// Update instruction to rewrite.
+    fn with_update(mut p: MpmdProgram) -> MpmdProgram {
+        let (pbuf, owner, shape) = {
+            let pl = p
+                .placements
+                .iter()
+                .find(|pl| matches!(pl.source, InputSource::Param(0)))
+                .unwrap();
+            (pl.buf, pl.actor, pl.shape.clone())
+        };
+        let grad = p
+            .fetches
+            .iter()
+            .find_map(|f| match f.role {
+                crate::program::FetchRole::Grad(0) => Some(f.buf),
+                _ => None,
+            })
+            .unwrap();
+        let mut b = GraphBuilder::new();
+        let pv = b.input(shape.clone());
+        let gv = b.input(shape);
+        let step = b.emit(Prim::Scale(0.1), &[gv]).unwrap();
+        let p2 = b.emit(Prim::Sub, &[pv, step]).unwrap();
+        let j = p.add_jaxpr(b.finish(vec![p2]).unwrap());
+        p.actors[owner].push(Instr::Run {
+            jaxpr: j,
+            inputs: vec![pbuf, grad],
+            outputs: vec![pbuf],
+            label: TaskLabel::Update { param: 0 },
+        });
+        p
+    }
+
+    #[test]
+    fn dp_split_tiles_exactly() {
+        for (full, r) in [(8, 2), (8, 4), (7, 2), (9, 4), (4, 4)] {
+            let mut covered = 0;
+            for rep in 0..r {
+                let (start, len) = dp_split(full, r, rep);
+                assert_eq!(start, covered);
+                covered += len;
+            }
+            assert_eq!(covered, full);
+        }
+    }
+
+    #[test]
+    fn single_replica_is_identity() {
+        let p = two_stage_program();
+        let r = replicate_program(&p, 1, None).unwrap();
+        assert_eq!(r.n_actors(), p.n_actors());
+        assert!(r.dp.is_none());
+    }
+
+    #[test]
+    fn double_replication_rejected() {
+        let p = two_stage_program();
+        let r = replicate_program(&p, 2, None).unwrap();
+        assert!(matches!(
+            replicate_program(&r, 2, None),
+            Err(ReplicateError::AlreadyReplicated)
+        ));
+    }
+
+    #[test]
+    fn replicated_program_verifies_with_dp_collectives() {
+        let p = with_update(two_stage_program());
+        for replicas in [2, 4] {
+            let mut r = replicate_program(&p, replicas, None).unwrap();
+            assert_eq!(r.n_actors(), p.n_actors() * replicas);
+            insert_frees(&mut r);
+            verify_program(&r).unwrap();
+            let dp_colls = r
+                .actors
+                .iter()
+                .flatten()
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instr::Collective {
+                            axis: CollectiveAxis::Dp,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            // One gradient all-reduce per replica of the one update.
+            assert_eq!(dp_colls, replicas);
+            assert_eq!(
+                r.count_runs(|l| matches!(l, TaskLabel::GradShard { .. })),
+                replicas
+            );
+            let meta = r.dp.unwrap();
+            assert_eq!(meta.replicas, replicas);
+            assert_eq!(meta.base_actors, p.n_actors());
+            assert!(!meta.zero1);
+        }
+    }
+
+    #[test]
+    fn fetches_stay_on_replica_zero_placements_on_all() {
+        let p = with_update(two_stage_program());
+        let r = replicate_program(&p, 2, None).unwrap();
+        assert_eq!(r.fetches, p.fetches);
+        assert_eq!(r.placements.len(), p.placements.len() * 2);
+    }
+
+    #[test]
+    fn mask_folds_back_to_identity() {
+        // The heart of the bitwise contract: summing the -0.0-padded
+        // replica shards rank-ascending reproduces the gradient exactly.
+        let shape = Shape::new([3, 8]);
+        let g = Tensor::from_vec(
+            [3, 8],
+            (0..24).map(|i| (i as f32 - 11.5) * 1.7).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let replicas = 3; // uneven: 8 = 3 + 3 + 2
+        let mut acc: Option<Tensor> = None;
+        for rep in 0..replicas {
+            let (start, len) = dp_split(8, replicas, rep);
+            let j = mask_jaxpr(&shape, start, len).unwrap();
+            let shard = eval(&j, std::slice::from_ref(&g)).unwrap().remove(0);
+            acc = Some(match acc {
+                None => shard,
+                Some(a) => a.zip(&shard, |x, y| x + y).unwrap(),
+            });
+        }
+        let sum = acc.unwrap();
+        assert_eq!(sum.data(), g.data());
+    }
+
+    #[test]
+    fn zero1_shards_state_placements_and_folds_params() {
+        let mut p = with_update(two_stage_program());
+        // Give the update a momentum slot so there is state to shard.
+        let (pbuf, owner, shape) = {
+            let pl = p
+                .placements
+                .iter()
+                .find(|pl| matches!(pl.source, InputSource::Param(0)))
+                .unwrap();
+            (pl.buf, pl.actor, pl.shape.clone())
+        };
+        let state = BufferId(9000);
+        p.placements.push(InputPlacement {
+            buf: state,
+            actor: owner,
+            shape: shape.clone(),
+            source: InputSource::State { param: 0, slot: 0 },
+        });
+        // Rewrite the appended SGD update into a momentum-style one that
+        // also consumes/produces the state slot.
+        let upd = p
+            .actors
+            .iter_mut()
+            .flatten()
+            .find(|i| {
+                matches!(
+                    i,
+                    Instr::Run {
+                        label: TaskLabel::Update { .. },
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        if let Instr::Run {
+            jaxpr,
+            inputs,
+            outputs,
+            ..
+        } = upd
+        {
+            inputs.push(state);
+            outputs.push(state);
+            let mut b = GraphBuilder::new();
+            let pv = b.input(shape.clone());
+            let gv = b.input(shape.clone());
+            let sv = b.input(shape.clone());
+            let v2 = b.emit(Prim::Add, &[sv, gv]).unwrap();
+            let step = b.emit(Prim::Scale(0.1), &[v2]).unwrap();
+            let p2 = b.emit(Prim::Sub, &[pv, step]).unwrap();
+            let njid = JaxprId(p.jaxprs.len() as u32);
+            p.jaxprs.push(b.finish(vec![p2, v2]).unwrap());
+            *jaxpr = njid;
+        }
+        let replicas = 2;
+        let full = shape.dim(1);
+        let mut build = |_param: usize, start: usize, len: usize| -> Result<Jaxpr, String> {
+            let mut b = GraphBuilder::new();
+            let slice_shape = Shape::new([shape.dim(0), len]);
+            let pv = b.input(shape.clone());
+            let gv = b.input(shape.clone());
+            let sv = b.input(slice_shape);
+            let ps = b.emit(Prim::SliceLast { start, len }, &[pv]).unwrap();
+            let gs = b.emit(Prim::SliceLast { start, len }, &[gv]).unwrap();
+            let v2 = b.emit(Prim::Add, &[sv, gs]).unwrap();
+            let step = b.emit(Prim::Scale(0.1), &[v2]).unwrap();
+            let p2 = b.emit(Prim::Sub, &[ps, step]).unwrap();
+            let padded = b
+                .emit(
+                    Prim::PadLast {
+                        start,
+                        full,
+                        value: -0.0,
+                    },
+                    &[p2],
+                )
+                .unwrap();
+            b.finish(vec![padded, v2]).map_err(|e| e.to_string())
+        };
+        let mut r = replicate_program(&p, replicas, Some(&mut build)).unwrap();
+        insert_frees(&mut r);
+        verify_program(&r).unwrap();
+        assert!(r.dp.unwrap().zero1);
+        // Two DP collectives per replica now: grad assembly + param fold.
+        let dp_colls = r
+            .actors
+            .iter()
+            .flatten()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Collective {
+                        axis: CollectiveAxis::Dp,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(dp_colls, 2 * replicas);
+        // The param fold writes the parameter buffer itself.
+        assert!(r.actors.iter().flatten().any(|i| matches!(
+            i,
+            Instr::Collective {
+                axis: CollectiveAxis::Dp,
+                dst,
+                ..
+            } if *dst == pbuf
+        )));
+        // State placements shrank to slice shapes that tile the full dim.
+        let state_lens: Vec<usize> = r
+            .placements
+            .iter()
+            .filter(|pl| matches!(pl.source, InputSource::State { .. }))
+            .map(|pl| pl.shape.dim(1))
+            .collect();
+        assert_eq!(state_lens.iter().sum::<usize>(), full);
+    }
+
+    #[test]
+    fn zero1_under_tp_rejected() {
+        let p = with_update(two_stage_program());
+        let mesh = raxpp_mesh::Mesh::new(&[("model", 2)]).unwrap();
+        let sharded = crate::shard::shard_program(&p, &mesh, "model").unwrap();
+        let mut build =
+            |_: usize, _: usize, _: usize| -> Result<Jaxpr, String> { Err("unused".into()) };
+        assert!(matches!(
+            replicate_program(&sharded, 2, Some(&mut build)),
+            Err(ReplicateError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn composes_with_tp_sharding() {
+        let p = with_update(two_stage_program());
+        let mesh = raxpp_mesh::Mesh::new(&[("model", 2)]).unwrap();
+        let sharded = crate::shard::shard_program(&p, &mesh, "model").unwrap();
+        let mut r = replicate_program(&sharded, 2, None).unwrap();
+        assert_eq!(r.n_actors(), p.n_actors() * 2 * 2);
+        insert_frees(&mut r);
+        verify_program(&r).unwrap();
+        // Both axes present: TP collectives within replicas, DP
+        // collectives across them.
+        let (mut tp_colls, mut dp_colls) = (0, 0);
+        for i in r.actors.iter().flatten() {
+            if let Instr::Collective { axis, group, .. } = i {
+                match axis {
+                    CollectiveAxis::Tp => {
+                        tp_colls += 1;
+                        // TP groups stay within one replica block.
+                        let base = r.dp.unwrap().base_actors;
+                        assert!(group.iter().all(|&m| m / base == group[0] / base));
+                    }
+                    CollectiveAxis::Dp => {
+                        dp_colls += 1;
+                        // DP groups span replicas, one member each.
+                        let base = r.dp.unwrap().base_actors;
+                        let reps: Vec<usize> = group.iter().map(|&m| m / base).collect();
+                        assert_eq!(reps, vec![0, 1]);
+                    }
+                }
+            }
+        }
+        assert!(tp_colls > 0);
+        assert!(dp_colls > 0);
+        // The extended replicated table covers the new mask jaxprs.
+        let tp = r.tp.as_ref().unwrap();
+        assert_eq!(tp.replicated.len(), r.jaxprs.len());
+    }
+
+    #[test]
+    fn replica_fold_through_replace_program_keeps_groups() {
+        // The lifted-restriction path: fold host 1 onto host 0 in both
+        // replicas of a dp=2 program and check the DP groups remap
+        // rank-preservingly.
+        let p = with_update(two_stage_program());
+        let r = replicate_program(&p, 2, None).unwrap();
+        let n = p.n_actors();
+        // Hosts: {0,1} per replica; fold 1 -> 0 uniformly.
+        let mut assign: Vec<usize> = (0..2 * n).collect();
+        assign[1] = 0;
+        assign[n + 1] = n;
+        let folded = crate::replace::replace_program(&r, &assign).unwrap();
+        verify_program(&folded).unwrap();
+        for i in folded.actors.iter().flatten() {
+            if let Instr::Collective { group, .. } = i {
+                assert!(group.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        assert_eq!(p.count_runs(|_| true) * 2, folded.count_runs(|_| true) - 2);
+    }
+
+    #[test]
+    fn non_uniform_fold_rejected() {
+        // Folding only one replica's host breaks the DP group.
+        let p = with_update(two_stage_program());
+        let r = replicate_program(&p, 2, None).unwrap();
+        let n = p.n_actors();
+        let mut assign: Vec<usize> = (0..2 * n).collect();
+        let owner = p
+            .actors
+            .iter()
+            .position(|s| {
+                s.iter().any(|i| {
+                    matches!(
+                        i,
+                        Instr::Run {
+                            label: TaskLabel::Update { .. },
+                            ..
+                        }
+                    )
+                })
+            })
+            .unwrap();
+        // Fold replica 1's copy of the update owner onto replica 1's
+        // other host, but leave replica 0 intact: the group folds
+        // non-uniformly.
+        let other = if owner == 0 { 1 } else { 0 };
+        assign[n + owner] = n + other;
+        assert!(matches!(
+            crate::replace::replace_program(&r, &assign),
+            Err(crate::replace::ReplaceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn narrow_params_skip_dp_treatment() {
+        // A parameter with last dim < replicas keeps its replicated
+        // update and gets no collective.
+        let ctx = TraceCtx::new();
+        let w = ctx.input([4, 2]);
+        let x = ctx.input([2, 4]);
+        let y = x.matmul(&w).unwrap();
+        let loss = y.mul(&y).unwrap().sum();
+        let jaxpr = ctx.finish(&[loss]).unwrap();
+        let model = pipeline_model(&jaxpr, 1).unwrap();
+        let p = with_update(
+            unroll_loop(
+                &model,
+                &gpipe(1, 2).unwrap(),
+                UnrollOptions {
+                    loop_commuting: true,
+                },
+            )
+            .unwrap()
+            .program,
+        );
+        let r = replicate_program(&p, 4, None).unwrap();
+        assert!(!r
+            .actors
+            .iter()
+            .flatten()
+            .any(|i| matches!(i, Instr::Collective { .. })));
+        assert_eq!(r.count_runs(|l| matches!(l, TaskLabel::Update { .. })), 4);
+    }
+
+    #[test]
+    fn fetch_and_placement_sources_survive() {
+        let p = with_update(two_stage_program());
+        let r = replicate_program(&p, 2, None).unwrap();
+        for (q, orig) in r.placements.chunks(p.placements.len()).zip([0, 1]) {
+            for (np, op) in q.iter().zip(&p.placements) {
+                assert_eq!(np.buf, op.buf);
+                assert_eq!(np.source, op.source);
+                assert_eq!(np.actor, orig * p.n_actors() + op.actor);
+            }
+        }
+        assert!(r
+            .fetches
+            .iter()
+            .zip(&p.fetches)
+            .all(|(a, b): (&Fetch, &Fetch)| a == b));
+    }
+}

@@ -31,8 +31,8 @@ use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, VarId};
 use raxpp_mesh::{Mesh, MeshError};
 
 use crate::program::{
-    ActorId, BufferId, CollectiveKind, Fetch, InputPlacement, Instr, JaxprId, MpmdProgram,
-    TaskLabel, TpMeta,
+    ActorId, BufferId, CollectiveAxis, CollectiveKind, Fetch, InputPlacement, Instr, JaxprId,
+    MpmdProgram, TaskLabel, TpMeta,
 };
 
 /// Error raised by [`shard_program`].
@@ -465,6 +465,7 @@ pub fn shard_program(
                                         group: group.clone(),
                                         wires: wires.clone(),
                                         dim: *dim,
+                                        axis: CollectiveAxis::Tp,
                                     });
                                 }
                             }
@@ -632,8 +633,9 @@ pub fn bucket_collectives(program: &mut MpmdProgram) {
 }
 
 /// The smallest buffer id strictly above every id `program` mentions —
-/// the floor for freshly-allocated collective wire ids.
-fn fresh_buffer_floor(program: &MpmdProgram) -> u32 {
+/// the floor for freshly-allocated collective wire ids (shared with
+/// `replicate_program`, which allocates its DP wires the same way).
+pub(crate) fn fresh_buffer_floor(program: &MpmdProgram) -> u32 {
     let mut max = 0u32;
     let mut see = |b: &BufferId| max = max.max(b.0 + 1);
     for instr in program.actors.iter().flatten() {

@@ -276,6 +276,7 @@ pub fn verify_program(program: &MpmdProgram) -> Result<(), VerifyError> {
                         group,
                         wires: coll_wires,
                         dim,
+                        ..
                     } => {
                         if group.is_empty() || coll_wires.len() != group.len() {
                             return Err(VerifyError::SignatureMismatch {

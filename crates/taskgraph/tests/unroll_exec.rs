@@ -138,6 +138,7 @@ impl SeqExec {
                 group,
                 wires,
                 dim,
+                ..
             } => {
                 // Phase 1: publish our own contribution (idempotent —
                 // the step may be retried while peers catch up).

@@ -26,7 +26,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 echo "==> doc link check"
 scripts/check_doc_links.sh
 
-echo "==> quick step_time bench (bitwise parity + tp_speedup regression gate)"
+echo "==> rebalance-under-TP regression (folds must stay bitwise, not refused)"
+cargo test -q -p raxpp-integration --test tensor_parallel tp_rebalance_folds_bitwise
+
+echo "==> quick step_time bench (tp + dp bitwise parity, regression gates)"
 # Snapshot the committed tp_speedup BEFORE the run so a quick run can
 # never compare against itself; the quick bench writes to a scratch
 # file, leaving the committed full-run BENCH_step.json untouched.
@@ -43,19 +46,40 @@ quick = json.load(open(sys.argv[1]))
 committed = float(sys.argv[2])
 tp = quick["tensor_parallel"]
 assert tp["bitwise_parity"] is True, "quick bench: tp bitwise parity broken"
-got = float(quick["tp_speedup"])
-# Quick runs are short and, on a core-starved box, noisy (observed
-# 0.53-0.66 against a committed 0.71 on 1 core): the floor is a coarse
-# catastrophic-regression gate — e.g. the serialized per-rank ring walk
-# coming back — not a tight perf assertion; the committed number comes
-# from the full run.
-floor = 0.6 * committed
-assert got >= floor, (
-    f"tp_speedup regression: quick run {got:.4f} < 0.6 x committed "
-    f"{committed:.4f} (= {floor:.4f})"
-)
-print(f"quick bench OK: bitwise_parity=true, tp_speedup {got:.4f} "
-      f">= 0.6 x committed {committed:.4f}")
+dp = quick["data_parallel"]
+assert dp["bitwise_parity"] is True, "quick bench: dp bitwise parity broken"
+assert dp["dp_collectives_per_run"] > 0, \
+    "quick bench: dp=2 run executed no DP collectives"
+cores = int(quick["available_cores"])
+tp_degree = int(tp["degree"])
+if cores < 2 * tp_degree:
+    # Core-starved box: tp=2's eight shard actors time-slice too few
+    # CPUs, so wall-time ratios measure scheduler noise, not the shard
+    # lanes (observed quick tp_speedup 0.4-0.7 on 1 core for identical
+    # code). Gate on what IS meaningful there: bitwise parity (above)
+    # and the compute/communication overlap the lanes exist to provide.
+    overlap = float(tp["overlap_ratio"])
+    assert overlap >= 0.5, (
+        f"tp overlap_ratio regression: quick run {overlap:.2f} < 0.5 — "
+        f"shard lanes are no longer overlapping collectives with compute"
+    )
+    print(f"quick bench OK ({cores} cores < 2*tp={2 * tp_degree}: speedup "
+          f"floor skipped): tp/dp bitwise_parity=true, "
+          f"overlap_ratio {overlap:.2f} >= 0.5, "
+          f"dp_collectives {int(dp['dp_collectives_per_run'])}")
+else:
+    got = float(quick["tp_speedup"])
+    # Quick runs are short and noisy: the floor is a coarse
+    # catastrophic-regression gate — e.g. the serialized per-rank ring
+    # walk coming back — not a tight perf assertion; the committed
+    # number comes from the full run.
+    floor = 0.6 * committed
+    assert got >= floor, (
+        f"tp_speedup regression: quick run {got:.4f} < 0.6 x committed "
+        f"{committed:.4f} (= {floor:.4f})"
+    )
+    print(f"quick bench OK: tp/dp bitwise_parity=true, tp_speedup "
+          f"{got:.4f} >= 0.6 x committed {committed:.4f}")
 PY
 rm -f "$QUICK_OUT"
 

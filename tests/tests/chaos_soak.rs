@@ -10,7 +10,8 @@ use std::fs;
 use std::time::Duration;
 
 use raxpp_core::{
-    compile_train_step, CheckpointPolicy, CompileOptions, Optimizer, RetryPolicy, TpConfig, Trainer,
+    compile_train_step, CheckpointPolicy, CompileOptions, DpConfig, Optimizer, RetryPolicy,
+    TpConfig, Trainer,
 };
 use raxpp_integration::with_watchdog;
 use raxpp_ir::rng::{Rng, SeedableRng, StdRng};
@@ -122,11 +123,14 @@ fn chaotic_run_matches_fault_free_run_bitwise() {
 }
 
 /// The tensor-parallel soak: a 2-way-sharded pipeline (8 shard actors)
-/// under PRNG-driven deaths and task errors. TP fleets recover by
-/// respawn only (`rebalance_after` is ignored under TP: folding a shard
-/// actor away would break its collective group), and the survivor must
-/// end bit-identical to an *unsharded* fault-free twin — chaining the
-/// TP-vs-PP and faulty-vs-smooth determinism contracts in one run.
+/// under PRNG-driven deaths and task errors, **with elastic rebalance
+/// enabled**: a death permanently folds the dead shard's whole host
+/// group (both ranks) onto a survivor, collective groups remapping
+/// rank-preservingly. The shrunken fleet must end bit-identical to an
+/// *unsharded* fault-free twin — chaining the TP-vs-PP,
+/// faulty-vs-smooth, and fold determinism contracts in one run — and
+/// the collective hub must end with zero live rendezvous slots (the
+/// stale-slot GC contract after aborts and folds).
 #[test]
 fn tp_chaotic_run_matches_unsharded_fault_free_run_bitwise() {
     with_watchdog(
@@ -160,12 +164,17 @@ fn tp_chaotic_run_matches_unsharded_fault_free_run_bitwise() {
             let policy = RetryPolicy {
                 max_retries: 3,
                 backoff: Duration::ZERO,
-                rebalance_after: None,
+                // One death = permanent loss: fold the host group.
+                rebalance_after: Some(1),
             };
 
             let mut faults = StdRng::seed_from_u64(76);
             for step in 0..STEPS {
-                let target = faults.gen_range(0..n_shard_actors);
+                let retired = chaotic.runtime().retired_actors();
+                let alive: Vec<usize> = (0..n_shard_actors)
+                    .filter(|a| !retired.contains(a))
+                    .collect();
+                let target = alive[faults.gen_range(0..alive.len())];
                 match faults.gen_range(0..4u32) {
                     0 => {
                         let at = faults.gen_range(0..3usize);
@@ -191,10 +200,130 @@ fn tp_chaotic_run_matches_unsharded_fault_free_run_bitwise() {
                 chaotic.metrics().counter("recoveries_total") >= 1,
                 "fault schedule never triggered a recovery — seed went stale"
             );
-            assert!(chaotic.metrics().counter("tp_collectives_total") > 0);
             assert!(
-                chaotic.runtime().retired_actors().is_empty(),
-                "TP soak must never fold an actor away"
+                chaotic.metrics().counter("rebalances_total") >= 1,
+                "fault schedule never triggered a TP fold — seed went stale"
+            );
+            assert!(chaotic.metrics().counter("tp_collectives_total") > 0);
+            // Folds retire whole host groups: every retired actor's
+            // lane partner is retired with it.
+            let retired = chaotic.runtime().retired_actors();
+            assert!(!retired.is_empty());
+            for &a in &retired {
+                assert!(
+                    retired.contains(&(a ^ 1)),
+                    "actor {a} folded without its lane partner"
+                );
+            }
+            // Stale-slot GC: no rendezvous slot survives the soak.
+            assert_eq!(
+                chaotic.runtime().lane_live_slots(),
+                0,
+                "lane hub leaked rendezvous slots across aborts/folds"
+            );
+
+            let pa = smooth.params().unwrap();
+            let pb = chaotic.params().unwrap();
+            for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+                assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+            }
+        },
+    );
+}
+
+/// The data-parallel soak: a dp=2-replicated pipeline (8 raw actors)
+/// under the same PRNG-driven chaos, with elastic rebalance enabled —
+/// a death folds the dead actor's pipeline host in **both** replicas,
+/// keeping the replica streams aligned and the DP collective groups
+/// intact. Must end bit-identical to an unreplicated fault-free twin
+/// with zero live rendezvous slots.
+#[test]
+fn dp_chaotic_run_matches_unreplicated_fault_free_run_bitwise() {
+    with_watchdog(
+        "dp_chaotic_run_matches_unreplicated_fault_free_run_bitwise",
+        || {
+            let schedule = gpipe(4, 4).unwrap();
+            let model = mlp_chain(6, 3, 4, schedule.n_stages(), 77).unwrap();
+            let mut rng = StdRng::seed_from_u64(78);
+            let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+                .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+                .collect()];
+
+            let smooth = build(&model, &schedule);
+            let chaotic = {
+                let t = compile_train_step(
+                    &model.jaxpr,
+                    model.n_params,
+                    &schedule,
+                    Optimizer::Sgd { lr: 0.05 },
+                    CompileOptions {
+                        dp: Some(DpConfig::replicas(2)),
+                        ..CompileOptions::default()
+                    },
+                )
+                .unwrap();
+                t.init(&model.init).unwrap();
+                t
+            };
+            let n_raw = chaotic.runtime().program().actors.len();
+            assert_eq!(n_raw, 2 * schedule.n_actors());
+            let base = schedule.n_actors();
+            let policy = RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::ZERO,
+                rebalance_after: Some(1),
+            };
+
+            let mut faults = StdRng::seed_from_u64(79);
+            for step in 0..STEPS {
+                let retired = chaotic.runtime().retired_actors();
+                let alive: Vec<usize> = (0..n_raw).filter(|a| !retired.contains(a)).collect();
+                let target = alive[faults.gen_range(0..alive.len())];
+                match faults.gen_range(0..4u32) {
+                    0 => {
+                        let at = faults.gen_range(0..3usize);
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::DieAtInstr(at))
+                            .unwrap();
+                    }
+                    1 => {
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::ErrorAtTask("bwd".into()))
+                            .unwrap();
+                    }
+                    _ => {}
+                }
+                let a = smooth.step_with_recovery(&data, policy).unwrap();
+                let b = chaotic.step_with_recovery(&data, policy).unwrap();
+                assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+            }
+
+            assert!(
+                chaotic.metrics().counter("recoveries_total") >= 1,
+                "fault schedule never triggered a recovery — seed went stale"
+            );
+            assert!(
+                chaotic.metrics().counter("rebalances_total") >= 1,
+                "fault schedule never triggered a DP fold — seed went stale"
+            );
+            assert!(chaotic.metrics().counter("dp_collectives_total") > 0);
+            // Folds act replica-uniformly: actor a retired ⇔ its copy in
+            // the other replica retired.
+            let retired = chaotic.runtime().retired_actors();
+            assert!(!retired.is_empty());
+            for &a in &retired {
+                let twin = (a + base) % (2 * base);
+                assert!(
+                    retired.contains(&twin),
+                    "actor {a} folded without its replica twin {twin}"
+                );
+            }
+            assert_eq!(
+                chaotic.runtime().lane_live_slots(),
+                0,
+                "lane hub leaked rendezvous slots across aborts/folds"
             );
 
             let pa = smooth.params().unwrap();

@@ -1,0 +1,386 @@
+//! Executable data parallelism (PP×TP×DP composition): a pipeline
+//! replicated over a DP axis must train end-to-end **bit-identical** to
+//! the single-replica pipeline — same losses, same parameters, same
+//! checkpoints — while actually exchanging gradient shards through real
+//! DP-axis collectives, with and without ZeRO-1 optimizer-state
+//! sharding, and the whole composition must survive fault injection,
+//! recovery, and elastic rebalance.
+
+use std::time::Duration;
+
+use raxpp_core::{
+    compile_train_step, CompileOptions, CoreError, DpConfig, Optimizer, RetryPolicy, TpConfig,
+    Trainer,
+};
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::Tensor;
+use raxpp_models::{mlp_chain, BuiltModel};
+use raxpp_runtime::Fault;
+use raxpp_sched::{gpipe, one_f1b, DpMap, Schedule, TpMap};
+use raxpp_taskgraph::{CollectiveAxis, Instr, TaskLabel};
+
+fn build(
+    model: &BuiltModel,
+    schedule: &Schedule,
+    tp: usize,
+    dp: Option<DpConfig>,
+    optimizer: Optimizer,
+) -> Trainer {
+    let t = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        schedule,
+        optimizer,
+        CompileOptions {
+            tp: (tp > 1).then(|| TpConfig::model_parallel(tp)),
+            dp,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    t.init(&model.init).unwrap();
+    t
+}
+
+fn mb_data(schedule: &Schedule, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![(0..schedule.n_mubatches())
+        .map(|_| Tensor::randn([batch, width], 1.0, &mut rng))
+        .collect()]
+}
+
+fn count_dp_collectives(t: &Trainer) -> usize {
+    t.runtime()
+        .program()
+        .actors
+        .iter()
+        .flatten()
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::Collective {
+                    axis: CollectiveAxis::Dp,
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+/// The headline contract: for every (schedule × dp degree × tp degree)
+/// cell, losses and updated parameters are bit-for-bit equal to the
+/// dp=1 run of the same model, and the replicated program really
+/// contains DP-axis collectives and gradient-shard masks.
+#[test]
+fn dp_training_is_bitwise_identical_across_degrees() {
+    let optimizer = Optimizer::Momentum {
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    for (schedule, seed) in [(gpipe(2, 4).unwrap(), 181), (one_f1b(2, 4).unwrap(), 182)] {
+        let model = mlp_chain(8, 2, 2, schedule.n_stages(), seed).unwrap();
+        let data = mb_data(&schedule, 8, 2, seed + 1);
+
+        let baseline = build(&model, &schedule, 1, None, optimizer);
+        let mut base_losses = Vec::new();
+        for _ in 0..3 {
+            base_losses.push(baseline.step(&data).unwrap().losses);
+        }
+        let base_params = baseline.params().unwrap();
+
+        for (dp, tp) in [(2usize, 1usize), (4, 1), (2, 2)] {
+            let trainer = build(
+                &model,
+                &schedule,
+                tp,
+                Some(DpConfig::replicas(dp)),
+                optimizer,
+            );
+            assert_eq!(trainer.dp_degree(), dp);
+            let program = trainer.runtime().program();
+            let base = TpMap::new(tp).n_shard_actors(schedule.n_actors());
+            assert_eq!(
+                program.actors.len(),
+                DpMap::new(dp, base).n_actors(),
+                "{} dp={dp} tp={tp}: one stream per (replica, actor, rank)",
+                schedule.name()
+            );
+            assert!(
+                count_dp_collectives(&trainer) > 0,
+                "dp={dp} tp={tp}: no DP collectives lowered"
+            );
+            assert!(
+                program.actors.iter().flatten().any(|i| matches!(
+                    i,
+                    Instr::Run {
+                        label: TaskLabel::GradShard { .. },
+                        ..
+                    }
+                )),
+                "dp={dp} tp={tp}: no gradient-shard masks lowered"
+            );
+
+            for (step, want) in base_losses.iter().enumerate() {
+                let got = trainer.step(&data).unwrap();
+                assert_eq!(
+                    &got.losses,
+                    want,
+                    "{} dp={dp} tp={tp} step {step}: losses not bit-identical",
+                    schedule.name()
+                );
+            }
+            assert!(
+                trainer.metrics().counter("dp_collectives_total") > 0,
+                "dp={dp} tp={tp}: no DP collectives executed"
+            );
+            assert!(
+                trainer.metrics().counter("dp_bytes_wire") > 0,
+                "dp={dp} tp={tp}: no DP wire bytes recorded"
+            );
+            let params = trainer.params().unwrap();
+            for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{} dp={dp} tp={tp}: param {p} not bit-identical",
+                    schedule.name()
+                );
+            }
+        }
+    }
+}
+
+/// ZeRO-1: each replica owns one last-dim slice of every Adam moment,
+/// computes its slice of the update, and a second DP all-reduce folds
+/// the parameter contributions — bit-identical to the unsharded dp=1
+/// Adam run, with twice the DP collectives of the plain-DP program.
+#[test]
+fn zero1_training_is_bitwise_identical() {
+    let optimizer = Optimizer::adam(0.01);
+    let schedule = gpipe(2, 4).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 191).unwrap();
+    let data = mb_data(&schedule, 8, 2, 192);
+
+    let baseline = build(&model, &schedule, 1, None, optimizer);
+    let mut base_losses = Vec::new();
+    for _ in 0..3 {
+        base_losses.push(baseline.step(&data).unwrap().losses);
+    }
+    let base_params = baseline.params().unwrap();
+
+    for dp in [2usize, 4] {
+        let plain = build(
+            &model,
+            &schedule,
+            1,
+            Some(DpConfig::replicas(dp)),
+            optimizer,
+        );
+        let trainer = build(&model, &schedule, 1, Some(DpConfig::zero1(dp)), optimizer);
+        assert!(trainer.zero1());
+        assert_eq!(
+            count_dp_collectives(&trainer),
+            2 * count_dp_collectives(&plain),
+            "dp={dp}: ZeRO-1 must add a parameter-fold collective per update"
+        );
+        for (step, want) in base_losses.iter().enumerate() {
+            let got = trainer.step(&data).unwrap();
+            assert_eq!(
+                &got.losses, want,
+                "zero1 dp={dp} step {step}: losses not bit-identical"
+            );
+        }
+        let params = trainer.params().unwrap();
+        for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "zero1 dp={dp}: param {p} not bit-identical"
+            );
+        }
+    }
+}
+
+/// Checkpoints are DP-invariant: captured state is always full-shape
+/// (ZeRO-1 slices are reassembled replica-ascending), so a dp=2 ZeRO-1
+/// checkpoint is byte-identical to the dp=1 checkpoint and restores
+/// cleanly across DP degrees in both directions.
+#[test]
+fn dp_checkpoints_are_byte_identical_and_portable() {
+    let optimizer = Optimizer::Momentum {
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 201).unwrap();
+    let data = mb_data(&schedule, 8, 2, 202);
+
+    let t1 = build(&model, &schedule, 1, None, optimizer);
+    let t2 = build(&model, &schedule, 1, Some(DpConfig::zero1(2)), optimizer);
+    t1.step(&data).unwrap();
+    t2.step(&data).unwrap();
+    let mut ck1 = Vec::new();
+    let mut ck2 = Vec::new();
+    t1.save_checkpoint(&mut ck1).unwrap();
+    t2.save_checkpoint(&mut ck2).unwrap();
+    assert_eq!(ck1, ck2, "dp=2 ZeRO-1 checkpoint differs from dp=1");
+
+    // Cross-restore in both directions, then continue bit-identically.
+    t2.restore_checkpoint(&ck1[..]).unwrap();
+    t1.restore_checkpoint(&ck2[..]).unwrap();
+    let a = t1.step(&data).unwrap();
+    let b = t2.step(&data).unwrap();
+    assert_eq!(a.losses, b.losses, "post-cross-restore step diverged");
+}
+
+/// Failure recovery composes with DP: killing a replica actor
+/// mid-stream — aimed at its first DP collective, so its group peers
+/// are parked in the rendezvous — must cascade-abort, respawn, restore,
+/// and stay bit-identical to an uninterrupted dp=1 run, within a
+/// bounded wall-clock.
+#[test]
+fn dp_replica_death_mid_all_reduce_recovers_bitwise() {
+    let optimizer = Optimizer::Momentum {
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 211).unwrap();
+    let data = mb_data(&schedule, 8, 2, 212);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+
+    let smooth = build(&model, &schedule, 1, None, optimizer);
+    let bumpy = build(&model, &schedule, 1, Some(DpConfig::replicas(2)), optimizer);
+    // Replica 1's copy of the update owner: find a raw actor in the
+    // second replica block whose stream has a DP collective, and aim
+    // the fault at that instruction.
+    let program = bumpy.runtime().program();
+    let base = program.actors.len() / 2;
+    let (victim, coll_at) = (base..2 * base)
+        .find_map(|a| {
+            program.actors[a]
+                .iter()
+                .position(|i| {
+                    matches!(
+                        i,
+                        Instr::Collective {
+                            axis: CollectiveAxis::Dp,
+                            ..
+                        }
+                    )
+                })
+                .map(|idx| (a, idx))
+        })
+        .expect("replica 1 has a DP collective");
+
+    let t0 = std::time::Instant::now();
+    for step in 0..3 {
+        if step == 1 {
+            bumpy
+                .runtime()
+                .inject_fault(victim, Fault::DieAtInstr(coll_at))
+                .unwrap();
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+    }
+    assert!(
+        bumpy.metrics().counter("recoveries_total") >= 1,
+        "fault was never recovered"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "DP fault recovery was not bounded: {:?}",
+        t0.elapsed()
+    );
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+    }
+    // Recovery must not leak rendezvous slots.
+    assert_eq!(bumpy.runtime().lane_live_slots(), 0, "stale slots leaked");
+}
+
+/// Elastic rebalance composes with DP (and DP×TP): folding a dead host
+/// away retires its actors in **every** replica uniformly, DP groups
+/// remap onto the survivors, and training continues bit-identical.
+#[test]
+fn dp_rebalance_folds_bitwise() {
+    let optimizer = Optimizer::Sgd { lr: 0.05 };
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 221).unwrap();
+    let data = mb_data(&schedule, 8, 2, 222);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+
+    let smooth = build(&model, &schedule, 1, None, optimizer);
+    let bumpy = build(&model, &schedule, 2, Some(DpConfig::replicas(2)), optimizer);
+    let a = smooth.step_with_recovery(&data, policy).unwrap();
+    let b = bumpy.step_with_recovery(&data, policy).unwrap();
+    assert_eq!(a.losses, b.losses, "pre-fold step diverged");
+
+    // dp=2 × tp=2 × 2 hosts = 8 raw actors; killing raw actor 2 (host
+    // 1, rank 0, replica 0) must fold host 1 in BOTH replicas: retired
+    // = {2, 3, 6, 7}.
+    let report = bumpy.rebalance(&[2]).unwrap();
+    assert_eq!(
+        report.retired,
+        vec![2, 3, 6, 7],
+        "fold must retire the host group in every replica"
+    );
+    for step in 1..3 {
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(
+            a.losses, b.losses,
+            "step {step}: losses diverged after fold"
+        );
+    }
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical after fold");
+    }
+    for i in bumpy.runtime().program().actors.iter().flatten() {
+        if let Instr::Collective { group, .. } = i {
+            assert!(
+                group.iter().all(|m| ![2, 3, 6, 7].contains(m)),
+                "collective group references a retired actor: {group:?}"
+            );
+        }
+    }
+    assert_eq!(bumpy.runtime().lane_live_slots(), 0, "stale slots leaked");
+}
+
+/// ZeRO-1 composes with TP only at tp=1 — requesting both must be
+/// refused at compile time, not produce a silently wrong program.
+#[test]
+fn zero1_under_tp_is_rejected() {
+    let schedule = gpipe(2, 2).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 231).unwrap();
+    let err = compile_train_step(
+        &model.jaxpr,
+        model.n_params,
+        &schedule,
+        Optimizer::adam(0.01),
+        CompileOptions {
+            tp: Some(TpConfig::model_parallel(2)),
+            dp: Some(DpConfig::zero1(2)),
+            ..CompileOptions::default()
+        },
+    )
+    .expect_err("zero1 + tp>1 must be rejected");
+    match err {
+        CoreError::BadInput(msg) => assert!(msg.contains("ZeRO-1"), "msg: {msg}"),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+}

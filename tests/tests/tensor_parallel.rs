@@ -7,9 +7,7 @@
 
 use std::time::Duration;
 
-use raxpp_core::{
-    compile_train_step, CompileOptions, CoreError, Optimizer, RetryPolicy, TpConfig, Trainer,
-};
+use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, TpConfig, Trainer};
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::Tensor;
 use raxpp_models::{mlp_chain, BuiltModel};
@@ -357,18 +355,69 @@ fn tp_lane_fault_inside_lane_recovers_bounded() {
     }
 }
 
-/// Elastic rebalance is structurally incompatible with collective
-/// groups, so the trainer must refuse it under TP instead of producing
-/// a broken fold.
+/// Regression for the lifted "rebalance refused under TP" restriction:
+/// folding a dead shard host away retires **all** of its rank actors
+/// uniformly, remaps its collective groups rank-preservingly onto the
+/// survivors' groups, and the shrunken fleet continues training
+/// bit-identical to the tp=1 baseline.
 #[test]
-fn tp_rejects_rebalance() {
+fn tp_rebalance_folds_bitwise() {
     let schedule = gpipe(2, 2).unwrap();
     let model = mlp_chain(8, 2, 2, schedule.n_stages(), 89).unwrap();
-    let trainer = build(&model, &schedule, 2);
-    match trainer.rebalance(&[0]) {
-        Err(CoreError::BadInput(msg)) => {
-            assert!(msg.contains("tensor parallelism"), "msg: {msg}")
-        }
-        other => panic!("expected BadInput, got {other:?}"),
+    let data = mb_data(&schedule, 8, 2, 90);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+
+    let smooth = build(&model, &schedule, 1);
+    let bumpy = build(&model, &schedule, 2);
+    let a = smooth.step_with_recovery(&data, policy).unwrap();
+    let b = bumpy.step_with_recovery(&data, policy).unwrap();
+    assert_eq!(a.losses, b.losses, "pre-fold step diverged");
+
+    // Fold pipeline host 1 away: both of its shard ranks (raw actors 2
+    // and 3) must retire together, landing host 1's stages on host 0's
+    // rank actors.
+    let report = bumpy.rebalance(&[2]).unwrap();
+    assert_eq!(
+        report.retired,
+        vec![2, 3],
+        "fold must retire the whole host group"
+    );
+    for step in 1..3 {
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(
+            a.losses, b.losses,
+            "step {step}: losses diverged after TP fold"
+        );
     }
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (x, y)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(
+            x.data(),
+            y.data(),
+            "param {p} not bit-identical after TP fold"
+        );
+    }
+    // The folded program's collective groups live entirely on survivors
+    // and stay rank-ascending.
+    for i in bumpy.runtime().program().actors.iter().flatten() {
+        if let Instr::Collective { group, .. } = i {
+            assert!(group.windows(2).all(|w| w[0] < w[1]), "group not ascending");
+            assert!(
+                !group.contains(&2) && !group.contains(&3),
+                "collective group still references a retired actor"
+            );
+        }
+    }
+    // No stale rendezvous slots survive the fold (the hub GC contract).
+    assert_eq!(
+        bumpy.runtime().lane_live_slots(),
+        0,
+        "stale lane slots leaked"
+    );
 }
