@@ -56,6 +56,12 @@
 #[doc = include_str!("../../../docs/parallelism.md")]
 mod doc_parallelism {}
 
+// Same treatment for the determinism contract: its identity proofs and
+// the ZeRO-1-vs-plain-DP bitwise claim execute on every doc test run.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/determinism.md")]
+mod doc_determinism {}
+
 pub mod checkpoint;
 pub mod experiments;
 mod observe;

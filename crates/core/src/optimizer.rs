@@ -67,7 +67,7 @@ impl Optimizer {
     /// Emits the optimizer arithmetic on already-built `param`, `grad`,
     /// and state nodes, returning `(param', state'…)` node ids. All
     /// three optimizers are purely elementwise, which is what makes the
-    /// ZeRO-1 sharded variant bitwise-exact: computing on a last-dim
+    /// ZeRO-1 sharded variant bitwise-exact: computing on a first-dim
     /// slice equals slicing the full-tensor result.
     fn emit_math(
         &self,
@@ -134,12 +134,18 @@ impl Optimizer {
     }
 
     /// Builds the ZeRO-1 sharded update graph for one parameter of
-    /// `shape`, owning the last-dim block `[start, start+len)`.
+    /// `shape`, owning the *first-dim* block `[start, start+len)`.
+    ///
+    /// The shard axis is dim 0 because it is the one axis the
+    /// column-parallel tensor sharding never splits: parameters and
+    /// optimizer state are full-shape replicated across TP ranks, so
+    /// first-dim slices are identical on every rank and ZeRO-1 composes
+    /// with any `tp` degree.
     ///
     /// Inputs: `param, grad` at full shape plus `state…` at the slice
     /// shape; outputs: the replica's parameter *contribution* — its
-    /// updated slice padded back to full width with `-0.0`, ready for a
-    /// rank-ascending data-parallel all-reduce to fold into the full
+    /// updated slice padded back to full shape with `-0.0`, ready for a
+    /// replica-ascending data-parallel all-reduce to fold into the full
     /// parameter — plus the updated state slices. Because the optimizer
     /// math is elementwise, the assembled parameter is bitwise-identical
     /// to the unsharded [`Optimizer::update_jaxpr`] result.
@@ -149,9 +155,10 @@ impl Optimizer {
     /// Propagates graph-construction errors (none occur for valid
     /// shapes and in-range slices).
     pub fn sharded_update_jaxpr(&self, shape: &Shape, start: usize, len: usize) -> Result<Jaxpr> {
-        let full = shape.dim(shape.rank() - 1);
+        assert!(shape.rank() >= 1, "sharded update needs rank >= 1");
+        let full = shape.dim(0);
         let mut dims = shape.dims().to_vec();
-        *dims.last_mut().expect("sharded update needs rank >= 1") = len;
+        dims[0] = len;
         let slice_shape = Shape::new(dims);
         let mut b = GraphBuilder::new();
         let p = b.input(shape.clone());
@@ -159,11 +166,11 @@ impl Optimizer {
         let states: Vec<VarId> = (0..self.n_state_slots())
             .map(|_| b.input(slice_shape.clone()))
             .collect();
-        let ps = b.emit(Prim::SliceLast { start, len }, &[p])?;
-        let gs = b.emit(Prim::SliceLast { start, len }, &[g])?;
+        let ps = b.emit(Prim::SliceFirst { start, len }, &[p])?;
+        let gs = b.emit(Prim::SliceFirst { start, len }, &[g])?;
         let mut outs = self.emit_math(&mut b, ps, gs, &states)?;
         outs[0] = b.emit(
-            Prim::PadLast {
+            Prim::PadFirst {
                 start,
                 full,
                 value: -0.0,
@@ -240,14 +247,14 @@ mod tests {
             },
             Optimizer::adam(0.01),
         ] {
-            let shape = Shape::new([2, 7]); // uneven split: 7 = 4 + 3
+            let shape = Shape::new([7, 2]); // uneven dim-0 split: 7 = 4 + 3
             let p = Tensor::from_vec(
-                [2, 7],
+                [7, 2],
                 (0..14).map(|i| (i as f32 - 6.3) * 0.37).collect::<Vec<_>>(),
             )
             .unwrap();
             let g = Tensor::from_vec(
-                [2, 7],
+                [7, 2],
                 (0..14).map(|i| (i as f32 * 1.13).sin()).collect::<Vec<_>>(),
             )
             .unwrap();
@@ -262,7 +269,7 @@ mod tests {
             for rep in 0..replicas {
                 let (start, len) = if rep == 0 { (0, 4) } else { (4, 3) };
                 let j = opt.sharded_update_jaxpr(&shape, start, len).unwrap();
-                let slice_states = opt.init_state(&Shape::new([2, len]));
+                let slice_states = opt.init_state(&Shape::new([len, 2]));
                 let mut inputs = vec![p.clone(), g.clone()];
                 inputs.extend(slice_states);
                 let out = eval(&j, &inputs).unwrap();

@@ -132,24 +132,32 @@ impl TpConfig {
 
 /// Data parallelism for [`compile_train_step`]: replicate the compiled
 /// pipeline (after any tensor-parallel sharding) into `replicas` copies
-/// linked by gradient all-reduces over the DP axis.
+/// that each process a **disjoint `1/replicas` shard of the global
+/// batch**, linked by gradient all-reduces over the DP axis.
 ///
-/// Every replica processes the same full batch, so replica gradients
-/// are bitwise-identical before communication and the DP exchange is a
-/// load-bearing identity: each replica contributes a disjoint `-0.0`-
-/// padded last-dim shard and the rank-ascending all-reduce reassembles
-/// the exact gradient. A `dp = R` run therefore computes losses,
-/// parameters, and checkpoints **bit-for-bit identical** to the
-/// `dp = 1` run — through faults, recovery, and rebalances (see
-/// `docs/parallelism.md`).
+/// The schedule handed to [`compile_train_step`] describes one replica;
+/// the global batch is `replicas × schedule.n_mubatches()` microbatches,
+/// with replica `r` consuming the contiguous slice
+/// `r·N_local .. (r+1)·N_local` (see [`raxpp_sched::DpMap`]). Replica
+/// gradients genuinely differ, and the DP all-reduce is a true sum
+/// folded in pinned ascending-replica order.
+///
+/// Determinism is a **two-tier contract** (see `docs/determinism.md`):
+/// at a *fixed* degree, runs are bitwise-reproducible through faults,
+/// recovery, rebalances, checkpoint resume, and lane-mode flips;
+/// *across* degrees, step-0 per-microbatch losses are bitwise equal and
+/// later loss curves agree within documented fp32-summation bounds
+/// (the gradient fold associates differently for different `d`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DpConfig {
     /// Number of pipeline replicas (1 compiles the program unchanged).
     pub replicas: usize,
     /// ZeRO-1: shard optimizer state over the DP axis — each replica
-    /// owns one last-dim slice of every moment tensor, computes its
+    /// owns one **first-dim** slice of every moment tensor, computes its
     /// slice of the parameter update, and a second all-reduce folds the
-    /// slices into the full parameter. Requires `tp` degree 1.
+    /// disjoint slices into the full parameter. The first dim is the
+    /// axis tensor parallelism never splits, so this composes with any
+    /// `tp` degree.
     pub zero1: bool,
 }
 
@@ -336,33 +344,27 @@ pub struct StepResult {
     pub stats: StepStats,
 }
 
-/// The last-dim block `[start, start+len)` of `t` — host-side mirror of
-/// `Prim::SliceLast`, used to scatter full optimizer moments into
-/// ZeRO-1 replica slices on restore.
-fn slice_last(t: &Tensor, start: usize, len: usize) -> Tensor {
-    let full = t.shape().dim(t.shape().rank() - 1);
-    let rows = t.data().len() / full.max(1);
-    let mut out = Vec::with_capacity(rows * len);
-    for r in 0..rows {
-        out.extend_from_slice(&t.data()[r * full + start..r * full + start + len]);
-    }
+/// The first-dim block `[start, start+len)` of `t` — host-side mirror
+/// of `Prim::SliceFirst`, used to scatter full optimizer moments into
+/// ZeRO-1 replica slices on restore. A first-dim slice is a contiguous
+/// chunk of the row-major data, so this is a single copy.
+fn slice_first(t: &Tensor, start: usize, len: usize) -> Tensor {
+    let full = t.shape().dim(0);
+    let inner = t.data().len() / full.max(1);
+    let out = t.data()[start * inner..(start + len) * inner].to_vec();
     let mut dims = t.shape().dims().to_vec();
-    *dims.last_mut().expect("sliced tensor has rank >= 1") = len;
-    Tensor::from_vec(Shape::new(dims), out).expect("slice_last shape is consistent")
+    dims[0] = len;
+    Tensor::from_vec(Shape::new(dims), out).expect("slice_first shape is consistent")
 }
 
-/// Reassembles replica-ascending last-dim slices into the full tensor —
-/// the capture-side inverse of [`slice_last`], used to read ZeRO-1
-/// state back into full-shape (dp-degree-portable) checkpoints.
-fn assemble_last(slices: &[Tensor], full_shape: &Shape) -> Tensor {
-    let full = full_shape.dim(full_shape.rank() - 1);
-    let rows = full_shape.numel() / full.max(1);
+/// Reassembles replica-ascending first-dim slices into the full tensor —
+/// the capture-side inverse of [`slice_first`], used to read ZeRO-1
+/// state back into full-shape (dp-degree-portable) checkpoints. With
+/// row-major data and first-dim slices this is a plain concatenation.
+fn assemble_first(slices: &[Tensor], full_shape: &Shape) -> Tensor {
     let mut out = Vec::with_capacity(full_shape.numel());
-    for r in 0..rows {
-        for s in slices {
-            let len = s.shape().dim(s.shape().rank() - 1);
-            out.extend_from_slice(&s.data()[r * len..(r + 1) * len]);
-        }
+    for s in slices {
+        out.extend_from_slice(s.data());
     }
     Tensor::from_vec(full_shape.clone(), out).expect("assembled slices tile the full shape")
 }
@@ -520,17 +522,12 @@ pub fn compile_train_step(
         None => TpMap::new(1),
     };
     // Data-parallel replication: clone the (possibly TP-sharded)
-    // pipeline into `replicas` copies linked by DP-axis gradient
-    // all-reduces, optionally sharding optimizer state (ZeRO-1).
+    // pipeline into `replicas` copies that each consume a disjoint
+    // slice of the global batch, linked by DP-axis gradient all-reduce
+    // sums, optionally sharding optimizer state (ZeRO-1, first-dim —
+    // composes with any tp degree).
     let dp = match &opts.dp {
         Some(cfg) if cfg.replicas > 1 => {
-            if cfg.zero1 && tp.degree() > 1 {
-                return Err(CoreError::BadInput(
-                    "ZeRO-1 optimizer-state sharding requires tensor-parallel degree 1 \
-                     (state slices would break the replicated-buffer invariant across ranks)"
-                        .into(),
-                ));
-            }
             let base = program.n_actors();
             let mut build = |param: usize, start: usize, len: usize| {
                 optimizer
@@ -564,7 +561,10 @@ pub fn compile_train_step(
     raxpp_taskgraph::verify_program(program)
         .map_err(|e| CoreError::BadInput(format!("internal error: {e}")))?;
 
-    let n_mubatches = schedule.n_mubatches();
+    // The schedule describes one replica; the step consumes the global
+    // batch of `replicas × n_mubatches()` microbatches, sharded
+    // contiguously across replicas by `replicate_program`.
+    let n_mubatches = dp.global_mubatches(schedule.n_mubatches());
     let n_actors = schedule.n_actors();
     let runtime = Runtime::new(compiled.program);
     if let Some(lanes) = opts.tp.as_ref().and_then(|c| c.lanes) {
@@ -644,13 +644,13 @@ impl Trainer {
     }
 
     /// The shape replica `rep` holds for an optimizer-state slot whose
-    /// full shape is `s`: the ZeRO-1 last-dim slice for DP-treated
+    /// full shape is `s`: the ZeRO-1 first-dim slice for DP-treated
     /// parameters, the full shape otherwise.
     fn state_shape_for(&self, s: &Shape, rep: usize) -> Shape {
         if self.zero1 && dp_treated(s, self.dp.replicas()) {
-            let (_, len) = dp_split(s.dim(s.rank() - 1), self.dp.replicas(), rep);
+            let (_, len) = dp_split(s.dim(0), self.dp.replicas(), rep);
             let mut dims = s.dims().to_vec();
-            *dims.last_mut().expect("DP-treated state has rank >= 1") = len;
+            dims[0] = len;
             Shape::new(dims)
         } else {
             s.clone()
@@ -670,7 +670,7 @@ impl Trainer {
                 let slices: Vec<Tensor> = (0..self.dp.replicas())
                     .map(|rep| self.runtime.read_buffer(self.raw_actor(rep, a, 0), b))
                     .collect::<Result<_, _>>()?;
-                tensors.push(assemble_last(&slices, s));
+                tensors.push(assemble_first(&slices, s));
             } else {
                 tensors.push(self.runtime.read_buffer(self.raw_actor(0, a, 0), b)?);
             }
@@ -688,8 +688,8 @@ impl Trainer {
         for (&(a, b, ref s), t) in self.state_init.lock().unwrap().iter().zip(states) {
             for rep in 0..self.dp.replicas() {
                 let tt = if self.zero1 && dp_treated(s, self.dp.replicas()) {
-                    let (start, len) = dp_split(s.dim(s.rank() - 1), self.dp.replicas(), rep);
-                    slice_last(t, start, len)
+                    let (start, len) = dp_split(s.dim(0), self.dp.replicas(), rep);
+                    slice_first(t, start, len)
                 } else {
                     t.clone()
                 };
@@ -704,6 +704,11 @@ impl Trainer {
 
     /// Runs one training step over `data[input][mubatch]`, returning the
     /// per-microbatch losses (and optionally gradients).
+    ///
+    /// Under data parallelism `mubatch` indexes the **global** batch of
+    /// [`Trainer::n_mubatches`] microbatches; replica `r` consumes the
+    /// contiguous slice `r·N/d .. (r+1)·N/d`, and losses/outputs come
+    /// back in global-microbatch order.
     ///
     /// # Errors
     ///
@@ -785,6 +790,12 @@ impl Trainer {
                 .map(|(dur, _)| dur.as_micros() as u64)
                 .sum();
             self.metrics.inc("dp_collective_wait_us", wait_us);
+            // Each replica runs its compiled (per-replica) schedule:
+            // the global batch divided by the DP degree.
+            self.metrics.set_gauge(
+                "dp_microbatches_per_replica",
+                (self.n_mubatches / self.dp.replicas()) as f64,
+            );
         }
         if self.tp.degree() == 1 && self.dp.replicas() == 1 {
             if let Some(trace) = &out.trace {
@@ -1182,7 +1193,10 @@ impl Trainer {
             .collect()
     }
 
-    /// Number of microbatches per step.
+    /// Number of microbatches per step — the **global** batch size in
+    /// microbatches. Under data parallelism this is
+    /// `dp_degree() × schedule.n_mubatches()`; each replica executes
+    /// `schedule.n_mubatches()` of them.
     pub fn n_mubatches(&self) -> usize {
         self.n_mubatches
     }

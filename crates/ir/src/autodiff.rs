@@ -369,6 +369,25 @@ fn emit_vjp(
             let da = b.emit(Prim::SliceLast { start, len }, &[g])?;
             accumulate(b, ct, inputs[0], da)?;
         }
+        Prim::SliceFirst { start, .. } => {
+            let in_shape = jaxpr.shape(inputs[0]);
+            let full = in_shape.dim(0);
+            let da = b.emit(
+                Prim::PadFirst {
+                    start,
+                    full,
+                    value: 0.0,
+                },
+                &[g],
+            )?;
+            accumulate(b, ct, inputs[0], da)?;
+        }
+        Prim::PadFirst { start, .. } => {
+            let in_shape = jaxpr.shape(inputs[0]);
+            let len = in_shape.dim(0);
+            let da = b.emit(Prim::SliceFirst { start, len }, &[g])?;
+            accumulate(b, ct, inputs[0], da)?;
+        }
         Prim::PipelineYield { id, .. } => {
             // The backward of a stage boundary is a stage boundary of the
             // reverse pass (paper §3: autodiff produces the backward

@@ -112,6 +112,8 @@ pub fn eval_prim(prim: &Prim, inputs: &[&Tensor]) -> Result<Tensor> {
             inputs[0].slice_dim(r - 1, *start, *len)
         }
         Prim::PadLast { start, full, value } => inputs[0].pad_last(*start, *full, *value),
+        Prim::SliceFirst { start, len } => inputs[0].slice_dim(0, *start, *len),
+        Prim::PadFirst { start, full, value } => inputs[0].pad_first(*start, *full, *value),
         // Yields are pure identity markers at run time.
         Prim::PipelineYield { .. } => Ok(inputs[0].clone()),
     }

@@ -122,6 +122,28 @@ pub enum Prim {
         /// Fill value outside the block.
         value: f32,
     },
+    /// Slice a contiguous block along the *first* axis (ZeRO-1
+    /// optimizer-state shard extraction: the first dim is the one axis
+    /// column-parallel tensor sharding never touches, so first-dim
+    /// slices are uniform across tensor-parallel ranks).
+    SliceFirst {
+        /// First element of the block along the first axis.
+        start: usize,
+        /// Block length along the first axis.
+        len: usize,
+    },
+    /// Embed a tensor as a block along the first axis of a larger output
+    /// filled with `value` (ZeRO-1 shard re-assembly; padding with
+    /// `-0.0` keeps a subsequent exact all-reduce bitwise-neutral, since
+    /// `x + (-0.0) == x` bitwise for every `x`).
+    PadFirst {
+        /// Offset of the block along the first axis of the output.
+        start: usize,
+        /// Size of the output's first axis.
+        full: usize,
+        /// Fill value outside the block.
+        value: f32,
+    },
     /// Identity marker closing the current pipeline stage (paper §3.2).
     ///
     /// `id` records trace order; `backward` distinguishes markers emitted
@@ -174,6 +196,8 @@ impl Prim {
             Prim::Fill { .. } => "fill",
             Prim::SliceLast { .. } => "slice_last",
             Prim::PadLast { .. } => "pad_last",
+            Prim::SliceFirst { .. } => "slice_first",
+            Prim::PadFirst { .. } => "pad_first",
             Prim::PipelineYield { .. } => "pipeline_yield",
         }
     }
@@ -281,6 +305,42 @@ impl Prim {
                 dims[r - 1] = *full;
                 Ok(Shape::new(dims))
             }
+            Prim::SliceFirst { start, len } => {
+                if inputs[0].rank() == 0 {
+                    return Err(IrError::RankMismatch {
+                        context: "slice_first".into(),
+                        expected: 1,
+                        found: 0,
+                    });
+                }
+                let first = inputs[0].dim(0);
+                if start + len > first {
+                    return Err(IrError::Invalid(format!(
+                        "slice_first[{start}, {len}] out of bounds for first dim {first}"
+                    )));
+                }
+                let mut dims = inputs[0].dims().to_vec();
+                dims[0] = *len;
+                Ok(Shape::new(dims))
+            }
+            Prim::PadFirst { start, full, .. } => {
+                if inputs[0].rank() == 0 {
+                    return Err(IrError::RankMismatch {
+                        context: "pad_first".into(),
+                        expected: 1,
+                        found: 0,
+                    });
+                }
+                let first = inputs[0].dim(0);
+                if start + first > *full {
+                    return Err(IrError::Invalid(format!(
+                        "pad_first[{start}, {full}] cannot hold a block of {first}"
+                    )));
+                }
+                let mut dims = inputs[0].dims().to_vec();
+                dims[0] = *full;
+                Ok(Shape::new(dims))
+            }
         }
     }
 
@@ -333,6 +393,10 @@ impl fmt::Display for Prim {
             Prim::SliceLast { start, len } => write!(f, "slice_last[{start}, {len}]"),
             Prim::PadLast { start, full, value } => {
                 write!(f, "pad_last[{start}, {full}, {value}]")
+            }
+            Prim::SliceFirst { start, len } => write!(f, "slice_first[{start}, {len}]"),
+            Prim::PadFirst { start, full, value } => {
+                write!(f, "pad_first[{start}, {full}, {value}]")
             }
             Prim::PipelineYield { id, backward } => {
                 write!(

@@ -604,6 +604,43 @@ impl Tensor {
         Ok(Tensor::from_parts(Shape::new(dims), out))
     }
 
+    /// Embeds this tensor as the block starting at `start` along the
+    /// *first* axis of an output whose first axis has size `full`,
+    /// filling the remainder with `value`.
+    ///
+    /// The first-dim counterpart of [`Tensor::pad_last`], used by ZeRO-1
+    /// optimizer-state sharding (the first dim is the axis tensor
+    /// parallelism never shards). The same `-0.0` padding trick applies:
+    /// summing disjointly-padded shards is bitwise concatenation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::RankMismatch`] for scalars and
+    /// [`IrError::Invalid`] when the block does not fit.
+    pub fn pad_first(&self, start: usize, full: usize, value: f32) -> Result<Tensor> {
+        let rank = self.shape.rank();
+        if rank == 0 {
+            return Err(IrError::RankMismatch {
+                context: "pad_first".into(),
+                expected: 1,
+                found: 0,
+            });
+        }
+        let first = self.shape.dim(0);
+        if start + first > full {
+            return Err(IrError::Invalid(format!(
+                "pad_first block [{start}, {}) does not fit in {full}",
+                start + first
+            )));
+        }
+        let inner = self.numel() / first.max(1);
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = full;
+        let mut out = vec![value; full * inner];
+        out[start * inner..start * inner + first * inner].copy_from_slice(&self.data);
+        Ok(Tensor::from_parts(Shape::new(dims), out))
+    }
+
     /// Maximum absolute difference with `other`, or `None` if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
         if self.shape != other.shape {

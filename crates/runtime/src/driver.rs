@@ -1837,7 +1837,6 @@ fn label_kind(label: &raxpp_taskgraph::TaskLabel) -> &'static str {
         TaskLabel::CotangentSum { .. } => "ct_sum",
         TaskLabel::GradReduce { .. } => "grad_reduce",
         TaskLabel::Update { .. } => "update",
-        TaskLabel::GradShard { .. } => "grad_shard",
     }
 }
 
@@ -2606,12 +2605,15 @@ fn execute_stream(
                 dim,
                 axis,
             } => {
-                // Per-axis routing: DP all-reduces always sum disjoint
-                // -0.0-padded shards (replicate_program's contract); TP
-                // consults the program's TpMeta flag. Wait/wire metrics
-                // split by axis so each mesh dimension is observable.
+                // Per-axis routing: DP all-reduces are true sums of
+                // different per-replica contributions (batch sharding),
+                // folded elementwise in pinned replica-ascending order —
+                // never the disjoint-assembly fast path, which assumes
+                // -0.0-padded non-overlapping blocks. TP consults the
+                // program's TpMeta flag. Wait/wire metrics split by axis
+                // so each mesh dimension is observable.
                 let (disjoint, wait_kind) = match axis {
-                    CollectiveAxis::Dp => (true, "dp_collective_wait"),
+                    CollectiveAxis::Dp => (false, "dp_collective_wait"),
                     CollectiveAxis::Tp => (
                         lane.as_ref().map(|l| l.disjoint_reduce).unwrap_or(false),
                         "collective_wait",

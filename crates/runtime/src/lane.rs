@@ -27,10 +27,12 @@
 //! folded groups a rebalance produces, with no axis-specific paths.
 //!
 //! All transformations preserve the bitwise contract: the assembly is
-//! either the exact legacy rank-ascending fold/concat, or (for
+//! either the exact legacy rank-ascending fold/concat, or (for TP's
 //! disjoint `-0.0`-padded all-reduces) a block copy that equals that
-//! fold bit for bit; replicated runs are bit-identical on every rank by
-//! the replicated-buffer invariant, so executing one of them is
+//! fold bit for bit — DP gradient sums always take the pinned
+//! ascending-replica fold, since their contributions genuinely differ;
+//! replicated runs are bit-identical on every rank by the
+//! replicated-buffer invariant, so executing one of them is
 //! indistinguishable from executing all.
 //!
 //! Failure discipline: any actor that fails (task error, cascade abort,
@@ -202,7 +204,9 @@ pub(crate) struct LaneCtx {
     /// Per-jaxpr replication flags ([`TpMeta::replicated`]).
     pub(crate) replicated: Arc<Vec<bool>>,
     /// Whether TP all-reduces may use block assembly
-    /// ([`TpMeta::disjoint_reduce`]); DP all-reduces always may.
+    /// ([`TpMeta::disjoint_reduce`]). DP all-reduces never do: they are
+    /// true sums of differing per-replica gradients, folded elementwise
+    /// in pinned ascending-replica order.
     pub(crate) disjoint_reduce: bool,
 }
 

@@ -76,6 +76,37 @@ impl DpMap {
             .map(|rep| self.replica_actor(rep, base))
             .collect()
     }
+
+    /// The global batch size implied by `n_local` microbatches per
+    /// replica: every replica runs the same per-replica schedule, so the
+    /// global batch is `R * n_local` microbatches.
+    pub fn global_mubatches(&self, n_local: usize) -> usize {
+        self.replicas * n_local
+    }
+
+    /// The global index of replica `rep`'s local microbatch `m`, given
+    /// `n_local` microbatches per replica: replicas own contiguous
+    /// ascending ranges of the global batch, so this is
+    /// `rep * n_local + m`.
+    pub fn global_mubatch(&self, rep: usize, m: usize, n_local: usize) -> usize {
+        debug_assert!(rep < self.replicas);
+        debug_assert!(m < n_local);
+        rep * n_local + m
+    }
+
+    /// The half-open global microbatch range `[start, end)` that replica
+    /// `rep` consumes, given `n_local` microbatches per replica.
+    pub fn mubatch_range(&self, rep: usize, n_local: usize) -> std::ops::Range<usize> {
+        debug_assert!(rep < self.replicas);
+        rep * n_local..(rep + 1) * n_local
+    }
+
+    /// The replica that consumes global microbatch `global`, given
+    /// `n_local` microbatches per replica.
+    pub fn replica_of_mubatch(&self, global: usize, n_local: usize) -> usize {
+        debug_assert!(global < self.global_mubatches(n_local));
+        global / n_local
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +156,24 @@ mod tests {
     #[should_panic]
     fn zero_replicas_panics() {
         DpMap::new(0, 4);
+    }
+
+    #[test]
+    fn batch_ranges_partition_the_global_batch() {
+        let m = DpMap::new(3, 2);
+        let n_local = 4;
+        assert_eq!(m.global_mubatches(n_local), 12);
+        let mut seen = [false; 12];
+        for rep in 0..3 {
+            let range = m.mubatch_range(rep, n_local);
+            assert_eq!(range.len(), n_local);
+            for (local, global) in range.clone().enumerate() {
+                assert_eq!(m.global_mubatch(rep, local, n_local), global);
+                assert_eq!(m.replica_of_mubatch(global, n_local), rep);
+                assert!(!seen[global], "microbatch {global} assigned twice");
+                seen[global] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every microbatch must be owned");
     }
 }

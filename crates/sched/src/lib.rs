@@ -19,7 +19,7 @@
 //! # Ok::<(), raxpp_sched::ScheduleError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod analysis;
 mod builders;

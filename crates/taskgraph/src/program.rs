@@ -74,13 +74,6 @@ pub enum TaskLabel {
         /// The parameter updated.
         param: usize,
     },
-    /// Masking a full gradient down to one data-parallel replica's
-    /// disjoint `-0.0`-padded shard (produced by `replicate_program`
-    /// ahead of the DP gradient all-reduce).
-    GradShard {
-        /// The parameter whose gradient is masked.
-        param: usize,
-    },
 }
 
 impl fmt::Display for TaskLabel {
@@ -93,7 +86,6 @@ impl fmt::Display for TaskLabel {
             TaskLabel::CotangentSum { stage } => write!(f, "ct_sum(s={stage})"),
             TaskLabel::GradReduce { param } => write!(f, "grad_reduce(p={param})"),
             TaskLabel::Update { param } => write!(f, "update(p={param})"),
-            TaskLabel::GradShard { param } => write!(f, "grad_shard(p={param})"),
         }
     }
 }
@@ -136,10 +128,12 @@ impl fmt::Display for CollectiveKind {
 ///
 /// The runtime uses the axis to route per-axis metrics
 /// (`bytes_wire`/`collective_wait` for TP vs `dp_bytes_wire`/
-/// `dp_collective_wait` for DP) and to pick the disjoint-assembly fast
-/// path: DP collectives emitted by `replicate_program` always sum
-/// disjoint `-0.0`-padded shards, while TP all-reduces consult
-/// [`TpMeta::disjoint_reduce`].
+/// `dp_collective_wait` for DP) and to pick the combine path: DP
+/// collectives are *true sums* of genuinely different per-replica
+/// contributions (each replica trains on its own slice of the global
+/// batch), folded elementwise in pinned replica-ascending order, while
+/// TP all-reduces consult [`TpMeta::disjoint_reduce`] for the
+/// disjoint-block assembly fast path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveAxis {
     /// Tensor-parallel lane group (the ranks of one pipeline host).
@@ -399,8 +393,10 @@ pub struct DpMeta {
     /// Actors per replica (post-TP actor count of the input program).
     pub base_actors: usize,
     /// Whether optimizer state is ZeRO-1 sharded across the DP group
-    /// (each replica owns one last-dim slice of every state slot and
-    /// computes only its slice of the parameter update).
+    /// (each replica owns one first-dim slice of every state slot and
+    /// computes only its slice of the parameter update; the first dim
+    /// is the axis tensor parallelism never shards, so this composes
+    /// with any `tp` degree).
     pub zero1: bool,
 }
 

@@ -1,25 +1,33 @@
 //! Data-parallel replication: cloning a compiled (possibly
-//! tensor-parallel) MPMD program into `R` replica pipelines whose
-//! gradient paths are linked by [`Instr::Collective`] all-reduces over
-//! the DP axis, with optional ZeRO-1 optimizer-state sharding.
+//! tensor-parallel) MPMD program into `R` replica pipelines that each
+//! consume a *disjoint slice of the global batch*, with gradient paths
+//! linked by [`Instr::Collective`] all-reduces over the DP axis and
+//! optional ZeRO-1 optimizer-state sharding.
 //!
-//! # The replicated batch plane
+//! # Batch sharding
 //!
-//! Every replica runs the *same* fused program over the *same* full
-//! batch (data placements are duplicated to all replicas), so gradients
-//! are bitwise-identical across replicas before any communication.
-//! This makes the DP gradient exchange a *load-bearing identity*:
-//! replica `rep` masks its disjoint last-dim shard of each gradient
-//! (slice, then pad back to full width with `-0.0` — the
-//! [`TaskLabel::GradShard`] task), and the DP group's rank-ascending
-//! all-reduce fold reassembles the full gradient bit for bit (because
-//! `x + (-0.0) == x` for every `f32`, exactly the theorem
-//! `shard_program` rests on). A `dp = R` run therefore computes losses,
-//! parameters, and checkpoints bit-identical to `dp = 1`, while
-//! exercising the real collective schedule, wire accounting, and
-//! failure surface of data parallelism — the property
-//! `tests/data_parallel.rs` enforces through faults, recovery, and
-//! rebalances.
+//! The input program describes *one replica's* pipeline over `N_local`
+//! microbatches. Replication turns it into `R` pipelines over a global
+//! batch of `R * N_local` microbatches: replica `rep`'s copy of data
+//! placement `Data { input, mubatch: m }` is rewritten to the global
+//! index `rep * N_local + m` ([`raxpp_sched::DpMap`] batch-range
+//! arithmetic), so replicas own contiguous ascending ranges of the
+//! global batch and each executes only `1/R` of the work — data
+//! parallelism that buys throughput, not redundancy.
+//!
+//! Because replicas see different data, their gradients genuinely
+//! differ, and the per-parameter DP all-reduce is a *true sum*: every
+//! parameter with an [`TaskLabel::Update`] gets one gradient all-reduce
+//! whose replica-ascending fold order is pinned by the runtime
+//! (`g = g_0 + g_1 + … + g_{R-1}`, always in that association). That
+//! pin is what makes the determinism contract two-tier: any run at
+//! fixed `R` is bitwise-reproducible (through faults, recovery,
+//! rebalance, checkpoint resume, and lanes↔serial execution), while
+//! runs at *different* `R` agree only within fp32 summation-
+//! reassociation bounds — see `docs/determinism.md`. Pre-update
+//! (step-0) per-microbatch losses are still bitwise-equal across every
+//! `R`, because the forward pass of a microbatch never depends on the
+//! replica that runs it.
 //!
 //! # Actor and buffer spaces
 //!
@@ -30,30 +38,37 @@
 //! collide, and the id-keyed pin set of `insert_frees` then produces
 //! identical `Free` positions in every replica, keeping the replica
 //! streams index-aligned (the invariant the runtime's rendezvous slot
-//! keying relies on, see [`TpMeta`]). Only the DP collective wires and
-//! assembly buffers are freshly allocated, shared by all replicas as a
-//! set with `wires[rep]` owned by replica `rep`.
+//! keying relies on, see [`TpMeta`]). The gradient all-reduce reuses
+//! the gradient buffer id itself as every replica's wire
+//! (`wires[rep] == src` on all ranks) and lands in a freshly-allocated
+//! assembled-gradient buffer shared by all replicas.
 //!
 //! # ZeRO-1
 //!
-//! With ZeRO-1 enabled, replica `rep` owns one last-dim slice of every
-//! optimizer-state slot: its update task consumes the full parameter
-//! and the assembled gradient but computes only its state slices and
-//! its `-0.0`-padded slice of the updated parameter; a second DP
-//! all-reduce folds the parameter contributions into the full updated
-//! parameter in place. State placements shrink to slice shapes.
-//! Parameters whose last dimension is smaller than `R` (and rank-0
-//! scalars) skip DP treatment entirely: their updates stay replicated,
-//! which is already bitwise-correct.
+//! With ZeRO-1 enabled, replica `rep` owns one *first-dim* slice of
+//! every optimizer-state slot: its update task consumes the full
+//! parameter and the assembled gradient but computes only its state
+//! slices and its `-0.0`-padded slice of the updated parameter; a
+//! second DP all-reduce folds the parameter contributions into the full
+//! updated parameter in place (a disjoint-block sum, bitwise equal to
+//! concatenation because `x + (-0.0) == x` for every `f32`). The first
+//! dim is sharded because it is the one axis the column-parallel tensor
+//! sharding never splits — parameters and optimizer state are
+//! full-shape replicated across TP ranks, so first-dim slices are
+//! rank-uniform and ZeRO-1 composes with any `tp` degree. State
+//! placements shrink to slice shapes. Parameters whose first dimension
+//! is smaller than `R` (and rank-0 scalars) keep replicated full-shape
+//! state: their updates are bitwise-correct without sharding, and their
+//! gradients still get the true-sum all-reduce.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use raxpp_ir::{GraphBuilder, IrError, Jaxpr, Prim, Shape};
+use raxpp_ir::{IrError, Jaxpr, Shape};
 
 use crate::program::{
-    ActorId, BufferId, CollectiveAxis, CollectiveKind, DpMeta, InputSource, Instr, JaxprId,
-    MpmdProgram, TaskLabel,
+    ActorId, BufferId, CollectiveAxis, CollectiveKind, DpMeta, Fetch, FetchRole, InputSource,
+    Instr, JaxprId, MpmdProgram, TaskLabel,
 };
 use crate::shard::fresh_buffer_floor;
 
@@ -62,9 +77,9 @@ use crate::shard::fresh_buffer_floor;
 pub enum ReplicateError {
     /// The input program already carries a DP axis (double replication).
     AlreadyReplicated,
-    /// Inconsistent arguments (zero replicas, ZeRO-1 under tp > 1, …).
+    /// Inconsistent arguments (zero replicas, missing placements, …).
     BadInput(String),
-    /// Building a mask jaxpr failed (a pass bug).
+    /// Replica codegen failed (a pass bug).
     Ir(IrError),
     /// The caller's ZeRO-1 update builder failed.
     Zero1(String),
@@ -91,17 +106,19 @@ impl From<IrError> for ReplicateError {
     }
 }
 
-/// Whether a parameter of `shape` receives DP treatment (gradient
-/// sharding, collectives, and — under ZeRO-1 — state slicing) when
-/// replicated `replicas` ways. Scalars and parameters whose last
-/// dimension is narrower than the replica count stay fully replicated
-/// instead; callers holding per-replica state (the trainer's
-/// checkpoint/restore paths) must apply the same rule.
+/// Whether a parameter of `shape` receives ZeRO-1 state sharding when
+/// replicated `replicas` ways: its optimizer state is split into
+/// first-dim slices, one per replica. Scalars and parameters whose
+/// first dimension is narrower than the replica count keep replicated
+/// full-shape state instead; callers holding per-replica state (the
+/// trainer's checkpoint/restore paths) must apply the same rule. The
+/// gradient all-reduce is independent of this: under batch sharding
+/// *every* updated parameter gets one, whatever its shape.
 pub fn dp_treated(shape: &Shape, replicas: usize) -> bool {
-    shape.rank() > 0 && shape.dim(shape.rank() - 1) >= replicas
+    shape.rank() > 0 && shape.dim(0) >= replicas
 }
 
-/// Replica `rep`'s last-dim slice `(start, len)` of a dimension of
+/// Replica `rep`'s first-dim slice `(start, len)` of a dimension of
 /// `full` elements split across `replicas`: the first `full % replicas`
 /// replicas get one extra element, so slices tile the dimension exactly
 /// even when it does not divide evenly.
@@ -115,61 +132,39 @@ pub fn dp_split(full: usize, replicas: usize, rep: usize) -> (usize, usize) {
 
 /// Per-parameter DP lowering decisions and fresh ids.
 struct DpParam {
-    /// Full size of the split (last) dimension.
+    /// Full size of the first dimension (ZeRO-1's shard axis).
     full: usize,
-    /// Axis the gradient is split along (always last).
+    /// Collective `dim` metadata (the last axis; the true-sum fold
+    /// ignores it, AllGather-style kinds would concatenate along it).
     dim: usize,
-    /// Per-replica gradient-shard wires (shared set, `wires[rep]` is
-    /// replica `rep`'s contribution).
-    grad_wires: Vec<BufferId>,
     /// The assembled-gradient buffer (same id in every replica's store).
     assembled: BufferId,
-    /// Per-replica mask jaxprs ([`TaskLabel::GradShard`]).
-    mask: Vec<JaxprId>,
-    /// ZeRO-1: per-replica sharded update jaxprs and the parameter
-    /// contribution wires folded into the parameter buffer.
-    zero1: Option<(Vec<JaxprId>, Vec<BufferId>)>,
+    /// ZeRO-1: per-replica sharded update jaxprs and the shared
+    /// parameter-contribution wire folded into the parameter buffer.
+    zero1: Option<(Vec<JaxprId>, BufferId)>,
 }
 
-/// Builds the [`TaskLabel::GradShard`] mask: slice the replica's
-/// `(start, len)` last-dim block out of the full gradient, then pad it
-/// back to full width with `-0.0`.
-fn mask_jaxpr(shape: &Shape, start: usize, len: usize) -> Result<Jaxpr, IrError> {
-    let mut b = GraphBuilder::new();
-    let g = b.input(shape.clone());
-    let full = shape.dim(shape.rank() - 1);
-    let s = b.emit(Prim::SliceLast { start, len }, &[g])?;
-    let padded = b.emit(
-        Prim::PadLast {
-            start,
-            full,
-            value: -0.0,
-        },
-        &[s],
-    )?;
-    b.finish(vec![padded])
-}
-
-/// Replicates `program` into `replicas` data-parallel pipelines (see
-/// the module docs for the semantics). `replicas == 1` returns the
-/// program unchanged.
+/// Replicates `program` into `replicas` data-parallel pipelines, each
+/// consuming a disjoint `1/replicas` slice of the global batch (see the
+/// module docs for the semantics). `replicas == 1` returns the program
+/// unchanged.
 ///
 /// `zero1`, when provided, enables ZeRO-1 optimizer-state sharding: for
-/// each DP-treated parameter it is called as `(param, start, len)` and
-/// must return the sharded update jaxpr with inputs
-/// `(param, grad, state-slices…)` and outputs
+/// each eligible parameter ([`dp_treated`]) it is called as
+/// `(param, start, len)` and must return the sharded update jaxpr with
+/// inputs `(param, grad, state-slices…)` and outputs
 /// `(-0.0-padded param contribution, state-slices…)`, where slices are
-/// the `(start, len)` last-dim block. The builder lives with the caller
-/// because only it knows the optimizer; `raxpp-core` supplies
-/// `Optimizer::sharded_update_jaxpr`.
+/// the `(start, len)` *first-dim* block. The builder lives with the
+/// caller because only it knows the optimizer; `raxpp-core` supplies
+/// `Optimizer::sharded_update_jaxpr`. First-dim sharding is what lets
+/// ZeRO-1 compose with tensor parallelism: params and state are
+/// full-shape replicated across TP ranks, and TP never splits dim 0.
 ///
 /// # Errors
 ///
 /// Returns [`ReplicateError::AlreadyReplicated`] for programs that
 /// already carry a DP axis, and [`ReplicateError::BadInput`] for zero
-/// replicas or ZeRO-1 requested on a tensor-parallel program (state
-/// sharding composes with TP's replicated-buffer invariant only at
-/// `tp = 1`).
+/// replicas or an updated parameter without a placement.
 pub fn replicate_program(
     program: &MpmdProgram,
     replicas: usize,
@@ -185,11 +180,6 @@ pub fn replicate_program(
     }
     if replicas == 1 {
         return Ok(program.clone());
-    }
-    if zero1.is_some() && program.tp.as_ref().is_some_and(|m| m.degree > 1) {
-        return Err(ReplicateError::BadInput(
-            "ZeRO-1 state sharding requires tp degree 1".into(),
-        ));
     }
     let n = program.n_actors();
     let shapes: HashMap<BufferId, &Shape> = program
@@ -210,9 +200,12 @@ pub fn replicate_program(
     };
 
     // Decide the DP lowering per parameter from its Update instruction
-    // (one owner per parameter; TP rank copies are identical).
+    // (one owner per parameter; TP rank copies are identical). Every
+    // updated parameter gets a gradient all-reduce — replicas hold
+    // genuinely different gradients under batch sharding, so no shape
+    // is exempt. ZeRO-1 state sharding additionally needs a first dim
+    // wide enough to slice (`dp_treated`).
     let mut dp_params: HashMap<usize, DpParam> = HashMap::new();
-    let mut mask_cache: HashMap<(Vec<usize>, usize, usize), JaxprId> = HashMap::new();
     for instr in program.actors.iter().flatten() {
         let Instr::Run {
             inputs,
@@ -228,51 +221,45 @@ pub fn replicate_program(
         let shape = *shapes.get(&inputs[0]).ok_or_else(|| {
             ReplicateError::BadInput(format!("parameter {param} has no placement"))
         })?;
-        // Scalars and too-narrow last dims stay replicated: their
-        // updates are bitwise-correct without any DP exchange.
-        if !dp_treated(shape, replicas) {
-            continue;
-        }
-        let dim = shape.rank() - 1;
-        let full = shape.dim(dim);
-        let mut mask = Vec::with_capacity(replicas);
-        for rep in 0..replicas {
-            let (start, len) = dp_split(full, replicas, rep);
-            let key = (shape.dims().to_vec(), start, len);
-            let jid = match mask_cache.get(&key) {
-                Some(&j) => j,
-                None => {
-                    let j = out.add_jaxpr(mask_jaxpr(shape, start, len)?);
-                    mask_cache.insert(key, j);
-                    j
-                }
-            };
-            mask.push(jid);
-        }
+        let full = if shape.rank() > 0 { shape.dim(0) } else { 1 };
         let z = match zero1.as_mut() {
-            Some(build) => {
+            Some(build) if dp_treated(shape, replicas) => {
                 let mut upds = Vec::with_capacity(replicas);
                 for rep in 0..replicas {
                     let (start, len) = dp_split(full, replicas, rep);
                     let j = build(*param, start, len).map_err(ReplicateError::Zero1)?;
                     upds.push(out.add_jaxpr(j));
                 }
-                Some((upds, (0..replicas).map(|_| fresh()).collect()))
+                Some((upds, fresh()))
             }
-            None => None,
+            _ => None,
         };
         dp_params.insert(
             *param,
             DpParam {
                 full,
-                dim,
-                grad_wires: (0..replicas).map(|_| fresh()).collect(),
+                dim: shape.rank().saturating_sub(1),
                 assembled: fresh(),
-                mask,
                 zero1: z,
             },
         );
     }
+
+    // The input program's per-replica microbatch count: the global
+    // batch this replicated program consumes is `replicas` times it.
+    let n_mub = program
+        .placements
+        .iter()
+        .filter_map(|p| match p.source {
+            InputSource::Data { mubatch, .. } => Some(mubatch + 1),
+            _ => None,
+        })
+        .chain(program.fetches.iter().filter_map(|f| match f.role {
+            FetchRole::Output { mubatch, .. } => Some(mubatch + 1),
+            _ => None,
+        }))
+        .max()
+        .unwrap_or(0);
 
     out.actors = vec![Vec::new(); n * replicas];
     for rep in 0..replicas {
@@ -294,23 +281,19 @@ pub fn replicate_program(
                             s.push(instr.clone());
                             continue;
                         };
-                        let param = match label {
-                            TaskLabel::Update { param } => *param,
-                            _ => unreachable!(),
-                        };
                         let group: Vec<ActorId> = (0..replicas).map(|r| r * n + a).collect();
-                        s.push(Instr::Run {
-                            jaxpr: dpp.mask[rep],
-                            inputs: vec![inputs[1]],
-                            outputs: vec![dpp.grad_wires[rep]],
-                            label: TaskLabel::GradShard { param },
-                        });
+                        // True-sum gradient all-reduce: the gradient
+                        // buffer itself is every replica's wire (same
+                        // id on all ranks — stores are per-actor), and
+                        // the pinned replica-ascending fold sums the
+                        // genuinely different per-replica gradients
+                        // into the shared assembled buffer.
                         s.push(Instr::Collective {
                             kind: CollectiveKind::AllReduce,
                             dst: dpp.assembled,
-                            src: dpp.grad_wires[rep],
+                            src: inputs[1],
                             group: group.clone(),
-                            wires: dpp.grad_wires.clone(),
+                            wires: vec![inputs[1]; replicas],
                             dim: dpp.dim,
                             axis: CollectiveAxis::Dp,
                         });
@@ -319,19 +302,23 @@ pub fn replicate_program(
                         match &dpp.zero1 {
                             Some((upds, pw)) => {
                                 let mut new_outputs = outputs.clone();
-                                new_outputs[0] = pw[rep];
+                                new_outputs[0] = *pw;
                                 s.push(Instr::Run {
                                     jaxpr: upds[rep],
                                     inputs: new_inputs,
                                     outputs: new_outputs,
                                     label: *label,
                                 });
+                                // Disjoint-block param fold: each
+                                // replica contributes its -0.0-padded
+                                // first-dim slice, so this sum is
+                                // bitwise concatenation.
                                 s.push(Instr::Collective {
                                     kind: CollectiveKind::AllReduce,
                                     dst: outputs[0],
-                                    src: pw[rep],
+                                    src: *pw,
                                     group,
-                                    wires: pw.clone(),
+                                    wires: vec![*pw; replicas],
                                     dim: dpp.dim,
                                     axis: CollectiveAxis::Dp,
                                 });
@@ -382,32 +369,70 @@ pub fn replicate_program(
         }
     }
 
-    // Placements go to every replica (the replicated batch plane:
-    // parameters, state, and data alike); under ZeRO-1 the state slots
-    // of DP-treated parameters shrink to the replica's slice shape.
+    // Placements go to every replica. Parameters and state are
+    // replicated; data placements are *sharded* — replica `rep`'s copy
+    // of local microbatch `m` is global microbatch `rep * n_mub + m`,
+    // so replicas consume disjoint contiguous slices of the global
+    // batch. Under ZeRO-1 the state slots of sharded parameters shrink
+    // to the replica's first-dim slice shape.
     let zero1_on = zero1.is_some();
     for rep in 0..replicas {
         for p in &program.placements {
             let mut q = p.clone();
             q.actor = rep * n + p.actor;
-            if zero1_on {
-                if let InputSource::State { param, .. } = p.source {
+            match p.source {
+                InputSource::Data { input, mubatch } => {
+                    q.source = InputSource::Data {
+                        input,
+                        mubatch: rep * n_mub + mubatch,
+                    };
+                }
+                InputSource::State { param, .. } => {
                     if let Some(dpp) = dp_params.get(&param) {
-                        let (_, len) = dp_split(dpp.full, replicas, rep);
-                        let mut dims = p.shape.dims().to_vec();
-                        *dims.last_mut().expect("DP-treated state has rank >= 1") = len;
-                        q.shape = Shape::new(dims);
+                        if dpp.zero1.is_some() {
+                            let (_, len) = dp_split(dpp.full, replicas, rep);
+                            let mut dims = p.shape.dims().to_vec();
+                            dims[0] = len;
+                            q.shape = Shape::new(dims);
+                        }
                     }
                 }
+                InputSource::Param(_) => {}
             }
             out.placements.push(q);
         }
     }
-    // Fetches read replica 0, whose buffers are bitwise-identical to
-    // every other replica's (and to the dp = 1 run's).
-    out.fetches = program.fetches.clone();
+    // Fetches: per-microbatch outputs live on the replica that consumed
+    // the microbatch, so Output fetches fan out to all replicas under
+    // their global indices; gradient fetches repoint to the assembled
+    // (summed) buffer, read once from replica 0 — every replica's copy
+    // is bitwise-identical after the pinned fold.
+    out.fetches = Vec::with_capacity(program.fetches.len() * replicas);
+    for f in &program.fetches {
+        match f.role {
+            FetchRole::Output { output, mubatch } => {
+                for rep in 0..replicas {
+                    out.fetches.push(Fetch {
+                        buf: f.buf,
+                        actor: rep * n + f.actor,
+                        role: FetchRole::Output {
+                            output,
+                            mubatch: rep * n_mub + mubatch,
+                        },
+                    });
+                }
+            }
+            FetchRole::Grad(param) => {
+                let mut q = *f;
+                if let Some(dpp) = dp_params.get(&param) {
+                    q.buf = dpp.assembled;
+                }
+                out.fetches.push(q);
+            }
+        }
+    }
 
-    // New jaxprs (masks, ZeRO-1 updates) are replicated verbatim across
+    // New jaxprs (ZeRO-1 updates) are replicated verbatim across
     // TP ranks: same ids, same buffers, bitwise-identical inputs.
     out.tp = program.tp.clone();
     if let Some(tp) = &mut out.tp {
@@ -447,10 +472,10 @@ fn replica_streams_aligned(program: &MpmdProgram, replicas: usize, n: usize) -> 
 mod tests {
     use super::*;
     use crate::model::pipeline_model;
-    use crate::program::{Fetch, InputPlacement};
+    use crate::program::InputPlacement;
     use crate::unroll::{insert_frees, unroll_loop, UnrollOptions};
     use crate::verify::verify_program;
-    use raxpp_ir::{eval, Tensor, TraceCtx};
+    use raxpp_ir::{GraphBuilder, Prim, TraceCtx};
     use raxpp_sched::gpipe;
 
     fn two_stage_program() -> MpmdProgram {
@@ -561,12 +586,23 @@ mod tests {
                     )
                 })
                 .count();
-            // One gradient all-reduce per replica of the one update.
+            // One gradient all-reduce per replica of the one update,
+            // wired as a true sum: the gradient buffer is every
+            // replica's wire and the dst is a fresh assembled buffer.
             assert_eq!(dp_colls, replicas);
-            assert_eq!(
-                r.count_runs(|l| matches!(l, TaskLabel::GradShard { .. })),
-                replicas
-            );
+            for i in r.actors.iter().flatten() {
+                if let Instr::Collective {
+                    axis: CollectiveAxis::Dp,
+                    src,
+                    dst,
+                    wires,
+                    ..
+                } = i
+                {
+                    assert_eq!(wires, &vec![*src; replicas]);
+                    assert_ne!(dst, src);
+                }
+            }
             let meta = r.dp.unwrap();
             assert_eq!(meta.replicas, replicas);
             assert_eq!(meta.base_actors, p.n_actors());
@@ -575,36 +611,70 @@ mod tests {
     }
 
     #[test]
-    fn fetches_stay_on_replica_zero_placements_on_all() {
+    fn output_fetches_fan_out_grad_fetches_repoint() {
         let p = with_update(two_stage_program());
         let r = replicate_program(&p, 2, None).unwrap();
-        assert_eq!(r.fetches, p.fetches);
         assert_eq!(r.placements.len(), p.placements.len() * 2);
+        let n = p.n_actors();
+        // Per-microbatch outputs live on the replica that consumed the
+        // microbatch: one fetch per replica, under global indices.
+        let orig_outputs = p
+            .fetches
+            .iter()
+            .filter(|f| matches!(f.role, FetchRole::Output { .. }))
+            .count();
+        let out_fetches: Vec<&Fetch> = r
+            .fetches
+            .iter()
+            .filter(|f| matches!(f.role, FetchRole::Output { .. }))
+            .collect();
+        assert_eq!(out_fetches.len(), orig_outputs * 2);
+        let n_mub = 2; // gpipe(2, 2)
+        for f in &out_fetches {
+            let FetchRole::Output { mubatch, .. } = f.role else {
+                unreachable!()
+            };
+            let rep = f.actor / n;
+            assert!((rep * n_mub..(rep + 1) * n_mub).contains(&mubatch));
+        }
+        // Gradient fetches read the assembled sum, not the replica-local
+        // partial gradient, from replica 0.
+        let (old_grad, new_grad) = (
+            p.fetches
+                .iter()
+                .find(|f| matches!(f.role, FetchRole::Grad(0)))
+                .unwrap(),
+            r.fetches
+                .iter()
+                .find(|f| matches!(f.role, FetchRole::Grad(0)))
+                .unwrap(),
+        );
+        assert_ne!(new_grad.buf, old_grad.buf);
+        assert_eq!(new_grad.actor, old_grad.actor);
     }
 
     #[test]
-    fn mask_folds_back_to_identity() {
-        // The heart of the bitwise contract: summing the -0.0-padded
-        // replica shards rank-ascending reproduces the gradient exactly.
-        let shape = Shape::new([3, 8]);
-        let g = Tensor::from_vec(
-            [3, 8],
-            (0..24).map(|i| (i as f32 - 11.5) * 1.7).collect::<Vec<_>>(),
-        )
-        .unwrap();
-        let replicas = 3; // uneven: 8 = 3 + 3 + 2
-        let mut acc: Option<Tensor> = None;
-        for rep in 0..replicas {
-            let (start, len) = dp_split(8, replicas, rep);
-            let j = mask_jaxpr(&shape, start, len).unwrap();
-            let shard = eval(&j, std::slice::from_ref(&g)).unwrap().remove(0);
-            acc = Some(match acc {
-                None => shard,
-                Some(a) => a.zip(&shard, |x, y| x + y).unwrap(),
-            });
+    fn data_placements_shard_the_global_batch() {
+        let p = with_update(two_stage_program());
+        let replicas = 2;
+        let r = replicate_program(&p, replicas, None).unwrap();
+        let n = p.n_actors();
+        let n_mub = 2; // gpipe(2, 2)
+        let mut seen = vec![false; replicas * n_mub];
+        for q in &r.placements {
+            if let InputSource::Data { mubatch, .. } = q.source {
+                let rep = q.actor / n;
+                assert!(
+                    (rep * n_mub..(rep + 1) * n_mub).contains(&mubatch),
+                    "replica {rep} placed out-of-range microbatch {mubatch}"
+                );
+                seen[mubatch] = true;
+            }
         }
-        let sum = acc.unwrap();
-        assert_eq!(sum.data(), g.data());
+        assert!(
+            seen.iter().all(|&s| s),
+            "every global microbatch must be placed exactly once"
+        );
     }
 
     #[test]
@@ -663,21 +733,21 @@ mod tests {
             *jaxpr = njid;
         }
         let replicas = 2;
-        let full = shape.dim(1);
+        let full = shape.dim(0);
         let mut build = |_param: usize, start: usize, len: usize| -> Result<Jaxpr, String> {
             let mut b = GraphBuilder::new();
-            let slice_shape = Shape::new([shape.dim(0), len]);
+            let slice_shape = Shape::new([len, shape.dim(1)]);
             let pv = b.input(shape.clone());
             let gv = b.input(shape.clone());
             let sv = b.input(slice_shape);
-            let ps = b.emit(Prim::SliceLast { start, len }, &[pv]).unwrap();
-            let gs = b.emit(Prim::SliceLast { start, len }, &[gv]).unwrap();
+            let ps = b.emit(Prim::SliceFirst { start, len }, &[pv]).unwrap();
+            let gs = b.emit(Prim::SliceFirst { start, len }, &[gv]).unwrap();
             let v2 = b.emit(Prim::Add, &[sv, gs]).unwrap();
             let step = b.emit(Prim::Scale(0.1), &[v2]).unwrap();
             let p2 = b.emit(Prim::Sub, &[ps, step]).unwrap();
             let padded = b
                 .emit(
-                    Prim::PadLast {
+                    Prim::PadFirst {
                         start,
                         full,
                         value: -0.0,
@@ -716,27 +786,76 @@ mod tests {
                 ..
             } if *dst == pbuf
         )));
-        // State placements shrank to slice shapes that tile the full dim.
+        // State placements shrank to first-dim slice shapes that tile
+        // the full dim.
         let state_lens: Vec<usize> = r
             .placements
             .iter()
             .filter(|pl| matches!(pl.source, InputSource::State { .. }))
-            .map(|pl| pl.shape.dim(1))
+            .map(|pl| pl.shape.dim(0))
             .collect();
         assert_eq!(state_lens.iter().sum::<usize>(), full);
     }
 
     #[test]
-    fn zero1_under_tp_rejected() {
+    fn zero1_composes_with_tp() {
+        // The lifted restriction: first-dim state sharding is uniform
+        // across TP ranks (TP never splits dim 0), so ZeRO-1 now lowers
+        // under tp > 1 and the program verifies.
         let p = with_update(two_stage_program());
+        let shape = p
+            .placements
+            .iter()
+            .find(|pl| matches!(pl.source, InputSource::Param(0)))
+            .unwrap()
+            .shape
+            .clone();
         let mesh = raxpp_mesh::Mesh::new(&[("model", 2)]).unwrap();
         let sharded = crate::shard::shard_program(&p, &mesh, "model").unwrap();
-        let mut build =
-            |_: usize, _: usize, _: usize| -> Result<Jaxpr, String> { Err("unused".into()) };
-        assert!(matches!(
-            replicate_program(&sharded, 2, Some(&mut build)),
-            Err(ReplicateError::BadInput(_))
-        ));
+        let full = shape.dim(0);
+        let mut build = |_param: usize, start: usize, len: usize| -> Result<Jaxpr, String> {
+            let mut b = GraphBuilder::new();
+            let pv = b.input(shape.clone());
+            let gv = b.input(shape.clone());
+            let ps = b.emit(Prim::SliceFirst { start, len }, &[pv]).unwrap();
+            let gs = b.emit(Prim::SliceFirst { start, len }, &[gv]).unwrap();
+            let step = b.emit(Prim::Scale(0.1), &[gs]).unwrap();
+            let p2 = b.emit(Prim::Sub, &[ps, step]).unwrap();
+            let padded = b
+                .emit(
+                    Prim::PadFirst {
+                        start,
+                        full,
+                        value: -0.0,
+                    },
+                    &[p2],
+                )
+                .unwrap();
+            b.finish(vec![padded]).map_err(|e| e.to_string())
+        };
+        let mut r = replicate_program(&sharded, 2, Some(&mut build)).unwrap();
+        insert_frees(&mut r);
+        verify_program(&r).unwrap();
+        assert!(r.dp.unwrap().zero1);
+        // Grad assembly + param fold on every TP rank of every replica.
+        let dp_colls = r
+            .actors
+            .iter()
+            .flatten()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Collective {
+                        axis: CollectiveAxis::Dp,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(dp_colls > 0 && dp_colls % 2 == 0);
+        // The extended replicated table covers the new ZeRO-1 jaxprs.
+        let tp = r.tp.as_ref().unwrap();
+        assert_eq!(tp.replicated.len(), r.jaxprs.len());
     }
 
     #[test]
@@ -796,7 +915,7 @@ mod tests {
                 assert!(group.windows(2).all(|w| w[0] < w[1]));
             }
         }
-        assert_eq!(p.count_runs(|_| true) * 2, folded.count_runs(|_| true) - 2);
+        assert_eq!(p.count_runs(|_| true) * 2, folded.count_runs(|_| true));
     }
 
     #[test]
@@ -833,12 +952,15 @@ mod tests {
     }
 
     #[test]
-    fn narrow_params_skip_dp_treatment() {
-        // A parameter with last dim < replicas keeps its replicated
-        // update and gets no collective.
+    fn narrow_params_get_grad_sums_but_skip_zero1() {
+        // Under batch sharding every updated parameter needs its
+        // gradient summed — replicas hold different gradients whatever
+        // the shape — but a parameter with first dim < replicas cannot
+        // be state-sharded, so the ZeRO-1 builder is never invoked for
+        // it and its update stays full-shape.
         let ctx = TraceCtx::new();
-        let w = ctx.input([4, 2]);
-        let x = ctx.input([2, 4]);
+        let w = ctx.input([2, 4]); // dim 0 = 2 < 4 replicas
+        let x = ctx.input([4, 2]);
         let y = x.matmul(&w).unwrap();
         let loss = y.mul(&y).unwrap().sum();
         let jaxpr = ctx.finish(&[loss]).unwrap();
@@ -854,12 +976,26 @@ mod tests {
             .unwrap()
             .program,
         );
-        let r = replicate_program(&p, 4, None).unwrap();
-        assert!(!r
+        let mut build = |_: usize, _: usize, _: usize| -> Result<Jaxpr, String> {
+            Err("ZeRO-1 builder must not run for narrow params".into())
+        };
+        let r = replicate_program(&p, 4, Some(&mut build)).unwrap();
+        let dp_colls = r
             .actors
             .iter()
             .flatten()
-            .any(|i| matches!(i, Instr::Collective { .. })));
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Collective {
+                        axis: CollectiveAxis::Dp,
+                        ..
+                    }
+                )
+            })
+            .count();
+        // One gradient all-reduce per replica, no param fold.
+        assert_eq!(dp_colls, 4);
         assert_eq!(r.count_runs(|l| matches!(l, TaskLabel::Update { .. })), 4);
     }
 
@@ -867,17 +1003,27 @@ mod tests {
     fn fetch_and_placement_sources_survive() {
         let p = with_update(two_stage_program());
         let r = replicate_program(&p, 2, None).unwrap();
-        for (q, orig) in r.placements.chunks(p.placements.len()).zip([0, 1]) {
+        let n_mub = 2; // gpipe(2, 2)
+        for (q, rep) in r.placements.chunks(p.placements.len()).zip([0usize, 1]) {
             for (np, op) in q.iter().zip(&p.placements) {
                 assert_eq!(np.buf, op.buf);
-                assert_eq!(np.source, op.source);
-                assert_eq!(np.actor, orig * p.n_actors() + op.actor);
+                assert_eq!(np.actor, rep * p.n_actors() + op.actor);
+                // Param/state sources survive verbatim; data sources are
+                // shifted to the replica's global microbatch range.
+                match (np.source, op.source) {
+                    (
+                        InputSource::Data { input, mubatch },
+                        InputSource::Data {
+                            input: oi,
+                            mubatch: om,
+                        },
+                    ) => {
+                        assert_eq!(input, oi);
+                        assert_eq!(mubatch, rep * n_mub + om);
+                    }
+                    (ns, os) => assert_eq!(ns, os),
+                }
             }
         }
-        assert!(r
-            .fetches
-            .iter()
-            .zip(&p.fetches)
-            .all(|(a, b): (&Fetch, &Fetch)| a == b));
     }
 }

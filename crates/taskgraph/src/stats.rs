@@ -54,7 +54,6 @@ fn kind_of(label: &TaskLabel) -> &'static str {
         TaskLabel::CotangentSum { .. } => "ct_sum",
         TaskLabel::GradReduce { .. } => "grad_reduce",
         TaskLabel::Update { .. } => "update",
-        TaskLabel::GradShard { .. } => "grad_shard",
     }
 }
 

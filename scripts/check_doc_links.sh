@@ -102,6 +102,13 @@ require docs/parallelism.md 'docs/observability\.md' 'docs/observability.md'
 require docs/ARCHITECTURE.md 'docs/parallelism\.md' 'docs/parallelism.md'
 require docs/resilience.md 'docs/parallelism\.md' 'docs/parallelism.md'
 require docs/observability.md 'docs/parallelism\.md' 'docs/parallelism.md'
+require README.md 'docs/determinism\.md' 'docs/determinism.md'
+require docs/parallelism.md 'docs/determinism\.md' 'docs/determinism.md'
+require docs/ARCHITECTURE.md 'docs/determinism\.md' 'docs/determinism.md'
+require docs/resilience.md 'docs/determinism\.md' 'docs/determinism.md'
+require docs/determinism.md 'docs/parallelism\.md' 'docs/parallelism.md'
+require docs/determinism.md 'docs/execution-backend\.md' 'docs/execution-backend.md'
+require docs/determinism.md 'docs/resilience\.md' 'docs/resilience.md'
 
 if [ "$fail" -ne 0 ]; then
     exit 1

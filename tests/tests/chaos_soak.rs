@@ -231,106 +231,106 @@ fn tp_chaotic_run_matches_unsharded_fault_free_run_bitwise() {
     );
 }
 
-/// The data-parallel soak: a dp=2-replicated pipeline (8 raw actors)
-/// under the same PRNG-driven chaos, with elastic rebalance enabled —
-/// a death folds the dead actor's pipeline host in **both** replicas,
-/// keeping the replica streams aligned and the DP collective groups
-/// intact. Must end bit-identical to an unreplicated fault-free twin
-/// with zero live rendezvous slots.
+/// The data-parallel soak: a dp=2-replicated, batch-sharded pipeline
+/// (8 raw actors, each replica consuming half the global batch) under
+/// the same PRNG-driven chaos, with elastic rebalance enabled — a death
+/// folds the dead actor's pipeline host in **both** replicas, keeping
+/// the replica streams aligned and the DP collective groups intact.
+/// Must end bit-identical to a fault-free twin of the **same degree**
+/// (tier 1 of `docs/determinism.md`) with zero live rendezvous slots.
 #[test]
-fn dp_chaotic_run_matches_unreplicated_fault_free_run_bitwise() {
-    with_watchdog(
-        "dp_chaotic_run_matches_unreplicated_fault_free_run_bitwise",
-        || {
-            let schedule = gpipe(4, 4).unwrap();
-            let model = mlp_chain(6, 3, 4, schedule.n_stages(), 77).unwrap();
-            let mut rng = StdRng::seed_from_u64(78);
-            let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
-                .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
-                .collect()];
+fn dp_chaotic_run_matches_fault_free_run_bitwise() {
+    with_watchdog("dp_chaotic_run_matches_fault_free_run_bitwise", || {
+        let schedule = gpipe(4, 4).unwrap();
+        let model = mlp_chain(6, 3, 4, schedule.n_stages(), 77).unwrap();
+        let mut rng = StdRng::seed_from_u64(78);
+        // dp=2 doubles the global batch: 2 × n_mubatches() tensors.
+        let data: Vec<Vec<Tensor>> = vec![(0..2 * schedule.n_mubatches())
+            .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+            .collect()];
 
-            let smooth = build(&model, &schedule);
-            let chaotic = {
-                let t = compile_train_step(
-                    &model.jaxpr,
-                    model.n_params,
-                    &schedule,
-                    Optimizer::Sgd { lr: 0.05 },
-                    CompileOptions {
-                        dp: Some(DpConfig::replicas(2)),
-                        ..CompileOptions::default()
-                    },
-                )
-                .unwrap();
-                t.init(&model.init).unwrap();
-                t
-            };
-            let n_raw = chaotic.runtime().program().actors.len();
-            assert_eq!(n_raw, 2 * schedule.n_actors());
-            let base = schedule.n_actors();
-            let policy = RetryPolicy {
-                max_retries: 3,
-                backoff: Duration::ZERO,
-                rebalance_after: Some(1),
-            };
+        let build_dp = || {
+            let t = compile_train_step(
+                &model.jaxpr,
+                model.n_params,
+                &schedule,
+                Optimizer::Sgd { lr: 0.05 },
+                CompileOptions {
+                    dp: Some(DpConfig::replicas(2)),
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+            t.init(&model.init).unwrap();
+            t
+        };
+        let smooth = build_dp();
+        let chaotic = build_dp();
+        let n_raw = chaotic.runtime().program().actors.len();
+        assert_eq!(n_raw, 2 * schedule.n_actors());
+        let base = schedule.n_actors();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::ZERO,
+            rebalance_after: Some(1),
+        };
 
-            let mut faults = StdRng::seed_from_u64(79);
-            for step in 0..STEPS {
-                let retired = chaotic.runtime().retired_actors();
-                let alive: Vec<usize> = (0..n_raw).filter(|a| !retired.contains(a)).collect();
-                let target = alive[faults.gen_range(0..alive.len())];
-                match faults.gen_range(0..4u32) {
-                    0 => {
-                        let at = faults.gen_range(0..3usize);
-                        chaotic
-                            .runtime()
-                            .inject_fault(target, Fault::DieAtInstr(at))
-                            .unwrap();
-                    }
-                    1 => {
-                        chaotic
-                            .runtime()
-                            .inject_fault(target, Fault::ErrorAtTask("bwd".into()))
-                            .unwrap();
-                    }
-                    _ => {}
-                }
-                let a = smooth.step_with_recovery(&data, policy).unwrap();
-                let b = chaotic.step_with_recovery(&data, policy).unwrap();
-                assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
-            }
-
-            assert!(
-                chaotic.metrics().counter("recoveries_total") >= 1,
-                "fault schedule never triggered a recovery — seed went stale"
-            );
-            assert!(
-                chaotic.metrics().counter("rebalances_total") >= 1,
-                "fault schedule never triggered a DP fold — seed went stale"
-            );
-            assert!(chaotic.metrics().counter("dp_collectives_total") > 0);
-            // Folds act replica-uniformly: actor a retired ⇔ its copy in
-            // the other replica retired.
+        let mut faults = StdRng::seed_from_u64(79);
+        for step in 0..STEPS {
             let retired = chaotic.runtime().retired_actors();
-            assert!(!retired.is_empty());
-            for &a in &retired {
-                let twin = (a + base) % (2 * base);
-                assert!(
-                    retired.contains(&twin),
-                    "actor {a} folded without its replica twin {twin}"
-                );
+            let alive: Vec<usize> = (0..n_raw).filter(|a| !retired.contains(a)).collect();
+            let target = alive[faults.gen_range(0..alive.len())];
+            match faults.gen_range(0..4u32) {
+                0 => {
+                    let at = faults.gen_range(0..3usize);
+                    chaotic
+                        .runtime()
+                        .inject_fault(target, Fault::DieAtInstr(at))
+                        .unwrap();
+                }
+                1 => {
+                    chaotic
+                        .runtime()
+                        .inject_fault(target, Fault::ErrorAtTask("bwd".into()))
+                        .unwrap();
+                }
+                _ => {}
             }
-            assert_eq!(
-                chaotic.runtime().lane_live_slots(),
-                0,
-                "lane hub leaked rendezvous slots across aborts/folds"
-            );
+            let a = smooth.step_with_recovery(&data, policy).unwrap();
+            let b = chaotic.step_with_recovery(&data, policy).unwrap();
+            assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+        }
 
-            let pa = smooth.params().unwrap();
-            let pb = chaotic.params().unwrap();
-            for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
-                assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
-            }
-        },
-    );
+        assert!(
+            chaotic.metrics().counter("recoveries_total") >= 1,
+            "fault schedule never triggered a recovery — seed went stale"
+        );
+        assert!(
+            chaotic.metrics().counter("rebalances_total") >= 1,
+            "fault schedule never triggered a DP fold — seed went stale"
+        );
+        assert!(chaotic.metrics().counter("dp_collectives_total") > 0);
+        // Folds act replica-uniformly: actor a retired ⇔ its copy in
+        // the other replica retired.
+        let retired = chaotic.runtime().retired_actors();
+        assert!(!retired.is_empty());
+        for &a in &retired {
+            let twin = (a + base) % (2 * base);
+            assert!(
+                retired.contains(&twin),
+                "actor {a} folded without its replica twin {twin}"
+            );
+        }
+        assert_eq!(
+            chaotic.runtime().lane_live_slots(),
+            0,
+            "lane hub leaked rendezvous slots across aborts/folds"
+        );
+
+        let pa = smooth.params().unwrap();
+        let pb = chaotic.params().unwrap();
+        for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+            assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+        }
+    });
 }

@@ -1,23 +1,28 @@
-//! Executable data parallelism (PP×TP×DP composition): a pipeline
-//! replicated over a DP axis must train end-to-end **bit-identical** to
-//! the single-replica pipeline — same losses, same parameters, same
-//! checkpoints — while actually exchanging gradient shards through real
-//! DP-axis collectives, with and without ZeRO-1 optimizer-state
-//! sharding, and the whole composition must survive fault injection,
-//! recovery, and elastic rebalance.
+//! Executable data parallelism (PP×TP×DP composition) under **batch
+//! sharding**: each replica consumes a disjoint `1/d` slice of the
+//! global batch and the DP all-reduce is a true gradient sum. The
+//! determinism contract is two-tier (`docs/determinism.md`):
+//!
+//! * **Tier 1 — fixed degree, bitwise.** At any fixed `d`, runs are
+//!   bitwise-reproducible through faults, recovery, elastic rebalance,
+//!   checkpoint save/resume, and lane↔serial collective modes.
+//! * **Tier 2 — across degrees, bounded.** Step-0 (pre-update)
+//!   per-microbatch losses are bitwise equal for every `d` over the
+//!   same global batch; after updates, losses and parameters agree
+//!   within fp32-summation bounds (the gradient fold associates
+//!   differently for different `d`).
 
 use std::time::Duration;
 
 use raxpp_core::{
-    compile_train_step, CompileOptions, CoreError, DpConfig, Optimizer, RetryPolicy, TpConfig,
-    Trainer,
+    compile_train_step, CompileOptions, DpConfig, Optimizer, RetryPolicy, TpConfig, Trainer,
 };
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::Tensor;
 use raxpp_models::{mlp_chain, BuiltModel};
 use raxpp_runtime::Fault;
 use raxpp_sched::{gpipe, one_f1b, DpMap, Schedule, TpMap};
-use raxpp_taskgraph::{CollectiveAxis, Instr, TaskLabel};
+use raxpp_taskgraph::{CollectiveAxis, Instr};
 
 fn build(
     model: &BuiltModel,
@@ -42,9 +47,11 @@ fn build(
     t
 }
 
-fn mb_data(schedule: &Schedule, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
+/// One global batch of `n_mubatches` microbatches — the same tensors
+/// whatever DP degree consumes them.
+fn mb_data(n_mubatches: usize, width: usize, batch: usize, seed: u64) -> Vec<Vec<Tensor>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    vec![(0..schedule.n_mubatches())
+    vec![(0..n_mubatches)
         .map(|_| Tensor::randn([batch, width], 1.0, &mut rng))
         .collect()]
 }
@@ -67,21 +74,40 @@ fn count_dp_collectives(t: &Trainer) -> usize {
         .count()
 }
 
-/// The headline contract: for every (schedule × dp degree × tp degree)
-/// cell, losses and updated parameters are bit-for-bit equal to the
-/// dp=1 run of the same model, and the replicated program really
-/// contains DP-axis collectives and gradient-shard masks.
+fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * x.abs().max(1.0),
+            "{what}[{i}]: {x} vs {y} beyond tolerance {tol}"
+        );
+    }
+}
+
+/// Tier 2: sharding the same global batch over `d` replicas reproduces
+/// the dp=1 step-0 losses bitwise (pre-update forwards are independent
+/// per microbatch), tracks the dp=1 trajectory within fp32-summation
+/// bounds afterwards, and executes exactly `N/d` microbatches per
+/// replica through real DP-axis gradient-sum collectives.
 #[test]
-fn dp_training_is_bitwise_identical_across_degrees() {
+fn dp_shards_the_batch_and_tracks_dp1_within_bounds() {
+    const GLOBAL_MB: usize = 8;
     let optimizer = Optimizer::Momentum {
         lr: 0.05,
         momentum: 0.9,
     };
-    for (schedule, seed) in [(gpipe(2, 4).unwrap(), 181), (one_f1b(2, 4).unwrap(), 182)] {
-        let model = mlp_chain(8, 2, 2, schedule.n_stages(), seed).unwrap();
-        let data = mb_data(&schedule, 8, 2, seed + 1);
+    for (use_gpipe, seed) in [(true, 181u64), (false, 182)] {
+        let sched = |n: usize| {
+            if use_gpipe {
+                gpipe(2, n).unwrap()
+            } else {
+                one_f1b(2, n).unwrap()
+            }
+        };
+        let model = mlp_chain(8, 2, 2, 2, seed).unwrap();
+        let data = mb_data(GLOBAL_MB, 8, 2, seed + 1);
 
-        let baseline = build(&model, &schedule, 1, None, optimizer);
+        let base_schedule: Schedule = sched(GLOBAL_MB);
+        let baseline = build(&model, &base_schedule, 1, None, optimizer);
         let mut base_losses = Vec::new();
         for _ in 0..3 {
             base_losses.push(baseline.step(&data).unwrap().losses);
@@ -89,6 +115,8 @@ fn dp_training_is_bitwise_identical_across_degrees() {
         let base_params = baseline.params().unwrap();
 
         for (dp, tp) in [(2usize, 1usize), (4, 1), (2, 2)] {
+            // The schedule describes one replica: N/d local microbatches.
+            let schedule: Schedule = sched(GLOBAL_MB / dp);
             let trainer = build(
                 &model,
                 &schedule,
@@ -97,6 +125,11 @@ fn dp_training_is_bitwise_identical_across_degrees() {
                 optimizer,
             );
             assert_eq!(trainer.dp_degree(), dp);
+            assert_eq!(
+                trainer.n_mubatches(),
+                GLOBAL_MB,
+                "dp={dp}: global batch must be d × the per-replica schedule"
+            );
             let program = trainer.runtime().program();
             let base = TpMap::new(tp).n_shard_actors(schedule.n_actors());
             assert_eq!(
@@ -109,24 +142,24 @@ fn dp_training_is_bitwise_identical_across_degrees() {
                 count_dp_collectives(&trainer) > 0,
                 "dp={dp} tp={tp}: no DP collectives lowered"
             );
-            assert!(
-                program.actors.iter().flatten().any(|i| matches!(
-                    i,
-                    Instr::Run {
-                        label: TaskLabel::GradShard { .. },
-                        ..
-                    }
-                )),
-                "dp={dp} tp={tp}: no gradient-shard masks lowered"
-            );
 
-            for (step, want) in base_losses.iter().enumerate() {
+            // Step 0: pre-update forwards — bitwise across degrees.
+            let got = trainer.step(&data).unwrap();
+            assert_eq!(
+                got.losses,
+                base_losses[0],
+                "{} dp={dp} tp={tp}: step-0 losses not bit-identical",
+                schedule.name()
+            );
+            // Later steps: the gradient sum associates differently, so
+            // the trajectory agrees within bounds, not bitwise.
+            for (step, want) in base_losses.iter().enumerate().skip(1) {
                 let got = trainer.step(&data).unwrap();
-                assert_eq!(
+                assert_close(
                     &got.losses,
                     want,
-                    "{} dp={dp} tp={tp} step {step}: losses not bit-identical",
-                    schedule.name()
+                    1e-4,
+                    &format!("{} dp={dp} tp={tp} step {step} losses", schedule.name()),
                 );
             }
             assert!(
@@ -137,106 +170,187 @@ fn dp_training_is_bitwise_identical_across_degrees() {
                 trainer.metrics().counter("dp_bytes_wire") > 0,
                 "dp={dp} tp={tp}: no DP wire bytes recorded"
             );
+            assert_eq!(
+                trainer.metrics().gauge("dp_microbatches_per_replica"),
+                Some((GLOBAL_MB / dp) as f64),
+                "dp={dp} tp={tp}: wrong per-replica microbatch accounting"
+            );
             let params = trainer.params().unwrap();
             for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
-                assert_eq!(
+                assert_close(
                     a.data(),
                     b.data(),
-                    "{} dp={dp} tp={tp}: param {p} not bit-identical",
-                    schedule.name()
+                    1e-4,
+                    &format!("{} dp={dp} tp={tp} param {p}", schedule.name()),
                 );
             }
         }
     }
 }
 
-/// ZeRO-1: each replica owns one last-dim slice of every Adam moment,
-/// computes its slice of the update, and a second DP all-reduce folds
-/// the parameter contributions — bit-identical to the unsharded dp=1
-/// Adam run, with twice the DP collectives of the plain-DP program.
+/// Tier 1: at a fixed degree, two identical runs — one in lane mode,
+/// one on the serial collective ring — are bitwise equal, losses and
+/// parameters, step after step.
 #[test]
-fn zero1_training_is_bitwise_identical() {
-    let optimizer = Optimizer::adam(0.01);
-    let schedule = gpipe(2, 4).unwrap();
-    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 191).unwrap();
-    let data = mb_data(&schedule, 8, 2, 192);
-
-    let baseline = build(&model, &schedule, 1, None, optimizer);
-    let mut base_losses = Vec::new();
-    for _ in 0..3 {
-        base_losses.push(baseline.step(&data).unwrap().losses);
-    }
-    let base_params = baseline.params().unwrap();
-
-    for dp in [2usize, 4] {
-        let plain = build(
-            &model,
-            &schedule,
-            1,
-            Some(DpConfig::replicas(dp)),
-            optimizer,
-        );
-        let trainer = build(&model, &schedule, 1, Some(DpConfig::zero1(dp)), optimizer);
-        assert!(trainer.zero1());
-        assert_eq!(
-            count_dp_collectives(&trainer),
-            2 * count_dp_collectives(&plain),
-            "dp={dp}: ZeRO-1 must add a parameter-fold collective per update"
-        );
-        for (step, want) in base_losses.iter().enumerate() {
-            let got = trainer.step(&data).unwrap();
-            assert_eq!(
-                &got.losses, want,
-                "zero1 dp={dp} step {step}: losses not bit-identical"
-            );
-        }
-        let params = trainer.params().unwrap();
-        for (p, (a, b)) in params.iter().zip(&base_params).enumerate() {
-            assert_eq!(
-                a.data(),
-                b.data(),
-                "zero1 dp={dp}: param {p} not bit-identical"
-            );
-        }
-    }
-}
-
-/// Checkpoints are DP-invariant: captured state is always full-shape
-/// (ZeRO-1 slices are reassembled replica-ascending), so a dp=2 ZeRO-1
-/// checkpoint is byte-identical to the dp=1 checkpoint and restores
-/// cleanly across DP degrees in both directions.
-#[test]
-fn dp_checkpoints_are_byte_identical_and_portable() {
+fn dp_runs_are_bitwise_reproducible_at_fixed_degree() {
+    const GLOBAL_MB: usize = 4;
     let optimizer = Optimizer::Momentum {
         lr: 0.05,
         momentum: 0.9,
     };
-    let schedule = gpipe(2, 2).unwrap();
-    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 201).unwrap();
-    let data = mb_data(&schedule, 8, 2, 202);
+    let schedule = gpipe(2, GLOBAL_MB / 2).unwrap();
+    let model = mlp_chain(8, 2, 2, 2, 241).unwrap();
+    let data = mb_data(GLOBAL_MB, 8, 2, 242);
 
-    let t1 = build(&model, &schedule, 1, None, optimizer);
-    let t2 = build(&model, &schedule, 1, Some(DpConfig::zero1(2)), optimizer);
-    t1.step(&data).unwrap();
-    t2.step(&data).unwrap();
-    let mut ck1 = Vec::new();
-    let mut ck2 = Vec::new();
-    t1.save_checkpoint(&mut ck1).unwrap();
-    t2.save_checkpoint(&mut ck2).unwrap();
-    assert_eq!(ck1, ck2, "dp=2 ZeRO-1 checkpoint differs from dp=1");
-
-    // Cross-restore in both directions, then continue bit-identically.
-    t2.restore_checkpoint(&ck1[..]).unwrap();
-    t1.restore_checkpoint(&ck2[..]).unwrap();
-    let a = t1.step(&data).unwrap();
-    let b = t2.step(&data).unwrap();
-    assert_eq!(a.losses, b.losses, "post-cross-restore step diverged");
+    let lanes = build(&model, &schedule, 2, Some(DpConfig::replicas(2)), optimizer);
+    let serial = build(&model, &schedule, 2, Some(DpConfig::replicas(2)), optimizer);
+    serial.set_tp_lanes(false);
+    for step in 0..3 {
+        let a = lanes.step(&data).unwrap();
+        let b = serial.step(&data).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: lanes vs serial diverged");
+    }
+    let pa = lanes.params().unwrap();
+    let pb = serial.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p}: lanes vs serial diverged");
+    }
 }
 
-/// Failure recovery composes with DP: killing a replica actor
-/// mid-stream — aimed at its first DP collective, so its group peers
-/// are parked in the rendezvous — must cascade-abort, respawn, restore,
-/// and stay bit-identical to an uninterrupted dp=1 run, within a
+/// ZeRO-1 is a pure re-layout of the same-degree update: slicing the
+/// parameter and summed gradient first-dim, updating the slice, and
+/// folding the disjoint `-0.0`-padded contributions is bitwise equal to
+/// the plain-DP full update — at the same degree, with twice the DP
+/// collectives, and composed with tensor parallelism.
+#[test]
+fn zero1_matches_plain_dp_bitwise_and_composes_with_tp() {
+    const GLOBAL_MB: usize = 8;
+    let optimizer = Optimizer::adam(0.01);
+    let model = mlp_chain(8, 2, 2, 2, 191).unwrap();
+    let data = mb_data(GLOBAL_MB, 8, 2, 192);
+
+    for (dp, tp) in [(2usize, 1usize), (4, 1), (2, 2)] {
+        let schedule = gpipe(2, GLOBAL_MB / dp).unwrap();
+        let plain = build(
+            &model,
+            &schedule,
+            tp,
+            Some(DpConfig::replicas(dp)),
+            optimizer,
+        );
+        let sharded = build(&model, &schedule, tp, Some(DpConfig::zero1(dp)), optimizer);
+        assert!(sharded.zero1());
+        assert_eq!(sharded.tp_degree(), tp);
+        assert_eq!(
+            count_dp_collectives(&sharded),
+            2 * count_dp_collectives(&plain),
+            "dp={dp} tp={tp}: ZeRO-1 must add a parameter-fold collective per update"
+        );
+        for step in 0..3 {
+            let a = plain.step(&data).unwrap();
+            let b = sharded.step(&data).unwrap();
+            assert_eq!(
+                a.losses, b.losses,
+                "zero1 dp={dp} tp={tp} step {step}: losses not bit-identical"
+            );
+        }
+        let pa = plain.params().unwrap();
+        let pb = sharded.params().unwrap();
+        for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "zero1 dp={dp} tp={tp}: param {p} not bit-identical"
+            );
+        }
+    }
+}
+
+/// Checkpoints are DP-layout-invariant at a fixed trajectory: captured
+/// state is always full-shape (ZeRO-1 first-dim moment slices are
+/// reassembled replica-ascending), so the same-degree ZeRO-1 and
+/// plain-DP checkpoints are byte-identical, and a dp=2 checkpoint
+/// restores at dp=1 and dp=4 — optimizer state re-slices per replica —
+/// with the resumed trajectories agreeing within tier-2 bounds.
+#[test]
+fn dp_checkpoints_are_portable_across_degrees() {
+    const GLOBAL_MB: usize = 4;
+    let optimizer = Optimizer::adam(0.01);
+    let model = mlp_chain(8, 2, 2, 2, 201).unwrap();
+    let data = mb_data(GLOBAL_MB, 8, 2, 202);
+
+    let plain = build(
+        &model,
+        &gpipe(2, 2).unwrap(),
+        1,
+        Some(DpConfig::replicas(2)),
+        optimizer,
+    );
+    let sharded = build(
+        &model,
+        &gpipe(2, 2).unwrap(),
+        1,
+        Some(DpConfig::zero1(2)),
+        optimizer,
+    );
+    for _ in 0..2 {
+        plain.step(&data).unwrap();
+        sharded.step(&data).unwrap();
+    }
+    let mut ck_plain = Vec::new();
+    let mut ck = Vec::new();
+    plain.save_checkpoint(&mut ck_plain).unwrap();
+    sharded.save_checkpoint(&mut ck).unwrap();
+    assert_eq!(
+        ck_plain, ck,
+        "same-degree ZeRO-1 checkpoint differs from plain DP"
+    );
+    let ck_params = sharded.params().unwrap();
+
+    // Same-degree resume continues bitwise (tier 1).
+    let resumed = build(
+        &model,
+        &gpipe(2, 2).unwrap(),
+        1,
+        Some(DpConfig::zero1(2)),
+        optimizer,
+    );
+    resumed.restore_checkpoint(&ck[..]).unwrap();
+    let want = sharded.step(&data).unwrap();
+    let got = resumed.step(&data).unwrap();
+    assert_eq!(got.losses, want.losses, "same-degree resume diverged");
+
+    // Cross-degree resume: dp=2 state adopted at dp=1 and dp=4 (the
+    // full-shape moments re-slice into 1 and 4 first-dim shards), then
+    // one more step over the same global batch lands within bounds.
+    for dp in [1usize, 4] {
+        let schedule = gpipe(2, GLOBAL_MB / dp).unwrap();
+        let other = build(
+            &model,
+            &schedule,
+            1,
+            (dp > 1).then(|| DpConfig::zero1(dp)),
+            optimizer,
+        );
+        other.restore_checkpoint(&ck[..]).unwrap();
+        // Restored parameters are the checkpointed ones, bit for bit.
+        for (p, (a, b)) in other.params().unwrap().iter().zip(&ck_params).enumerate() {
+            assert_eq!(a.data(), b.data(), "dp={dp}: restored param {p} differs");
+        }
+        let got = other.step(&data).unwrap();
+        assert_close(
+            &got.losses,
+            &want.losses,
+            1e-4,
+            &format!("dp={dp} post-resume losses"),
+        );
+    }
+}
+
+/// Tier 1 through faults: killing a replica actor mid-stream — aimed at
+/// its first DP collective, so its group peers are parked in the
+/// rendezvous — must cascade-abort, respawn, restore, and stay
+/// bit-identical to an uninterrupted run of the same degree, within a
 /// bounded wall-clock.
 #[test]
 fn dp_replica_death_mid_all_reduce_recovers_bitwise() {
@@ -245,15 +359,15 @@ fn dp_replica_death_mid_all_reduce_recovers_bitwise() {
         momentum: 0.9,
     };
     let schedule = gpipe(2, 2).unwrap();
-    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 211).unwrap();
-    let data = mb_data(&schedule, 8, 2, 212);
+    let model = mlp_chain(8, 2, 2, 2, 211).unwrap();
+    let data = mb_data(4, 8, 2, 212);
     let policy = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
         rebalance_after: None,
     };
 
-    let smooth = build(&model, &schedule, 1, None, optimizer);
+    let smooth = build(&model, &schedule, 1, Some(DpConfig::replicas(2)), optimizer);
     let bumpy = build(&model, &schedule, 1, Some(DpConfig::replicas(2)), optimizer);
     // Replica 1's copy of the update owner: find a raw actor in the
     // second replica block whose stream has a DP collective, and aim
@@ -307,22 +421,23 @@ fn dp_replica_death_mid_all_reduce_recovers_bitwise() {
     assert_eq!(bumpy.runtime().lane_live_slots(), 0, "stale slots leaked");
 }
 
-/// Elastic rebalance composes with DP (and DP×TP): folding a dead host
-/// away retires its actors in **every** replica uniformly, DP groups
-/// remap onto the survivors, and training continues bit-identical.
+/// Tier 1 through elastic rebalance: folding a dead host away retires
+/// its actors in **every** replica uniformly, DP groups remap onto the
+/// survivors, and training continues bit-identical to an unfolded run
+/// of the same degree.
 #[test]
 fn dp_rebalance_folds_bitwise() {
     let optimizer = Optimizer::Sgd { lr: 0.05 };
     let schedule = gpipe(2, 2).unwrap();
-    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 221).unwrap();
-    let data = mb_data(&schedule, 8, 2, 222);
+    let model = mlp_chain(8, 2, 2, 2, 221).unwrap();
+    let data = mb_data(4, 8, 2, 222);
     let policy = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
         rebalance_after: None,
     };
 
-    let smooth = build(&model, &schedule, 1, None, optimizer);
+    let smooth = build(&model, &schedule, 2, Some(DpConfig::replicas(2)), optimizer);
     let bumpy = build(&model, &schedule, 2, Some(DpConfig::replicas(2)), optimizer);
     let a = smooth.step_with_recovery(&data, policy).unwrap();
     let b = bumpy.step_with_recovery(&data, policy).unwrap();
@@ -361,26 +476,48 @@ fn dp_rebalance_folds_bitwise() {
     assert_eq!(bumpy.runtime().lane_live_slots(), 0, "stale slots leaked");
 }
 
-/// ZeRO-1 composes with TP only at tp=1 — requesting both must be
-/// refused at compile time, not produce a silently wrong program.
+/// The full tier-1 sweep in one trajectory: a dp=2 × tp=2 ZeRO-1 run
+/// that survives an injected death, an elastic fold, and a lane→serial
+/// mode flip stays bitwise equal — losses every step, parameters at the
+/// end — to an undisturbed run of the same degree.
 #[test]
-fn zero1_under_tp_is_rejected() {
+fn dp_fixed_degree_determinism_sweep() {
+    let optimizer = Optimizer::adam(0.01);
     let schedule = gpipe(2, 2).unwrap();
-    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 231).unwrap();
-    let err = compile_train_step(
-        &model.jaxpr,
-        model.n_params,
-        &schedule,
-        Optimizer::adam(0.01),
-        CompileOptions {
-            tp: Some(TpConfig::model_parallel(2)),
-            dp: Some(DpConfig::zero1(2)),
-            ..CompileOptions::default()
-        },
-    )
-    .expect_err("zero1 + tp>1 must be rejected");
-    match err {
-        CoreError::BadInput(msg) => assert!(msg.contains("ZeRO-1"), "msg: {msg}"),
-        other => panic!("expected BadInput, got {other:?}"),
+    let model = mlp_chain(8, 2, 2, 2, 251).unwrap();
+    let data = mb_data(4, 8, 2, 252);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+
+    let smooth = build(&model, &schedule, 2, Some(DpConfig::zero1(2)), optimizer);
+    let chaos = build(&model, &schedule, 2, Some(DpConfig::zero1(2)), optimizer);
+
+    for step in 0..4 {
+        match step {
+            // Step 1: kill a replica-1 actor mid-step, recover bitwise.
+            1 => chaos
+                .runtime()
+                .inject_fault(4, Fault::DieAtInstr(1))
+                .unwrap(),
+            // Step 2: fold host 1 away in both replicas.
+            2 => {
+                chaos.rebalance(&[2]).unwrap();
+            }
+            // Step 3: switch every collective to the serial ring.
+            3 => chaos.set_tp_lanes(false),
+            _ => {}
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = chaos.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
     }
+    let pa = smooth.params().unwrap();
+    let pb = chaos.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} diverged after the sweep");
+    }
+    assert_eq!(chaos.runtime().lane_live_slots(), 0, "stale slots leaked");
 }
