@@ -23,6 +23,14 @@
 //! save/load throughput** (the v2 checksummed format through
 //! `save_checkpoint`/`restore_checkpoint`, fsynced on save).
 //!
+//! A **wire** section repeats the drills on the Unix-socket transport:
+//! kill -9 detection latency (`kill9_detect_us` — the actor's endpoint
+//! is severed with no abort broadcast, detection rests on closed
+//! connections and heartbeat silence), endpoint respawn
+//! (`reconnect_us` — sever → re-bind → re-dial inside
+//! `Runtime::recover`), the retried step, and the marginal cost of a
+//! forced connection drop mid-step (`drop_redial_us`).
+//!
 //! Writes `BENCH_failure.json` at the workspace root.
 //!
 //! Knob: `RAXPP_BENCH_FAILURE_TRIALS` (trials per stage, default 3).
@@ -34,7 +42,7 @@ use raxpp_core::{compile_train_step, CompileOptions, CoreError, Optimizer, Retry
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::Tensor;
 use raxpp_models::mlp_chain;
-use raxpp_runtime::{Fault, RuntimeError};
+use raxpp_runtime::{Fault, RuntimeError, TransportKind};
 use raxpp_sched::gpipe;
 
 const WIDTH: usize = 64;
@@ -51,7 +59,7 @@ fn trials() -> usize {
         .unwrap_or(3)
 }
 
-fn build(seed: u64) -> (Trainer, Vec<Vec<Tensor>>) {
+fn build_on(seed: u64, kind: TransportKind) -> (Trainer, Vec<Vec<Tensor>>) {
     let schedule = gpipe(STAGES, N_MB).unwrap();
     let model = mlp_chain(WIDTH, BATCH, LAYERS, STAGES, seed).unwrap();
     let mut rng = StdRng::seed_from_u64(seed + 1);
@@ -63,11 +71,18 @@ fn build(seed: u64) -> (Trainer, Vec<Vec<Tensor>>) {
         model.n_params,
         &schedule,
         Optimizer::Sgd { lr: 1e-3 },
-        CompileOptions::default(),
+        CompileOptions {
+            transport: Some(kind),
+            ..CompileOptions::default()
+        },
     )
     .unwrap();
     trainer.init(&model.init).unwrap();
     (trainer, data)
+}
+
+fn build(seed: u64) -> (Trainer, Vec<Vec<Tensor>>) {
+    build_on(seed, TransportKind::Mpsc)
 }
 
 struct StageResult {
@@ -225,6 +240,77 @@ fn main() {
     );
     rule(76);
 
+    // Wire resilience: the same drills over the Unix-socket transport.
+    // kill -9 severs actor 1's endpoint mid-stream with no abort
+    // broadcast — detection rests on closed connections, reply-link EOF
+    // and heartbeat silence; recovery re-binds the endpoint and every
+    // peer transparently re-dials.
+    let mut kill9_detect = Vec::new();
+    let mut wire_recover = Vec::new();
+    let mut wire_retry = Vec::new();
+    let mut clean_steps = Vec::new();
+    let mut drop_steps = Vec::new();
+    for trial in 0..trials {
+        let seed = 4000 + trial as u64;
+        let (twin, twin_data) = build(seed);
+        let base1 = twin.step(&twin_data).unwrap().losses;
+        let base2 = twin.step(&twin_data).unwrap().losses;
+        let base3 = twin.step(&twin_data).unwrap().losses;
+
+        let (trainer, data) = build_on(seed, TransportKind::UnixSocket);
+        trainer
+            .runtime()
+            .inject_fault(1, Fault::KillAtInstr(2))
+            .unwrap();
+        let t0 = Instant::now();
+        match trainer.step(&data) {
+            Err(CoreError::Runtime(
+                RuntimeError::ActorDied { .. } | RuntimeError::Timeout { .. },
+            )) => {}
+            other => panic!("wire trial {trial}: expected ActorDied/Timeout, got {other:?}"),
+        }
+        kill9_detect.push(t0.elapsed());
+        let t0 = Instant::now();
+        let report = trainer.runtime().recover().unwrap();
+        wire_recover.push(t0.elapsed());
+        assert_eq!(report.respawned, vec![1]);
+        let t0 = Instant::now();
+        let out = trainer.step_with_recovery(&data, policy).unwrap();
+        wire_retry.push(t0.elapsed());
+        assert_eq!(
+            out.losses, base1,
+            "wire trial {trial}: post-kill losses not bitwise identical to mpsc twin"
+        );
+
+        // Marginal cost of a forced connection drop: clean step vs a
+        // step whose first frame to a live peer must re-dial.
+        let t0 = Instant::now();
+        let out = trainer.step(&data).unwrap();
+        clean_steps.push(t0.elapsed());
+        assert_eq!(out.losses, base2);
+        trainer
+            .runtime()
+            .inject_fault(0, Fault::DropLink { peer: 1 })
+            .unwrap();
+        let t0 = Instant::now();
+        let out = trainer.step(&data).unwrap();
+        drop_steps.push(t0.elapsed());
+        assert_eq!(
+            out.losses, base3,
+            "wire trial {trial}: forced drop changed training bits"
+        );
+    }
+    let kill9_detect = median(&kill9_detect);
+    let wire_recover = median(&wire_recover);
+    let wire_retry = median(&wire_retry);
+    let drop_redial = median(&drop_steps).saturating_sub(median(&clean_steps));
+    println!(
+        "wire (uds): kill -9 detect {:>9.2?}  respawn+redial {:>9.2?}  retry {:>9.2?}  \
+         drop re-dial {:>9.2?}",
+        kill9_detect, wire_recover, wire_retry, drop_redial,
+    );
+    rule(76);
+
     let json = Json::obj(vec![
         (
             "workload",
@@ -252,6 +338,16 @@ fn main() {
             ),
         ),
         ("rebalance_us", Json::Num(secs(rebalance) * 1e6)),
+        (
+            "wire",
+            Json::obj(vec![
+                ("transport", Json::Str("uds".into())),
+                ("kill9_detect_us", Json::Num(secs(kill9_detect) * 1e6)),
+                ("reconnect_us", Json::Num(secs(wire_recover) * 1e6)),
+                ("retry_step_s", Json::Num(secs(wire_retry))),
+                ("drop_redial_us", Json::Num(secs(drop_redial) * 1e6)),
+            ]),
+        ),
         ("ckpt_size_mb", Json::Num(ckpt_mb)),
         ("ckpt_save_mb_s", Json::Num(ckpt_save_mb_s)),
         ("ckpt_load_mb_s", Json::Num(ckpt_load_mb_s)),

@@ -72,6 +72,6 @@ pub use checkpoint::CheckpointManager;
 pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{
-    compile_train_step, CheckpointPolicy, CompileOptions, CoreError, DpConfig, RemoteMesh,
-    RetryPolicy, StepResult, TpConfig, Trainer,
+    compile_train_step, compile_train_step_on, compile_worker_program, CheckpointPolicy,
+    CompileOptions, CoreError, DpConfig, RemoteMesh, RetryPolicy, StepResult, TpConfig, Trainer,
 };

@@ -17,6 +17,7 @@ use raxpp_ir::{IrError, Jaxpr, Shape, Tensor};
 use raxpp_mesh::{AxisRules, Mesh};
 use raxpp_runtime::{
     Metrics, RebalanceReport, Runtime, RuntimeError, StepEvent, StepStats, StepTrace,
+    TransportKind, TransportStats,
 };
 use raxpp_sched::{DpMap, Schedule, TpMap};
 use raxpp_taskgraph::{
@@ -195,6 +196,12 @@ pub struct CompileOptions {
     /// over a DP axis (PP×TP×DP composition). `None` (the default) and
     /// `replicas <= 1` compile the program unchanged.
     pub dp: Option<DpConfig>,
+    /// Actor fabric for the launched runtime: in-process mpsc, Unix
+    /// sockets, or TCP. `None` (the default) resolves from the
+    /// `RAXPP_TRANSPORT` environment variable (mpsc when unset), so
+    /// existing callers and whole test suites can be switched onto the
+    /// wire without code changes.
+    pub transport: Option<TransportKind>,
 }
 
 impl Default for CompileOptions {
@@ -204,6 +211,7 @@ impl Default for CompileOptions {
             fetch_grads: false,
             tp: None,
             dp: None,
+            transport: None,
         }
     }
 }
@@ -326,6 +334,10 @@ pub struct Trainer {
     /// Periodic on-disk checkpointing, seeded from the environment
     /// (`RAXPP_CKPT_DIR`/`RAXPP_CKPT_EVERY`) at compile time.
     ckpt: Mutex<Option<CheckpointPolicy>>,
+    /// Cumulative [`TransportStats`] at the last metrics flush — the
+    /// subtrahend for per-step `transport_*` counter deltas (socket
+    /// transports only; stays zero on mpsc).
+    wire_prev: Mutex<TransportStats>,
 }
 
 /// One step's results.
@@ -424,6 +436,103 @@ pub fn compile_train_step(
     optimizer: Optimizer,
     opts: CompileOptions,
 ) -> Result<Trainer, CoreError> {
+    let kind = opts.transport.unwrap_or_else(TransportKind::from_env);
+    compile_train_step_on(jaxpr, n_params, schedule, optimizer, opts, |program| {
+        Ok(Runtime::with_transport(program, kind))
+    })
+}
+
+/// Compiles the identical training-step program as
+/// [`compile_train_step`] **without** launching a runtime.
+///
+/// This is the worker side of a multi-process fleet: compilation is
+/// deterministic, so a worker process that compiles the same spec gets
+/// the bit-identical program the driver dispatches against and can
+/// serve it via [`raxpp_runtime::serve_worker`] — programs never cross
+/// the wire.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on malformed graphs or invalid options.
+pub fn compile_worker_program(
+    jaxpr: &Jaxpr,
+    n_params: usize,
+    schedule: &Schedule,
+    optimizer: Optimizer,
+    opts: CompileOptions,
+) -> Result<MpmdProgram, CoreError> {
+    Ok(compile_step(jaxpr, n_params, schedule, &optimizer, &opts)?.program)
+}
+
+/// Compiles a training step and launches it on a caller-built runtime.
+///
+/// The `launch` closure receives the compiled program and returns the
+/// [`Runtime`] to train on — e.g. [`Runtime::with_process_fleet`] for a
+/// multi-process socket fleet (`raxpp-launch`). [`compile_train_step`]
+/// is this with `Runtime::with_transport`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on compile failure or when `launch` fails.
+pub fn compile_train_step_on(
+    jaxpr: &Jaxpr,
+    n_params: usize,
+    schedule: &Schedule,
+    optimizer: Optimizer,
+    opts: CompileOptions,
+    launch: impl FnOnce(MpmdProgram) -> std::io::Result<Runtime>,
+) -> Result<Trainer, CoreError> {
+    let c = compile_step(jaxpr, n_params, schedule, &optimizer, &opts)?;
+    let runtime = launch(c.program)
+        .map_err(|e| CoreError::BadInput(format!("launching the runtime fleet: {e}")))?;
+    if let Some(lanes) = opts.tp.as_ref().and_then(|cfg| cfg.lanes) {
+        runtime.set_tp_lanes(lanes > 1);
+    }
+    let n_actors = schedule.n_actors();
+    Ok(Trainer {
+        runtime,
+        n_params,
+        n_outputs: c.n_outputs,
+        n_mubatches: c.n_mubatches,
+        n_data_inputs: c.n_data_inputs,
+        param_shapes: c.param_shapes,
+        state_init: Mutex::new(c.state_init),
+        param_read: Mutex::new(c.param_read),
+        assign_total: Mutex::new((0..n_actors).collect()),
+        fetch_grads: opts.fetch_grads,
+        snapshot: Mutex::new(None),
+        tp: c.tp,
+        dp: c.dp,
+        zero1: opts.dp.as_ref().is_some_and(|d| d.zero1 && d.replicas > 1),
+        schedule: schedule.clone(),
+        metrics: Metrics::new(),
+        steps_done: AtomicU64::new(0),
+        ckpt: Mutex::new(CheckpointPolicy::from_env()),
+        wire_prev: Mutex::new(TransportStats::default()),
+    })
+}
+
+/// Everything compilation produces before a runtime exists: the placed
+/// MPMD program plus the metadata the [`Trainer`] facade needs.
+struct CompiledStep {
+    program: MpmdProgram,
+    n_outputs: usize,
+    n_data_inputs: usize,
+    param_shapes: Vec<Shape>,
+    state_init: Vec<(ActorId, BufferId, Shape)>,
+    param_read: Vec<(ActorId, BufferId)>,
+    tp: TpMap,
+    dp: DpMap,
+    n_mubatches: usize,
+}
+
+fn compile_step(
+    jaxpr: &Jaxpr,
+    n_params: usize,
+    schedule: &Schedule,
+    optimizer: &Optimizer,
+    opts: &CompileOptions,
+) -> Result<CompiledStep, CoreError> {
     let model = pipeline_model(jaxpr, n_params)?;
     let param_shapes = model.param_shapes();
     let n_outputs = jaxpr.outvars().len();
@@ -565,30 +674,16 @@ pub fn compile_train_step(
     // batch of `replicas × n_mubatches()` microbatches, sharded
     // contiguously across replicas by `replicate_program`.
     let n_mubatches = dp.global_mubatches(schedule.n_mubatches());
-    let n_actors = schedule.n_actors();
-    let runtime = Runtime::new(compiled.program);
-    if let Some(lanes) = opts.tp.as_ref().and_then(|c| c.lanes) {
-        runtime.set_tp_lanes(lanes > 1);
-    }
-    Ok(Trainer {
-        runtime,
-        n_params,
+    Ok(CompiledStep {
+        program: compiled.program,
         n_outputs,
-        n_mubatches,
         n_data_inputs,
         param_shapes,
-        state_init: Mutex::new(state_init),
-        param_read: Mutex::new(param_read),
-        assign_total: Mutex::new((0..n_actors).collect()),
-        fetch_grads: opts.fetch_grads,
-        snapshot: Mutex::new(None),
+        state_init,
+        param_read,
         tp,
         dp,
-        zero1: opts.dp.as_ref().is_some_and(|c| c.zero1 && c.replicas > 1),
-        schedule: schedule.clone(),
-        metrics: Metrics::new(),
-        steps_done: AtomicU64::new(0),
-        ckpt: Mutex::new(CheckpointPolicy::from_env()),
+        n_mubatches,
     })
 }
 
@@ -739,6 +834,29 @@ impl Trainer {
         if touched > 0 {
             self.metrics
                 .set_gauge("alloc_reuse_rate", alloc.reused as f64 / touched as f64);
+        }
+        if self.runtime.transport_kind() != TransportKind::Mpsc {
+            // Wire counters are cumulative on the transport; publish
+            // per-step deltas so they compose with counter semantics.
+            let now = self.runtime.transport_stats();
+            let mut prev = self.wire_prev.lock().unwrap();
+            self.metrics.inc(
+                "transport_bytes_tx",
+                now.bytes_tx.saturating_sub(prev.bytes_tx),
+            );
+            self.metrics.inc(
+                "transport_bytes_rx",
+                now.bytes_rx.saturating_sub(prev.bytes_rx),
+            );
+            self.metrics.inc(
+                "reconnects_total",
+                now.reconnects.saturating_sub(prev.reconnects),
+            );
+            self.metrics.inc(
+                "heartbeat_misses_total",
+                now.heartbeat_misses.saturating_sub(prev.heartbeat_misses),
+            );
+            *prev = now;
         }
         if self.tp.degree() > 1 {
             let collectives: u64 = out

@@ -1,0 +1,66 @@
+//! End-to-end tests for the `raxpp-launch` binary: real worker
+//! *processes*, real sockets, real SIGKILL — asserting the runs end in
+//! `PARITY OK` (bitwise against the in-process mpsc oracle).
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Hard wall-clock bound per launch run. Generous (debug builds,
+/// loaded CI), but finite: a hang is a failure, not a wait.
+const RUN_BUDGET: Duration = Duration::from_secs(120);
+
+fn launch(args: &[&str]) -> (bool, String) {
+    let t0 = Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_raxpp-launch"))
+        .args(args)
+        .output()
+        .expect("spawn raxpp-launch");
+    assert!(
+        t0.elapsed() < RUN_BUDGET,
+        "raxpp-launch {args:?} exceeded {RUN_BUDGET:?}"
+    );
+    let text = format!(
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn smoke_uds_fleet_matches_mpsc_oracle_bitwise() {
+    let (ok, text) = launch(&["--steps", "3", "--seed", "11"]);
+    assert!(ok, "launch failed:\n{text}");
+    assert!(text.contains("PARITY OK"), "no parity line:\n{text}");
+}
+
+#[test]
+fn kill9_mid_training_recovers_to_bitwise_parity() {
+    let (ok, text) = launch(&["--steps", "4", "--seed", "23", "--kill", "2:1"]);
+    assert!(ok, "launch failed:\n{text}");
+    assert!(
+        text.contains("SIGKILL worker 1 (delivered: true)"),
+        "kill not delivered:\n{text}"
+    );
+    assert!(text.contains("PARITY OK"), "no parity line:\n{text}");
+}
+
+#[test]
+fn tcp_fleet_survives_kill9_of_last_stage() {
+    let (ok, text) = launch(&["--steps", "3", "--seed", "5", "--tcp", "--kill", "1:3"]);
+    assert!(ok, "launch failed:\n{text}");
+    assert!(
+        text.contains("SIGKILL worker 3 (delivered: true)"),
+        "kill not delivered:\n{text}"
+    );
+    assert!(text.contains("PARITY OK"), "no parity line:\n{text}");
+}
+
+#[test]
+fn one_f1b_schedule_runs_over_the_wire() {
+    let (ok, text) = launch(&[
+        "--steps", "2", "--seed", "3", "--1f1b", "--stages", "2", "--mb", "4",
+    ]);
+    assert!(ok, "launch failed:\n{text}");
+    assert!(text.contains("PARITY OK"), "no parity line:\n{text}");
+}

@@ -46,8 +46,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,13 +65,23 @@ use crate::error::RuntimeError;
 use crate::lane::{Contribution, GroupState, LaneCtx, LaneGroup, LaneHub, RunSlot};
 use crate::store::{ObjectStore, SendToken};
 use crate::trace::{ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY};
+use crate::transport::{
+    CmdPort, Fabric, MpscTransport, ReplyPort, Scheme, SocketTransport, Transport, TransportKind,
+    TransportStats,
+};
 
 /// A step sequence number: the `Execute` command's sequence number tags
 /// every data message the step produces.
-type Epoch = u64;
+pub(crate) type Epoch = u64;
 
 /// `from` id the driver uses when it broadcasts aborts itself.
-const DRIVER: usize = usize::MAX;
+pub(crate) const DRIVER: usize = usize::MAX;
+
+/// The peer id naming the *driver* in wire faults — e.g.
+/// `Fault::Partition { to: DRIVER_PEER }` injected on an actor discards
+/// its outbound reply/heartbeat frames, so the driver detects the
+/// silence via heartbeat timeout.
+pub const DRIVER_PEER: usize = DRIVER;
 
 /// How long the driver blocks between reply polls while waiting on a
 /// step — bounds the latency of detecting a silent actor death.
@@ -82,7 +92,7 @@ const REPLY_POLL: Duration = Duration::from_millis(20);
 /// abort protocol itself is broken.
 const DEFAULT_STEP_TIMEOUT: Duration = Duration::from_secs(60);
 
-enum Payload {
+pub(crate) enum Payload {
     /// A tensor for `buf`, completing via the send token.
     Data(BufferId, Tensor, SendToken),
     /// The sender abandoned this epoch; the receiver must too.
@@ -91,10 +101,10 @@ enum Payload {
 
 /// One message on an actor's inbox: the per-peer FIFO streams are
 /// demultiplexed by `from` on the receiving side.
-struct Msg {
-    from: usize,
-    epoch: Epoch,
-    payload: Payload,
+pub(crate) struct Msg {
+    pub(crate) from: usize,
+    pub(crate) epoch: Epoch,
+    pub(crate) payload: Payload,
 }
 
 /// A deterministic, one-shot fault for failure testing: injected with
@@ -113,9 +123,48 @@ pub enum Fault {
     /// The first `Run` instruction whose task label's rendering contains
     /// this substring fails with an injected task error.
     ErrorAtTask(String),
+    /// kill -9 semantics, immediately: the actor vanishes without any
+    /// abort broadcast or goodbye. On the in-process transport the
+    /// thread exits silently; on a socket transport the endpoint is
+    /// severed too; on the process backend the worker process calls
+    /// `abort()`. Peers discover the death only through closed
+    /// connections and the driver through reply-channel disconnect or
+    /// heartbeat silence — always in bounded time.
+    KillNow,
+    /// kill -9 just before executing instruction `n` of the next fused
+    /// stream — "worker SIGKILLed mid-step" (e.g. mid-collective).
+    KillAtInstr(usize),
+    /// Wire fault: close the established connection to `peer` before
+    /// the next frame to it, forcing a transparent re-dial. Applied
+    /// immediately (not queued); a documented no-op on the in-process
+    /// transport, so one seeded chaos schedule drives both transports.
+    DropLink {
+        /// The peer whose link is dropped.
+        peer: usize,
+    },
+    /// Wire fault: delay the next frame to `peer` by `ms` milliseconds.
+    /// Bitwise-transparent (messages arrive late, never differently).
+    /// Applied immediately; no-op on the in-process transport.
+    DelayLink {
+        /// The peer whose next frame is delayed.
+        peer: usize,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+    /// Wire fault: one-way partition — outbound frames to `to` are
+    /// silently discarded until recovery heals the wire
+    /// (`Runtime::recover`). Partitioning the reply path toward the
+    /// driver is detected by heartbeat silence and surfaced as
+    /// `RuntimeError::Timeout`. Applied immediately; no-op on the
+    /// in-process transport.
+    Partition {
+        /// The peer outbound frames are discarded toward.
+        to: usize,
+    },
 }
 
-enum Command {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Command {
     Place {
         seq: u64,
         bufs: Vec<(BufferId, Tensor)>,
@@ -144,20 +193,24 @@ enum Command {
     LiveBytes {
         seq: u64,
     },
-    /// Replace the inbox sender for `peer` (after a respawn). No reply.
-    Reconnect {
-        peer: usize,
-        tx: Sender<Msg>,
+    /// Re-place the executed program (after a rebalance): the actor
+    /// applies `replace_program` with this assignment to its current
+    /// program — deterministic, so it reproduces the driver's result
+    /// without ever serializing a program. No reply.
+    Reprogram {
+        assign: Vec<usize>,
     },
-    /// Swap the executed program (after a rebalance). No reply.
-    Reprogram(Arc<MpmdProgram>),
-    /// Arm a one-shot fault. No reply.
+    /// Arm a one-shot fault (wire faults apply immediately). No reply.
     InjectFault(Fault),
+    /// Clear wire chaos (partitions, pending drops/delays) after
+    /// recovery. No reply.
+    HealWire,
     Shutdown,
 }
 
 /// Why an `Execute` failed on one actor, as reported on the wire.
-enum ExecFailure {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ExecFailure {
     /// A genuine error on this actor (task error, protocol violation).
     Error(String),
     /// Cascade: peer `by` aborted the epoch and this actor abandoned it.
@@ -167,12 +220,12 @@ enum ExecFailure {
 /// What an actor reports back from one `Execute`: the result, plus the
 /// recorded spans when the step was traced (also on the failure path —
 /// partial traces of aborted steps are exactly what post-mortems need).
-struct ExecOutcome {
-    result: Result<ActorProfile, ExecFailure>,
-    trace: Option<ActorTrace>,
+pub(crate) struct ExecOutcome {
+    pub(crate) result: Result<ActorProfile, ExecFailure>,
+    pub(crate) trace: Option<ActorTrace>,
 }
 
-enum ReplyKind {
+pub(crate) enum ReplyKind {
     Placed,
     Executed(Box<ExecOutcome>),
     Fetched(Result<Vec<Tensor>, String>),
@@ -181,16 +234,22 @@ enum ReplyKind {
     LiveBytes(usize),
 }
 
-struct Reply {
-    seq: u64,
-    kind: ReplyKind,
+pub(crate) struct Reply {
+    pub(crate) seq: u64,
+    pub(crate) kind: ReplyKind,
 }
 
-struct ActorLink {
-    cmd: Sender<Command>,
-    reply: Receiver<Reply>,
-    handle: Option<JoinHandle<()>>,
-    dead: bool,
+/// The driver's handle on one actor, whatever the transport: a command
+/// port out, an in-process reply receiver back (socket transports pump
+/// into it and drop the sender on connection EOF — the same
+/// `Disconnected` the mpsc transport produces on thread death).
+pub(crate) struct ActorLink {
+    pub(crate) cmd: CmdPort,
+    pub(crate) reply: Receiver<Reply>,
+    /// The actor thread, when the transport runs actors in this
+    /// process (`None` on the process backend).
+    pub(crate) handle: Option<JoinHandle<()>>,
+    pub(crate) dead: bool,
 }
 
 impl std::fmt::Debug for ActorLink {
@@ -222,6 +281,30 @@ impl ActorProfile {
         let e = self.entries.entry(kind).or_insert((Duration::ZERO, 0));
         e.0 += dur;
         e.1 += 1;
+    }
+
+    /// Wire-decode support: reinstates one profile entry verbatim.
+    pub(crate) fn restore_entry(&mut self, kind: &'static str, dur: Duration, count: u32) {
+        let e = self.entries.entry(kind).or_insert((Duration::ZERO, 0));
+        e.0 += dur;
+        e.1 += count;
+    }
+
+    /// Wire-decode support: reinstates the allocator and byte counters
+    /// verbatim.
+    pub(crate) fn restore_counters(
+        &mut self,
+        alloc: EvalStats,
+        bytes_reduced: u64,
+        bytes_wire: u64,
+        bytes_overlap: u64,
+        dp_bytes_wire: u64,
+    ) {
+        self.alloc = alloc;
+        self.bytes_reduced = bytes_reduced;
+        self.bytes_wire = bytes_wire;
+        self.bytes_overlap = bytes_overlap;
+        self.dp_bytes_wire = dp_bytes_wire;
     }
 
     /// Total time and invocation count for an instruction kind.
@@ -344,9 +427,10 @@ struct Inner {
     /// lock, plus a `Reprogram` broadcast) by [`Runtime::rebalance`].
     program: Arc<MpmdProgram>,
     actors: Vec<ActorLink>,
-    /// Driver-held clone of every actor's inbox sender, used for abort
-    /// broadcasts and for wiring respawned actors.
-    inbox_tx: Vec<Sender<Msg>>,
+    /// The fleet factory and carrier-specific driver operations.
+    /// Declared after `actors` so links (reply receivers, cached
+    /// command ports) drop before the transport tears the fleet down.
+    transport: Box<dyn Transport>,
     /// Monotone command sequence counter; the `Execute` seq is the step
     /// epoch.
     seq: u64,
@@ -360,6 +444,12 @@ struct Inner {
     /// Actors permanently removed by [`Runtime::rebalance`]: never
     /// dispatched to, never respawned by [`Runtime::recover`].
     retired: Vec<bool>,
+    /// Every rebalance assignment applied so far, in order. Process
+    /// workers respawn with the *original* program (recompiled from
+    /// the spec), so [`Runtime::recover`] replays this history onto
+    /// them via `Reprogram` to reconstruct the driver's current
+    /// program deterministically.
+    assign_history: Vec<Vec<usize>>,
 }
 
 /// A single-controller MPMD runtime executing a compiled
@@ -371,7 +461,9 @@ struct Inner {
 /// steps into programs and drives this runtime.
 pub struct Runtime {
     inner: Mutex<Inner>,
-    step_timeout: Duration,
+    /// Step timeout in milliseconds (atomic so tests can tighten it on
+    /// a shared runtime without exclusive access).
+    step_timeout: AtomicU64,
     /// Collective-group coordination (`Some` iff the program carries
     /// [`raxpp_taskgraph::TpMeta`] with degree > 1 or
     /// [`raxpp_taskgraph::DpMeta`] with more than one replica).
@@ -391,28 +483,6 @@ impl std::fmt::Debug for Runtime {
     }
 }
 
-fn spawn_actor(
-    a: usize,
-    program: Arc<MpmdProgram>,
-    inbox_rx: Receiver<Msg>,
-    tx_row: Vec<Sender<Msg>>,
-    origin: Instant,
-    lane: Option<LaneCtx>,
-) -> ActorLink {
-    let (cmd_tx, cmd_rx) = channel::<Command>();
-    let (reply_tx, reply_rx) = channel::<Reply>();
-    let handle = std::thread::Builder::new()
-        .name(format!("raxpp-actor-{a}"))
-        .spawn(move || actor_main(a, program, cmd_rx, reply_tx, tx_row, inbox_rx, origin, lane))
-        .expect("spawn actor thread");
-    ActorLink {
-        cmd: cmd_tx,
-        reply: reply_rx,
-        handle: Some(handle),
-        dead: false,
-    }
-}
-
 fn step_timeout_from_env() -> Duration {
     std::env::var("RAXPP_STEP_TIMEOUT_MS")
         .ok()
@@ -428,45 +498,115 @@ fn tracing_from_env() -> bool {
 }
 
 impl Runtime {
-    /// Spawns actor threads and wires their inbox channels.
+    /// Spawns the actor fleet on the transport selected by
+    /// `RAXPP_TRANSPORT` (in-process mpsc by default; see
+    /// [`TransportKind::from_env`]).
     pub fn new(program: MpmdProgram) -> Runtime {
+        Runtime::with_transport(program, TransportKind::from_env())
+    }
+
+    /// Spawns the actor fleet on an explicit transport: in-process
+    /// mpsc, or thread-backed workers whose every fabric byte crosses
+    /// a Unix-domain/TCP socket. Execution is bitwise-identical across
+    /// transports (socket transports disable the shared-memory lane
+    /// rendezvous, so collectives take the message-ring path — itself
+    /// bitwise-equal to lane mode by construction).
+    pub fn with_transport(program: MpmdProgram, kind: TransportKind) -> Runtime {
+        let n = program.n_actors();
+        let transport: Box<dyn Transport> = match kind {
+            TransportKind::Mpsc => Box::new(MpscTransport::new(n)),
+            TransportKind::UnixSocket => Box::new(SocketTransport::threads(n, Scheme::Uds)),
+            TransportKind::Tcp => Box::new(SocketTransport::threads(n, Scheme::Tcp)),
+        };
+        Runtime::build(program, transport)
+    }
+
+    /// Spawns the actor fleet as separate OS processes over sockets in
+    /// `dir`: `spawn(a)` must launch a worker process that calls
+    /// [`crate::serve_worker`] for actor `a` against the same
+    /// directory (see the `raxpp-launch` binary). A worker SIGKILLed
+    /// mid-step ([`Runtime::kill_worker`]) surfaces as
+    /// [`RuntimeError::ActorDied`] in bounded time and is respawned by
+    /// [`Runtime::recover`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the fleet directory or
+    /// binding the driver's socket.
+    pub fn with_process_fleet(
+        program: MpmdProgram,
+        dir: &std::path::Path,
+        tcp: bool,
+        spawn: Box<dyn FnMut(usize) -> std::io::Result<std::process::Child> + Send>,
+    ) -> std::io::Result<Runtime> {
+        let n = program.n_actors();
+        let scheme = if tcp { Scheme::Tcp } else { Scheme::Uds };
+        let transport = Box::new(SocketTransport::processes(n, dir, scheme, spawn)?);
+        Ok(Runtime::build(program, transport))
+    }
+
+    fn build(program: MpmdProgram, mut transport: Box<dyn Transport>) -> Runtime {
         let n = program.n_actors();
         let tp_sharded = program.tp.as_ref().is_some_and(|m| m.degree > 1);
         let dp_replicated = program.dp.as_ref().is_some_and(|m| m.replicas > 1);
-        let hub = (tp_sharded || dp_replicated)
+        let hub = (transport.supports_lanes() && (tp_sharded || dp_replicated))
             .then(|| Arc::new(LaneHub::new(program.tp.as_ref().filter(|m| m.degree > 1))));
         let program = Arc::new(program);
         let origin = Instant::now();
-        let mut inbox_tx = Vec::with_capacity(n);
-        let mut inbox_rx = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel::<Msg>();
-            inbox_tx.push(tx);
-            inbox_rx.push(rx);
-        }
-        let actors = inbox_rx
-            .into_iter()
-            .enumerate()
-            .map(|(a, rx)| {
+        let actors = (0..n)
+            .map(|a| {
                 let lane = hub.as_ref().map(|h| h.ctx_for(a));
-                spawn_actor(a, Arc::clone(&program), rx, inbox_tx.clone(), origin, lane)
+                transport.spawn_actor(a, &program, origin, lane)
             })
             .collect();
         Runtime {
             inner: Mutex::new(Inner {
                 program,
                 actors,
-                inbox_tx,
+                transport,
                 seq: 0,
                 resident: HashMap::new(),
                 last_trace: None,
                 retired: vec![false; n],
+                assign_history: Vec::new(),
             }),
-            step_timeout: step_timeout_from_env(),
+            step_timeout: AtomicU64::new(step_timeout_from_env().as_millis() as u64),
             hub,
             tracing: AtomicBool::new(tracing_from_env()),
             origin,
         }
+    }
+
+    /// Which transport the fleet runs on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.inner.lock().unwrap().transport.kind()
+    }
+
+    /// Cumulative wire counters (bytes, reconnects, heartbeat misses).
+    /// All zero on the in-process transport.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.inner.lock().unwrap().transport.stats()
+    }
+
+    /// Delivers a real SIGKILL to actor `a`'s worker process (process
+    /// fleets only; returns `false` on thread-backed transports). The
+    /// link is marked dead so the next step fails fast with
+    /// [`RuntimeError::ActorDied`]; [`Runtime::recover`] respawns the
+    /// worker.
+    pub fn kill_worker(&self, a: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if a >= inner.actors.len() {
+            return false;
+        }
+        let killed = inner.transport.kill_process(a);
+        if killed {
+            inner.actors[a].dead = true;
+        }
+        killed
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_millis(self.step_timeout.load(Ordering::Relaxed))
     }
 
     /// Switches tensor-parallel execution between shard-lane mode
@@ -557,8 +697,11 @@ impl Runtime {
     /// Overrides the step timeout (default 60 s, or
     /// `RAXPP_STEP_TIMEOUT_MS`): the bound on how long the driver waits
     /// for any single actor's reply before declaring the step failed.
-    pub fn set_step_timeout(&mut self, timeout: Duration) {
-        self.step_timeout = timeout;
+    /// On socket transports heartbeat suspicion usually fires first on
+    /// a silently dead or partitioned peer; this is the backstop.
+    pub fn set_step_timeout(&self, timeout: Duration) {
+        self.step_timeout
+            .store(timeout.as_millis().max(1) as u64, Ordering::Relaxed);
     }
 
     /// Places the model parameters on their actors (done once; parameters
@@ -679,7 +822,7 @@ impl Runtime {
             broadcast_driver_abort(&inner, epoch, "actor died before dispatch");
             abort_sent = true;
         }
-        let deadline = Instant::now() + self.step_timeout;
+        let deadline = Instant::now() + self.timeout();
         loop {
             let mut progressed = false;
             let mut first_pending = None;
@@ -712,6 +855,21 @@ impl Runtime {
                             break;
                         }
                     }
+                }
+            }
+            // Heartbeat suspicion (socket transports only): an actor
+            // whose reply link is open but silent — e.g. a one-way
+            // partition toward the driver — is declared timed out long
+            // before the step-timeout backstop.
+            for a in 0..n {
+                if dispatched[a]
+                    && outcome[a].is_none()
+                    && fatal[a].is_none()
+                    && inner.transport.heartbeat_suspect(a)
+                {
+                    fatal[a] = Some(RuntimeError::Timeout { actor: a });
+                    inner.transport.note_heartbeat_miss();
+                    progressed = true;
                 }
             }
             let failed = fatal.iter().flatten().next().is_some()
@@ -847,7 +1005,7 @@ impl Runtime {
             if !fetch_dispatched[a] {
                 continue;
             }
-            match recv_reply(&inner.actors[a], a, seq, self.step_timeout) {
+            match recv_reply(&inner.actors[a], a, seq, self.timeout()) {
                 Ok(ReplyKind::Fetched(Ok(ts))) => {
                     for (b, t) in wanted[a].iter().zip(ts) {
                         fetched_per_actor[a].insert(*b, t);
@@ -927,7 +1085,7 @@ impl Runtime {
         link.cmd
             .send(Command::Read { seq, buf })
             .map_err(|_| RuntimeError::ActorDied { actor })?;
-        match recv_reply(link, actor, seq, self.step_timeout) {
+        match recv_reply(link, actor, seq, self.timeout()) {
             Ok(ReplyKind::Read(Ok(t))) => Ok(t),
             Ok(ReplyKind::Read(Err(message))) => Err(RuntimeError::Exec { actor, message }),
             Ok(_) => Err(RuntimeError::Exec {
@@ -967,7 +1125,7 @@ impl Runtime {
             link.cmd
                 .send(Command::PeakBytes { seq })
                 .map_err(|_| RuntimeError::ActorDied { actor: a })?;
-            match recv_reply(link, a, seq, self.step_timeout)? {
+            match recv_reply(link, a, seq, self.timeout())? {
                 ReplyKind::PeakBytes(b) => out.push(b),
                 _ => {
                     return Err(RuntimeError::Exec {
@@ -1005,7 +1163,7 @@ impl Runtime {
             link.cmd
                 .send(Command::LiveBytes { seq })
                 .map_err(|_| RuntimeError::ActorDied { actor: a })?;
-            match recv_reply(link, a, seq, self.step_timeout)? {
+            match recv_reply(link, a, seq, self.timeout())? {
                 ReplyKind::LiveBytes(b) => out.push(b),
                 _ => {
                     return Err(RuntimeError::Exec {
@@ -1066,56 +1224,66 @@ impl Runtime {
     /// fails.
     pub fn recover(&self) -> Result<RecoveryReport, RuntimeError> {
         let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
         let n = inner.actors.len();
         let mut report = RecoveryReport::default();
-        // A reconnect send can itself discover a newly-dead survivor, so
-        // iterate to a fixed point (bounded: each pass respawns).
-        for _ in 0..=n {
-            let dead: Vec<usize> = (0..n)
-                .filter(|&a| {
-                    !inner.retired[a]
-                        && (inner.actors[a].dead
-                            || inner.actors[a]
-                                .handle
-                                .as_ref()
-                                .is_none_or(|h| h.is_finished()))
-                })
-                .collect();
-            if dead.is_empty() {
-                break;
+        // Heal the wire first: clear driver-side heartbeat suspicion
+        // and every survivor's chaos state (partitions, pending
+        // drops/delays). A heal that cannot be delivered reveals a dead
+        // survivor before the respawn scan below.
+        inner.transport.heal_wire();
+        for a in 0..n {
+            if inner.retired[a] || inner.actors[a].dead {
+                continue;
             }
-            // Fresh inbox channels first, so every respawn sees the full
-            // updated sender row.
-            let mut rxs = Vec::with_capacity(dead.len());
+            if inner.actors[a].cmd.send(Command::HealWire).is_err() {
+                inner.actors[a].dead = true;
+            }
+        }
+        let dead: Vec<usize> = (0..n)
+            .filter(|&a| {
+                if inner.retired[a] {
+                    return false;
+                }
+                let gone = match inner.actors[a].handle.as_ref() {
+                    Some(h) => h.is_finished(),
+                    // Process backend: no thread handle; ask the child.
+                    None => inner.transport.finished(a),
+                };
+                inner.actors[a].dead || gone
+            })
+            .collect();
+        for &a in &dead {
+            // Respawn before joining the old thread: on socket
+            // transports the respawn severs the old endpoint, which is
+            // what unblocks an old thread the driver declared dead
+            // while it was still wedged in a receive.
+            let old = inner.actors[a].handle.take();
+            let lane = self.hub.as_ref().map(|h| h.ctx_for(a));
+            let link = inner
+                .transport
+                .spawn_actor(a, &inner.program, self.origin, lane);
+            if let Some(h) = old {
+                let _ = h.join();
+            }
+            inner.actors[a] = link;
+            report.respawned.push(a);
+        }
+        // Process workers come back with the original (recompiled)
+        // program; replay the rebalance history so they converge on the
+        // driver's current program.
+        if inner.transport.needs_program_replay() && !inner.assign_history.is_empty() {
             for &a in &dead {
-                let (tx, rx) = channel::<Msg>();
-                inner.inbox_tx[a] = tx;
-                rxs.push(rx);
-            }
-            for (&a, rx) in dead.iter().zip(rxs) {
-                if let Some(h) = inner.actors[a].handle.take() {
-                    let _ = h.join();
-                }
-                let tx_row = inner.inbox_tx.clone();
-                let program = Arc::clone(&inner.program);
-                let lane = self.hub.as_ref().map(|h| h.ctx_for(a));
-                inner.actors[a] = spawn_actor(a, program, rx, tx_row, self.origin, lane);
-                if !report.respawned.contains(&a) {
-                    report.respawned.push(a);
-                }
-            }
-            for b in 0..n {
-                if dead.contains(&b) || inner.retired[b] {
-                    continue;
-                }
-                for &a in &dead {
-                    let tx = inner.inbox_tx[a].clone();
-                    if inner.actors[b]
+                for assign in &inner.assign_history {
+                    if inner.actors[a]
                         .cmd
-                        .send(Command::Reconnect { peer: a, tx })
+                        .send(Command::Reprogram {
+                            assign: assign.clone(),
+                        })
                         .is_err()
                     {
-                        inner.actors[b].dead = true;
+                        inner.actors[a].dead = true;
+                        break;
                     }
                 }
             }
@@ -1136,7 +1304,7 @@ impl Runtime {
                 report.replaced_buffers += 1;
             }
         }
-        self.place(&mut inner, per_actor, false)?;
+        self.place(inner, per_actor, false)?;
         Ok(report)
     }
 
@@ -1248,18 +1416,21 @@ impl Runtime {
             h.gc(&inner.retired, inner.seq + 1);
         }
         inner.program = Arc::new(new_program);
-        let program = Arc::clone(&inner.program);
+        inner.assign_history.push(assign.clone());
         for a in 0..n {
             if inner.retired[a] {
                 continue;
             }
             if inner.actors[a]
                 .cmd
-                .send(Command::Reprogram(Arc::clone(&program)))
+                .send(Command::Reprogram {
+                    assign: assign.clone(),
+                })
                 .is_err()
             {
                 // A dead survivor: recover() respawns it with the new
-                // program straight from `inner.program`.
+                // program straight from `inner.program` (process
+                // workers replay the assign history instead).
                 inner.actors[a].dead = true;
             }
         }
@@ -1329,7 +1500,7 @@ impl Runtime {
             if !dispatched[a] {
                 continue;
             }
-            match recv_reply(&inner.actors[a], a, seq, self.step_timeout) {
+            match recv_reply(&inner.actors[a], a, seq, self.timeout()) {
                 Ok(ReplyKind::Placed) => {
                     if record_resident {
                         for (b, t) in bufs {
@@ -1385,13 +1556,7 @@ fn recv_reply(
 
 /// Sends a driver-originated abort for `epoch` to every actor inbox.
 fn broadcast_driver_abort(inner: &Inner, epoch: Epoch, reason: &str) {
-    for tx in &inner.inbox_tx {
-        let _ = tx.send(Msg {
-            from: DRIVER,
-            epoch,
-            payload: Payload::Abort(reason.to_string()),
-        });
-    }
+    inner.transport.broadcast_abort(epoch, reason);
 }
 
 /// Maps one step's per-actor outcomes to the root-cause error, if any.
@@ -1449,6 +1614,9 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         let mut inner = self.inner.lock().unwrap();
         for link in &inner.actors {
+            if link.dead {
+                continue; // nothing to shut down; avoid a doomed dial
+            }
             let _ = link.cmd.send(Command::Shutdown);
         }
         // Wake any actor still parked in a Recv from a timed-out step so
@@ -1581,9 +1749,9 @@ struct ActorState {
     program: Arc<MpmdProgram>,
     store: ObjectStore,
     mailbox: Mailbox,
-    /// Senders into every peer's inbox (self slot unused); updated by
-    /// `Reconnect` after a respawn.
-    tx_row: Vec<Sender<Msg>>,
+    /// This actor's handle on the data fabric: the shared sender row
+    /// in process, or the actor's socket endpoint on the wire.
+    fabric: Fabric,
     /// Epoch of the stream currently (or last) executed.
     epoch: Epoch,
     /// Armed one-shot faults, consumed front-to-back as they trigger.
@@ -1602,45 +1770,53 @@ impl ActorState {
     /// broadcast). Safe to call more than once; receivers drop
     /// duplicates as stale after the epoch advances.
     fn broadcast_abort(&self, epoch: Epoch, reason: &str) {
-        for (j, tx) in self.tx_row.iter().enumerate() {
+        for j in 0..self.fabric.n() {
             if j == self.me {
                 continue;
             }
-            let _ = tx.send(Msg {
-                from: self.me,
-                epoch,
-                payload: Payload::Abort(reason.to_string()),
-            });
+            let _ = self.fabric.send(
+                j,
+                Msg {
+                    from: self.me,
+                    epoch,
+                    payload: Payload::Abort(reason.to_string()),
+                },
+            );
         }
     }
 }
 
-enum Exit {
+pub(crate) enum Exit {
     /// Orderly shutdown: no poison needed.
     Clean,
     /// The actor "crashed" (injected death): poison the fleet on the way
     /// out.
     Died,
+    /// kill -9: the actor vanishes with *no* poison and no goodbye —
+    /// peers and the driver must discover the death through closed
+    /// connections (or heartbeat silence) alone. On the process
+    /// backend the worker process aborts.
+    Killed,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn actor_main(
+pub(crate) fn actor_main(
     me: usize,
     program: Arc<MpmdProgram>,
     cmd: Receiver<Command>,
-    reply: Sender<Reply>,
-    tx_row: Vec<Sender<Msg>>,
+    reply: ReplyPort,
+    fabric: Fabric,
     inbox: Receiver<Msg>,
     origin: Instant,
     lane: Option<LaneCtx>,
-) {
-    let n = tx_row.len();
+) -> Exit {
+    let n = fabric.n();
     let mut st = ActorState {
         me,
         program,
         store: ObjectStore::new(),
         mailbox: Mailbox::new(n, inbox),
-        tx_row,
+        fabric,
         epoch: 0,
         faults: VecDeque::new(),
         origin,
@@ -1651,6 +1827,8 @@ fn actor_main(
     // injected death or a panic in actor code — broadcasts an abort for
     // the epoch in flight, so no peer blocks forever on this actor. This
     // is the thread-scale stand-in for Ray's actor-death notifications.
+    // A *kill* deliberately skips the guard: SIGKILL leaves no time for
+    // goodbyes, and the bounded-time claim must hold without them.
     let exit = std::panic::catch_unwind(AssertUnwindSafe(|| actor_loop(&mut st, &cmd, &reply)));
     let poison_group = |reason: &str| {
         // Group peers may be parked on a group condvar (not the
@@ -1659,23 +1837,32 @@ fn actor_main(
             l.hub.poison_actor(me, st.epoch, me, reason);
         }
     };
-    match exit {
-        Ok(Exit::Clean) => {}
+    let exit = match exit {
+        Ok(Exit::Clean) => Exit::Clean,
+        Ok(Exit::Killed) => Exit::Killed,
         Ok(Exit::Died) => {
             let reason = format!("actor {me} died");
             poison_group(&reason);
             st.broadcast_abort(st.epoch, &reason);
+            Exit::Died
         }
         Err(_) => {
             let reason = format!("actor {me} panicked");
             poison_group(&reason);
             st.broadcast_abort(st.epoch, &reason);
+            Exit::Died
         }
-    }
-    // Dropping `reply` here tells the driver this actor is gone.
+    };
+    // On a socket fabric, tear the endpoint down on *every* exit: this
+    // closes the reply link (the driver's death signal) and errors
+    // peers' cached data links. No-op in process. Must come after the
+    // death broadcast above so the poison gets out first.
+    st.fabric.sever();
+    // Dropping `reply` (mpsc) tells the driver this actor is gone.
+    exit
 }
 
-fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply>) -> Exit {
+fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &ReplyPort) -> Exit {
     while let Ok(c) = cmd.recv() {
         match c {
             Command::Place { seq, bufs } => {
@@ -1722,6 +1909,7 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                 let result = match execute_stream(st, &mut ring) {
                     Ok(profile) => Ok(profile),
                     Err(StreamFailure::Die) => return Exit::Died,
+                    Err(StreamFailure::Killed) => return Exit::Killed,
                     Err(StreamFailure::Error(message)) => {
                         if let Some(l) = &st.lane {
                             l.hub.poison_actor(st.me, seq, st.me, &message);
@@ -1813,13 +2001,21 @@ fn actor_loop(st: &mut ActorState, cmd: &Receiver<Command>, reply: &Sender<Reply
                     return Exit::Clean;
                 }
             }
-            Command::Reconnect { peer, tx } => {
-                st.tx_row[peer] = tx;
+            Command::Reprogram { assign } => {
+                // Deterministic re-derivation of the driver's rebalanced
+                // program: same inputs, same `replace_program`, same
+                // result. A failure here is a protocol bug; the panic
+                // trips the death guard and recovery takes over.
+                let p = replace_program(&st.program, &assign)
+                    .expect("Reprogram assignment must re-place the current program");
+                st.program = Arc::new(p);
             }
-            Command::Reprogram(p) => {
-                st.program = p;
-            }
+            Command::HealWire => st.fabric.heal(),
             Command::InjectFault(Fault::DieNow) => return Exit::Died,
+            Command::InjectFault(Fault::KillNow) => return Exit::Killed,
+            Command::InjectFault(
+                f @ (Fault::DropLink { .. } | Fault::DelayLink { .. } | Fault::Partition { .. }),
+            ) => st.fabric.inject(&f),
             Command::InjectFault(f) => st.faults.push_back(f),
             Command::Shutdown => return Exit::Clean,
         }
@@ -1845,8 +2041,10 @@ enum StreamFailure {
     Error(String),
     /// A peer (or the driver) poisoned the epoch.
     Aborted { by: usize, reason: String },
-    /// Injected death: the thread must exit.
+    /// Injected death: the thread must exit (with an abort broadcast).
     Die,
+    /// Injected kill -9: the actor must vanish with no broadcast.
+    Killed,
 }
 
 /// Consults the front armed fault before instruction `idx` runs. Faults
@@ -1854,7 +2052,9 @@ enum StreamFailure {
 /// armed for later executions.
 fn check_fault(st: &mut ActorState, idx: usize, instr: &Instr) -> Result<(), StreamFailure> {
     let fire = match st.faults.front() {
-        Some(Fault::DieAtInstr(at)) | Some(Fault::ErrorAtInstr(at)) => *at == idx,
+        Some(Fault::DieAtInstr(at))
+        | Some(Fault::ErrorAtInstr(at))
+        | Some(Fault::KillAtInstr(at)) => *at == idx,
         Some(Fault::ErrorAtTask(s)) => {
             matches!(instr, Instr::Run { label, .. } if format!("{label}").contains(s.as_str()))
         }
@@ -1865,6 +2065,7 @@ fn check_fault(st: &mut ActorState, idx: usize, instr: &Instr) -> Result<(), Str
     }
     match st.faults.pop_front() {
         Some(Fault::DieAtInstr(_)) => Err(StreamFailure::Die),
+        Some(Fault::KillAtInstr(_)) => Err(StreamFailure::Killed),
         Some(Fault::ErrorAtInstr(at)) => Err(StreamFailure::Error(format!(
             "injected fault at instruction {at}"
         ))),
@@ -2274,12 +2475,15 @@ fn legacy_ring_collective(
         let outgoing = parts[send_origin]
             .clone()
             .expect("ring invariant: contribution present");
-        st.tx_row[next]
-            .send(Msg {
-                from: me,
-                epoch,
-                payload: Payload::Data(wires[send_origin], outgoing, SendToken::new()),
-            })
+        st.fabric
+            .send(
+                next,
+                Msg {
+                    from: me,
+                    epoch,
+                    payload: Payload::Data(wires[send_origin], outgoing, SendToken::new()),
+                },
+            )
             .map_err(|_| StreamFailure::Aborted {
                 by: next,
                 reason: format!("actor {next} hung up"),
@@ -2532,12 +2736,16 @@ fn execute_stream(
                 }
                 let token = SendToken::new();
                 st.store.record_send(*buf, token.clone());
-                st.tx_row[*to]
-                    .send(Msg {
-                        from: me,
-                        epoch,
-                        payload: Payload::Data(*buf, t, token),
-                    })
+                let wire_t0 = Instant::now();
+                st.fabric
+                    .send(
+                        *to,
+                        Msg {
+                            from: me,
+                            epoch,
+                            payload: Payload::Data(*buf, t, token),
+                        },
+                    )
                     // A closed peer inbox means that actor is dead: this
                     // is a cascade of the peer's failure, not a genuine
                     // error on this actor.
@@ -2545,6 +2753,20 @@ fn execute_stream(
                         by: *to,
                         reason: format!("actor {to} hung up"),
                     })?;
+                // On a socket fabric the send is a synchronous wire
+                // write; record it as its own span so transport cost is
+                // separable from store bookkeeping in the trace.
+                if traced && st.fabric.is_wire() {
+                    op_spans.push(SpanEvent {
+                        instr: idx as u32,
+                        kind: "wire",
+                        name: format!("wire {buf} -> actor {to}"),
+                        start_ns: wire_t0.saturating_duration_since(origin).as_nanos() as u64,
+                        dur_ns: wire_t0.elapsed().as_nanos() as u64,
+                        bytes: span_bytes,
+                        alloc: None,
+                    });
+                }
             }
             Instr::Recv {
                 buf,

@@ -35,9 +35,11 @@ mod lane;
 mod metrics;
 mod store;
 mod trace;
+mod transport;
 
 pub use driver::{
     ActorProfile, Fault, RebalanceReport, RecoveryReport, Runtime, StepOutputs, StepStats,
+    DRIVER_PEER,
 };
 pub use error::RuntimeError;
 pub use metrics::{HistogramSummary, MetricValue, Metrics};
@@ -46,3 +48,4 @@ pub use trace::{
     ActorTrace, SpanEvent, SpanRing, StepEvent, StepTrace, DEFAULT_SPAN_CAPACITY,
     TRACE_SCHEMA_VERSION,
 };
+pub use transport::{serve_worker, TransportKind, TransportStats, WorkerConfig};

@@ -57,7 +57,13 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 ///   rendezvous. Same shape as `"collective"`/`"collective_wait"`,
 ///   separate kinds so TP and DP traffic stay distinguishable in a
 ///   3-D (dp × tp × pp) trace.
-pub const TRACE_SCHEMA_VERSION: u32 = 5;
+/// - **6** — adds the `"wire"` span kind (the synchronous socket write
+///   of one `Send` instruction on a socket transport — transport cost
+///   separated from store bookkeeping; nested inside its `"send"` span,
+///   `bytes` carries the payload size). Emitted only when
+///   `RAXPP_TRANSPORT` selects a socket fabric; mpsc traces are
+///   unchanged.
+pub const TRACE_SCHEMA_VERSION: u32 = 6;
 
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.

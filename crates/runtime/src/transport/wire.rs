@@ -1,0 +1,855 @@
+//! Length-prefixed wire codec for the socket transport.
+//!
+//! Every frame on a transport stream is `u32` little-endian payload
+//! length followed by the payload; the first payload byte is a frame
+//! tag ([`HELLO`], [`DATA`], [`CMD`], [`REPLY`], [`HEARTBEAT`]). The
+//! codec is hand-rolled (the workspace is dependency-free by design)
+//! and *exact*: tensors travel as raw `f32` bit patterns, so a value
+//! decoded on the far side is bitwise-identical to the one encoded —
+//! the socket transport inherits the runtime's bitwise-determinism
+//! contract from this property.
+//!
+//! Actor ids are `u64` on the wire; the driver's pseudo-id
+//! (`usize::MAX`) maps to `u64::MAX`. Span/profile kind strings are
+//! `&'static str` in-process, so they are interned through the fixed
+//! [`KINDS`] table rather than sent as strings.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use raxpp_ir::{EvalStats, Shape, Tensor};
+use raxpp_taskgraph::BufferId;
+
+use crate::driver::{
+    ActorProfile, Command, ExecFailure, ExecOutcome, Fault, Msg, Payload, Reply, ReplyKind,
+};
+use crate::store::SendToken;
+use crate::trace::{ActorTrace, SpanEvent};
+
+/// Handshake frame: `[HELLO][from: u64][link kind: u8]`. Sent once by
+/// the dialing side; tells the acceptor who is on the other end and
+/// which pump to run.
+pub(crate) const HELLO: u8 = 0;
+/// A data-plane [`Msg`] (tensor or abort poison).
+pub(crate) const DATA: u8 = 1;
+/// A driver→worker [`Command`].
+pub(crate) const CMD: u8 = 2;
+/// A worker→driver [`Reply`].
+pub(crate) const REPLY: u8 = 3;
+/// Worker liveness beacon on the reply link: `[HEARTBEAT][from: u64]`.
+pub(crate) const HEARTBEAT: u8 = 4;
+
+/// Link kinds carried in the [`HELLO`] handshake.
+pub(crate) const LINK_CMD: u8 = 0;
+pub(crate) const LINK_REPLY: u8 = 1;
+pub(crate) const LINK_DATA: u8 = 2;
+
+/// Upper bound on a single frame (1 GiB) — a corrupt length prefix
+/// must not drive a giant allocation.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// The interning table for `&'static str` span/profile kinds. Order is
+/// part of the wire format; append only.
+pub(crate) const KINDS: [&str; 17] = [
+    "fwd",
+    "bwd",
+    "bwdw",
+    "accum_grad",
+    "ct_sum",
+    "grad_reduce",
+    "update",
+    "send",
+    "recv",
+    "copy",
+    "free",
+    "collective",
+    "dp_collective",
+    "collective_wait",
+    "dp_collective_wait",
+    "op",
+    "wire",
+];
+
+fn kind_index(kind: &'static str) -> u8 {
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .map(|i| i as u8)
+        .unwrap_or(u8::MAX)
+}
+
+fn kind_from_index(i: u8, fallback: String) -> &'static str {
+    KINDS
+        .get(i as usize)
+        .copied()
+        // Unknown index: a kind missing from the table (a dev error
+        // caught by the codec round-trip tests). Leaking the fallback
+        // keeps decode total rather than lossy.
+        .unwrap_or_else(|| Box::leak(fallback.into_boxed_str()))
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame. Returns the total bytes written.
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<u64> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(4 + payload.len() as u64)
+}
+
+/// Reads one length-prefixed frame. An EOF before the length prefix is
+/// a clean close (`UnexpectedEof`); a frame longer than [`MAX_FRAME`]
+/// is a protocol error.
+pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoder / decoder
+// ---------------------------------------------------------------------
+
+/// Append-only byte encoder over the primitive wire types.
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new(tag: u8) -> Enc {
+        Enc { buf: vec![tag] }
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn actor(&mut self, a: usize) {
+        // usize::MAX (the driver pseudo-id) maps to u64::MAX.
+        self.u64(if a == usize::MAX { u64::MAX } else { a as u64 });
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn tensor(&mut self, t: &Tensor) {
+        let dims = t.shape().dims();
+        self.u8(dims.len() as u8);
+        for &d in dims {
+            self.u64(d as u64);
+        }
+        for &v in t.data() {
+            self.u32(v.to_bits());
+        }
+    }
+
+    fn stats(&mut self, s: &EvalStats) {
+        self.u64(s.allocated);
+        self.u64(s.reused);
+        self.u64(s.freed);
+    }
+}
+
+/// Cursor-based decoder; every accessor is total and reports a
+/// protocol error instead of panicking on truncated input.
+pub(crate) struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, String>;
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Dec<'a> {
+        Dec { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        if self.pos + n > self.b.len() {
+            return Err(format!(
+                "truncated frame: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.b.len()
+            ));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DecResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> DecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn actor(&mut self) -> DecResult<usize> {
+        let v = self.u64()?;
+        Ok(if v == u64::MAX {
+            usize::MAX
+        } else {
+            v as usize
+        })
+    }
+
+    fn str(&mut self) -> DecResult<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf8: {e}"))
+    }
+
+    fn tensor(&mut self) -> DecResult<Tensor> {
+        let rank = self.u8()? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.u64()? as usize);
+        }
+        let shape = Shape::new(dims);
+        let numel = shape.numel();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(f32::from_bits(self.u32()?));
+        }
+        Tensor::from_vec(shape, data).map_err(|e| format!("bad tensor: {e}"))
+    }
+
+    fn stats(&mut self) -> DecResult<EvalStats> {
+        Ok(EvalStats {
+            allocated: self.u64()?,
+            reused: self.u64()?,
+            freed: self.u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Msg (data plane)
+// ---------------------------------------------------------------------
+
+/// Encodes a data-plane message. The [`SendToken`] never crosses the
+/// wire: the sender completes its token after the synchronous frame
+/// write succeeds, and the receiving pump mints a fresh one that the
+/// receiver's `Recv` completes as usual (see `store.rs`).
+pub(crate) fn encode_msg(m: &Msg) -> Vec<u8> {
+    let mut e = Enc::new(DATA);
+    e.actor(m.from);
+    e.u64(m.epoch);
+    match &m.payload {
+        Payload::Data(buf, t, _token) => {
+            e.u8(0);
+            e.u32(buf.0);
+            e.tensor(t);
+        }
+        Payload::Abort(reason) => {
+            e.u8(1);
+            e.str(reason);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a data-plane message (frame tag already consumed).
+pub(crate) fn decode_msg(d: &mut Dec<'_>) -> DecResult<Msg> {
+    let from = d.actor()?;
+    let epoch = d.u64()?;
+    let payload = match d.u8()? {
+        0 => {
+            let buf = BufferId(d.u32()?);
+            let t = d.tensor()?;
+            Payload::Data(buf, t, SendToken::new())
+        }
+        1 => Payload::Abort(d.str()?),
+        k => return Err(format!("unknown payload kind {k}")),
+    };
+    Ok(Msg {
+        from,
+        epoch,
+        payload,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fault
+// ---------------------------------------------------------------------
+
+fn encode_fault(e: &mut Enc, f: &Fault) {
+    match f {
+        Fault::DieNow => e.u8(0),
+        Fault::DieAtInstr(n) => {
+            e.u8(1);
+            e.u64(*n as u64);
+        }
+        Fault::ErrorAtInstr(n) => {
+            e.u8(2);
+            e.u64(*n as u64);
+        }
+        Fault::ErrorAtTask(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Fault::KillNow => e.u8(4),
+        Fault::KillAtInstr(n) => {
+            e.u8(5);
+            e.u64(*n as u64);
+        }
+        Fault::DropLink { peer } => {
+            e.u8(6);
+            e.actor(*peer);
+        }
+        Fault::DelayLink { peer, ms } => {
+            e.u8(7);
+            e.actor(*peer);
+            e.u64(*ms);
+        }
+        Fault::Partition { to } => {
+            e.u8(8);
+            e.actor(*to);
+        }
+    }
+}
+
+fn decode_fault(d: &mut Dec<'_>) -> DecResult<Fault> {
+    Ok(match d.u8()? {
+        0 => Fault::DieNow,
+        1 => Fault::DieAtInstr(d.u64()? as usize),
+        2 => Fault::ErrorAtInstr(d.u64()? as usize),
+        3 => Fault::ErrorAtTask(d.str()?),
+        4 => Fault::KillNow,
+        5 => Fault::KillAtInstr(d.u64()? as usize),
+        6 => Fault::DropLink { peer: d.actor()? },
+        7 => Fault::DelayLink {
+            peer: d.actor()?,
+            ms: d.u64()?,
+        },
+        8 => Fault::Partition { to: d.actor()? },
+        k => return Err(format!("unknown fault kind {k}")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Command
+// ---------------------------------------------------------------------
+
+pub(crate) fn encode_command(c: &Command) -> Vec<u8> {
+    let mut e = Enc::new(CMD);
+    match c {
+        Command::Place { seq, bufs } => {
+            e.u8(0);
+            e.u64(*seq);
+            e.u32(bufs.len() as u32);
+            for (b, t) in bufs {
+                e.u32(b.0);
+                e.tensor(t);
+            }
+        }
+        Command::Execute { seq, traced, lanes } => {
+            e.u8(1);
+            e.u64(*seq);
+            e.u8(*traced as u8);
+            e.u8(*lanes as u8);
+        }
+        Command::Fetch { seq, bufs } => {
+            e.u8(2);
+            e.u64(*seq);
+            e.u32(bufs.len() as u32);
+            for b in bufs {
+                e.u32(b.0);
+            }
+        }
+        Command::Read { seq, buf } => {
+            e.u8(3);
+            e.u64(*seq);
+            e.u32(buf.0);
+        }
+        Command::PeakBytes { seq } => {
+            e.u8(4);
+            e.u64(*seq);
+        }
+        Command::LiveBytes { seq } => {
+            e.u8(5);
+            e.u64(*seq);
+        }
+        Command::Reprogram { assign } => {
+            e.u8(6);
+            e.u32(assign.len() as u32);
+            for &a in assign {
+                e.u64(a as u64);
+            }
+        }
+        Command::InjectFault(f) => {
+            e.u8(7);
+            encode_fault(&mut e, f);
+        }
+        Command::HealWire => e.u8(8),
+        Command::Shutdown => e.u8(9),
+    }
+    e.into_bytes()
+}
+
+pub(crate) fn decode_command(d: &mut Dec<'_>) -> DecResult<Command> {
+    Ok(match d.u8()? {
+        0 => {
+            let seq = d.u64()?;
+            let n = d.u32()? as usize;
+            let mut bufs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = BufferId(d.u32()?);
+                bufs.push((b, d.tensor()?));
+            }
+            Command::Place { seq, bufs }
+        }
+        1 => Command::Execute {
+            seq: d.u64()?,
+            traced: d.u8()? != 0,
+            lanes: d.u8()? != 0,
+        },
+        2 => {
+            let seq = d.u64()?;
+            let n = d.u32()? as usize;
+            let mut bufs = Vec::with_capacity(n);
+            for _ in 0..n {
+                bufs.push(BufferId(d.u32()?));
+            }
+            Command::Fetch { seq, bufs }
+        }
+        3 => Command::Read {
+            seq: d.u64()?,
+            buf: BufferId(d.u32()?),
+        },
+        4 => Command::PeakBytes { seq: d.u64()? },
+        5 => Command::LiveBytes { seq: d.u64()? },
+        6 => {
+            let n = d.u32()? as usize;
+            let mut assign = Vec::with_capacity(n);
+            for _ in 0..n {
+                assign.push(d.u64()? as usize);
+            }
+            Command::Reprogram { assign }
+        }
+        7 => Command::InjectFault(decode_fault(d)?),
+        8 => Command::HealWire,
+        9 => Command::Shutdown,
+        k => return Err(format!("unknown command kind {k}")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Reply
+// ---------------------------------------------------------------------
+
+fn encode_profile(e: &mut Enc, p: &ActorProfile) {
+    let entries: Vec<(&'static str, Duration, u32)> = p.entries().collect();
+    e.u32(entries.len() as u32);
+    for (kind, dur, count) in entries {
+        e.u8(kind_index(kind));
+        e.u64(dur.as_nanos() as u64);
+        e.u32(count);
+    }
+    e.stats(p.alloc_stats());
+    e.u64(p.bytes_reduced());
+    e.u64(p.bytes_wire());
+    e.u64(p.bytes_overlap());
+    e.u64(p.dp_bytes_wire());
+}
+
+fn decode_profile(d: &mut Dec<'_>) -> DecResult<ActorProfile> {
+    let n = d.u32()? as usize;
+    let mut p = ActorProfile::default();
+    for _ in 0..n {
+        let i = d.u8()?;
+        let kind = kind_from_index(i, format!("kind{i}"));
+        let dur = Duration::from_nanos(d.u64()?);
+        let count = d.u32()?;
+        p.restore_entry(kind, dur, count);
+    }
+    let alloc = d.stats()?;
+    let bytes_reduced = d.u64()?;
+    let bytes_wire = d.u64()?;
+    let bytes_overlap = d.u64()?;
+    let dp_bytes_wire = d.u64()?;
+    p.restore_counters(
+        alloc,
+        bytes_reduced,
+        bytes_wire,
+        bytes_overlap,
+        dp_bytes_wire,
+    );
+    Ok(p)
+}
+
+fn encode_span(e: &mut Enc, s: &SpanEvent) {
+    e.u32(s.instr);
+    e.u8(kind_index(s.kind));
+    e.str(&s.name);
+    e.u64(s.start_ns);
+    e.u64(s.dur_ns);
+    e.u64(s.bytes);
+    match &s.alloc {
+        Some(a) => {
+            e.u8(1);
+            e.stats(a);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn decode_span(d: &mut Dec<'_>) -> DecResult<SpanEvent> {
+    let instr = d.u32()?;
+    let i = d.u8()?;
+    let kind = kind_from_index(i, format!("kind{i}"));
+    let name = d.str()?;
+    let start_ns = d.u64()?;
+    let dur_ns = d.u64()?;
+    let bytes = d.u64()?;
+    let alloc = match d.u8()? {
+        0 => None,
+        _ => Some(d.stats()?),
+    };
+    Ok(SpanEvent {
+        instr,
+        kind,
+        name,
+        start_ns,
+        dur_ns,
+        bytes,
+        alloc,
+    })
+}
+
+fn encode_trace(e: &mut Enc, t: &ActorTrace) {
+    e.actor(t.actor);
+    e.u64(t.dropped);
+    e.u32(t.spans.len() as u32);
+    for s in &t.spans {
+        encode_span(e, s);
+    }
+}
+
+fn decode_trace(d: &mut Dec<'_>) -> DecResult<ActorTrace> {
+    let actor = d.actor()?;
+    let dropped = d.u64()?;
+    let n = d.u32()? as usize;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(decode_span(d)?);
+    }
+    Ok(ActorTrace {
+        actor,
+        spans,
+        dropped,
+    })
+}
+
+fn encode_result_tensors(e: &mut Enc, r: &Result<Vec<Tensor>, String>) {
+    match r {
+        Ok(ts) => {
+            e.u8(0);
+            e.u32(ts.len() as u32);
+            for t in ts {
+                e.tensor(t);
+            }
+        }
+        Err(m) => {
+            e.u8(1);
+            e.str(m);
+        }
+    }
+}
+
+fn decode_result_tensors(d: &mut Dec<'_>) -> DecResult<Result<Vec<Tensor>, String>> {
+    Ok(match d.u8()? {
+        0 => {
+            let n = d.u32()? as usize;
+            let mut ts = Vec::with_capacity(n);
+            for _ in 0..n {
+                ts.push(d.tensor()?);
+            }
+            Ok(ts)
+        }
+        _ => Err(d.str()?),
+    })
+}
+
+pub(crate) fn encode_reply(r: &Reply) -> Vec<u8> {
+    let mut e = Enc::new(REPLY);
+    e.u64(r.seq);
+    match &r.kind {
+        ReplyKind::Placed => e.u8(0),
+        ReplyKind::Executed(o) => {
+            e.u8(1);
+            match &o.result {
+                Ok(p) => {
+                    e.u8(0);
+                    encode_profile(&mut e, p);
+                }
+                Err(ExecFailure::Error(m)) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+                Err(ExecFailure::Aborted { by, reason }) => {
+                    e.u8(2);
+                    e.actor(*by);
+                    e.str(reason);
+                }
+            }
+            match &o.trace {
+                Some(t) => {
+                    e.u8(1);
+                    encode_trace(&mut e, t);
+                }
+                None => e.u8(0),
+            }
+        }
+        ReplyKind::Fetched(r) => {
+            e.u8(2);
+            encode_result_tensors(&mut e, r);
+        }
+        ReplyKind::Read(r) => {
+            e.u8(3);
+            match r {
+                Ok(t) => {
+                    e.u8(0);
+                    e.tensor(t);
+                }
+                Err(m) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+            }
+        }
+        ReplyKind::PeakBytes(b) => {
+            e.u8(4);
+            e.u64(*b as u64);
+        }
+        ReplyKind::LiveBytes(b) => {
+            e.u8(5);
+            e.u64(*b as u64);
+        }
+    }
+    e.into_bytes()
+}
+
+pub(crate) fn decode_reply(d: &mut Dec<'_>) -> DecResult<Reply> {
+    let seq = d.u64()?;
+    let kind = match d.u8()? {
+        0 => ReplyKind::Placed,
+        1 => {
+            let result = match d.u8()? {
+                0 => Ok(decode_profile(d)?),
+                1 => Err(ExecFailure::Error(d.str()?)),
+                2 => Err(ExecFailure::Aborted {
+                    by: d.actor()?,
+                    reason: d.str()?,
+                }),
+                k => return Err(format!("unknown exec result kind {k}")),
+            };
+            let trace = match d.u8()? {
+                0 => None,
+                _ => Some(decode_trace(d)?),
+            };
+            ReplyKind::Executed(Box::new(ExecOutcome { result, trace }))
+        }
+        2 => ReplyKind::Fetched(decode_result_tensors(d)?),
+        3 => ReplyKind::Read(match d.u8()? {
+            0 => Ok(d.tensor()?),
+            _ => Err(d.str()?),
+        }),
+        4 => ReplyKind::PeakBytes(d.u64()? as usize),
+        5 => ReplyKind::LiveBytes(d.u64()? as usize),
+        k => return Err(format!("unknown reply kind {k}")),
+    };
+    Ok(Reply { seq, kind })
+}
+
+/// Encodes a heartbeat beacon.
+pub(crate) fn encode_heartbeat(from: usize) -> Vec<u8> {
+    let mut e = Enc::new(HEARTBEAT);
+    e.actor(from);
+    e.into_bytes()
+}
+
+/// Encodes the [`HELLO`] handshake frame.
+pub(crate) fn encode_hello(from: usize, link_kind: u8) -> Vec<u8> {
+    let mut e = Enc::new(HELLO);
+    e.actor(from);
+    e.u8(link_kind);
+    e.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(c: Command) -> Command {
+        let b = encode_command(&c);
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), CMD);
+        decode_command(&mut d).unwrap()
+    }
+
+    #[test]
+    fn command_roundtrip_is_exact() {
+        let t = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, -0.0, f32::MIN, 3.5]).unwrap();
+        match roundtrip_cmd(Command::Place {
+            seq: 7,
+            bufs: vec![(BufferId(3), t.clone())],
+        }) {
+            Command::Place { seq, bufs } => {
+                assert_eq!(seq, 7);
+                assert_eq!(bufs[0].0, BufferId(3));
+                let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = bufs[0].1.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "tensor bits must survive the wire exactly");
+            }
+            c => panic!("wrong decode: {c:?}"),
+        }
+        assert!(matches!(
+            roundtrip_cmd(Command::Execute {
+                seq: 9,
+                traced: true,
+                lanes: false
+            }),
+            Command::Execute {
+                seq: 9,
+                traced: true,
+                lanes: false
+            }
+        ));
+        match roundtrip_cmd(Command::Reprogram {
+            assign: vec![0, 1, 1, 3],
+        }) {
+            Command::Reprogram { assign } => assert_eq!(assign, vec![0, 1, 1, 3]),
+            c => panic!("wrong decode: {c:?}"),
+        }
+        for f in [
+            Fault::DieNow,
+            Fault::DieAtInstr(4),
+            Fault::ErrorAtInstr(2),
+            Fault::ErrorAtTask("bwd".into()),
+            Fault::KillNow,
+            Fault::KillAtInstr(11),
+            Fault::DropLink { peer: 2 },
+            Fault::DelayLink { peer: 1, ms: 30 },
+            Fault::Partition { to: usize::MAX },
+        ] {
+            match roundtrip_cmd(Command::InjectFault(f.clone())) {
+                Command::InjectFault(g) => assert_eq!(f, g),
+                c => panic!("wrong decode: {c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn msg_and_reply_roundtrip() {
+        let t = Tensor::from_vec(Shape::new(vec![3]), vec![0.25, -1.5, 2.0]).unwrap();
+        let m = Msg {
+            from: usize::MAX,
+            epoch: 42,
+            payload: Payload::Abort("step aborted".into()),
+        };
+        let b = encode_msg(&m);
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), DATA);
+        let m2 = decode_msg(&mut d).unwrap();
+        assert_eq!(m2.from, usize::MAX);
+        assert_eq!(m2.epoch, 42);
+        assert!(matches!(m2.payload, Payload::Abort(ref r) if r == "step aborted"));
+
+        let mut p = ActorProfile::default();
+        p.restore_entry("fwd", Duration::from_micros(12), 3);
+        p.restore_counters(
+            EvalStats {
+                allocated: 5,
+                reused: 2,
+                freed: 4,
+            },
+            64,
+            128,
+            32,
+            16,
+        );
+        let r = Reply {
+            seq: 3,
+            kind: ReplyKind::Executed(Box::new(ExecOutcome {
+                result: Ok(p.clone()),
+                trace: Some(ActorTrace {
+                    actor: 1,
+                    spans: vec![SpanEvent {
+                        instr: 0,
+                        kind: "wire",
+                        name: "wire b2 -> actor 0".into(),
+                        start_ns: 10,
+                        dur_ns: 20,
+                        bytes: 12,
+                        alloc: None,
+                    }],
+                    dropped: 0,
+                }),
+            })),
+        };
+        let b = encode_reply(&r);
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), REPLY);
+        let r2 = decode_reply(&mut d).unwrap();
+        assert_eq!(r2.seq, 3);
+        match r2.kind {
+            ReplyKind::Executed(o) => {
+                assert_eq!(o.result.as_ref().unwrap(), &p);
+                let tr = o.trace.unwrap();
+                assert_eq!(tr.spans[0].kind, "wire");
+                assert_eq!(tr.spans[0].bytes, 12);
+            }
+            _ => panic!("wrong reply kind"),
+        }
+        let r = Reply {
+            seq: 4,
+            kind: ReplyKind::Fetched(Ok(vec![t.clone()])),
+        };
+        let b = encode_reply(&r);
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), REPLY);
+        match decode_reply(&mut d).unwrap().kind {
+            ReplyKind::Fetched(Ok(ts)) => assert_eq!(ts[0].data(), t.data()),
+            _ => panic!("wrong reply kind"),
+        }
+    }
+
+    #[test]
+    fn every_runtime_kind_is_interned() {
+        for k in KINDS {
+            assert_eq!(kind_from_index(kind_index(k), String::new()), k);
+        }
+    }
+}

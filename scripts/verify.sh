@@ -29,6 +29,18 @@ scripts/check_doc_links.sh
 echo "==> rebalance-under-TP regression (folds must stay bitwise, not refused)"
 cargo test -q -p raxpp-integration --test tensor_parallel tp_rebalance_folds_bitwise
 
+echo "==> socket-transport gate (resilience suites over the wire, bounded time)"
+# The same failure/chaos/rebalance/checkpoint contracts must hold
+# bitwise when every actor fabric message crosses a Unix-domain
+# socket. The per-test watchdog (RAXPP_TEST_TIMEOUT_SECS) turns any
+# wire deadlock into a fast named failure rather than a hung gate.
+RAXPP_TRANSPORT=socket RAXPP_TEST_TIMEOUT_SECS=120 cargo test -q -p raxpp-integration \
+    --test failure_semantics \
+    --test chaos_soak \
+    --test elastic_rebalance \
+    --test checkpointing \
+    --test determinism_guard
+
 echo "==> quick step_time bench (tp bitwise parity, dp batch-sharding gates)"
 # Snapshot the committed tp_speedup BEFORE the run so a quick run can
 # never compare against itself; the quick bench writes to a scratch

@@ -44,8 +44,15 @@ where
         }
         Err(RecvTimeoutError::Timeout) => {
             // The body thread is abandoned; the process stays alive until
-            // the harness exits, but this test fails *now*.
-            panic!("watchdog: test {name:?} did not finish within {timeout}s (deadlock?)");
+            // the harness exits, but this test fails *now*. Name the
+            // fabric under test: a hang that only reproduces with
+            // `RAXPP_TRANSPORT=socket` is a wire bug, not a runtime bug.
+            let transport =
+                std::env::var("RAXPP_TRANSPORT").unwrap_or_else(|_| "mpsc (default)".into());
+            panic!(
+                "watchdog: test {name:?} did not finish within {timeout}s \
+                 (deadlock? transport={transport})"
+            );
         }
     }
 }

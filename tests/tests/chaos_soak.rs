@@ -17,7 +17,7 @@ use raxpp_integration::with_watchdog;
 use raxpp_ir::rng::{Rng, SeedableRng, StdRng};
 use raxpp_ir::Tensor;
 use raxpp_models::mlp_chain;
-use raxpp_runtime::Fault;
+use raxpp_runtime::{Fault, TransportKind, DRIVER_PEER};
 use raxpp_sched::gpipe;
 
 const STEPS: usize = 10;
@@ -120,6 +120,132 @@ fn chaotic_run_matches_fault_free_run_bitwise() {
 
         let _ = fs::remove_dir_all(&ckpt_dir);
     });
+}
+
+/// The wire soak: the same pipeline on the Unix-socket transport under
+/// the **extended** fault palette — the thread-mode kinds (deaths, task
+/// errors) *plus* the wire-only kinds (kill -9 severs, forced
+/// connection drops, frame delays, one-way partitions toward a peer or
+/// toward the driver) — all drawn from one seeded PRNG. Every step and
+/// the final parameters must stay bit-identical to a fault-free
+/// **mpsc** twin: the wire, its failures, and its recovery are
+/// transparent to training.
+#[test]
+fn wire_chaotic_run_matches_mpsc_fault_free_run_bitwise() {
+    with_watchdog(
+        "wire_chaotic_run_matches_mpsc_fault_free_run_bitwise",
+        || {
+            let schedule = gpipe(4, 4).unwrap();
+            let model = mlp_chain(6, 3, 4, schedule.n_stages(), 81).unwrap();
+            let mut rng = StdRng::seed_from_u64(82);
+            let data: Vec<Vec<Tensor>> = vec![(0..schedule.n_mubatches())
+                .map(|_| Tensor::randn([3, 6], 1.0, &mut rng))
+                .collect()];
+
+            let smooth = build(&model, &schedule); // resolves to mpsc by default
+            let chaotic = {
+                let t = compile_train_step(
+                    &model.jaxpr,
+                    model.n_params,
+                    &schedule,
+                    Optimizer::Sgd { lr: 0.05 },
+                    CompileOptions {
+                        transport: Some(TransportKind::UnixSocket),
+                        ..CompileOptions::default()
+                    },
+                )
+                .unwrap();
+                t.init(&model.init).unwrap();
+                t
+            };
+            // Partitions are only caught by the step-timeout backstop when
+            // they cut a worker↔worker edge; shrink it so each such fault
+            // costs seconds, not the 60 s default.
+            chaotic.runtime().set_step_timeout(Duration::from_secs(3));
+            let policy = RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::ZERO,
+                // Respawn, don't fold: the wire respawn path (sever →
+                // re-bind → re-dial) is exactly what this soak targets.
+                rebalance_after: None,
+            };
+
+            let n = schedule.n_actors();
+            let mut faults = StdRng::seed_from_u64(83);
+            for step in 0..STEPS {
+                let target = faults.gen_range(0..n);
+                match faults.gen_range(0..8u32) {
+                    0 => {
+                        let at = faults.gen_range(0..3usize);
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::DieAtInstr(at))
+                            .unwrap();
+                    }
+                    1 => {
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::ErrorAtTask("bwd".into()))
+                            .unwrap();
+                    }
+                    2 => {
+                        let at = faults.gen_range(0..3usize);
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::KillAtInstr(at))
+                            .unwrap();
+                    }
+                    3 => {
+                        let peer = (target + 1) % n;
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::DropLink { peer })
+                            .unwrap();
+                    }
+                    4 => {
+                        let peer = (target + 1) % n;
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::DelayLink { peer, ms: 30 })
+                            .unwrap();
+                    }
+                    5 => {
+                        // One-way partition: half toward a neighbour (step
+                        // timeout catches it), half toward the driver
+                        // (heartbeat silence catches it).
+                        let to = if faults.gen_range(0..2u32) == 0 {
+                            (target + 1) % n
+                        } else {
+                            DRIVER_PEER
+                        };
+                        chaotic
+                            .runtime()
+                            .inject_fault(target, Fault::Partition { to })
+                            .unwrap();
+                    }
+                    _ => {}
+                }
+                let a = smooth.step_with_recovery(&data, policy).unwrap();
+                let b = chaotic.step_with_recovery(&data, policy).unwrap();
+                assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+            }
+
+            // The soak must have actually exercised the wire machinery.
+            assert!(
+                chaotic.metrics().counter("recoveries_total") >= 1,
+                "fault schedule never triggered a recovery — seed went stale"
+            );
+            let stats = chaotic.runtime().transport_stats();
+            assert!(stats.bytes_tx > 0 && stats.bytes_rx > 0);
+
+            // Final state is bit-identical to the fault-free mpsc twin.
+            let pa = smooth.params().unwrap();
+            let pb = chaotic.params().unwrap();
+            for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+                assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+            }
+        },
+    );
 }
 
 /// The tensor-parallel soak: a 2-way-sharded pipeline (8 shard actors)

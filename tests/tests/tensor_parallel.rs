@@ -11,7 +11,7 @@ use raxpp_core::{compile_train_step, CompileOptions, Optimizer, RetryPolicy, TpC
 use raxpp_ir::rng::{SeedableRng, StdRng};
 use raxpp_ir::Tensor;
 use raxpp_models::{mlp_chain, BuiltModel};
-use raxpp_runtime::Fault;
+use raxpp_runtime::{Fault, TransportKind};
 use raxpp_sched::{gpipe, one_f1b, Schedule, TpMap};
 use raxpp_taskgraph::{CollectiveKind, Instr};
 
@@ -244,11 +244,16 @@ fn tp_lane_and_serial_modes_are_bitwise_identical() {
 
         for tp in [2usize, 4] {
             let trainer = build(&model, &schedule, tp);
+            // Shared-memory shard lanes only exist on the in-process
+            // transport; on a socket fabric every collective takes the
+            // serial ring (bitwise-equal by construction), so run the
+            // whole sweep in serial mode there.
+            let lanes_available = trainer.runtime().transport_kind() == TransportKind::Mpsc;
             // Alternate modes on the SAME trainer: serial, lanes,
             // serial traced, lanes traced — every step must continue
             // the exact tp=1 trajectory regardless of mode.
             for (step, want) in base_losses.iter().enumerate() {
-                let lanes = step % 2 == 1;
+                let lanes = lanes_available && step % 2 == 1;
                 trainer.set_tp_lanes(lanes);
                 let traced = step >= 2;
                 let losses = if traced {
@@ -346,6 +351,76 @@ fn tp_lane_fault_inside_lane_recovers_bounded() {
     assert!(
         t0.elapsed() < Duration::from_secs(20),
         "lane fault recovery was not bounded: {:?}",
+        t0.elapsed()
+    );
+    let pa = smooth.params().unwrap();
+    let pb = bumpy.params().unwrap();
+    for (p, (a, b)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(a.data(), b.data(), "param {p} not bit-identical");
+    }
+}
+
+/// kill -9 mid-collective *on the wire*: a shard actor on the socket
+/// transport vanishes (endpoint severed, no abort broadcast, no
+/// goodbye) right at its first collective instruction, while its ring
+/// peers are blocked receiving from it. Detection must be bounded
+/// (closed connections + reply-link EOF + heartbeat silence), recovery
+/// must respawn the severed endpoint, and the retried trajectory must
+/// stay bit-identical to an unsharded mpsc twin.
+#[test]
+fn tp_kill9_mid_collective_over_socket_recovers_bitwise() {
+    let schedule = gpipe(2, 4).unwrap();
+    let model = mlp_chain(8, 2, 2, schedule.n_stages(), 95).unwrap();
+    let data = mb_data(&schedule, 8, 2, 96);
+
+    let smooth = build(&model, &schedule, 1);
+    let bumpy = {
+        let t = compile_train_step(
+            &model.jaxpr,
+            model.n_params,
+            &schedule,
+            Optimizer::Sgd { lr: 0.05 },
+            CompileOptions {
+                tp: Some(TpConfig::model_parallel(2)),
+                transport: Some(TransportKind::UnixSocket),
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        t.init(&model.init).unwrap();
+        t
+    };
+    // On a socket fabric every collective takes the serial message
+    // ring, so the kill lands while a ring peer is blocked in `Recv`
+    // on the severed endpoint.
+    let coll_at = bumpy.runtime().program().actors[1]
+        .iter()
+        .position(|i| matches!(i, Instr::Collective { .. }))
+        .expect("shard stream has a collective");
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        rebalance_after: None,
+    };
+    let t0 = std::time::Instant::now();
+    for step in 0..3 {
+        if step == 1 {
+            bumpy
+                .runtime()
+                .inject_fault(1, Fault::KillAtInstr(coll_at))
+                .unwrap();
+        }
+        let a = smooth.step_with_recovery(&data, policy).unwrap();
+        let b = bumpy.step_with_recovery(&data, policy).unwrap();
+        assert_eq!(a.losses, b.losses, "step {step}: losses diverged");
+    }
+    assert!(
+        bumpy.metrics().counter("recoveries_total") >= 1,
+        "the kill was never recovered"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "kill -9 mid-collective recovery was not bounded: {:?}",
         t0.elapsed()
     );
     let pa = smooth.params().unwrap();
