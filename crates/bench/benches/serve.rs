@@ -1,0 +1,255 @@
+//! Serving-tier latency/throughput benchmark (ISSUE acceptance gate).
+//!
+//! Drives the continuous-batching engine (`raxpp-serve`) with a
+//! **saturating closed-loop load**: per pipeline-slot count, `2 ×
+//! n_slots` client threads each keep exactly one request in flight
+//! (submit, wait, submit again) until every client has collected its
+//! quota of replies. Per-request latency is measured client-side,
+//! admission to reply; throughput is total replies over the loaded
+//! wall.
+//!
+//! Sweeping the slot count (`n_mubatches` of the forward-only program:
+//! 1, 2, 4, 8) yields the latency-vs-throughput curve of step-granular
+//! continuous batching: more slots amortize the pipeline fill across
+//! more requests (throughput up), while each request waits for a
+//! larger dispatch to fill (p99 up).
+//!
+//! The parity gate runs per slot count: one probe request served
+//! through the batching engine must be **bitwise-identical** to the
+//! same request run alone through an unbatched (one-slot) forward
+//! program — asserted before the JSON is written, so a committed
+//! `BENCH_serve.json` with `bitwise_parity: true` is a machine-checked
+//! claim.
+//!
+//! Writes `BENCH_serve.json` at the workspace root: per slot count,
+//! p50/p99 request latency, throughput, mean slot utilization, and
+//! dispatch/padding counters, plus `available_cores` (on a single-core
+//! box the clients, engine, and actors time-slice one CPU, so absolute
+//! latencies measure coordination overhead — read the *curve*, not the
+//! numbers).
+//!
+//! Knobs:
+//!
+//! * `RAXPP_BENCH_SERVE_REQS` — replies each client collects (default
+//!   40; 10 in quick mode);
+//! * `RAXPP_BENCH_QUICK` — any value but `0`: smaller quota and only
+//!   slot counts {1, 4}, for the `scripts/verify.sh` regression gate;
+//! * `RAXPP_BENCH_OUT` — override the JSON output path (quick mode
+//!   should point this at a scratch file so the committed
+//!   `BENCH_serve.json` keeps its full-run numbers).
+
+use std::time::{Duration, Instant};
+
+use raxpp_bench::{median, percentile, rule, workspace_root, write_json, Json};
+use raxpp_ir::rng::{SeedableRng, StdRng};
+use raxpp_ir::{Jaxpr, Tensor, TraceCtx};
+use raxpp_sched::gpipe;
+use raxpp_serve::{compile_forward_step, ForwardOptions, ForwardStep, ServeConfig, Server};
+
+const WIDTH: usize = 256;
+const BATCH: usize = 8;
+const STAGES: usize = 2;
+
+fn env_steps(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The served model: loss = 0.5 Σ y², y = tanh(x@w1) @ w2, two
+/// pipeline stages, the prediction served as aux output — the
+/// training-form trace `compile_forward_step` requires.
+fn model() -> Jaxpr {
+    let ctx = TraceCtx::new();
+    let w1 = ctx.input([WIDTH, WIDTH]);
+    let w2 = ctx.input([WIDTH, WIDTH]);
+    let x = ctx.input([BATCH, WIDTH]);
+    let h = ctx.pipeline_yield(&x.matmul(&w1).unwrap().tanh());
+    let y = h.matmul(&w2).unwrap();
+    let loss = y.mul(&y).unwrap().sum().scale(0.5);
+    ctx.finish(&[loss, y]).unwrap()
+}
+
+fn params(rng: &mut StdRng) -> Vec<Tensor> {
+    vec![
+        Tensor::randn([WIDTH, WIDTH], 0.05, rng),
+        Tensor::randn([WIDTH, WIDTH], 0.05, rng),
+    ]
+}
+
+fn forward_step(jaxpr: &Jaxpr, n_slots: usize, weights: &[Tensor]) -> ForwardStep {
+    let step = compile_forward_step(
+        jaxpr,
+        2,
+        &gpipe(STAGES, n_slots).unwrap(),
+        ForwardOptions::default(),
+    )
+    .unwrap();
+    step.load_params(weights).unwrap();
+    step
+}
+
+struct Loaded {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    replies: usize,
+}
+
+/// The closed loop: `clients` threads, one request in flight each,
+/// until every thread has `quota` replies. Requests reuse a small pool
+/// of pre-generated microbatches (tensors are `Arc` clones — no
+/// per-request allocation noise).
+fn closed_loop(server: &Server, pool: &[Tensor], clients: usize, quota: usize) -> Loaded {
+    let t0 = Instant::now();
+    let latencies = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(quota);
+                    for i in 0..quota {
+                        let x = pool[(c + i) % pool.len()].clone();
+                        let t = Instant::now();
+                        server.infer(vec![x]).expect("loaded request failed");
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(clients * quota);
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all
+    });
+    Loaded {
+        wall: t0.elapsed(),
+        replies: latencies.len(),
+        latencies,
+    }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let quick = matches!(std::env::var("RAXPP_BENCH_QUICK").as_deref(), Ok(v) if v != "0");
+    let quota = env_steps("RAXPP_BENCH_SERVE_REQS", if quick { 10 } else { 40 });
+    let slot_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let jaxpr = model();
+    let mut rng = StdRng::seed_from_u64(1207);
+    let weights = params(&mut rng);
+    let pool: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::randn([BATCH, WIDTH], 1.0, &mut rng))
+        .collect();
+    let probe = pool[0].clone();
+
+    // The unbatched reference for the parity gate: one slot, the probe
+    // request alone.
+    let single = forward_step(&jaxpr, 1, &weights);
+    let want = single.forward(&[vec![probe.clone()]]).unwrap();
+    drop(single);
+
+    println!(
+        "serve: {STAGES}-stage MLP [{WIDTH},{WIDTH}] weights, request [{BATCH},{WIDTH}], \
+         closed loop, {quota} replies/client, {available_cores} cores{}",
+        if quick { ", quick mode" } else { "" },
+    );
+    rule(72);
+
+    let mut curves = Vec::new();
+    let mut all_parity = true;
+    for &n_slots in slot_counts {
+        let clients = 2 * n_slots;
+        let step = forward_step(&jaxpr, n_slots, &weights);
+        // The admission deadline scales with the dispatch size: a
+        // bigger batch legitimately waits longer to fill (on a
+        // time-sliced single core, replied clients resubmit serially).
+        let max_wait = Duration::from_millis(n_slots as u64);
+        let server = Server::start(
+            step,
+            ServeConfig {
+                max_wait,
+                ..ServeConfig::default()
+            },
+        );
+
+        // Warm the pipeline (untimed), then apply the load.
+        server.infer(vec![probe.clone()]).unwrap();
+        let loaded = closed_loop(&server, &pool, clients, quota);
+
+        let p50 = percentile(&loaded.latencies, 50.0);
+        let p99 = percentile(&loaded.latencies, 99.0);
+        let throughput = loaded.replies as f64 / secs(loaded.wall);
+        let m = server.metrics();
+        let batches = m.counter("serve_batches_total");
+        let padded = m.counter("serve_padded_slots_total");
+        let served = m.counter("serve_replies_total");
+        let mean_fill = served as f64 / (batches.max(1) * n_slots as u64) as f64;
+
+        // Parity gate: the loaded, batching server answers the probe
+        // bitwise-identically to the unbatched forward program.
+        let got = server.infer(vec![probe.clone()]).unwrap();
+        let parity = got.iter().zip(&want).all(|(t, w)| t.data() == w[0].data());
+        assert!(
+            parity,
+            "n_slots={n_slots}: served probe diverges from the unbatched forward"
+        );
+        all_parity &= parity;
+
+        println!(
+            "slots {n_slots} ({clients} clients): p50 {:>9.2?}  p99 {:>9.2?}  \
+             {throughput:>7.1} req/s  fill {:.2}  ({batches} dispatches, {padded} padded slots)",
+            p50, p99, mean_fill,
+        );
+
+        curves.push(Json::obj(vec![
+            ("n_slots", Json::Num(n_slots as f64)),
+            ("clients", Json::Num(clients as f64)),
+            ("replies", Json::Num(loaded.replies as f64)),
+            ("p50_us", Json::Num(micros(p50))),
+            ("p99_us", Json::Num(micros(p99))),
+            ("median_us", Json::Num(micros(median(&loaded.latencies)))),
+            ("throughput_rps", Json::Num(throughput)),
+            ("mean_slot_fill", Json::Num(mean_fill)),
+            ("dispatches", Json::Num(batches as f64)),
+            ("padded_slots", Json::Num(padded as f64)),
+            ("bitwise_parity", Json::Bool(parity)),
+        ]));
+        server.shutdown();
+    }
+    rule(72);
+    println!("bitwise parity vs unbatched forward: OK across all slot counts");
+
+    let json = Json::obj(vec![
+        (
+            "workload",
+            Json::Str(format!(
+                "{STAGES}-stage MLP [{WIDTH},{WIDTH}], request [{BATCH},{WIDTH}], \
+                 closed loop 2x clients per slot, max_wait 1ms/slot"
+            )),
+        ),
+        ("quick", Json::Bool(quick)),
+        ("available_cores", Json::Num(available_cores as f64)),
+        ("replies_per_client", Json::Num(quota as f64)),
+        ("curves", Json::Arr(curves)),
+        ("bitwise_parity", Json::Bool(all_parity)),
+    ]);
+    let path = match std::env::var("RAXPP_BENCH_OUT") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => workspace_root().join("BENCH_serve.json"),
+    };
+    write_json(&path, &json);
+    println!("wrote {}", path.display());
+}

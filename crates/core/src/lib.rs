@@ -64,11 +64,13 @@ mod doc_determinism {}
 
 pub mod checkpoint;
 pub mod experiments;
+mod forward;
 mod observe;
 mod optimizer;
 mod trainer;
 
 pub use checkpoint::CheckpointManager;
+pub use forward::{compile_forward_step, ForwardOptions, ForwardStep};
 pub use observe::{bubble_report, BubbleReport, StageReport};
 pub use optimizer::Optimizer;
 pub use trainer::{

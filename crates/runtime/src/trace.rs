@@ -63,7 +63,18 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 ///   `bytes` carries the payload size). Emitted only when
 ///   `RAXPP_TRANSPORT` selects a socket fabric; mpsc traces are
 ///   unchanged.
-pub const TRACE_SCHEMA_VERSION: u32 = 6;
+/// - **7** — adds the `"serve"` span kind: one served request's
+///   lifetime inside the continuous-batching tier, recorded by
+///   `raxpp-serve` onto a pseudo-actor track appended after the real
+///   actors' tracks (its index is one past the highest real actor, so
+///   its Perfetto thread name is `actor <n_actors>`); spans are named
+///   `request <id> (slot s)`
+///   with `ts` at admission and `dur` to reply, so queue wait and the
+///   enclosing forward dispatch line up against the pipeline actors'
+///   `fwd` spans on the shared timeline (`docs/serving.md`). Emitted
+///   only when tracing is enabled on the serving runtime; training
+///   traces are unchanged.
+pub const TRACE_SCHEMA_VERSION: u32 = 7;
 
 /// One traced span: a single executed instruction, or (for `cat ==
 /// "op"`) one interpreter equation inside a `Run` instruction.

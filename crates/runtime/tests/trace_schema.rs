@@ -138,8 +138,11 @@ fn golden_chrome_trace_schema() {
     // spans and are exercised end-to-end by tests/tensor_parallel.rs
     // and tests/data_parallel.rs. The "wire" span kind added in v6
     // (socket-transport write inside a Send) uses the same X-event
-    // fields and is exercised by the socket-transport suites.
-    assert_eq!(TRACE_SCHEMA_VERSION, 6);
+    // fields and is exercised by the socket-transport suites. The
+    // "serve" span kind added in v7 (one served request's lifetime on
+    // a pseudo-actor track) also uses the same X-event fields and is
+    // exercised by tests/serving.rs.
+    assert_eq!(TRACE_SCHEMA_VERSION, 7);
 }
 
 #[test]

@@ -25,6 +25,7 @@ mod analysis;
 mod builders;
 mod dp;
 mod schedule;
+mod serve;
 mod task;
 mod tp;
 mod viz;
@@ -35,6 +36,7 @@ pub use builders::{
 };
 pub use dp::DpMap;
 pub use schedule::{Schedule, ScheduleError};
+pub use serve::SlotPlan;
 pub use task::{Dir, Task};
 pub use tp::TpMap;
 pub use viz::{render_timeline, schedule_dot};

@@ -1,0 +1,140 @@
+//! Slot arithmetic for the serving tier's continuous batching.
+//!
+//! A forward-only step compiled from a [`crate::Schedule`] always
+//! executes `n_mubatches()` microbatch *slots* per dispatch — the
+//! pipeline's shape is fixed at compile time. Continuous batching
+//! (`docs/serving.md`) is therefore slot packing at step granularity:
+//! an arriving request takes the next free slot of the dispatch being
+//! formed; the dispatch launches when every slot is taken (a full
+//! batch) or when the admission deadline of its oldest request fires,
+//! in which case the remaining slots are *padded* and their outputs
+//! discarded.
+//!
+//! [`SlotPlan`] is that bookkeeping, factored out of the engine so the
+//! serve crate, its tests, and the closed-loop bench all compute
+//! filled/padded/utilization numbers the same way.
+
+use std::ops::Range;
+
+/// The slot ledger of one forming dispatch: how many of the step's
+/// pipeline slots are taken by real requests, and which remain to be
+/// padded if the deadline fires first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPlan {
+    n_slots: usize,
+    filled: usize,
+}
+
+impl SlotPlan {
+    /// An empty plan over the step's slot count
+    /// (`schedule.n_mubatches()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_slots` is zero — a schedule always has at least
+    /// one microbatch.
+    pub fn new(n_slots: usize) -> SlotPlan {
+        assert!(n_slots > 0, "a dispatch needs at least one slot");
+        SlotPlan { n_slots, filled: 0 }
+    }
+
+    /// Admits one request, returning the slot it occupies, or `None`
+    /// when the dispatch is already full (the request belongs to the
+    /// *next* plan).
+    pub fn admit(&mut self) -> Option<usize> {
+        if self.filled == self.n_slots {
+            return None;
+        }
+        self.filled += 1;
+        Some(self.filled - 1)
+    }
+
+    /// Slots per dispatch.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Slots taken by real requests.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Slots that would be padded if the plan dispatched now.
+    pub fn padded(&self) -> usize {
+        self.n_slots - self.filled
+    }
+
+    /// The padded tail `filled..n_slots` — the slot indices whose
+    /// inputs are filler and whose outputs the engine discards.
+    pub fn padded_slots(&self) -> Range<usize> {
+        self.filled..self.n_slots
+    }
+
+    /// Whether every slot is taken (dispatch immediately: waiting
+    /// longer cannot improve the batch).
+    pub fn is_full(&self) -> bool {
+        self.filled == self.n_slots
+    }
+
+    /// Whether no slot is taken (nothing to dispatch; no deadline is
+    /// armed).
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Fraction of the dispatch's compute doing real work:
+    /// `filled / n_slots`. The serving tier reports this per dispatch
+    /// as `serve_slot_utilization`.
+    pub fn utilization(&self) -> f64 {
+        self.filled as f64 / self.n_slots as f64
+    }
+
+    /// Empties the plan for the next dispatch.
+    pub fn reset(&mut self) {
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_in_slot_order_then_refuses() {
+        let mut plan = SlotPlan::new(3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.admit(), Some(0));
+        assert!(!plan.is_empty() && !plan.is_full());
+        assert_eq!(plan.admit(), Some(1));
+        assert_eq!(plan.admit(), Some(2));
+        assert!(plan.is_full());
+        assert_eq!(plan.admit(), None, "a full plan admits nothing");
+    }
+
+    #[test]
+    fn padding_accounts_for_the_tail() {
+        let mut plan = SlotPlan::new(4);
+        plan.admit();
+        plan.admit();
+        assert_eq!(plan.filled(), 2);
+        assert_eq!(plan.padded(), 2);
+        assert_eq!(plan.padded_slots(), 2..4);
+        assert!((plan.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_starts_the_next_dispatch() {
+        let mut plan = SlotPlan::new(2);
+        plan.admit();
+        plan.admit();
+        plan.reset();
+        assert!(plan.is_empty());
+        assert_eq!(plan.admit(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_is_rejected() {
+        SlotPlan::new(0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The client half of one in-flight request.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use raxpp_ir::Tensor;
+
+use crate::ServeError;
+
+/// A claim on one served request's outputs.
+///
+/// Returned by [`crate::Server::submit`]; redeem it with
+/// [`Ticket::wait`]. Every admitted request is answered in bounded
+/// time: with its per-microbatch outputs on success, with
+/// [`ServeError::Dispatch`] if its dispatch failed on the fleet, or
+/// with [`ServeError::ShuttingDown`] if the server stopped first.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Result<Vec<Tensor>, ServeError>>,
+}
+
+impl Ticket {
+    /// The server-assigned request id (also the `<id>` in the
+    /// request's `"serve"` trace span).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request is answered, returning one output
+    /// tensor per model output (the request's pipeline slot, demuxed).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Dispatch`] when the carrying dispatch failed;
+    /// [`ServeError::ShuttingDown`] when the server stopped before
+    /// answering.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout`, returning
+    /// `None` (the ticket is consumed; the reply, if any, is dropped).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Vec<Tensor>, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}

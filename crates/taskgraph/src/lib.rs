@@ -13,10 +13,17 @@
 //! (§4.3). The result is one
 //! fused instruction stream per actor ([`MpmdProgram`], §4.4) ready for
 //! the `raxpp-runtime` driver.
+//!
+//! Serving reuses the same pipeline through [`forward_project`]: a
+//! strict projection of the unrolled program onto its forward half
+//! (backward/optimizer tasks, gradient traffic, and activation
+//! retention stripped), which the same shard/frees passes then finish
+//! into a forward-only `MpmdProgram` (`docs/serving.md`).
 
 #![deny(missing_docs)]
 
 mod automark;
+mod forward;
 mod model;
 mod program;
 mod replace;
@@ -28,6 +35,7 @@ mod unroll;
 mod verify;
 
 pub use automark::auto_mark_stages;
+pub use forward::forward_project;
 pub use model::{pipeline_model, BwdOut, PipelinedModel};
 pub use program::{
     ActorId, BufferId, CollectiveAxis, CollectiveKind, DpMeta, Fetch, FetchRole, InputPlacement,

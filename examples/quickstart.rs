@@ -2,6 +2,14 @@
 //! for two MPMD actors with the 1F1B schedule, train for a few steps,
 //! and verify the pipelined gradients against single-device autodiff.
 //!
+//! The gradient cross-check at the end is tier 1 of the repo-wide
+//! determinism contract (`docs/determinism.md`): pipelined execution
+//! is **bitwise** equal to single-device autodiff, not merely close.
+//! The mesh here is `(dp, tp) = (1, 1)`; on a wider mesh the `data`
+//! vector carries the *global* batch and each data-parallel replica
+//! consumes its contiguous `1/d` shard of it — the batch is sharded
+//! for throughput, not replicated (`docs/parallelism.md`).
+//!
 //! Run with: `cargo run -p raxpp-examples --bin quickstart`
 
 use raxpp_core::{CompileOptions, Optimizer, RemoteMesh};

@@ -6,6 +6,14 @@
 //! The task is synthetic character-level modeling: predict the next
 //! token of cyclic sequences. Watch the loss fall from ≈ln(V) toward 0.
 //!
+//! Every step here is covered by the bitwise tier of the determinism
+//! contract (`docs/determinism.md`): the pipelined loss equals the
+//! single-device loss bit for bit, tied embeddings included. Were this
+//! compiled with a data-parallel degree `d`, the `n_mubatches`
+//! microbatches below would be the *global* batch with each replica
+//! executing its contiguous `1/d` slice — batch-sharded throughput DP,
+//! not replicated copies of the same batch.
+//!
 //! Run with: `cargo run --release -p raxpp-examples --bin train_transformer`
 
 use raxpp_core::{compile_train_step, CompileOptions, Optimizer};

@@ -109,6 +109,13 @@ require docs/resilience.md 'docs/determinism\.md' 'docs/determinism.md'
 require docs/determinism.md 'docs/parallelism\.md' 'docs/parallelism.md'
 require docs/determinism.md 'docs/execution-backend\.md' 'docs/execution-backend.md'
 require docs/determinism.md 'docs/resilience\.md' 'docs/resilience.md'
+require README.md 'docs/serving\.md' 'docs/serving.md'
+require docs/ARCHITECTURE.md 'docs/serving\.md' 'docs/serving.md'
+require docs/observability.md 'docs/serving\.md' 'docs/serving.md'
+require docs/resilience.md 'docs/serving\.md' 'docs/serving.md'
+require docs/serving.md 'docs/observability\.md' 'docs/observability.md'
+require docs/serving.md 'docs/resilience\.md' 'docs/resilience.md'
+require docs/serving.md 'docs/determinism\.md' 'docs/determinism.md'
 
 if [ "$fail" -ne 0 ]; then
     exit 1

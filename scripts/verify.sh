@@ -39,7 +39,8 @@ RAXPP_TRANSPORT=socket RAXPP_TEST_TIMEOUT_SECS=120 cargo test -q -p raxpp-integr
     --test chaos_soak \
     --test elastic_rebalance \
     --test checkpointing \
-    --test determinism_guard
+    --test determinism_guard \
+    --test serving
 
 echo "==> quick step_time bench (tp bitwise parity, dp batch-sharding gates)"
 # Snapshot the committed tp_speedup BEFORE the run so a quick run can
@@ -123,5 +124,35 @@ else:
           f"{got:.4f} >= 0.6 x committed {committed:.4f}")
 PY
 rm -f "$QUICK_OUT"
+
+echo "==> quick serve bench (bitwise parity vs unbatched forward, bounded p99)"
+# Closed-loop load through the continuous-batching engine; quick mode
+# writes to a scratch file, leaving the committed full-run
+# BENCH_serve.json untouched.
+SERVE_OUT=$(mktemp /tmp/raxpp_bench_serve.XXXXXX.json)
+RAXPP_BENCH_QUICK=1 RAXPP_BENCH_OUT="$SERVE_OUT" \
+    cargo bench -p raxpp-bench --bench serve
+python3 - "$SERVE_OUT" <<'PY'
+import json, sys
+quick = json.load(open(sys.argv[1]))
+assert quick["bitwise_parity"] is True, \
+    "quick serve bench: served probe diverges from the unbatched forward"
+for c in quick["curves"]:
+    n, p50, p99 = int(c["n_slots"]), float(c["p50_us"]), float(c["p99_us"])
+    assert c["bitwise_parity"] is True, f"serve parity broken at n_slots={n}"
+    # Bounded-latency gate: a lost ticket or an unanswered dispatch
+    # shows up as an unbounded tail. The floor term absorbs scheduler
+    # noise on tiny quick-run samples; the ratio catches a tail that
+    # detached from the median; the absolute ceiling catches a stuck
+    # reply outright.
+    assert p99 <= max(10_000.0, 30.0 * p50), (
+        f"serve p99 unbounded at n_slots={n}: p99 {p99:.0f}us vs p50 {p50:.0f}us")
+    assert p99 <= 2_000_000.0, (
+        f"serve p99 absurd at n_slots={n}: {p99:.0f}us — replies are stalling")
+print("serve gate OK: bitwise parity across slot counts, p99 bounded "
+      + ", ".join(f"{int(c['n_slots'])}slots={float(c['p99_us'])/1000:.2f}ms"
+                  for c in quick["curves"]))
+PY
+rm -f "$SERVE_OUT"
 
 echo "verify: OK"
